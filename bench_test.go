@@ -1,0 +1,131 @@
+package launchmon_test
+
+import (
+	"testing"
+
+	"launchmon/internal/bench"
+)
+
+// One benchmark per table/figure of the paper's evaluation, plus the
+// ablations. Each iteration regenerates the complete experiment on a
+// fresh simulated cluster; reported ns/op is host time to simulate the
+// whole sweep (the virtual-time results themselves are printed by
+// cmd/lmonbench and recorded in EXPERIMENTS.md).
+
+// BenchmarkFigure3_LaunchAndSpawnModelVsMeasured regenerates Figure 3:
+// the launchAndSpawn component breakdown and analytic-model comparison,
+// 16..128 daemons at 8 tasks/daemon.
+func BenchmarkFigure3_LaunchAndSpawnModelVsMeasured(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(bench.Figure3Scales) {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure5_Jobsnap regenerates Figure 5: Jobsnap total and
+// init→attachAndSpawn times, 64..1024 daemons (512..8192 tasks).
+func BenchmarkFigure5_Jobsnap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(bench.Figure5Scales) {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkFigure6_STATStartup regenerates Figure 6: STAT launch+connect,
+// MRNet-rsh vs LaunchMON, 4..512 daemons with the rsh failure at 512.
+func BenchmarkFigure6_STATStartup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[len(rows)-1].MRNetFailed {
+			b.Fatal("rsh did not fail at 512")
+		}
+	}
+}
+
+// BenchmarkTable1_OSSAPAIAccess regenerates Table 1: O|SS APAI access
+// times, DPCL vs LaunchMON, 2..32 nodes.
+func BenchmarkTable1_OSSAPAIAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(bench.Table1Scales) {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkAblation_BGL contrasts the SLURM-like and BG/L-like RM cost
+// profiles (§4's closing observation).
+func BenchmarkAblation_BGL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.BGLAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ICCLFanout sweeps the ICCL tree fan-out at 128
+// daemons.
+func BenchmarkAblation_ICCLFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationFanout(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Piggyback compares piggybacked vs separate tool-data
+// delivery.
+func BenchmarkAblation_Piggyback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationPiggyback(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ProctabDistribution compares RPDTAB broadcast vs the
+// shared-file mechanism.
+func BenchmarkAblation_ProctabDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationProctab(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_DebugEvents contrasts fixed vs scale-growing RM debug
+// events.
+func BenchmarkAblation_DebugEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationDebugEvents(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_JobsnapTree quantifies the paper's §5.1 future-work
+// suggestion: Jobsnap with a TBŌN-style k-ary collection tree vs the flat
+// gather it measured.
+func BenchmarkAblation_JobsnapTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationJobsnapTree(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

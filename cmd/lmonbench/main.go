@@ -1,0 +1,109 @@
+// Command lmonbench regenerates the paper's evaluation tables and figures
+// on the simulated cluster. With no flags it runs everything.
+//
+// Usage:
+//
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"launchmon/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (3, 5 or 6)")
+	table := flag.Int("table", 0, "regenerate one table (1)")
+	ablations := flag.Bool("ablations", false, "run the ablation benches")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	if !*ablations && *fig == 0 && *table == 0 {
+		*all = true
+	}
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "lmonbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *all || *fig == 3 {
+		run("figure 3", func() error {
+			rows, err := bench.Figure3()
+			if err != nil {
+				return err
+			}
+			bench.PrintFigure3(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *fig == 5 {
+		run("figure 5", func() error {
+			rows, err := bench.Figure5()
+			if err != nil {
+				return err
+			}
+			bench.PrintFigure5(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *fig == 6 {
+		run("figure 6", func() error {
+			rows, err := bench.Figure6()
+			if err != nil {
+				return err
+			}
+			bench.PrintFigure6(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *table == 1 {
+		run("table 1", func() error {
+			rows, err := bench.Table1()
+			if err != nil {
+				return err
+			}
+			bench.PrintTable1(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *ablations {
+		run("ablations", func() error {
+			bgl, err := bench.BGLAblation()
+			if err != nil {
+				return err
+			}
+			fan, err := bench.AblationFanout()
+			if err != nil {
+				return err
+			}
+			pig, err := bench.AblationPiggyback()
+			if err != nil {
+				return err
+			}
+			dbg, err := bench.AblationDebugEvents()
+			if err != nil {
+				return err
+			}
+			bench.PrintAblations(os.Stdout, bgl, fan, pig, dbg)
+			pt, err := bench.AblationProctab()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			bench.PrintProctabAblation(os.Stdout, pt)
+			jt, err := bench.AblationJobsnapTree()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			bench.PrintJobsnapTree(os.Stdout, jt)
+			return nil
+		})
+	}
+}

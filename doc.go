@@ -1,0 +1,22 @@
+// Package launchmon is a full reproduction, in pure Go, of
+//
+//	D. H. Ahn, D. C. Arnold, B. R. de Supinski, G. L. Lee, B. P. Miller,
+//	M. Schulz. "Overcoming Scalability Challenges for Tool Daemon
+//	Launching." ICPP 2008.
+//
+// The paper's system — LaunchMON, a scalable, portable infrastructure for
+// launching HPC tool daemons through the resource manager's native
+// services — lives in internal/core (FE/BE/MW APIs), internal/engine (the
+// LaunchMON Engine), internal/lmonp (the LMONP protocol) and internal/iccl
+// (the minimal daemon collectives). Everything the paper's evaluation
+// depends on is implemented as well: a virtual-time cluster simulator
+// (internal/vtime, internal/simnet, internal/cluster), a SLURM-like and a
+// BG/L-like resource manager (internal/rm/...), the rsh/DPCL baselines,
+// an MRNet-like tree-based overlay network (internal/tbon), and the three
+// case-study tools Jobsnap, STAT and Open|SpeedShop
+// (internal/tools/...).
+//
+// The benchmarks in bench_test.go and the cmd/lmonbench binary regenerate
+// every table and figure of the paper's evaluation; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+package launchmon

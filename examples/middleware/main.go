@@ -1,0 +1,100 @@
+// Middleware example (paper §3.4): a tool that needs a TBŌN beyond the
+// job's own allocation. LaunchMON launches the back-end daemons
+// co-located with the job, then allocates three extra nodes and launches
+// middleware daemons on them; every MW daemon receives a personality
+// handle and the job's RPDTAB, uses the bootstrap fabric for a collective
+// hello, and the tool wires back-ends to middleware by rank.
+//
+// Run with: go run ./examples/middleware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/rm/slurm"
+	"launchmon/internal/vtime"
+)
+
+func main() {
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := slurm.Install(cl, slurm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	core.Setup(cl, mgr)
+
+	// Back-end daemons: co-located with the application tasks.
+	cl.Register("tool_be", func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Finalize()
+	})
+
+	// Middleware daemons: on separately allocated nodes. Each reports its
+	// personality handle and the middleware master forwards the roster.
+	cl.Register("tool_mw", func(p *cluster.Proc) {
+		mw, err := core.MWInit(p)
+		if err != nil {
+			log.Printf("MWInit on %s: %v", p.Node().Name(), err)
+			return
+		}
+		rank, size := mw.Personality()
+		line := fmt.Sprintf("mw %d/%d on %s sees %d job tasks", rank, size, p.Node().Name(), len(mw.Proctab()))
+		all, err := mw.Gather([]byte(line))
+		if err != nil {
+			return
+		}
+		if mw.AmIMaster() {
+			var joined []byte
+			for _, l := range all {
+				joined = append(joined, l...)
+				joined = append(joined, '\n')
+			}
+			mw.SendToFE(joined)
+		}
+		mw.Finalize()
+	})
+
+	sim.Go("boot", func() {
+		cl.FrontEnd().SpawnProc(cluster.Spec{Exe: "tool_fe", Main: func(p *cluster.Proc) {
+			sess, err := core.LaunchAndSpawn(p, core.Options{
+				Job:    rm.JobSpec{Exe: "mpiapp", Nodes: 12, TasksPerNode: 8},
+				Daemon: rm.DaemonSpec{Exe: "tool_be"},
+			})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Printf("job up on %d nodes with %d back-end daemons\n",
+				len(sess.Proctab().Hosts()), len(sess.Daemons()))
+
+			mwNodes, err := sess.LaunchMW(core.MWOptions{
+				Nodes:  3,
+				Daemon: rm.DaemonSpec{Exe: "tool_mw"},
+				FEData: []byte("tbon-topology-v1"),
+			})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Printf("middleware daemons on fresh allocation: %v\n", mwNodes)
+			roster, err := sess.RecvFromMW()
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Print(string(roster))
+		}})
+	})
+	sim.Run()
+}

@@ -1,0 +1,86 @@
+// Quickstart: launch a parallel job under tool control and co-locate a
+// minimal tool daemon with it — the launchAndSpawn service that is the
+// paper's primary contribution — then exchange a message with the daemons
+// and shut everything down.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/rm/slurm"
+	"launchmon/internal/vtime"
+)
+
+func main() {
+	// 1. Build a simulated 8-node cluster and boot the SLURM-like RM.
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := slurm.Install(cl, slurm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	core.Setup(cl, mgr) // registers the LaunchMON engine
+
+	// 2. Register the tool's back-end daemon: BEInit joins the session,
+	// then every daemon reports how many tasks it watches; the master
+	// forwards the tally to the front end.
+	cl.Register("hello_be", func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			log.Printf("BEInit failed on %s: %v", p.Node().Name(), err)
+			return
+		}
+		report := []byte(fmt.Sprintf("%s watches %d tasks", p.Node().Name(), len(be.MyProctab())))
+		all, err := be.Gather(report)
+		if err != nil {
+			return
+		}
+		if be.AmIMaster() {
+			var joined []byte
+			for _, line := range all {
+				joined = append(joined, line...)
+				joined = append(joined, '\n')
+			}
+			be.SendToFE(joined)
+		}
+		be.Finalize()
+	})
+
+	// 3. The tool front end: one process on the front-end node.
+	sim.Go("boot", func() {
+		cl.FrontEnd().SpawnProc(cluster.Spec{Exe: "hello_fe", Main: func(p *cluster.Proc) {
+			sess, err := core.LaunchAndSpawn(p, core.Options{
+				Job:    rm.JobSpec{Exe: "mpiapp", Nodes: 8, TasksPerNode: 4},
+				Daemon: rm.DaemonSpec{Exe: "hello_be"},
+				FEData: []byte("hello from the front end"),
+			})
+			if err != nil {
+				log.Printf("launchAndSpawn: %v", err)
+				return
+			}
+			fmt.Printf("session %d up: %d tasks, %d daemons, launch took %v\n",
+				sess.ID, len(sess.Proctab()), len(sess.Daemons()),
+				sess.Timeline.Between("e0_fe_call", "e11_return"))
+			reports, err := sess.RecvFromBE()
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Print(string(reports))
+			if err := sess.Kill(); err != nil {
+				log.Print(err)
+			}
+			fmt.Println("job and daemons terminated")
+		}})
+	})
+	sim.Run()
+}

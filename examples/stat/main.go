@@ -1,0 +1,68 @@
+// STAT example (paper §5.2): attach the Stack Trace Analysis Tool to a
+// "hung" MPI job, sample every task's stack through an MRNet-like
+// tree-based overlay network bootstrapped by LaunchMON, and print the
+// process equivalence classes — the handful of representative tasks a
+// full debugger would then attach to.
+//
+// Run with: go run ./examples/stat
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/rm/slurm"
+	"launchmon/internal/tbon"
+	"launchmon/internal/tools/stat"
+	"launchmon/internal/vtime"
+)
+
+func main() {
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := slurm.Install(cl, slurm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	core.Setup(cl, mgr)
+	stat.Install(cl, tbon.Config{})
+
+	sim.Go("boot", func() {
+		cl.FrontEnd().SpawnProc(cluster.Spec{Exe: "stat_fe", Main: func(p *cluster.Proc) {
+			job, err := mgr.StartJob(rm.JobSpec{Exe: "mpiapp", Nodes: 32, TasksPerNode: 8})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			p.Sim().Sleep(30 * time.Second) // the job appears hung...
+
+			inst, err := stat.LaunchWithLaunchMON(p, job.ID(), tbon.Config{})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer inst.Close()
+			fmt.Printf("STAT daemons launched and connected in %.3fs\n", inst.StartupTime.Seconds())
+
+			tree, err := inst.Sample()
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			classes := tree.EquivalenceClasses()
+			fmt.Printf("sampled %d tasks -> %d equivalence classes:\n", tree.Tasks(), len(classes))
+			for _, c := range classes {
+				fmt.Println(" ", c)
+			}
+			fmt.Println("attach a full debugger to the representatives above")
+		}})
+	})
+	sim.Run()
+}

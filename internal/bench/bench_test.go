@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The unit tests here run the generators at reduced scale and assert the
+// qualitative claims (shapes, winners, crossovers) the paper makes; the
+// full-scale regenerators run in the repository-root benchmarks and
+// cmd/lmonbench.
+
+func TestFigure3ShapeAndModel(t *testing.T) {
+	rows, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure3Scales) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		// Paper: launchAndSpawn stays under one second through 128 nodes.
+		if r.Measured.Total > time.Second {
+			t.Errorf("total at %d daemons = %v, want <1s", r.Daemons, r.Measured.Total)
+		}
+		// Tracing cost is scale-independent 18ms; "other" ~constant.
+		if r.Measured.Tracing != 18*time.Millisecond {
+			t.Errorf("tracing at %d = %v", r.Daemons, r.Measured.Tracing)
+		}
+		if i > 0 && r.Measured.Total <= rows[i-1].Measured.Total {
+			t.Errorf("total not increasing at %d daemons", r.Daemons)
+		}
+		// The model (fitted at ≤48 daemons) tracks measurements within 10%.
+		if r.ErrPct > 10 {
+			t.Errorf("model error at %d daemons = %.1f%%", r.Daemons, r.ErrPct)
+		}
+	}
+	// LaunchMON's share is a small fraction at full scale (paper: ~5.2%).
+	last := rows[len(rows)-1]
+	if s := last.Measured.LaunchMONShare(); s > 0.12 {
+		t.Errorf("LaunchMON share at 128 daemons = %.1f%%, want ~5-10%%", 100*s)
+	}
+}
+
+func TestFigure5ShapeSmall(t *testing.T) {
+	rows, err := Figure5Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Lines != r.Tasks {
+			t.Errorf("row %d: %d lines for %d tasks", i, r.Lines, r.Tasks)
+		}
+		if r.Launch > r.Total {
+			t.Errorf("row %d: launch %v > total %v", i, r.Launch, r.Total)
+		}
+		// The LaunchMON portion dominates Jobsnap (paper: 2.76 of 2.92s).
+		if float64(r.Launch) < 0.5*float64(r.Total) {
+			t.Errorf("row %d: launch share too small: %v of %v", i, r.Launch, r.Total)
+		}
+		if i > 0 && r.Total <= rows[i-1].Total {
+			t.Errorf("total not increasing at %d daemons", r.Daemons)
+		}
+	}
+}
+
+func TestFigure6ShapeSmall(t *testing.T) {
+	rows, err := Figure6Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFailure bool
+	for _, r := range rows {
+		if r.MRNetFailed {
+			sawFailure = true
+			if r.MRNetEstimate == 0 {
+				t.Error("failed row missing extrapolation")
+			}
+			continue
+		}
+		// LaunchMON wins at every scale (paper: already at 4 nodes).
+		if r.LaunchMON >= r.MRNet {
+			t.Errorf("LaunchMON %v not faster than rsh %v at %d daemons", r.LaunchMON, r.MRNet, r.Daemons)
+		}
+	}
+	if !sawFailure {
+		t.Error("rsh path never hit the front-end process limit")
+	}
+	// LaunchMON keeps working at the scale rsh fails.
+	last := rows[len(rows)-1]
+	if !last.MRNetFailed || last.LaunchMON == 0 {
+		t.Errorf("expected rsh failure + LaunchMON success at %d daemons", last.Daemons)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// DPCL ~34s, LaunchMON sub-second, both ~flat (paper Table 1).
+		if r.DPCL < 33*time.Second || r.DPCL > 36*time.Second {
+			t.Errorf("DPCL at %d nodes = %v", r.Nodes, r.DPCL)
+		}
+		if r.LaunchMON > time.Second {
+			t.Errorf("LaunchMON at %d nodes = %v", r.Nodes, r.LaunchMON)
+		}
+		if r.DPCL < 20*r.LaunchMON {
+			t.Errorf("gap too small at %d nodes: %v vs %v", r.Nodes, r.DPCL, r.LaunchMON)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if float64(last.DPCL) > 1.1*float64(first.DPCL) {
+		t.Errorf("DPCL not ~constant: %v -> %v", first.DPCL, last.DPCL)
+	}
+}
+
+func TestBGLAblationShape(t *testing.T) {
+	rows, err := BGLAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	slurmRow, bglRow, alpsRow := rows[0], rows[1], rows[2]
+	if alpsRow.Measured.Total == 0 {
+		t.Error("alps row empty")
+	}
+	// All three RMs keep LaunchMON's tracing cost in the same band
+	// (handler cost × O(1) events).
+	if alpsRow.Measured.Tracing > 3*slurmRow.Measured.Tracing {
+		t.Errorf("alps tracing %v far above slurm %v", alpsRow.Measured.Tracing, slurmRow.Measured.Tracing)
+	}
+	// Paper §4: BG/L's T(job)/T(daemon) significantly higher, LaunchMON's
+	// own overheads similar.
+	if bglRow.Measured.Job < 2*slurmRow.Measured.Job {
+		t.Errorf("BG/L T(job) %v not clearly above SLURM %v", bglRow.Measured.Job, slurmRow.Measured.Job)
+	}
+	if bglRow.Measured.DaemonSpawn < 2*slurmRow.Measured.DaemonSpawn {
+		t.Errorf("BG/L T(daemon) %v not clearly above SLURM %v", bglRow.Measured.DaemonSpawn, slurmRow.Measured.DaemonSpawn)
+	}
+	dTrace := bglRow.Measured.Tracing - slurmRow.Measured.Tracing
+	if dTrace < 0 {
+		dTrace = -dTrace
+	}
+	if dTrace > 5*time.Millisecond {
+		t.Errorf("tracing costs diverge: %v vs %v", slurmRow.Measured.Tracing, bglRow.Measured.Tracing)
+	}
+}
+
+func TestFanoutAblationShape(t *testing.T) {
+	rows, err := AblationFanout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := rows[0]
+	if flat.Fanout != 0 {
+		t.Fatal("first row not flat")
+	}
+	for _, r := range rows[1:] {
+		if r.Setup >= flat.Setup {
+			t.Errorf("fanout %d setup %v not below flat %v", r.Fanout, r.Setup, flat.Setup)
+		}
+	}
+}
+
+func TestPiggybackAblationShape(t *testing.T) {
+	rows, err := AblationPiggyback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Total >= rows[1].Total {
+		t.Errorf("piggybacked %v not faster than separate %v", rows[0].Total, rows[1].Total)
+	}
+}
+
+func TestProctabAblationShape(t *testing.T) {
+	rows, err := AblationProctab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]map[int]time.Duration{}
+	for _, r := range rows {
+		if byMode[r.Mode] == nil {
+			byMode[r.Mode] = map[int]time.Duration{}
+		}
+		byMode[r.Mode][r.Daemons] = r.Duration
+	}
+	for _, n := range []int{64, 256} {
+		if byMode["iccl-broadcast"][n] >= byMode["shared-file"][n] {
+			t.Errorf("broadcast %v not faster than shared file %v at %d daemons",
+				byMode["iccl-broadcast"][n], byMode["shared-file"][n], n)
+		}
+	}
+}
+
+func TestJobsnapTreeAblationShape(t *testing.T) {
+	rows, err := AblationJobsnapTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Fanout != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	flat := rows[0]
+	for _, r := range rows[1:] {
+		// The k-ary collection tree must not be slower than flat gather at
+		// 512 daemons (the paper's future-work hypothesis).
+		if r.Total > flat.Total {
+			t.Errorf("fanout %d total %v above flat %v", r.Fanout, r.Total, flat.Total)
+		}
+	}
+}
+
+func TestDebugEventsAblationShape(t *testing.T) {
+	rows, err := AblationDebugEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := map[int]time.Duration{}
+	scaling := map[int]time.Duration{}
+	for _, r := range rows {
+		if r.Mode == "fixed" {
+			fixed[r.Daemons] = r.Tracing
+		} else {
+			scaling[r.Daemons] = r.Tracing
+		}
+	}
+	if fixed[16] != fixed[128] {
+		t.Errorf("fixed-mode tracing varies: %v vs %v", fixed[16], fixed[128])
+	}
+	if scaling[128] <= scaling[16] {
+		t.Errorf("scaling-mode tracing flat: %v vs %v", scaling[16], scaling[128])
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	// Smoke-test every printer against tiny inputs.
+	var buf bytes.Buffer
+	PrintFigure3(&buf, []Fig3Row{{Daemons: 1, Tasks: 8}})
+	PrintFigure5(&buf, []Fig5Row{{Daemons: 1, Tasks: 8}})
+	PrintFigure6(&buf, []Fig6Row{{Daemons: 1, Tasks: 8, MRNetFailed: true}})
+	PrintTable1(&buf, []T1Row{{Nodes: 2}})
+	PrintAblations(&buf, []BGLRow{{RM: "x"}}, []FanoutRow{{}}, []PiggybackRow{{Mode: "m"}}, []DebugEventsRow{{Mode: "f"}})
+	PrintProctabAblation(&buf, []ProctabRow{{Mode: "m"}})
+	if buf.Len() == 0 {
+		t.Fatal("printers produced nothing")
+	}
+}

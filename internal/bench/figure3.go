@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/perfmodel"
+	"launchmon/internal/rm"
+)
+
+// Fig3Row is one scale point of the Figure 3 reproduction: the measured
+// launchAndSpawn breakdown, the analytic model's prediction, and the
+// relative error of the modeled total.
+type Fig3Row struct {
+	Daemons  int
+	Tasks    int
+	Measured perfmodel.Breakdown
+	Model    perfmodel.Breakdown
+	ErrPct   float64
+}
+
+// Figure3Scales are the paper's daemon counts (8 MPI tasks per daemon,
+// one daemon per node, 16..128 step 16).
+var Figure3Scales = []int{16, 32, 48, 64, 80, 96, 112, 128}
+
+// Figure3CalibrationScales are the small scales the model is fitted on;
+// the remaining scales are pure prediction (the paper fits T(op) "at small
+// scales and then fit models for them").
+var Figure3CalibrationScales = []int{16, 32, 48}
+
+// measureLaunchAndSpawn runs one launchAndSpawn at the given scale and
+// decomposes its timeline.
+func measureLaunchAndSpawn(daemons, tasksPerDaemon int) (perfmodel.Breakdown, error) {
+	r, err := NewRig(RigOptions{Nodes: daemons})
+	if err != nil {
+		return perfmodel.Breakdown{}, err
+	}
+	registerNoopBE(r.Cl, "f3_be")
+	var b perfmodel.Breakdown
+	err = r.RunFE(func(p *cluster.Proc) error {
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:    rm.JobSpec{Exe: "app", Nodes: daemons, TasksPerNode: tasksPerDaemon},
+			Daemon: rm.DaemonSpec{Exe: "f3_be"},
+		})
+		if err != nil {
+			return err
+		}
+		b, err = perfmodel.Decompose(sess.Timeline)
+		return err
+	})
+	return b, err
+}
+
+// Figure3 regenerates the modeled-vs-measured launchAndSpawn comparison:
+// it measures every scale, fits the analytic model on the calibration
+// scales only, and reports predictions alongside measurements.
+func Figure3() ([]Fig3Row, error) {
+	const tasksPerDaemon = 8
+	measured := make(map[int]perfmodel.Breakdown, len(Figure3Scales))
+	for _, n := range Figure3Scales {
+		b, err := measureLaunchAndSpawn(n, tasksPerDaemon)
+		if err != nil {
+			return nil, fmt.Errorf("figure3 at %d daemons: %w", n, err)
+		}
+		measured[n] = b
+	}
+	var pts []perfmodel.Point
+	for _, n := range Figure3CalibrationScales {
+		pts = append(pts, perfmodel.Point{Nodes: n, Tasks: n * tasksPerDaemon, B: measured[n]})
+	}
+	model, err := perfmodel.Fit(pts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, 0, len(Figure3Scales))
+	for _, n := range Figure3Scales {
+		pred := model.Predict(n, n*tasksPerDaemon)
+		rows = append(rows, Fig3Row{
+			Daemons:  n,
+			Tasks:    n * tasksPerDaemon,
+			Measured: measured[n],
+			Model:    pred,
+			ErrPct:   perfmodel.ErrorPct(pred, measured[n]),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure3 renders the rows like the paper's stacked chart, one line
+// per scale with the component columns.
+func PrintFigure3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "Figure 3 — launchAndSpawn: modeled vs measured (8 tasks/daemon)")
+	fmt.Fprintln(w, "daemons  tasks  T(job)   T(dmn+setup) T(coll)  tracing  fetch    other    measured  model    err%   lmon%")
+	for _, r := range rows {
+		m := r.Measured
+		fmt.Fprintf(w, "%7d %6d %8.3f %12.3f %8.3f %8.3f %8.3f %8.3f %9.3f %8.3f %6.1f %6.1f\n",
+			r.Daemons, r.Tasks,
+			m.Job.Seconds(), (m.DaemonSpawn + m.Setup).Seconds(), m.Collective.Seconds(),
+			m.Tracing.Seconds(), m.Fetch.Seconds(), m.Other.Seconds(),
+			m.Total.Seconds(), r.Model.Total.Seconds(), r.ErrPct, 100*m.LaunchMONShare())
+	}
+}

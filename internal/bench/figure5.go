@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/rm"
+	"launchmon/internal/tools/jobsnap"
+)
+
+// Fig5Row is one Jobsnap measurement: total operation time and the
+// init→attachAndSpawn (LaunchMON) share, per the paper's two series.
+type Fig5Row struct {
+	Daemons int
+	Tasks   int
+	Total   time.Duration
+	Launch  time.Duration // init → attachAndSpawnDaemons
+	Lines   int
+}
+
+// Figure5Scales are the daemon counts of the Jobsnap experiment
+// (8 tasks per daemon; the paper sweeps to 1024 daemons / 8192 tasks).
+var Figure5Scales = []int{64, 128, 256, 512, 768, 1024}
+
+// Figure5 regenerates the Jobsnap performance series.
+func Figure5() ([]Fig5Row, error) {
+	return figure5At(Figure5Scales)
+}
+
+// Figure5Small is the fast variant used by unit tests and -short benches.
+func Figure5Small() ([]Fig5Row, error) {
+	return figure5At([]int{16, 32, 64})
+}
+
+func figure5At(scales []int) ([]Fig5Row, error) {
+	const tasksPerDaemon = 8
+	rows := make([]Fig5Row, 0, len(scales))
+	for _, n := range scales {
+		r, err := NewRig(RigOptions{Nodes: n})
+		if err != nil {
+			return nil, err
+		}
+		var res jobsnap.Result
+		err = r.RunFE(func(p *cluster.Proc) error {
+			j, err := r.Mgr.StartJob(rm.JobSpec{Exe: "mpiapp", Nodes: n, TasksPerNode: tasksPerDaemon})
+			if err != nil {
+				return err
+			}
+			p.Sim().Sleep(5 * time.Second)
+			res, err = jobsnap.Run(p, j.ID())
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure5 at %d daemons: %w", n, err)
+		}
+		if res.Lines != n*tasksPerDaemon {
+			return nil, fmt.Errorf("figure5 at %d daemons: report has %d lines, want %d", n, res.Lines, n*tasksPerDaemon)
+		}
+		rows = append(rows, Fig5Row{
+			Daemons: n, Tasks: n * tasksPerDaemon,
+			Total: res.Total, Launch: res.LaunchTime, Lines: res.Lines,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure5 renders the two series of the paper's chart.
+func PrintFigure5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5 — Jobsnap performance (8 tasks/daemon)")
+	fmt.Fprintln(w, "daemons  tasks   total      init→attachAndSpawn")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d %6d %9.3fs %9.3fs\n", r.Daemons, r.Tasks, r.Total.Seconds(), r.Launch.Seconds())
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+	"launchmon/internal/tbon"
+	"launchmon/internal/tools/stat"
+)
+
+// Fig6Row is one STAT start-up measurement: MRNet's native rsh launch
+// versus the LaunchMON integration, 1-deep topology.
+type Fig6Row struct {
+	Daemons       int
+	Tasks         int
+	MRNet         time.Duration // native rsh launch+connect; 0 when failed
+	MRNetFailed   bool
+	MRNetEstimate time.Duration // linear extrapolation when failed
+	LaunchMON     time.Duration
+}
+
+// Figure6Scales are the daemon counts of the STAT start-up experiment
+// (8 tasks per daemon; the rsh path fails at 512 on a 512-process front
+// end, as on Atlas).
+var Figure6Scales = []int{4, 16, 64, 128, 256, 512}
+
+// figure6FrontEndProcLimit models Atlas's per-user process limit on the
+// front-end node: the resident rsh clients exhaust it at 512 daemons.
+const figure6FrontEndProcLimit = 512
+
+// Figure6 regenerates the STAT start-up comparison.
+func Figure6() ([]Fig6Row, error) {
+	return figure6At(Figure6Scales, figure6FrontEndProcLimit)
+}
+
+// Figure6Small is the fast variant for unit tests.
+func Figure6Small() ([]Fig6Row, error) {
+	return figure6At([]int{4, 8, 16}, 12)
+}
+
+func figure6At(scales []int, feLimit int) ([]Fig6Row, error) {
+	const tasksPerDaemon = 8
+	rows := make([]Fig6Row, 0, len(scales))
+	var slope float64 // seconds per daemon from successful rsh runs
+	for _, n := range scales {
+		row := Fig6Row{Daemons: n, Tasks: n * tasksPerDaemon}
+
+		// LaunchMON path.
+		lm, err := measureSTATLaunchMON(n, tasksPerDaemon)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 launchmon at %d: %w", n, err)
+		}
+		row.LaunchMON = lm
+
+		// Native MRNet (rsh) path on a fresh rig with the front-end
+		// process limit in force.
+		mr, failed, err := measureSTATNative(n, tasksPerDaemon, feLimit)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 native at %d: %w", n, err)
+		}
+		row.MRNet, row.MRNetFailed = mr, failed
+		if !failed && n > 0 {
+			slope = mr.Seconds() / float64(n)
+		}
+		if failed {
+			row.MRNetEstimate = time.Duration(slope * float64(n) * float64(time.Second))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureSTATLaunchMON(daemons, tasksPerDaemon int) (time.Duration, error) {
+	r, err := NewRig(RigOptions{Nodes: daemons})
+	if err != nil {
+		return 0, err
+	}
+	var startup time.Duration
+	err = r.RunFE(func(p *cluster.Proc) error {
+		j, err := r.Mgr.StartJob(rm.JobSpec{Exe: "app", Nodes: daemons, TasksPerNode: tasksPerDaemon})
+		if err != nil {
+			return err
+		}
+		p.Sim().Sleep(5 * time.Second)
+		inst, err := stat.LaunchWithLaunchMON(p, j.ID(), tbon.Config{})
+		if err != nil {
+			return err
+		}
+		defer inst.Close()
+		startup = inst.StartupTime
+		// Sanity: the overlay must actually work after startup.
+		tree, err := inst.Sample()
+		if err != nil {
+			return err
+		}
+		if tree.Tasks() != daemons*tasksPerDaemon {
+			return fmt.Errorf("sampled %d tasks, want %d", tree.Tasks(), daemons*tasksPerDaemon)
+		}
+		return nil
+	})
+	return startup, err
+}
+
+// measureSTATNative returns the rsh-based startup time, or failed=true
+// when the front end could not fork all rsh clients (the paper's 512-node
+// failure).
+func measureSTATNative(daemons, tasksPerDaemon, feLimit int) (time.Duration, bool, error) {
+	r, err := NewRig(RigOptions{Nodes: daemons, MaxProcs: feLimit})
+	if err != nil {
+		return 0, false, err
+	}
+	var startup time.Duration
+	failed := false
+	err = r.RunFE(func(p *cluster.Proc) error {
+		j, err := r.Mgr.StartJob(rm.JobSpec{Exe: "app", Nodes: daemons, TasksPerNode: tasksPerDaemon})
+		if err != nil {
+			return err
+		}
+		p.Sim().Sleep(5 * time.Second)
+		tab := j.(interface{ Proctab() proctab.Table }).Proctab()
+		ranks := map[string][]int{}
+		for _, d := range tab {
+			ranks[d.Host] = append(ranks[d.Host], d.Rank)
+		}
+		inst, err := stat.LaunchWithRsh(p, r.Rsh, tab.Hosts(), ranks, tbon.Config{})
+		if err != nil {
+			failed = true
+			return nil // expected at the largest scale
+		}
+		defer inst.Close()
+		startup = inst.StartupTime
+		return nil
+	})
+	return startup, failed, err
+}
+
+// PrintFigure6 renders the comparison like the paper's chart.
+func PrintFigure6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6 — STAT start-up: MRNet(rsh) vs LaunchMON, 1-deep (8 tasks/daemon)")
+	fmt.Fprintln(w, "daemons  tasks   MRNet-rsh        LaunchMON")
+	for _, r := range rows {
+		mr := fmt.Sprintf("%9.3fs", r.MRNet.Seconds())
+		if r.MRNetFailed {
+			mr = fmt.Sprintf("FAILED(~%.0fs est)", r.MRNetEstimate.Seconds())
+		}
+		fmt.Fprintf(w, "%7d %6d %-16s %9.3fs\n", r.Daemons, r.Tasks, mr, r.LaunchMON.Seconds())
+	}
+}

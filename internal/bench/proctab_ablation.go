@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+)
+
+// ProctabRow compares RPDTAB distribution mechanisms.
+type ProctabRow struct {
+	Mode     string
+	Daemons  int
+	Duration time.Duration
+}
+
+// AblationProctab contrasts LaunchMON's RPDTAB broadcast over the ICCL
+// tree against the mechanism STAT used before the integration (paper
+// §5.2): every daemon independently reading the table from a single
+// shared file on the front end, which serializes at the file server.
+func AblationProctab() ([]ProctabRow, error) {
+	var rows []ProctabRow
+	for _, n := range []int{64, 256} {
+		bcast, err := measureProctabBroadcast(n)
+		if err != nil {
+			return nil, fmt.Errorf("proctab ablation bcast at %d: %w", n, err)
+		}
+		rows = append(rows, ProctabRow{Mode: "iccl-broadcast", Daemons: n, Duration: bcast})
+		file, err := measureProctabSharedFile(n)
+		if err != nil {
+			return nil, fmt.Errorf("proctab ablation file at %d: %w", n, err)
+		}
+		rows = append(rows, ProctabRow{Mode: "shared-file", Daemons: n, Duration: file})
+	}
+	return rows, nil
+}
+
+// measureProctabBroadcast times the RPDTAB reaching every daemon via the
+// ICCL broadcast: the daemons synchronize with a barrier, the master
+// stamps the clock, the table is broadcast, and a closing barrier bounds
+// the last delivery.
+func measureProctabBroadcast(n int) (time.Duration, error) {
+	r, err := NewRig(RigOptions{Nodes: n})
+	if err != nil {
+		return 0, err
+	}
+	r.Cl.Register("pt_be", func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			return
+		}
+		if err := be.Barrier(); err != nil {
+			return
+		}
+		start := p.Sim().Now()
+		var seed []byte
+		if be.AmIMaster() {
+			seed = be.Proctab().Encode()
+		}
+		if _, err := be.Broadcast(seed); err != nil {
+			return
+		}
+		if err := be.Barrier(); err != nil {
+			return
+		}
+		if be.AmIMaster() {
+			be.SendToFE([]byte(fmt.Sprint(int64(p.Sim().Now() - start))))
+		}
+	})
+	return runTimedDistribution(r, n, "pt_be")
+}
+
+// runTimedDistribution launches the session and reads the master-reported
+// distribution duration.
+func runTimedDistribution(r *Rig, n int, exe string) (time.Duration, error) {
+	var dur time.Duration
+	err := r.RunFE(func(p *cluster.Proc) error {
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:    rm.JobSpec{Exe: "app", Nodes: n, TasksPerNode: 8},
+			Daemon: rm.DaemonSpec{Exe: exe},
+		})
+		if err != nil {
+			return err
+		}
+		raw, err := sess.RecvFromBE()
+		if err != nil {
+			return err
+		}
+		var ns int64
+		if _, err := fmt.Sscanf(string(raw), "%d", &ns); err != nil {
+			return err
+		}
+		dur = time.Duration(ns)
+		return nil
+	})
+	return dur, err
+}
+
+// measureProctabSharedFile times every daemon fetching the table from one
+// front-end "file server" (reads serialize at the server, the old STAT
+// mechanism's bottleneck).
+func measureProctabSharedFile(n int) (time.Duration, error) {
+	r, err := NewRig(RigOptions{Nodes: n})
+	if err != nil {
+		return 0, err
+	}
+	const fileServerPort = 9999
+	const perReadCost = 2 * time.Millisecond // open+read+close of the shared file
+	r.Cl.Register("ptf_be", func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			return
+		}
+		if err := be.Barrier(); err != nil {
+			return
+		}
+		start := p.Sim().Now()
+		conn, err := p.Host().Dial(simnet.Addr{Host: "fe0", Port: fileServerPort})
+		if err != nil {
+			return
+		}
+		if _, err := lmonp.ReadFrame(conn); err != nil {
+			return
+		}
+		conn.Close()
+		if err := be.Barrier(); err != nil {
+			return
+		}
+		if be.AmIMaster() {
+			be.SendToFE([]byte(fmt.Sprint(int64(p.Sim().Now() - start))))
+		}
+	})
+	// The "NFS server" serving the shared proctab file is a system service
+	// present from boot; its serialized per-read cost is the mechanism
+	// under test.
+	if _, err := r.Cl.FrontEnd().SpawnSystemProc(cluster.Spec{Exe: "nfsd", Main: func(p *cluster.Proc) {
+		l, err := p.Host().Listen(fileServerPort)
+		if err != nil {
+			return
+		}
+		blob := make([]byte, 40+16*n) // proctab-file-sized payload
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			p.Compute(perReadCost) // server-side read serialization
+			lmonp.WriteFrame(conn, blob)
+			conn.Close()
+		}
+	}}); err != nil {
+		return 0, err
+	}
+	return runTimedDistribution(r, n, "ptf_be")
+}
+
+// PrintProctabAblation renders the comparison.
+func PrintProctabAblation(w io.Writer, rows []ProctabRow) {
+	fmt.Fprintln(w, "Ablation — RPDTAB distribution (8 tasks/daemon)")
+	fmt.Fprintln(w, "mode            daemons  time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %7d %8.3fs\n", r.Mode, r.Daemons, r.Duration.Seconds())
+	}
+}

@@ -1,0 +1,97 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: Figure 3 (launchAndSpawn model vs measured), Figure 5
+// (Jobsnap performance), Figure 6 (STAT start-up: MRNet-rsh vs LaunchMON)
+// and Table 1 (O|SS APAI access times), plus the ablation studies listed
+// in DESIGN.md. Each generator builds a fresh simulated cluster per data
+// point, so rows are independent and deterministic.
+package bench
+
+import (
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/dpcl"
+	"launchmon/internal/engine"
+	"launchmon/internal/rm"
+	"launchmon/internal/rm/slurm"
+	"launchmon/internal/rsh"
+	"launchmon/internal/tbon"
+	"launchmon/internal/tools/jobsnap"
+	"launchmon/internal/tools/oss"
+	"launchmon/internal/tools/stat"
+	"launchmon/internal/vtime"
+)
+
+// Rig is one experiment environment: a booted cluster with the RM,
+// LaunchMON, the rsh substrate, DPCL and all tools installed.
+type Rig struct {
+	Sim *vtime.Sim
+	Cl  *cluster.Cluster
+	Mgr rm.Manager
+	Rsh *rsh.Service
+	Dpc *dpcl.Service
+}
+
+// RigOptions parameterize environment construction.
+type RigOptions struct {
+	Nodes    int
+	MaxProcs int // 0 = default (front-end process table size)
+	Slurm    slurm.Config
+	Rsh      rsh.Config
+	Tbon     tbon.Config
+	Engine   engine.Config
+}
+
+// NewRig boots the environment. It must be called before Sim.Run; run
+// experiment bodies with Rig.RunFE.
+func NewRig(o RigOptions) (*Rig, error) {
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: o.Nodes, MaxProcs: o.MaxProcs})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := slurm.Install(cl, o.Slurm)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := rsh.Install(cl, o.Rsh)
+	if err != nil {
+		return nil, err
+	}
+	dsvc, err := dpcl.Install(cl, dpcl.Config{})
+	if err != nil {
+		return nil, err
+	}
+	core.SetupWithEngineConfig(cl, mgr, o.Engine)
+	jobsnap.Install(cl)
+	stat.Install(cl, o.Tbon)
+	oss.Install(cl)
+	return &Rig{Sim: sim, Cl: cl, Mgr: mgr, Rsh: svc, Dpc: dsvc}, nil
+}
+
+// RunFE executes fn as a tool front-end process and drives the simulation
+// to completion, returning fn's error.
+func (r *Rig) RunFE(fn func(p *cluster.Proc) error) error {
+	var ferr error
+	r.Sim.Go("bench-fe-boot", func() {
+		if _, err := r.Cl.FrontEnd().SpawnProc(cluster.Spec{Exe: "bench_fe", Main: func(p *cluster.Proc) {
+			ferr = fn(p)
+		}}); err != nil {
+			ferr = err
+		}
+	})
+	r.Sim.Run()
+	return ferr
+}
+
+// registerNoopBE registers a minimal LaunchMON back-end daemon used by the
+// launch benchmarks (BEInit then exit, like a tool that only needs the
+// session up).
+func registerNoopBE(cl *cluster.Cluster, exe string) {
+	cl.Register(exe, func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Finalize()
+	})
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/rm"
+	"launchmon/internal/tools/oss"
+)
+
+// T1Row is one O|SS APAI-access measurement pair.
+type T1Row struct {
+	Nodes     int
+	DPCL      time.Duration
+	LaunchMON time.Duration
+}
+
+// Table1Scales are the paper's node counts.
+var Table1Scales = []int{2, 4, 8, 16, 32}
+
+// Table1 regenerates the O|SS APAI access-time comparison: the DPCL path
+// (persistent root daemons + full binary parse of the RM launcher) versus
+// the LaunchMON integration.
+func Table1() ([]T1Row, error) {
+	rows := make([]T1Row, 0, len(Table1Scales))
+	for _, n := range Table1Scales {
+		d, err := measureOSS(n, "dpcl")
+		if err != nil {
+			return nil, fmt.Errorf("table1 dpcl at %d: %w", n, err)
+		}
+		l, err := measureOSS(n, "launchmon")
+		if err != nil {
+			return nil, fmt.Errorf("table1 launchmon at %d: %w", n, err)
+		}
+		rows = append(rows, T1Row{Nodes: n, DPCL: d, LaunchMON: l})
+	}
+	return rows, nil
+}
+
+func measureOSS(nodes int, which string) (time.Duration, error) {
+	r, err := NewRig(RigOptions{Nodes: nodes})
+	if err != nil {
+		return 0, err
+	}
+	var inst oss.Instrumentor
+	if which == "dpcl" {
+		inst = &oss.DPCLInstrumentor{Svc: r.Dpc}
+	} else {
+		inst = &oss.LaunchMONInstrumentor{}
+	}
+	var elapsed time.Duration
+	err = r.RunFE(func(p *cluster.Proc) error {
+		j, err := r.Mgr.StartJob(rm.JobSpec{Exe: "app", Nodes: nodes, TasksPerNode: 8})
+		if err != nil {
+			return err
+		}
+		p.Sim().Sleep(3 * time.Second)
+		res, err := inst.AcquireAPAI(p, j)
+		if err != nil {
+			return err
+		}
+		if len(res.Proctab) != nodes*8 {
+			return fmt.Errorf("proctab %d entries, want %d", len(res.Proctab), nodes*8)
+		}
+		elapsed = res.Elapsed
+		return nil
+	})
+	return elapsed, err
+}
+
+// PrintTable1 renders the table in the paper's layout.
+func PrintTable1(w io.Writer, rows []T1Row) {
+	fmt.Fprintln(w, "Table 1 — O|SS APAI access times")
+	fmt.Fprint(w, "Number of Nodes ")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9d", r.Nodes)
+	}
+	fmt.Fprint(w, "\nDPCL            ")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.2fs", r.DPCL.Seconds())
+	}
+	fmt.Fprint(w, "\nLaunchMON       ")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.3fs", r.LaunchMON.Seconds())
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,320 @@
+// Package cluster simulates an HPC cluster: a front-end node plus compute
+// nodes, each with a process table, fork/exec cost model and per-process
+// synthetic /proc metrics. Processes are virtual-time goroutines
+// (internal/vtime) that reach the simulated network (internal/simnet)
+// through their node's host.
+//
+// The package also provides the debugger-style tracing interface that the
+// Automatic Process Acquisition Interface (APAI) of the resource manager
+// builds on: a tracer attaches to a process, observes stop events (for
+// example the MPIR_Breakpoint), reads named symbols from the process
+// "address space" (charged by size) and resumes it — exactly the contract
+// the LaunchMON Engine consumes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// Options configure cluster construction. Zero cost fields take defaults.
+type Options struct {
+	// Nodes is the number of compute nodes (required, > 0).
+	Nodes int
+	// Net configures the interconnect cost model.
+	Net simnet.Options
+	// ForkCost is the CPU time to fork+exec one process; forks on one node
+	// serialize.
+	ForkCost time.Duration
+	// MaxProcs caps the per-node process table; Spawn fails beyond it
+	// (models fork: Resource temporarily unavailable).
+	MaxProcs int
+	// SymbolReadBase is the fixed ptrace overhead of one symbol read.
+	SymbolReadBase time.Duration
+	// SymbolReadBandwidth is the bytes/second rate for tracer memory reads.
+	SymbolReadBandwidth float64
+}
+
+const (
+	defaultForkCost    = 900 * time.Microsecond
+	defaultMaxProcs    = 8192
+	defaultSymReadBase = 50 * time.Microsecond
+	defaultSymReadBW   = 40e6 // ptrace peeks are slow: ~40 MB/s
+	frontEndName       = "fe0"
+	computeNamePrefix  = "node"
+)
+
+func (o Options) withDefaults() Options {
+	if o.ForkCost == 0 {
+		o.ForkCost = defaultForkCost
+	}
+	if o.MaxProcs == 0 {
+		o.MaxProcs = defaultMaxProcs
+	}
+	if o.SymbolReadBase == 0 {
+		o.SymbolReadBase = defaultSymReadBase
+	}
+	if o.SymbolReadBandwidth == 0 {
+		o.SymbolReadBandwidth = defaultSymReadBW
+	}
+	return o
+}
+
+// ProcMain is the entry point of a simulated process.
+type ProcMain func(p *Proc)
+
+// Cluster is a simulated machine: one front-end node plus compute nodes.
+type Cluster struct {
+	sim  *vtime.Sim
+	net  *simnet.Network
+	opts Options
+
+	frontEnd *Node
+	nodes    []*Node
+
+	mu       sync.Mutex
+	registry map[string]ProcMain
+}
+
+// New builds a cluster with opts.Nodes compute nodes named node0..nodeN-1
+// and a front-end node named fe0.
+func New(sim *vtime.Sim, opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		return nil, errors.New("cluster: Nodes must be positive")
+	}
+	o := opts.withDefaults()
+	c := &Cluster{
+		sim:      sim,
+		net:      simnet.New(sim, o.Net),
+		opts:     o,
+		registry: make(map[string]ProcMain),
+	}
+	c.frontEnd = c.newNode(frontEndName)
+	for i := 0; i < o.Nodes; i++ {
+		c.nodes = append(c.nodes, c.newNode(fmt.Sprintf("%s%d", computeNamePrefix, i)))
+	}
+	return c, nil
+}
+
+func (c *Cluster) newNode(name string) *Node {
+	return &Node{
+		cl:    c,
+		name:  name,
+		host:  c.net.Host(name),
+		procs: make(map[int]*Proc),
+		pid:   100,
+	}
+}
+
+// Sim returns the underlying virtual-time simulation.
+func (c *Cluster) Sim() *vtime.Sim { return c.sim }
+
+// Net returns the simulated network.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// FrontEnd returns the front-end (login/service) node.
+func (c *Cluster) FrontEnd() *Node { return c.frontEnd }
+
+// NumNodes returns the number of compute nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns compute node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// NodeByName resolves a node (front end or compute) by host name.
+func (c *Cluster) NodeByName(name string) (*Node, bool) {
+	if name == frontEndName {
+		return c.frontEnd, true
+	}
+	for _, n := range c.nodes {
+		if n.name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Register binds an "executable" name to a process entry point; Spawn specs
+// may then reference the executable by name, mirroring exec of an installed
+// binary on every node.
+func (c *Cluster) Register(exe string, main ProcMain) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.registry[exe] = main
+}
+
+func (c *Cluster) lookup(exe string) (ProcMain, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.registry[exe]
+	return m, ok
+}
+
+// Options returns the cluster's effective options (defaults applied).
+func (c *Cluster) Options() Options { return c.opts }
+
+// Node is one simulated machine in the cluster.
+type Node struct {
+	cl   *Cluster
+	name string
+	host *simnet.Host
+
+	mu      sync.Mutex
+	procs   map[int]*Proc
+	pid     int
+	cpuFree time.Duration // fork serialization point
+}
+
+// Name returns the node's host name.
+func (n *Node) Name() string { return n.name }
+
+// Host returns the node's network endpoint.
+func (n *Node) Host() *simnet.Host { return n.host }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cl }
+
+// NumProcs returns the current process count on the node.
+func (n *Node) NumProcs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.procs)
+}
+
+// Proc looks up a live process by pid.
+func (n *Node) Proc(pid int) (*Proc, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.procs[pid]
+	return p, ok
+}
+
+// ErrProcLimit is returned by Spawn when the node's process table is full
+// (the simulated analogue of fork failing with EAGAIN).
+var ErrProcLimit = errors.New("cluster: fork: resource temporarily unavailable")
+
+// Spec describes a process to spawn.
+type Spec struct {
+	// Exe names a registered executable when Main is nil; with Main set
+	// (or Passive) it is only a label.
+	Exe string
+	// Main is a direct entry point; when set it takes precedence over the
+	// executable registry. Processes with neither Main nor a registered
+	// Exe behaviour are passive: they occupy a table slot and expose
+	// metrics but run no code (how simulated MPI tasks are represented).
+	Main ProcMain
+	// Passive marks a process with no behaviour; Exe is then a pure label
+	// (the application name reported in proctables and /proc).
+	Passive bool
+	// Hold prevents the entry point from running until Proc.Start is
+	// called, so a debugger can attach first (launch mode of the engine).
+	Hold bool
+	Args []string
+	Env  map[string]string
+}
+
+// SpawnProc forks a process on the node, charging the fork cost to the
+// calling simulated goroutine (forks on a node serialize). It is the only
+// way processes come into existence; remote placement happens through
+// daemons (RM or rsh) that call SpawnProc on their own node.
+func (n *Node) SpawnProc(spec Spec) (*Proc, error) {
+	n.chargeFork()
+	return n.spawn(spec)
+}
+
+// SpawnSystemProc creates a process without charging the fork cost. It is
+// for machine boot (RM node daemons, persistent system services) and may
+// be called from outside the simulation, before Run.
+func (n *Node) SpawnSystemProc(spec Spec) (*Proc, error) {
+	return n.spawn(spec)
+}
+
+func (n *Node) spawn(spec Spec) (*Proc, error) {
+	main := spec.Main
+	if main == nil && spec.Exe != "" && !spec.Passive {
+		m, ok := n.cl.lookup(spec.Exe)
+		if !ok {
+			return nil, fmt.Errorf("cluster: exec %q: no such executable", spec.Exe)
+		}
+		main = m
+	}
+	n.mu.Lock()
+	if len(n.procs) >= n.cl.opts.MaxProcs {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w (node %s, %d procs)", ErrProcLimit, n.name, n.cl.opts.MaxProcs)
+	}
+	n.pid++
+	p := &Proc{
+		node:    n,
+		pid:     n.pid,
+		exe:     spec.Exe,
+		args:    append([]string(nil), spec.Args...),
+		env:     copyEnv(spec.Env),
+		state:   StateRunning,
+		started: n.cl.sim.Now(),
+		symbols: make(map[string]Symbol),
+		exited:  vtime.NewChan[int](n.cl.sim),
+		resume:  vtime.NewChan[struct{}](n.cl.sim),
+	}
+	if spec.Exe == "" && spec.Main == nil {
+		p.exe = "task"
+	}
+	n.procs[p.pid] = p
+	n.mu.Unlock()
+
+	if main != nil {
+		if spec.Hold {
+			p.heldMain = main
+		} else {
+			p.run(main)
+		}
+	}
+	return p, nil
+}
+
+func (p *Proc) run(main ProcMain) {
+	p.node.cl.sim.Go(fmt.Sprintf("%s/%s[%d]", p.node.name, p.exe, p.pid), func() {
+		main(p)
+		p.Exit(0)
+	})
+}
+
+// Start releases a process spawned with Spec.Hold. It is a no-op for
+// running or passive processes.
+func (p *Proc) Start() {
+	p.node.mu.Lock()
+	main := p.heldMain
+	p.heldMain = nil
+	p.node.mu.Unlock()
+	if main != nil {
+		p.run(main)
+	}
+}
+
+// chargeFork blocks the caller for the fork cost, serializing forks per node.
+func (n *Node) chargeFork() {
+	d := n.cl.opts.ForkCost
+	now := n.cl.sim.Now()
+	n.mu.Lock()
+	start := now
+	if n.cpuFree > start {
+		start = n.cpuFree
+	}
+	n.cpuFree = start + d
+	wait := n.cpuFree - now
+	n.mu.Unlock()
+	n.cl.sim.Sleep(wait)
+}
+
+func copyEnv(env map[string]string) map[string]string {
+	out := make(map[string]string, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

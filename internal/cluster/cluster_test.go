@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"launchmon/internal/vtime"
+)
+
+func newCluster(t *testing.T, sim *vtime.Sim, nodes int, opts Options) *Cluster {
+	t.Helper()
+	opts.Nodes = nodes
+	c, err := New(sim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTopology(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 4, Options{})
+	if c.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	if c.FrontEnd().Name() != "fe0" {
+		t.Fatalf("front end name = %q", c.FrontEnd().Name())
+	}
+	if c.Node(2).Name() != "node2" {
+		t.Fatalf("node2 name = %q", c.Node(2).Name())
+	}
+	if _, ok := c.NodeByName("node3"); !ok {
+		t.Fatal("NodeByName(node3) failed")
+	}
+	if _, ok := c.NodeByName("fe0"); !ok {
+		t.Fatal("NodeByName(fe0) failed")
+	}
+	if _, ok := c.NodeByName("nowhere"); ok {
+		t.Fatal("NodeByName(nowhere) succeeded")
+	}
+}
+
+func TestSpawnRunsMain(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	ran := false
+	sim.Go("boot", func() {
+		p, err := c.Node(0).SpawnProc(Spec{Main: func(p *Proc) {
+			ran = true
+			if p.Env("KEY") != "VAL" {
+				t.Error("env not propagated")
+			}
+			if len(p.Args()) != 2 || p.Args()[1] != "b" {
+				t.Error("args not propagated")
+			}
+		}, Args: []string{"a", "b"}, Env: map[string]string{"KEY": "VAL"}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if code, ok := p.Wait(); !ok || code != 0 {
+			t.Errorf("Wait = (%d,%v)", code, ok)
+		}
+	})
+	sim.Run()
+	if !ran {
+		t.Fatal("main did not run")
+	}
+}
+
+func TestForkCostSerializes(t *testing.T) {
+	sim := vtime.New()
+	fork := time.Millisecond
+	c := newCluster(t, sim, 1, Options{ForkCost: fork})
+	var done time.Duration
+	sim.Go("boot", func() {
+		// Two concurrent spawners on the same node must serialize.
+		wg := vtime.NewWaitGroup(sim)
+		wg.Add(2)
+		for i := 0; i < 2; i++ {
+			sim.Go("spawner", func() {
+				if _, err := c.Node(0).SpawnProc(Spec{}); err != nil {
+					t.Error(err)
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		done = sim.Now()
+	})
+	sim.Run()
+	if done != 2*fork {
+		t.Fatalf("two concurrent forks completed at %v, want %v", done, 2*fork)
+	}
+}
+
+func TestSpawnByRegisteredExe(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	ran := false
+	c.Register("daemon", func(p *Proc) { ran = true })
+	sim.Go("boot", func() {
+		p, err := c.Node(0).SpawnProc(Spec{Exe: "daemon"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Wait()
+	})
+	sim.Run()
+	if !ran {
+		t.Fatal("registered exe did not run")
+	}
+}
+
+func TestSpawnUnknownExe(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	var err error
+	sim.Go("boot", func() { _, err = c.Node(0).SpawnProc(Spec{Exe: "missing"}) })
+	sim.Run()
+	if err == nil {
+		t.Fatal("spawn of unknown exe succeeded")
+	}
+}
+
+func TestProcLimit(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{MaxProcs: 3})
+	var errAt int = -1
+	sim.Go("boot", func() {
+		for i := 0; i < 5; i++ {
+			if _, err := c.Node(0).SpawnProc(Spec{}); err != nil {
+				if !errors.Is(err, ErrProcLimit) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				errAt = i
+				return
+			}
+		}
+	})
+	sim.Run()
+	if errAt != 3 {
+		t.Fatalf("proc limit hit at spawn %d, want 3", errAt)
+	}
+}
+
+func TestExitRemovesFromTable(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	sim.Go("boot", func() {
+		p, err := c.Node(0).SpawnProc(Spec{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Node(0).NumProcs() != 1 {
+			t.Errorf("NumProcs = %d before exit", c.Node(0).NumProcs())
+		}
+		p.Exit(3)
+		if c.Node(0).NumProcs() != 0 {
+			t.Errorf("NumProcs = %d after exit", c.Node(0).NumProcs())
+		}
+		if code, ok := p.Wait(); !ok || code != 3 {
+			t.Errorf("Wait = (%d,%v), want (3,true)", code, ok)
+		}
+		// Exit is idempotent.
+		p.Exit(9)
+		if p.State() != StateExited {
+			t.Error("state not exited")
+		}
+	})
+	sim.Run()
+}
+
+func TestTracerBreakpointFlow(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	var seen []string
+	sim.Go("boot", func() {
+		p, err := c.Node(0).SpawnProc(Spec{Main: func(p *Proc) {
+			p.Compute(time.Millisecond)
+			p.DebugEvent("MPIR_Breakpoint")
+			p.Compute(time.Millisecond)
+		}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tr, err := p.Attach()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			ev, ok := tr.Events().Recv()
+			if !ok {
+				break
+			}
+			switch ev.Type {
+			case EventStop:
+				seen = append(seen, "stop:"+ev.Reason)
+				if p.State() != StateStopped {
+					t.Error("tracee not stopped at stop event")
+				}
+				if err := tr.Continue(); err != nil {
+					t.Error(err)
+				}
+			case EventExit:
+				seen = append(seen, "exit")
+			}
+		}
+	})
+	sim.Run()
+	if len(seen) != 2 || seen[0] != "stop:MPIR_Breakpoint" || seen[1] != "exit" {
+		t.Fatalf("event sequence = %v", seen)
+	}
+}
+
+func TestDebugEventWithoutTracerProceeds(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	finished := false
+	sim.Go("boot", func() {
+		p, _ := c.Node(0).SpawnProc(Spec{Main: func(p *Proc) {
+			p.DebugEvent("MPIR_Breakpoint")
+			finished = true
+		}})
+		p.Wait()
+	})
+	sim.Run()
+	if !finished {
+		t.Fatal("untraced process blocked at DebugEvent")
+	}
+}
+
+func TestDoubleAttachFails(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	sim.Go("boot", func() {
+		p, _ := c.Node(0).SpawnProc(Spec{})
+		if _, err := p.Attach(); err != nil {
+			t.Error(err)
+		}
+		if _, err := p.Attach(); !errors.Is(err, ErrAlreadyTraced) {
+			t.Errorf("second attach: %v", err)
+		}
+	})
+	sim.Run()
+}
+
+func TestReadSymbolCostScalesWithSize(t *testing.T) {
+	sim := vtime.New()
+	base := 100 * time.Microsecond
+	bw := 1e6 // 1 MB/s
+	c := newCluster(t, sim, 1, Options{SymbolReadBase: base, SymbolReadBandwidth: bw})
+	var smallCost, bigCost time.Duration
+	sim.Go("boot", func() {
+		p, _ := c.Node(0).SpawnProc(Spec{})
+		p.SetSymbol("small", Symbol{Value: 1, Size: 1000})
+		p.SetSymbol("big", Symbol{Value: 2, Size: 100000})
+		tr, _ := p.Attach()
+		t0 := sim.Now()
+		if _, err := tr.ReadSymbol("small"); err != nil {
+			t.Error(err)
+		}
+		smallCost = sim.Now() - t0
+		t0 = sim.Now()
+		if _, err := tr.ReadSymbol("big"); err != nil {
+			t.Error(err)
+		}
+		bigCost = sim.Now() - t0
+		if _, err := tr.ReadSymbol("absent"); err == nil {
+			t.Error("read of absent symbol succeeded")
+		}
+	})
+	sim.Run()
+	if want := base + time.Millisecond; smallCost != want {
+		t.Errorf("small read cost %v, want %v", smallCost, want)
+	}
+	if want := base + 100*time.Millisecond; bigCost != want {
+		t.Errorf("big read cost %v, want %v", bigCost, want)
+	}
+}
+
+func TestDetachResumesStoppedTracee(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	finished := false
+	sim.Go("boot", func() {
+		p, _ := c.Node(0).SpawnProc(Spec{Main: func(p *Proc) {
+			p.DebugEvent("stop1")
+			finished = true
+		}})
+		tr, _ := p.Attach()
+		ev, ok := tr.Events().Recv()
+		if !ok || ev.Type != EventStop {
+			t.Error("no stop event")
+			return
+		}
+		tr.Detach()
+		p.Wait()
+	})
+	sim.Run()
+	if !finished {
+		t.Fatal("tracee stayed stopped after detach")
+	}
+}
+
+func TestKill(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	sim.Go("boot", func() {
+		p, _ := c.Node(0).SpawnProc(Spec{})
+		p.Kill()
+		if code, ok := p.Wait(); !ok || code != 137 {
+			t.Errorf("Wait after kill = (%d,%v)", code, ok)
+		}
+	})
+	sim.Run()
+}
+
+func TestSnapshotDeterministicAndCharged(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 1, Options{})
+	sim.Go("boot", func() {
+		p, _ := c.Node(0).SpawnProc(Spec{})
+		t0 := sim.Now()
+		s1 := p.Snapshot()
+		if cost := sim.Now() - t0; cost != SnapshotReadCost {
+			t.Errorf("snapshot cost %v, want %v", cost, SnapshotReadCost)
+		}
+		s2 := p.Snapshot()
+		if s1.Pid != s2.Pid || s1.VmHWMKB != s2.VmHWMKB || s1.Threads != s2.Threads {
+			t.Errorf("snapshots differ on static fields: %+v vs %+v", s1, s2)
+		}
+		if s1.State != "R" {
+			t.Errorf("state %q, want R", s1.State)
+		}
+	})
+	sim.Run()
+}
+
+// Property: pids are unique per node across arbitrary spawn/exit patterns.
+func TestPropertyPidUniqueness(t *testing.T) {
+	f := func(ops []bool) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		sim := vtime.New()
+		c, err := New(sim, Options{Nodes: 1})
+		if err != nil {
+			return false
+		}
+		okRes := true
+		sim.Go("boot", func() {
+			seen := map[int]bool{}
+			var live []*Proc
+			for _, spawn := range ops {
+				if spawn || len(live) == 0 {
+					p, err := c.Node(0).SpawnProc(Spec{})
+					if err != nil {
+						okRes = false
+						return
+					}
+					if seen[p.Pid()] {
+						okRes = false
+						return
+					}
+					seen[p.Pid()] = true
+					live = append(live, p)
+				} else {
+					live[0].Exit(0)
+					live = live[1:]
+				}
+			}
+		})
+		sim.Run()
+		return okRes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

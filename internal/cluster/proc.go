@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// State is the lifecycle state of a simulated process.
+type State int
+
+// Process lifecycle states.
+const (
+	StateRunning State = iota
+	StateStopped       // stopped by the tracer (debug stop)
+	StateExited
+)
+
+// String renders the state like /proc status letters.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "R"
+	case StateStopped:
+		return "T"
+	case StateExited:
+		return "Z"
+	default:
+		return "?"
+	}
+}
+
+// Symbol is a named value in a process's simulated address space, with an
+// explicit serialized size so tracer reads can be charged realistically.
+type Symbol struct {
+	Value any
+	Size  int // bytes a debugger would transfer to read it
+}
+
+// Proc is a simulated process.
+type Proc struct {
+	node    *Node
+	pid     int
+	exe     string
+	args    []string
+	env     map[string]string
+	started time.Duration
+
+	// All mutable state below is guarded by node.mu.
+	state       State
+	exitCode    int
+	symbols     map[string]Symbol
+	tracer      *Tracer
+	heldMain    ProcMain // entry point pending Start (Spec.Hold)
+	inDebugStop bool     // blocked inside DebugEvent awaiting Continue
+
+	exited *vtime.Chan[int]      // closed-with-value on exit
+	resume *vtime.Chan[struct{}] // tracer Continue tokens
+
+	// Synthetic activity counters backing /proc snapshots; tools may bump
+	// them, and Snapshot derives the rest deterministically.
+	majFlt  int64
+	threads int
+}
+
+// Pid returns the process id (unique per node).
+func (p *Proc) Pid() int { return p.pid }
+
+// Exe returns the executable name.
+func (p *Proc) Exe() string { return p.exe }
+
+// Args returns the argument vector.
+func (p *Proc) Args() []string { return p.args }
+
+// Node returns the node the process runs on.
+func (p *Proc) Node() *Node { return p.node }
+
+// Host returns the node's network endpoint, the process's window onto the
+// interconnect.
+func (p *Proc) Host() *simnet.Host { return p.node.host }
+
+// Sim returns the simulation clock driver.
+func (p *Proc) Sim() *vtime.Sim { return p.node.cl.sim }
+
+// Env returns the value of an environment variable ("" when unset).
+func (p *Proc) Env(key string) string { return p.env[key] }
+
+// Environ returns a copy of the whole environment.
+func (p *Proc) Environ() map[string]string { return copyEnv(p.env) }
+
+// State returns the current lifecycle state.
+func (p *Proc) State() State {
+	p.node.mu.Lock()
+	defer p.node.mu.Unlock()
+	return p.state
+}
+
+// Compute charges d of CPU time to the process (uncontended; Atlas nodes
+// are 8-core, and tool daemons are lightweight).
+func (p *Proc) Compute(d time.Duration) { p.node.cl.sim.Sleep(d) }
+
+// Spawn forks a child process on the same node.
+func (p *Proc) Spawn(spec Spec) (*Proc, error) {
+	return p.node.SpawnProc(spec)
+}
+
+// Exit terminates the process. Safe to call more than once; only the first
+// call takes effect.
+func (p *Proc) Exit(code int) {
+	n := p.node
+	n.mu.Lock()
+	if p.state == StateExited {
+		n.mu.Unlock()
+		return
+	}
+	p.state = StateExited
+	p.exitCode = code
+	delete(n.procs, p.pid)
+	tr := p.tracer
+	p.tracer = nil
+	n.mu.Unlock()
+	if tr != nil {
+		tr.events.Send(TraceEvent{Type: EventExit, Code: code})
+		tr.events.Close()
+	}
+	p.exited.Send(code)
+	p.exited.Close()
+	p.resume.Close()
+}
+
+// Kill force-terminates the process with exit code 137 (SIGKILL-like).
+func (p *Proc) Kill() { p.Exit(137) }
+
+// Wait blocks until the process exits and returns its exit code; ok is
+// false when the simulation tore down first.
+func (p *Proc) Wait() (code int, ok bool) {
+	return p.exited.Recv()
+}
+
+// SetSymbol publishes (or updates) a named symbol in the process's address
+// space for tracers to read.
+func (p *Proc) SetSymbol(name string, sym Symbol) {
+	p.node.mu.Lock()
+	defer p.node.mu.Unlock()
+	p.symbols[name] = sym
+}
+
+// AddThreads adjusts the synthetic thread count reported via Snapshot.
+func (p *Proc) AddThreads(n int) {
+	p.node.mu.Lock()
+	defer p.node.mu.Unlock()
+	p.threads += n
+}
+
+// FaultPages bumps the synthetic major-page-fault counter.
+func (p *Proc) FaultPages(n int64) {
+	p.node.mu.Lock()
+	defer p.node.mu.Unlock()
+	p.majFlt += n
+}
+
+// --- Tracing (the substrate under the RM's APAI) ---
+
+// TraceEventType enumerates tracer observations.
+type TraceEventType int
+
+// Trace event kinds.
+const (
+	// EventStop: the tracee stopped (breakpoint or debug event); the reason
+	// names it, e.g. "MPIR_Breakpoint". Continue resumes it.
+	EventStop TraceEventType = iota
+	// EventExit: the tracee exited; Code holds the exit status.
+	EventExit
+)
+
+// TraceEvent is one observation delivered to the tracer.
+type TraceEvent struct {
+	Type   TraceEventType
+	Reason string
+	Code   int
+}
+
+// Tracer is a debugger attachment to one process.
+type Tracer struct {
+	proc   *Proc
+	events *vtime.Chan[TraceEvent]
+}
+
+// Errors from the tracing interface.
+var (
+	ErrAlreadyTraced = errors.New("cluster: process already traced")
+	ErrNotStopped    = errors.New("cluster: tracee is not stopped")
+	ErrExited        = errors.New("cluster: process has exited")
+)
+
+// Attach attaches a debugger to the process. Only one tracer may be
+// attached at a time.
+func (p *Proc) Attach() (*Tracer, error) {
+	n := p.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p.state == StateExited {
+		return nil, ErrExited
+	}
+	if p.tracer != nil {
+		return nil, ErrAlreadyTraced
+	}
+	t := &Tracer{proc: p, events: vtime.NewChan[TraceEvent](n.cl.sim)}
+	p.tracer = t
+	return t, nil
+}
+
+// Events returns the tracer's event stream. The channel closes when the
+// tracee exits or the tracer detaches.
+func (t *Tracer) Events() *vtime.Chan[TraceEvent] { return t.events }
+
+// Proc returns the traced process.
+func (t *Tracer) Proc() *Proc { return t.proc }
+
+// ReadSymbol reads a named symbol from the tracee's address space, charging
+// the caller ptrace-style cost proportional to the symbol's size.
+func (t *Tracer) ReadSymbol(name string) (any, error) {
+	p := t.proc
+	n := p.node
+	n.mu.Lock()
+	sym, ok := p.symbols[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: symbol %q not found in %s[%d]", name, p.exe, p.pid)
+	}
+	o := n.cl.opts
+	cost := o.SymbolReadBase + time.Duration(float64(sym.Size)/o.SymbolReadBandwidth*float64(time.Second))
+	n.cl.sim.Sleep(cost)
+	return sym.Value, nil
+}
+
+// Continue resumes a debug-stopped tracee.
+func (t *Tracer) Continue() error {
+	p := t.proc
+	n := p.node
+	n.mu.Lock()
+	if p.state == StateExited {
+		n.mu.Unlock()
+		return ErrExited
+	}
+	if p.state != StateStopped {
+		n.mu.Unlock()
+		return ErrNotStopped
+	}
+	p.state = StateRunning
+	blocked := p.inDebugStop
+	n.mu.Unlock()
+	if blocked {
+		p.resume.Send(struct{}{})
+	}
+	return nil
+}
+
+// Interrupt stops a running tracee without a debug event of its own (the
+// SIGSTOP a debugger sends when attaching to an already running launcher).
+// The tracer receives an EventStop with reason "interrupt".
+func (t *Tracer) Interrupt() error {
+	p := t.proc
+	n := p.node
+	n.mu.Lock()
+	if p.state == StateExited {
+		n.mu.Unlock()
+		return ErrExited
+	}
+	if p.state == StateStopped {
+		n.mu.Unlock()
+		return nil
+	}
+	p.state = StateStopped
+	n.mu.Unlock()
+	t.events.Send(TraceEvent{Type: EventStop, Reason: "interrupt"})
+	return nil
+}
+
+// Detach removes the tracer; a stopped tracee is resumed first.
+func (t *Tracer) Detach() {
+	p := t.proc
+	n := p.node
+	n.mu.Lock()
+	stopped := p.state == StateStopped
+	blocked := p.inDebugStop
+	if p.tracer == t {
+		p.tracer = nil
+	}
+	if stopped {
+		p.state = StateRunning
+	}
+	n.mu.Unlock()
+	if stopped && blocked {
+		p.resume.Send(struct{}{})
+	}
+	t.events.Close()
+}
+
+// DebugEvent raises a debugger stop with the given reason if the process is
+// traced: the process blocks until the tracer calls Continue. Untraced
+// processes proceed immediately. This is how the RM launcher surfaces both
+// its ordinary debug events and the MPIR_Breakpoint.
+func (p *Proc) DebugEvent(reason string) {
+	n := p.node
+	n.mu.Lock()
+	t := p.tracer
+	if t == nil || p.state == StateExited {
+		n.mu.Unlock()
+		return
+	}
+	p.state = StateStopped
+	p.inDebugStop = true
+	n.mu.Unlock()
+	t.events.Send(TraceEvent{Type: EventStop, Reason: reason})
+	p.resume.Recv() // parked until Continue/Detach (or teardown)
+	n.mu.Lock()
+	p.inDebugStop = false
+	n.mu.Unlock()
+}

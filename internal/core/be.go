@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/engine"
+	"launchmon/internal/iccl"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+)
+
+// BackEnd is the daemon-side session handle (paper §3.3). Tool back-end
+// daemon mains call BEInit as their first act; the returned BackEnd knows
+// the daemon's rank, the full RPDTAB, the local task slice, and exposes
+// the ICCL collectives.
+type BackEnd struct {
+	p    *cluster.Proc
+	comm *iccl.Comm
+	fe   *lmonp.Conn // non-nil at the master only
+
+	tab    proctab.Table
+	myTab  proctab.Table
+	feData []byte
+	tl     engine.Timeline
+}
+
+// ErrNotMaster is returned for master-only operations on non-master
+// daemons.
+var ErrNotMaster = errors.New("core: operation restricted to the master daemon")
+
+// BEInit joins the calling daemon process into its session: it bootstraps
+// the ICCL tree (the master first completes the LMONP handshake with the
+// front end), receives the RPDTAB broadcast, and reports per-daemon info
+// up the gather so the master can send the ready message (events e7..e10
+// of the launch critical path).
+func BEInit(p *cluster.Proc) (*BackEnd, error) {
+	cfg, err := icclConfigFromEnv(p, false)
+	if err != nil {
+		return nil, err
+	}
+	be := &BackEnd{p: p}
+
+	var handshake *lmonp.Msg
+	if cfg.Rank == 0 {
+		// Master: connect to the FE and wait for the handshake before
+		// coordinating the network setup (e7 precedes e8).
+		feAddr, err := parseHostPort(p.Env(EnvFEAddr))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := p.Host().Dial(feAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: master dialing FE: %w", err)
+		}
+		be.fe = lmonp.NewConn(raw)
+		handshake, err = be.fe.Expect(lmonp.ClassFEBE, lmonp.TypeHandshake)
+		if err != nil {
+			return nil, err
+		}
+		be.tl.Mark(engine.MarkE8, p.Sim().Now())
+	}
+
+	comm, err := iccl.Bootstrap(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	be.comm = comm
+	if comm.IsMaster() {
+		be.tl.Mark(engine.MarkE9, p.Sim().Now())
+	}
+
+	// Distribute RPDTAB + piggybacked FE data to every daemon.
+	var seed []byte
+	if comm.IsMaster() {
+		seed = lmonp.AppendBytes(nil, handshake.Payload)
+		seed = lmonp.AppendBytes(seed, handshake.UsrData)
+	}
+	blob, err := comm.Broadcast(seed)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(blob)
+	tabEnc, err := rd.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	feData, err := rd.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := proctab.Decode(tabEnc)
+	if err != nil {
+		return nil, err
+	}
+	be.tab = tab
+	be.myTab = tab.OnHost(p.Node().Name())
+	be.feData = append([]byte(nil), feData...)
+
+	// Gather per-daemon info to the master; it rides the ready message.
+	mine := encodeDaemonInfo(DaemonInfo{
+		Rank:  comm.Rank(),
+		Host:  p.Node().Name(),
+		Pid:   p.Pid(),
+		Tasks: len(be.myTab),
+	})
+	all, err := comm.Gather(mine)
+	if err != nil {
+		return nil, err
+	}
+	if comm.IsMaster() {
+		infos := make([]DaemonInfo, 0, len(all))
+		for _, raw := range all {
+			d, err := decodeDaemonInfo(raw)
+			if err != nil {
+				return nil, err
+			}
+			infos = append(infos, d)
+		}
+		if err := be.fe.Send(&lmonp.Msg{
+			Class:   lmonp.ClassFEBE,
+			Type:    lmonp.TypeReady,
+			Payload: encodeReady(infos, be.tl),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return be, nil
+}
+
+// icclConfigFromEnv builds the tree configuration from the environment the
+// RM and FE planted.
+func icclConfigFromEnv(p *cluster.Proc, mw bool) (iccl.Config, error) {
+	var cfg iccl.Config
+	rank, err := strconv.Atoi(p.Env(rm.EnvNodeID))
+	if err != nil {
+		return cfg, fmt.Errorf("core: bad %s: %w", rm.EnvNodeID, err)
+	}
+	size, err := strconv.Atoi(p.Env(rm.EnvNNodes))
+	if err != nil {
+		return cfg, fmt.Errorf("core: bad %s: %w", rm.EnvNNodes, err)
+	}
+	port, err := strconv.Atoi(p.Env(EnvICCLPort))
+	if err != nil {
+		return cfg, fmt.Errorf("core: bad %s: %w", EnvICCLPort, err)
+	}
+	fanout := 0
+	if f := p.Env(EnvICCLFanout); f != "" {
+		fanout, err = strconv.Atoi(f)
+		if err != nil {
+			return cfg, fmt.Errorf("core: bad %s: %w", EnvICCLFanout, err)
+		}
+	}
+	nodelist := splitNodeList(p.Env(rm.EnvNodeList))
+	if len(nodelist) != size {
+		return cfg, fmt.Errorf("core: nodelist has %d entries, NNODES=%d", len(nodelist), size)
+	}
+	cfg.Rank, cfg.Size, cfg.Fanout, cfg.Port, cfg.Nodelist = rank, size, fanout, port, nodelist
+	_ = mw
+	return cfg, nil
+}
+
+// AmIMaster reports whether this daemon is the session master (rank 0).
+func (b *BackEnd) AmIMaster() bool { return b.comm.IsMaster() }
+
+// Rank returns the daemon's ICCL rank.
+func (b *BackEnd) Rank() int { return b.comm.Rank() }
+
+// Size returns the number of back-end daemons in the session.
+func (b *BackEnd) Size() int { return b.comm.Size() }
+
+// Proctab returns the full RPDTAB of the target job.
+func (b *BackEnd) Proctab() proctab.Table { return b.tab }
+
+// MyProctab returns the RPDTAB entries for tasks on this daemon's node.
+func (b *BackEnd) MyProctab() proctab.Table { return b.myTab }
+
+// FEData returns the tool data the front end piggybacked on the handshake.
+func (b *BackEnd) FEData() []byte { return b.feData }
+
+// Proc returns the daemon's process handle.
+func (b *BackEnd) Proc() *cluster.Proc { return b.p }
+
+// Barrier is the ICCL barrier over all back-end daemons.
+func (b *BackEnd) Barrier() error { return b.comm.Barrier() }
+
+// Broadcast distributes buf from the master to every daemon.
+func (b *BackEnd) Broadcast(buf []byte) ([]byte, error) { return b.comm.Broadcast(buf) }
+
+// Gather collects one blob per daemon at the master (rank-indexed).
+func (b *BackEnd) Gather(mine []byte) ([][]byte, error) { return b.comm.Gather(mine) }
+
+// Scatter distributes parts[rank] from the master to each daemon.
+func (b *BackEnd) Scatter(parts [][]byte) ([]byte, error) { return b.comm.Scatter(parts) }
+
+// SendToFE ships tool data to the front end (master only).
+func (b *BackEnd) SendToFE(data []byte) error {
+	if !b.AmIMaster() {
+		return ErrNotMaster
+	}
+	return b.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeUsrData, UsrData: data})
+}
+
+// RecvFromFE receives tool data from the front end (master only).
+func (b *BackEnd) RecvFromFE() ([]byte, error) {
+	if !b.AmIMaster() {
+		return nil, ErrNotMaster
+	}
+	msg, err := b.fe.Expect(lmonp.ClassFEBE, lmonp.TypeUsrData)
+	if err != nil {
+		return nil, err
+	}
+	return msg.UsrData, nil
+}
+
+// Finalize leaves the session: it synchronizes all daemons and closes the
+// tree (and, at the master, the FE connection).
+func (b *BackEnd) Finalize() error {
+	err := b.comm.Barrier()
+	b.comm.Close()
+	if b.fe != nil {
+		b.fe.Close()
+	}
+	return err
+}
+
+func parseHostPort(s string) (simnet.Addr, error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			port, err := strconv.Atoi(s[i+1:])
+			if err != nil {
+				return simnet.Addr{}, fmt.Errorf("core: bad address %q", s)
+			}
+			return simnet.Addr{Host: s[:i], Port: port}, nil
+		}
+	}
+	return simnet.Addr{}, fmt.Errorf("core: bad address %q", s)
+}

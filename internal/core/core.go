@@ -1,0 +1,64 @@
+// Package core is the LaunchMON library proper: the front-end (FE),
+// back-end (BE) and middleware (MW) APIs of the paper (§3.2–§3.4), layered
+// over the engine (internal/engine), the LMONP protocol (internal/lmonp)
+// and the Internal Collective Communication Layer (internal/iccl).
+//
+// A tool front end — itself a process on the front-end node — calls
+// LaunchAndSpawn or AttachAndSpawn to obtain a Session: the binding
+// abstraction for one job plus its daemons. Tool daemons call BEInit
+// (back-ends, co-located with application tasks) or MWInit (middleware
+// daemons on separately allocated nodes) to join the session, learn the
+// RPDTAB, and use the minimal collectives.
+//
+// Tool bootstrap data piggybacks on LaunchMON's own handshakes in both
+// directions (Options.FEData rides the FE→master handshake and is
+// broadcast with the RPDTAB; BackEnd.SendToFE/Session.RecvFromBE carry
+// tool data afterwards), which is what lets tools like STAT distribute
+// their MRNet connection information without extra startup round trips.
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Environment variables the FE plants in daemon environments (in addition
+// to the rm.Env* variables the RM itself provides).
+const (
+	// EnvFEAddr is the front end's listener, dialed by master daemons.
+	EnvFEAddr = "LMON_FE_ADDR"
+	// EnvSession is the session identifier.
+	EnvSession = "LMON_SESSION"
+	// EnvICCLPort is the per-session TCP port of the ICCL tree.
+	EnvICCLPort = "LMON_ICCL_PORT"
+	// EnvICCLFanout is the ICCL tree fanout (0 = flat 1-deep).
+	EnvICCLFanout = "LMON_ICCL_FANOUT"
+	// EnvKind marks the daemon role: "be" or "mw".
+	EnvKind = "LMON_KIND"
+)
+
+// Cost model constants for the FE-local bookkeeping; together with the
+// engine base cost these reproduce the paper's scale-independent 12 ms
+// "all other LaunchMON costs".
+const (
+	feStartCost  = 4 * time.Millisecond // e0→engine spawn bookkeeping
+	feFinishCost = 4 * time.Millisecond // ready→e11 session table setup
+)
+
+// sessionCounter allocates distinct session ids (and thus ICCL ports)
+// within one simulation.
+var sessionCounter atomic.Int64
+
+func nextSessionID() int { return int(sessionCounter.Add(1)) }
+
+// icclBasePort is the first port used for ICCL trees; each session uses
+// two ports (BE tree, MW tree).
+const icclBasePort = 51000
+
+func icclPortFor(session int, mw bool) int {
+	p := icclBasePort + session*2
+	if mw {
+		p++
+	}
+	return p
+}

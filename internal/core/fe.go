@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/engine"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+)
+
+// Setup installs LaunchMON onto a cluster for the given resource manager:
+// it registers the engine executable. Tools call it once before starting
+// their front ends.
+func Setup(cl *cluster.Cluster, mgr rm.Manager) {
+	engine.Install(cl, mgr, engine.Config{})
+}
+
+// SetupWithEngineConfig is Setup with an explicit engine cost profile.
+func SetupWithEngineConfig(cl *cluster.Cluster, mgr rm.Manager, cfg engine.Config) {
+	engine.Install(cl, mgr, cfg)
+}
+
+// Options parameterize session creation.
+type Options struct {
+	// Job describes the application to launch (LaunchAndSpawn only).
+	Job rm.JobSpec
+	// JobID names the running job to attach to (AttachAndSpawn only).
+	JobID int
+	// Daemon describes the tool's back-end daemon.
+	Daemon rm.DaemonSpec
+	// FEData is tool bootstrap data piggybacked on the FE→master handshake
+	// and broadcast to every back-end daemon together with the RPDTAB.
+	FEData []byte
+	// ICCLFanout is the back-end tree fanout; 0 means flat (1-deep).
+	ICCLFanout int
+	// Timeout bounds (in virtual time) how long the front end waits for
+	// the engine and the master daemon to connect; daemons that crash
+	// before dialing in surface as an error instead of a hang. Zero means
+	// the default of 10 minutes.
+	Timeout time.Duration
+}
+
+const defaultSessionTimeout = 10 * time.Minute
+
+// Session binds one job and its daemon sets (paper §3.2): the handle all
+// other FE operations take.
+type Session struct {
+	ID int
+
+	p        *cluster.Proc
+	listener *simnet.Listener
+	eng      *lmonp.Conn
+	beMaster *lmonp.Conn
+	mwMaster *lmonp.Conn
+
+	tab     proctab.Table
+	daemons []DaemonInfo
+	mwInfos []DaemonInfo
+	mwNodes []string
+	timeout time.Duration
+
+	// Timeline holds the merged e0..e11 critical-path marks for this
+	// session (paper Figure 2); consumed by the performance model.
+	Timeline engine.Timeline
+
+	detached bool
+	killed   bool
+}
+
+// ErrSessionClosed is returned by operations on a finished session.
+var ErrSessionClosed = errors.New("core: session detached or killed")
+
+// LaunchAndSpawn launches a new job under tool control and co-locates the
+// tool's daemons with it in a single operation — the paper's primary FE
+// service, whose critical path is modeled in §4.
+func LaunchAndSpawn(p *cluster.Proc, opts Options) (*Session, error) {
+	return startSession(p, opts, false)
+}
+
+// AttachAndSpawn attaches to the running job opts.JobID and co-locates the
+// tool's daemons with its tasks.
+func AttachAndSpawn(p *cluster.Proc, opts Options) (*Session, error) {
+	return startSession(p, opts, true)
+}
+
+func startSession(p *cluster.Proc, opts Options, attach bool) (*Session, error) {
+	sim := p.Sim()
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = defaultSessionTimeout
+	}
+	s := &Session{ID: nextSessionID(), p: p, timeout: timeout}
+	s.Timeline.Mark(engine.MarkE0, sim.Now())
+	p.Compute(feStartCost)
+
+	l, err := p.Host().Listen(0)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	feAddr := l.Addr().String()
+
+	// Spawn the engine co-located with the RM process (same node).
+	if _, err := p.Spawn(cluster.Spec{
+		Exe: engine.ExeName,
+		Env: map[string]string{engine.EnvFEAddr: feAddr},
+	}); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("core: spawning engine: %w", err)
+	}
+	engConnRaw, err := l.AcceptTimeout(timeout)
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("core: engine did not connect: %w", err)
+	}
+	s.eng = lmonp.NewConn(engConnRaw)
+
+	// Compose the daemon bootstrap environment.
+	daemon := opts.Daemon
+	env := make(map[string]string, len(daemon.Env)+5)
+	for k, v := range daemon.Env {
+		env[k] = v
+	}
+	env[EnvFEAddr] = feAddr
+	env[EnvSession] = fmt.Sprint(s.ID)
+	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, false))
+	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
+	env[EnvKind] = "be"
+	daemon.Env = env
+
+	var req *lmonp.Msg
+	if attach {
+		req = &lmonp.Msg{
+			Class:   lmonp.ClassFEEngine,
+			Type:    lmonp.TypeAttachReq,
+			Payload: engine.EncodeAttachReq(engine.AttachReq{JobID: opts.JobID, Daemon: daemon}),
+		}
+	} else {
+		req = &lmonp.Msg{
+			Class:   lmonp.ClassFEEngine,
+			Type:    lmonp.TypeLaunchReq,
+			Payload: engine.EncodeLaunchReq(engine.LaunchReq{Job: opts.Job, Daemon: daemon}),
+		}
+	}
+	if err := s.eng.Send(req); err != nil {
+		s.close()
+		return nil, err
+	}
+
+	// The engine replies with the RPDTAB first (it overlaps the daemon
+	// spawn), then a status message once the RM finished spawning.
+	msg, err := s.eng.Recv()
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	if msg.Type == lmonp.TypeStatus {
+		status, _, _ := engine.DecodeStatus(msg.Payload)
+		s.close()
+		return nil, fmt.Errorf("core: engine failed: %s", status)
+	}
+	if msg.Type != lmonp.TypeProctab {
+		s.close()
+		return nil, fmt.Errorf("core: expected proctab, got %v", msg.Type)
+	}
+	tab, err := proctab.Decode(msg.Payload)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	s.tab = tab
+
+	status, engTL, err := s.recvStatus()
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	if status != "daemons-spawned" {
+		s.close()
+		return nil, fmt.Errorf("core: engine failed: %s", status)
+	}
+	s.Timeline.Merge(engTL)
+
+	// Handshake with the master back-end daemon (e7..e10).
+	beConnRaw, err := l.AcceptTimeout(timeout)
+	if err != nil {
+		s.close()
+		return nil, fmt.Errorf("core: master daemon did not connect: %w", err)
+	}
+	s.beMaster = lmonp.NewConn(beConnRaw)
+	s.Timeline.Mark(engine.MarkE7, sim.Now())
+	if err := s.beMaster.Send(&lmonp.Msg{
+		Class:   lmonp.ClassFEBE,
+		Type:    lmonp.TypeHandshake,
+		Payload: tab.Encode(),
+		UsrData: opts.FEData,
+	}); err != nil {
+		s.close()
+		return nil, err
+	}
+	ready, err := s.beMaster.Expect(lmonp.ClassFEBE, lmonp.TypeReady)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	s.Timeline.Mark(engine.MarkE10, sim.Now())
+	infos, beTL, err := decodeReady(ready.Payload)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	s.daemons = infos
+	s.Timeline.Merge(beTL)
+
+	p.Compute(feFinishCost)
+	s.Timeline.Mark(engine.MarkE11, sim.Now())
+	return s, nil
+}
+
+func (s *Session) recvStatus() (string, engine.Timeline, error) {
+	msg, err := s.eng.Expect(lmonp.ClassFEEngine, lmonp.TypeStatus)
+	if err != nil {
+		return "", engine.Timeline{}, err
+	}
+	return engine.DecodeStatus(msg.Payload)
+}
+
+// Proctab returns the job's RPDTAB.
+func (s *Session) Proctab() proctab.Table { return s.tab }
+
+// Daemons returns the per-daemon records gathered during handshake.
+func (s *Session) Daemons() []DaemonInfo { return s.daemons }
+
+// SendToBE ships tool data to the master back-end daemon (which typically
+// broadcasts it over ICCL).
+func (s *Session) SendToBE(data []byte) error {
+	if s.beMaster == nil || s.detached || s.killed {
+		return ErrSessionClosed
+	}
+	return s.beMaster.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeUsrData, UsrData: data})
+}
+
+// RecvFromBE receives tool data from the master back-end daemon.
+func (s *Session) RecvFromBE() ([]byte, error) {
+	if s.beMaster == nil || s.detached || s.killed {
+		return nil, ErrSessionClosed
+	}
+	msg, err := s.beMaster.Expect(lmonp.ClassFEBE, lmonp.TypeUsrData)
+	if err != nil {
+		return nil, err
+	}
+	return msg.UsrData, nil
+}
+
+// Detach ends tool control, leaving the job running. Daemons observe their
+// FE/ICCL connections closing and shut themselves down.
+func (s *Session) Detach() error {
+	if s.detached || s.killed {
+		return ErrSessionClosed
+	}
+	s.detached = true
+	if err := s.eng.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeDetach}); err != nil {
+		return err
+	}
+	status, _, err := engine.DecodeStatusFromConn(s.eng)
+	if err != nil {
+		return err
+	}
+	if status != "detached" {
+		return fmt.Errorf("core: detach failed: %s", status)
+	}
+	s.close()
+	return nil
+}
+
+// Kill terminates the job, its tasks and all daemons.
+func (s *Session) Kill() error {
+	if s.detached || s.killed {
+		return ErrSessionClosed
+	}
+	s.killed = true
+	if err := s.eng.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeKill}); err != nil {
+		return err
+	}
+	status, _, err := engine.DecodeStatusFromConn(s.eng)
+	if err != nil {
+		return err
+	}
+	if status != "killed" {
+		return fmt.Errorf("core: kill failed: %s", status)
+	}
+	s.close()
+	return nil
+}
+
+func (s *Session) close() {
+	if s.eng != nil {
+		s.eng.Close()
+	}
+	if s.beMaster != nil {
+		s.beMaster.Close()
+	}
+	if s.mwMaster != nil {
+		s.mwMaster.Close()
+	}
+	if s.listener != nil {
+		s.listener.Close()
+	}
+}
+
+// decodeReady parses a ready payload: daemon infos + component timeline.
+func decodeReady(b []byte) ([]DaemonInfo, engine.Timeline, error) {
+	rd := lmonp.NewReader(b)
+	infosRaw, err := rd.Bytes()
+	if err != nil {
+		return nil, engine.Timeline{}, err
+	}
+	infos, err := decodeDaemonInfos(infosRaw)
+	if err != nil {
+		return nil, engine.Timeline{}, err
+	}
+	tlRaw, err := rd.Bytes()
+	if err != nil {
+		return nil, engine.Timeline{}, err
+	}
+	tl, err := engine.DecodeTimeline(tlRaw)
+	return infos, tl, err
+}
+
+func encodeReady(infos []DaemonInfo, tl engine.Timeline) []byte {
+	b := lmonp.AppendBytes(nil, encodeDaemonInfos(infos))
+	return lmonp.AppendBytes(b, tl.Encode())
+}
+
+// splitNodeList parses the RM-provided comma-joined node list.
+func splitNodeList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/engine"
+	"launchmon/internal/iccl"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+)
+
+// MWOptions parameterize middleware daemon launches.
+type MWOptions struct {
+	// Nodes is how many fresh nodes to allocate for the TBŌN daemons.
+	Nodes int
+	// Daemon describes the middleware daemon executable.
+	Daemon rm.DaemonSpec
+	// FEData is tool bootstrap data piggybacked to every MW daemon with
+	// the RPDTAB (e.g. MRNet topology information).
+	FEData []byte
+	// ICCLFanout of the MW bootstrap fabric; 0 = flat.
+	ICCLFanout int
+}
+
+// LaunchMW launches middleware (TBŌN) daemons on newly allocated nodes
+// (paper §3.4): the engine asks the RM for the allocation and the scalable
+// spawn; each daemon receives a personality handle (its rank), the RPDTAB,
+// and a bootstrap fabric it can use to set up its own network.
+func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
+	if s.detached || s.killed {
+		return nil, ErrSessionClosed
+	}
+	if s.mwMaster != nil {
+		return nil, fmt.Errorf("core: session %d already has middleware daemons", s.ID)
+	}
+
+	daemon := opts.Daemon
+	env := make(map[string]string, len(daemon.Env)+5)
+	for k, v := range daemon.Env {
+		env[k] = v
+	}
+	env[EnvFEAddr] = s.listener.Addr().String()
+	env[EnvSession] = fmt.Sprint(s.ID)
+	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, true))
+	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
+	env[EnvKind] = "mw"
+	daemon.Env = env
+
+	if err := s.eng.Send(&lmonp.Msg{
+		Class:   lmonp.ClassFEEngine,
+		Type:    lmonp.TypeSpawnReq,
+		Payload: engine.EncodeSpawnReq(engine.SpawnReq{Nodes: opts.Nodes, Daemon: daemon}),
+	}); err != nil {
+		return nil, err
+	}
+	msg, err := s.eng.Expect(lmonp.ClassFEEngine, lmonp.TypeStatus)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(msg.Payload)
+	status, err := rd.String()
+	if err != nil {
+		return nil, err
+	}
+	if status != "mw-spawned" {
+		return nil, fmt.Errorf("core: middleware spawn failed: %s", status)
+	}
+	nodes, err := rd.StringList()
+	if err != nil {
+		return nil, err
+	}
+	s.mwNodes = nodes
+
+	// Handshake with the master middleware daemon.
+	raw, err := s.listener.AcceptTimeout(s.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("core: MW master did not connect: %w", err)
+	}
+	s.mwMaster = lmonp.NewConn(raw)
+	if err := s.mwMaster.Send(&lmonp.Msg{
+		Class:   lmonp.ClassFEMW,
+		Type:    lmonp.TypeHandshake,
+		Payload: s.tab.Encode(),
+		UsrData: opts.FEData,
+	}); err != nil {
+		return nil, err
+	}
+	ready, err := s.mwMaster.Expect(lmonp.ClassFEMW, lmonp.TypeReady)
+	if err != nil {
+		return nil, err
+	}
+	infos, _, err := decodeReady(ready.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.mwInfos = infos
+	return nodes, nil
+}
+
+// MWNodes returns the middleware allocation (after LaunchMW).
+func (s *Session) MWNodes() []string { return append([]string(nil), s.mwNodes...) }
+
+// MWDaemons returns the per-daemon records of the middleware set.
+func (s *Session) MWDaemons() []DaemonInfo { return append([]DaemonInfo(nil), s.mwInfos...) }
+
+// SendToMW ships tool data to the master middleware daemon.
+func (s *Session) SendToMW(data []byte) error {
+	if s.mwMaster == nil {
+		return fmt.Errorf("core: session %d has no middleware daemons", s.ID)
+	}
+	return s.mwMaster.Send(&lmonp.Msg{Class: lmonp.ClassFEMW, Type: lmonp.TypeUsrData, UsrData: data})
+}
+
+// RecvFromMW receives tool data from the master middleware daemon.
+func (s *Session) RecvFromMW() ([]byte, error) {
+	if s.mwMaster == nil {
+		return nil, fmt.Errorf("core: session %d has no middleware daemons", s.ID)
+	}
+	msg, err := s.mwMaster.Expect(lmonp.ClassFEMW, lmonp.TypeUsrData)
+	if err != nil {
+		return nil, err
+	}
+	return msg.UsrData, nil
+}
+
+// Middleware is the MW-daemon-side session handle (paper §3.4). Its
+// personality handle is the rank, assigned by the RM spawn.
+type Middleware struct {
+	p    *cluster.Proc
+	comm *iccl.Comm
+	fe   *lmonp.Conn // master only
+
+	tab    proctab.Table
+	feData []byte
+}
+
+// MWInit joins a middleware daemon into its session, mirroring BEInit:
+// master handshakes with the FE, the fabric bootstraps, and the RPDTAB and
+// piggybacked data are distributed so TBŌN daemons can locate the target
+// program and back-end daemons.
+func MWInit(p *cluster.Proc) (*Middleware, error) {
+	cfg, err := icclConfigFromEnv(p, true)
+	if err != nil {
+		return nil, err
+	}
+	mw := &Middleware{p: p}
+	var handshake *lmonp.Msg
+	var tl engine.Timeline
+	if cfg.Rank == 0 {
+		feAddr, err := parseHostPort(p.Env(EnvFEAddr))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := p.Host().Dial(feAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: MW master dialing FE: %w", err)
+		}
+		mw.fe = lmonp.NewConn(raw)
+		handshake, err = mw.fe.Expect(lmonp.ClassFEMW, lmonp.TypeHandshake)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	comm, err := iccl.Bootstrap(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mw.comm = comm
+
+	var seed []byte
+	if comm.IsMaster() {
+		seed = lmonp.AppendBytes(nil, handshake.Payload)
+		seed = lmonp.AppendBytes(seed, handshake.UsrData)
+	}
+	blob, err := comm.Broadcast(seed)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(blob)
+	tabEnc, err := rd.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	feData, err := rd.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := proctab.Decode(tabEnc)
+	if err != nil {
+		return nil, err
+	}
+	mw.tab = tab
+	mw.feData = append([]byte(nil), feData...)
+
+	mine := encodeDaemonInfo(DaemonInfo{Rank: comm.Rank(), Host: p.Node().Name(), Pid: p.Pid()})
+	all, err := comm.Gather(mine)
+	if err != nil {
+		return nil, err
+	}
+	if comm.IsMaster() {
+		infos := make([]DaemonInfo, 0, len(all))
+		for _, rawInfo := range all {
+			d, err := decodeDaemonInfo(rawInfo)
+			if err != nil {
+				return nil, err
+			}
+			infos = append(infos, d)
+		}
+		if err := mw.fe.Send(&lmonp.Msg{
+			Class:   lmonp.ClassFEMW,
+			Type:    lmonp.TypeReady,
+			Payload: encodeReady(infos, tl),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return mw, nil
+}
+
+// Personality returns the daemon's personality handle (its rank) and the
+// total daemon count — the MPI-rank-like identity of §3.4.
+func (m *Middleware) Personality() (rank, size int) { return m.comm.Rank(), m.comm.Size() }
+
+// AmIMaster reports whether this daemon is the MW master.
+func (m *Middleware) AmIMaster() bool { return m.comm.IsMaster() }
+
+// Proctab returns the target job's RPDTAB.
+func (m *Middleware) Proctab() proctab.Table { return m.tab }
+
+// FEData returns the piggybacked tool bootstrap data.
+func (m *Middleware) FEData() []byte { return m.feData }
+
+// Proc returns the daemon's process handle.
+func (m *Middleware) Proc() *cluster.Proc { return m.p }
+
+// Barrier, Broadcast, Gather and Scatter expose the bootstrap fabric for
+// the TBŌN's own network setup.
+func (m *Middleware) Barrier() error { return m.comm.Barrier() }
+
+// Broadcast distributes buf from the MW master to every MW daemon.
+func (m *Middleware) Broadcast(buf []byte) ([]byte, error) { return m.comm.Broadcast(buf) }
+
+// Gather collects one blob per MW daemon at the master.
+func (m *Middleware) Gather(mine []byte) ([][]byte, error) { return m.comm.Gather(mine) }
+
+// Scatter distributes parts[rank] from the MW master to each daemon.
+func (m *Middleware) Scatter(parts [][]byte) ([]byte, error) { return m.comm.Scatter(parts) }
+
+// SendToFE ships tool data to the front end (master only).
+func (m *Middleware) SendToFE(data []byte) error {
+	if !m.AmIMaster() {
+		return ErrNotMaster
+	}
+	return m.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEMW, Type: lmonp.TypeUsrData, UsrData: data})
+}
+
+// RecvFromFE receives tool data from the front end (master only).
+func (m *Middleware) RecvFromFE() ([]byte, error) {
+	if !m.AmIMaster() {
+		return nil, ErrNotMaster
+	}
+	msg, err := m.fe.Expect(lmonp.ClassFEMW, lmonp.TypeUsrData)
+	if err != nil {
+		return nil, err
+	}
+	return msg.UsrData, nil
+}
+
+// Finalize leaves the session.
+func (m *Middleware) Finalize() error {
+	err := m.comm.Barrier()
+	m.comm.Close()
+	if m.fe != nil {
+		m.fe.Close()
+	}
+	return err
+}

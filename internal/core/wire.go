@@ -1,0 +1,76 @@
+package core
+
+import (
+	"launchmon/internal/lmonp"
+)
+
+// DaemonInfo is the per-daemon record gathered to the master during
+// handshake and reported to the front end in the ready message: where each
+// daemon landed and how many application tasks it watches. Its size is
+// linear in the daemon count, which is the Region C scaling term of the
+// performance model.
+type DaemonInfo struct {
+	Rank  int
+	Host  string
+	Pid   int
+	Tasks int
+}
+
+func encodeDaemonInfo(d DaemonInfo) []byte {
+	b := lmonp.AppendUint32(nil, uint32(d.Rank))
+	b = lmonp.AppendString(b, d.Host)
+	b = lmonp.AppendUint32(b, uint32(d.Pid))
+	b = lmonp.AppendUint32(b, uint32(d.Tasks))
+	return b
+}
+
+func decodeDaemonInfo(b []byte) (DaemonInfo, error) {
+	rd := lmonp.NewReader(b)
+	var d DaemonInfo
+	r, err := rd.Uint32()
+	if err != nil {
+		return d, err
+	}
+	h, err := rd.String()
+	if err != nil {
+		return d, err
+	}
+	p, err := rd.Uint32()
+	if err != nil {
+		return d, err
+	}
+	t, err := rd.Uint32()
+	if err != nil {
+		return d, err
+	}
+	return DaemonInfo{Rank: int(r), Host: h, Pid: int(p), Tasks: int(t)}, nil
+}
+
+func encodeDaemonInfos(ds []DaemonInfo) []byte {
+	b := lmonp.AppendUint32(nil, uint32(len(ds)))
+	for _, d := range ds {
+		b = lmonp.AppendBytes(b, encodeDaemonInfo(d))
+	}
+	return b
+}
+
+func decodeDaemonInfos(b []byte) ([]DaemonInfo, error) {
+	rd := lmonp.NewReader(b)
+	n, err := rd.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DaemonInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		raw, err := rd.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		d, err := decodeDaemonInfo(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

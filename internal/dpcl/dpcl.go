@@ -1,0 +1,207 @@
+// Package dpcl simulates the Dynamic Probe Class Library substrate that
+// Open|SpeedShop builds on (paper §5.3): persistent, root-privileged
+// "super daemons" pre-installed on every node, a client library that
+// connects to them, and a general-purpose binary-instrumentation path to
+// process information.
+//
+// Its defining costs for the paper's Table 1 are that DPCL treats the RM
+// launcher like any instrumentation target — including parsing its binary
+// fully (~33.5 s) — before it can read the APAI proctable, and that this
+// cost is essentially independent of job size. The security/deployment
+// problems of the persistent-root-daemon model (paper §2) are what
+// LaunchMON's on-demand launching removes.
+package dpcl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+)
+
+// Port of the persistent dpcld super daemon.
+const Port = 7878
+
+// Config models DPCL's cost profile.
+type Config struct {
+	// BinaryParseCost is the full parse of a target binary before any
+	// instrumentation (default 33.5s for the RM launcher — the Table 1
+	// constant).
+	BinaryParseCost time.Duration
+	// AttachCost is the ptrace attach + bootstrap of the instrumentation
+	// runtime in the target (default 150ms).
+	AttachCost time.Duration
+	// PerNodeSessionCost is the per-node daemon session setup the client
+	// pays when widening an experiment (default 28ms — Table 1's slight
+	// growth from 33.77s at 2 nodes to 34.66s at 32).
+	PerNodeSessionCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BinaryParseCost == 0 {
+		c.BinaryParseCost = 33500 * time.Millisecond
+	}
+	if c.AttachCost == 0 {
+		c.AttachCost = 150 * time.Millisecond
+	}
+	if c.PerNodeSessionCost == 0 {
+		c.PerNodeSessionCost = 28 * time.Millisecond
+	}
+	return c
+}
+
+// Service is an installed DPCL infrastructure.
+type Service struct {
+	cl  *cluster.Cluster
+	cfg Config
+}
+
+// Install boots a persistent dpcld on the front end and on every compute
+// node (the root-daemon deployment model).
+func Install(cl *cluster.Cluster, cfg Config) (*Service, error) {
+	s := &Service{cl: cl, cfg: cfg.withDefaults()}
+	nodes := []*cluster.Node{cl.FrontEnd()}
+	for i := 0; i < cl.NumNodes(); i++ {
+		nodes = append(nodes, cl.Node(i))
+	}
+	for _, n := range nodes {
+		n := n
+		if _, err := n.SpawnSystemProc(cluster.Spec{Exe: "dpcld", Main: s.dpcldMain(n)}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// dpcld opcodes.
+const (
+	opAPAI    = 1 // attach to pid, parse binary, read MPIR_proctable
+	opSession = 2 // set up an instrumentation session on this node
+)
+
+func (s *Service) dpcldMain(node *cluster.Node) cluster.ProcMain {
+	return func(p *cluster.Proc) {
+		l, err := p.Host().Listen(Port)
+		if err != nil {
+			return
+		}
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			p.Sim().Go("dpcld-session", func() {
+				defer conn.Close()
+				s.handle(p, node, conn)
+			})
+		}
+	}
+}
+
+func (s *Service) handle(p *cluster.Proc, node *cluster.Node, conn *simnet.Conn) {
+	req, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	rd := lmonp.NewReader(req)
+	op, _ := rd.Uint32()
+	switch op {
+	case opAPAI:
+		pid32, err := rd.Uint32()
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, "bad request"))
+			return
+		}
+		target, ok := node.Proc(int(pid32))
+		if !ok {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, fmt.Sprintf("no process %d", pid32)))
+			return
+		}
+		tr, err := target.Attach()
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, err.Error()))
+			return
+		}
+		defer tr.Detach()
+		// DPCL's general-purpose path: attach, then parse the target
+		// binary in full before touching any symbol.
+		p.Compute(s.cfg.AttachCost)
+		p.Compute(s.cfg.BinaryParseCost)
+		raw, err := tr.ReadSymbol(rm.SymProctab)
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, err.Error()))
+			return
+		}
+		enc, _ := raw.([]byte)
+		out := lmonp.AppendString(nil, "")
+		out = lmonp.AppendBytes(out, enc)
+		lmonp.WriteFrame(conn, out)
+	case opSession:
+		p.Compute(s.cfg.PerNodeSessionCost)
+		lmonp.WriteFrame(conn, lmonp.AppendString(nil, ""))
+	default:
+		lmonp.WriteFrame(conn, lmonp.AppendString(nil, "bad op"))
+	}
+}
+
+// Client errors.
+var ErrDPCL = errors.New("dpcl: request failed")
+
+// APAIViaDPCL performs the DPCL-style APAI access from the calling
+// process: connect to the local dpcld, have it attach to the launcher,
+// parse its binary in full, and return the proctable bytes.
+func (s *Service) APAIViaDPCL(p *cluster.Proc, launcherNode string, launcherPid int) ([]byte, error) {
+	conn, err := p.Host().Dial(simnet.Addr{Host: launcherNode, Port: Port})
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial: %v", ErrDPCL, err)
+	}
+	defer conn.Close()
+	req := lmonp.AppendUint32(nil, opAPAI)
+	req = lmonp.AppendUint32(req, uint32(launcherPid))
+	if err := lmonp.WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(resp)
+	emsg, err := rd.String()
+	if err != nil {
+		return nil, err
+	}
+	if emsg != "" {
+		return nil, fmt.Errorf("%w: %s", ErrDPCL, emsg)
+	}
+	return rd.Bytes()
+}
+
+// OpenNodeSession sets up an instrumentation session with one node's
+// persistent daemon (the per-node serial step of widening an experiment).
+func (s *Service) OpenNodeSession(p *cluster.Proc, node string) error {
+	conn, err := p.Host().Dial(simnet.Addr{Host: node, Port: Port})
+	if err != nil {
+		return fmt.Errorf("%w: dial %s: %v", ErrDPCL, node, err)
+	}
+	defer conn.Close()
+	if err := lmonp.WriteFrame(conn, lmonp.AppendUint32(nil, opSession)); err != nil {
+		return err
+	}
+	resp, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	rd := lmonp.NewReader(resp)
+	emsg, err := rd.String()
+	if err != nil {
+		return err
+	}
+	if emsg != "" {
+		return fmt.Errorf("%w: %s", ErrDPCL, emsg)
+	}
+	return nil
+}

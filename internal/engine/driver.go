@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"launchmon/internal/cluster"
+)
+
+// This file implements the engine's internal event pipeline (paper §3.1):
+// the Driver organizes the main operations, calling the EventManager to
+// poll the traced RM process, the EventDecoder to lift native OS-level
+// trace events into LaunchMON events, and the EventHandler table to react.
+// The modular split is what makes ports cheap: a new platform supplies a
+// different EventManager/Decoder parameterization while the Driver and
+// handlers stay fixed.
+
+// EventKind classifies decoded LaunchMON events.
+type EventKind int
+
+// LaunchMON event kinds.
+const (
+	// EvLauncherStop: the launcher stopped on an ordinary debug event.
+	EvLauncherStop EventKind = iota
+	// EvBreakpoint: the launcher reached MPIR_Breakpoint (job ready).
+	EvBreakpoint
+	// EvAttachStop: the launcher stopped due to a tracer interrupt.
+	EvAttachStop
+	// EvLauncherExit: the launcher exited.
+	EvLauncherExit
+)
+
+// Event is a decoded LaunchMON event.
+type Event struct {
+	Kind   EventKind
+	Reason string
+	Code   int // exit code for EvLauncherExit
+}
+
+// EventManager polls the target RM process for native trace events.
+type EventManager struct {
+	tr *cluster.Tracer
+}
+
+// NewEventManager wraps an attached tracer.
+func NewEventManager(tr *cluster.Tracer) *EventManager { return &EventManager{tr: tr} }
+
+// Poll blocks for the next native event; ok is false when the event stream
+// has closed (tracee exited or tracer detached).
+func (em *EventManager) Poll() (cluster.TraceEvent, bool) {
+	return em.tr.Events().Recv()
+}
+
+// EventDecoder converts native trace events into LaunchMON events.
+type EventDecoder struct {
+	breakpointName string
+}
+
+// NewEventDecoder builds a decoder recognizing the platform's APAI
+// breakpoint symbol.
+func NewEventDecoder(breakpointName string) *EventDecoder {
+	return &EventDecoder{breakpointName: breakpointName}
+}
+
+// Decode lifts a native event.
+func (d *EventDecoder) Decode(ev cluster.TraceEvent) Event {
+	switch ev.Type {
+	case cluster.EventExit:
+		return Event{Kind: EvLauncherExit, Code: ev.Code}
+	case cluster.EventStop:
+		switch ev.Reason {
+		case d.breakpointName:
+			return Event{Kind: EvBreakpoint, Reason: ev.Reason}
+		case "interrupt":
+			return Event{Kind: EvAttachStop, Reason: ev.Reason}
+		default:
+			return Event{Kind: EvLauncherStop, Reason: ev.Reason}
+		}
+	default:
+		return Event{Kind: EvLauncherStop, Reason: ev.Reason}
+	}
+}
+
+// Handler reacts to one LaunchMON event. Returning stop=true ends the
+// driver loop (with the event as the loop's result).
+type Handler func(Event) (stop bool, err error)
+
+// Driver owns the poll→decode→dispatch loop.
+type Driver struct {
+	proc        *cluster.Proc // the engine process (charged handler cost)
+	em          *EventManager
+	dec         *EventDecoder
+	handlers    map[EventKind]Handler
+	handlerCost time.Duration
+
+	// TracingCost accumulates the engine CPU time spent handling events —
+	// LaunchMON's only contribution to Region A of the model.
+	TracingCost time.Duration
+	// EventsSeen counts dispatched events.
+	EventsSeen int
+}
+
+// NewDriver assembles the pipeline. handlerCost is charged per dispatched
+// event (the paper's measured per-event handler cost; 18 ms total for
+// SLURM's 12 events at the 1.5 ms default).
+func NewDriver(proc *cluster.Proc, em *EventManager, dec *EventDecoder, handlerCost time.Duration) *Driver {
+	return &Driver{
+		proc:        proc,
+		em:          em,
+		dec:         dec,
+		handlers:    make(map[EventKind]Handler),
+		handlerCost: handlerCost,
+	}
+}
+
+// Handle registers the handler for an event kind.
+func (d *Driver) Handle(kind EventKind, h Handler) { d.handlers[kind] = h }
+
+// Run polls, decodes and dispatches until a handler stops the loop or the
+// event stream ends. It returns the stopping event.
+func (d *Driver) Run() (Event, error) {
+	for {
+		native, ok := d.em.Poll()
+		if !ok {
+			return Event{Kind: EvLauncherExit, Code: -1}, fmt.Errorf("engine: event stream closed")
+		}
+		ev := d.dec.Decode(native)
+		d.proc.Compute(d.handlerCost)
+		d.TracingCost += d.handlerCost
+		d.EventsSeen++
+		h, found := d.handlers[ev.Kind]
+		if !found {
+			continue
+		}
+		stop, err := h(ev)
+		if err != nil {
+			return ev, err
+		}
+		if stop {
+			return ev, nil
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package engine implements the LaunchMON Engine (paper §3.1): the
+// component that interacts with the resource manager on behalf of the
+// tool. It runs as its own process on the front-end node (co-located with
+// the RM launcher it traces), attaches debugger-style to the launcher,
+// harvests the RPDTAB at MPIR_Breakpoint, triggers scalable daemon
+// launches through the RM's native services, and proxies control commands
+// (detach, kill, middleware spawn) between the front end and the RM over
+// LMONP.
+//
+// The engine is the only LaunchMON component with platform dependencies;
+// they are confined to the rm.Manager it is constructed with (the
+// "platform-specific adaptation" layer of Figure 1) and the EventDecoder
+// parameterization.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+)
+
+// ExeName is the registered executable name of the engine binary.
+const ExeName = "lmon_engine"
+
+// EnvFEAddr tells a freshly spawned engine where its front end listens.
+const EnvFEAddr = "LMON_ENGINE_FE_ADDR"
+
+// Config tunes engine behaviour.
+type Config struct {
+	// HandlerCost is the engine CPU time per dispatched trace event
+	// (default 1.5ms: 12 SLURM events → the paper's 18 ms tracing cost).
+	HandlerCost time.Duration
+	// BaseCost models the engine's fixed startup bookkeeping (default 3ms).
+	BaseCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HandlerCost == 0 {
+		c.HandlerCost = 1500 * time.Microsecond
+	}
+	if c.BaseCost == 0 {
+		c.BaseCost = 3 * time.Millisecond
+	}
+	return c
+}
+
+// Install registers the engine executable on the cluster, bound to the
+// given resource manager. Tool front ends then spawn ExeName on the
+// front-end node once per session.
+func Install(cl *cluster.Cluster, mgr rm.Manager, cfg Config) {
+	c := cfg.withDefaults()
+	cl.Register(ExeName, func(p *cluster.Proc) {
+		e := &Engine{proc: p, mgr: mgr, cfg: c}
+		e.main()
+	})
+}
+
+// Engine is one session's engine instance.
+type Engine struct {
+	proc *cluster.Proc
+	mgr  rm.Manager
+	cfg  Config
+
+	fe  *lmonp.Conn
+	job rm.Job
+	tr  *cluster.Tracer
+	tl  Timeline
+}
+
+func (e *Engine) main() {
+	start := e.proc.Sim().Now()
+	e.tl.Mark(MarkE1, start)
+	e.proc.Compute(e.cfg.BaseCost)
+
+	addr, err := parseAddr(e.proc.Env(EnvFEAddr))
+	if err != nil {
+		return
+	}
+	conn, err := e.proc.Host().Dial(addr)
+	if err != nil {
+		return
+	}
+	e.fe = lmonp.NewConn(conn)
+	defer e.fe.Close()
+
+	req, err := e.fe.Recv()
+	if err != nil {
+		return
+	}
+	switch req.Type {
+	case lmonp.TypeLaunchReq:
+		err = e.serveLaunch(req)
+	case lmonp.TypeAttachReq:
+		err = e.serveAttach(req)
+	default:
+		err = fmt.Errorf("engine: unexpected first message %v", req.Type)
+	}
+	if err != nil {
+		e.sendStatus("error: " + err.Error())
+		return
+	}
+	e.commandLoop()
+}
+
+func (e *Engine) sendStatus(s string) {
+	payload := lmonp.AppendString(nil, s)
+	payload = lmonp.AppendBytes(payload, e.tl.Encode())
+	e.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeStatus, Payload: payload})
+}
+
+// serveLaunch implements launchAndSpawn's engine half: events e1..e6.
+func (e *Engine) serveLaunch(req *lmonp.Msg) error {
+	lr, err := DecodeLaunchReq(req.Payload)
+	if err != nil {
+		return err
+	}
+	job, err := e.mgr.StartJobHeld(lr.Job)
+	if err != nil {
+		return err
+	}
+	e.job = job
+	tr, err := job.LauncherProc().Attach()
+	if err != nil {
+		return err
+	}
+	e.tr = tr
+	job.Start()
+	e.tl.Mark(MarkE2, e.proc.Sim().Now())
+
+	// Drive the launcher to MPIR_Breakpoint through the event pipeline.
+	drv := NewDriver(e.proc, NewEventManager(tr), NewEventDecoder(rm.BPName), e.cfg.HandlerCost)
+	drv.Handle(EvLauncherStop, func(Event) (bool, error) {
+		return false, tr.Continue()
+	})
+	drv.Handle(EvBreakpoint, func(Event) (bool, error) { return true, nil })
+	drv.Handle(EvLauncherExit, func(ev Event) (bool, error) {
+		return true, fmt.Errorf("engine: launcher exited with code %d before MPIR_Breakpoint", ev.Code)
+	})
+	if _, err := drv.Run(); err != nil {
+		return err
+	}
+	e.tl.Mark(MarkE3, e.proc.Sim().Now())
+	e.tl.Mark(MarkTracing, drv.TracingCost)
+
+	return e.harvestAndSpawn(lr.Daemon, tr)
+}
+
+// serveAttach implements attachAndSpawn's engine half for a running job.
+func (e *Engine) serveAttach(req *lmonp.Msg) error {
+	ar, err := DecodeAttachReq(req.Payload)
+	if err != nil {
+		return err
+	}
+	job, ok := e.mgr.FindJob(ar.JobID)
+	if !ok {
+		return fmt.Errorf("%w: id %d", rm.ErrNoSuchJob, ar.JobID)
+	}
+	e.job = job
+	tr, err := job.LauncherProc().Attach()
+	if err != nil {
+		return err
+	}
+	e.tr = tr
+	e.tl.Mark(MarkE2, e.proc.Sim().Now())
+
+	// Interrupt the running launcher, consume the stop, and proceed as in
+	// launch mode from the breakpoint-equivalent state.
+	if err := tr.Interrupt(); err != nil {
+		return err
+	}
+	drv := NewDriver(e.proc, NewEventManager(tr), NewEventDecoder(rm.BPName), e.cfg.HandlerCost)
+	drv.Handle(EvAttachStop, func(Event) (bool, error) { return true, nil })
+	drv.Handle(EvLauncherExit, func(Event) (bool, error) {
+		return true, errors.New("engine: launcher exited during attach")
+	})
+	if _, err := drv.Run(); err != nil {
+		return err
+	}
+	e.tl.Mark(MarkE3, e.proc.Sim().Now())
+	e.tl.Mark(MarkTracing, drv.TracingCost)
+
+	return e.harvestAndSpawn(ar.Daemon, tr)
+}
+
+// harvestAndSpawn fetches the RPDTAB (Region B), ships it to the FE, and
+// has the RM co-locate the tool daemons (e5..e6).
+func (e *Engine) harvestAndSpawn(spec rm.DaemonSpec, tr *cluster.Tracer) error {
+	fetchStart := e.proc.Sim().Now()
+	tab, err := rm.ProctabFromLauncher(tr)
+	if err != nil {
+		return err
+	}
+	e.tl.Mark(MarkE4, e.proc.Sim().Now())
+	e.tl.Mark(MarkFetch, e.proc.Sim().Now()-fetchStart)
+
+	// Resume the launcher; it must be servicing commands for SpawnDaemons.
+	if err := tr.Continue(); err != nil && !errors.Is(err, cluster.ErrNotStopped) {
+		return err
+	}
+
+	// Ship the RPDTAB to the front end (overlaps with the daemon spawn).
+	if err := e.fe.Send(&lmonp.Msg{
+		Class:   lmonp.ClassFEEngine,
+		Type:    lmonp.TypeProctab,
+		Payload: tab.Encode(),
+	}); err != nil {
+		return err
+	}
+
+	e.tl.Mark(MarkE5, e.proc.Sim().Now())
+	if err := e.job.SpawnDaemons(spec); err != nil {
+		return err
+	}
+	e.tl.Mark(MarkE6, e.proc.Sim().Now())
+	e.sendStatus("daemons-spawned")
+	return nil
+}
+
+// commandLoop services FE control requests for the rest of the session.
+func (e *Engine) commandLoop() {
+	for {
+		msg, err := e.fe.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case lmonp.TypeSpawnReq:
+			sr, err := DecodeSpawnReq(msg.Payload)
+			if err != nil {
+				e.sendStatus("error: " + err.Error())
+				continue
+			}
+			nodes, err := e.job.AllocateAndSpawn(sr.Nodes, sr.Daemon)
+			if err != nil {
+				e.sendStatus("error: " + err.Error())
+				continue
+			}
+			payload := lmonp.AppendString(nil, "mw-spawned")
+			payload = lmonp.AppendStringList(payload, nodes)
+			e.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeStatus, Payload: payload})
+		case lmonp.TypeDetach:
+			if e.tr != nil {
+				e.tr.Detach()
+			}
+			e.sendStatus("detached")
+			return
+		case lmonp.TypeKill:
+			if e.tr != nil {
+				e.tr.Detach()
+			}
+			if err := e.job.Kill(); err != nil {
+				e.sendStatus("error: " + err.Error())
+				return
+			}
+			e.sendStatus("killed")
+			return
+		default:
+			e.sendStatus(fmt.Sprintf("error: unexpected message %v", msg.Type))
+		}
+	}
+}
+
+func parseAddr(s string) (simnet.Addr, error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			port, err := strconv.Atoi(s[i+1:])
+			if err != nil {
+				return simnet.Addr{}, fmt.Errorf("engine: bad address %q", s)
+			}
+			return simnet.Addr{Host: s[:i], Port: port}, nil
+		}
+	}
+	return simnet.Addr{}, fmt.Errorf("engine: bad address %q", s)
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/rm"
+	"launchmon/internal/vtime"
+)
+
+func TestTimelineEncodeDecode(t *testing.T) {
+	var tl Timeline
+	tl.Mark(MarkE0, 0)
+	tl.Mark(MarkE3, 120*time.Millisecond)
+	tl.Mark(MarkTracing, 18*time.Millisecond)
+	out, err := DecodeTimeline(tl.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl, out) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", tl, out)
+	}
+}
+
+func TestTimelineBetween(t *testing.T) {
+	var tl Timeline
+	tl.Mark(MarkE2, 10*time.Millisecond)
+	tl.Mark(MarkE3, 35*time.Millisecond)
+	if d := tl.Between(MarkE2, MarkE3); d != 25*time.Millisecond {
+		t.Fatalf("Between = %v", d)
+	}
+	if d := tl.Between(MarkE3, MarkE2); d != 0 {
+		t.Fatalf("reversed Between = %v, want 0", d)
+	}
+	if d := tl.Between(MarkE2, "missing"); d != 0 {
+		t.Fatalf("missing Between = %v, want 0", d)
+	}
+}
+
+func TestTimelineMerge(t *testing.T) {
+	var a, b Timeline
+	a.Mark(MarkE0, 1)
+	b.Mark(MarkE1, 2)
+	a.Merge(b)
+	if _, ok := a.Get(MarkE1); !ok {
+		t.Fatal("merge lost entry")
+	}
+}
+
+// Property: timeline codec round-trips arbitrary mark lists.
+func TestPropertyTimelineRoundTrip(t *testing.T) {
+	f := func(names []string, ats []uint32) bool {
+		var tl Timeline
+		for i, n := range names {
+			at := time.Duration(0)
+			if i < len(ats) {
+				at = time.Duration(ats[i])
+			}
+			tl.Mark(n, at)
+		}
+		out, err := DecodeTimeline(tl.Encode())
+		if err != nil {
+			return false
+		}
+		if len(out.Entries) != len(tl.Entries) {
+			return false
+		}
+		for i := range tl.Entries {
+			if out.Entries[i] != tl.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	lr := LaunchReq{
+		Job:    rm.JobSpec{Name: "j", Exe: "app", Nodes: 7, TasksPerNode: 3},
+		Daemon: rm.DaemonSpec{Exe: "d", Args: []string{"-v"}, Env: map[string]string{"A": "1", "B": "2"}},
+	}
+	gotLR, err := DecodeLaunchReq(EncodeLaunchReq(lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lr, gotLR) {
+		t.Fatalf("LaunchReq roundtrip: %+v vs %+v", lr, gotLR)
+	}
+
+	ar := AttachReq{JobID: 42, Daemon: rm.DaemonSpec{Exe: "d", Env: map[string]string{}}}
+	gotAR, err := DecodeAttachReq(EncodeAttachReq(ar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAR.JobID != 42 || gotAR.Daemon.Exe != "d" {
+		t.Fatalf("AttachReq roundtrip: %+v", gotAR)
+	}
+
+	sr := SpawnReq{Nodes: 5, Daemon: rm.DaemonSpec{Exe: "mw", Env: map[string]string{}}}
+	gotSR, err := DecodeSpawnReq(EncodeSpawnReq(sr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSR.Nodes != 5 || gotSR.Daemon.Exe != "mw" {
+		t.Fatalf("SpawnReq roundtrip: %+v", gotSR)
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	enc := EncodeLaunchReq(LaunchReq{Job: rm.JobSpec{Exe: "x", Nodes: 1, TasksPerNode: 1}, Daemon: rm.DaemonSpec{Exe: "d"}})
+	for _, cut := range []int{0, 3, len(enc) / 2} {
+		if _, err := DecodeLaunchReq(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDriverPipeline(t *testing.T) {
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []EventKind
+	var tracing time.Duration
+	sim.Go("test", func() {
+		tracee, err := cl.Node(0).SpawnProc(cluster.Spec{Main: func(p *cluster.Proc) {
+			p.DebugEvent("load")
+			p.DebugEvent("load")
+			p.DebugEvent(rm.BPName)
+		}, Hold: true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tr, err := tracee.Attach()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tracee.Start()
+		eng, _ := cl.Node(0).SpawnProc(cluster.Spec{Main: func(p *cluster.Proc) {
+			drv := NewDriver(p, NewEventManager(tr), NewEventDecoder(rm.BPName), time.Millisecond)
+			drv.Handle(EvLauncherStop, func(ev Event) (bool, error) {
+				seen = append(seen, ev.Kind)
+				return false, tr.Continue()
+			})
+			drv.Handle(EvBreakpoint, func(ev Event) (bool, error) {
+				seen = append(seen, ev.Kind)
+				return true, nil
+			})
+			if _, err := drv.Run(); err != nil {
+				t.Error(err)
+			}
+			tracing = drv.TracingCost
+			tr.Continue()
+		}})
+		eng.Wait()
+	})
+	sim.Run()
+	want := []EventKind{EvLauncherStop, EvLauncherStop, EvBreakpoint}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("event sequence = %v, want %v", seen, want)
+	}
+	if tracing != 3*time.Millisecond {
+		t.Fatalf("tracing cost = %v, want 3ms", tracing)
+	}
+}
+
+func TestDecoderClassification(t *testing.T) {
+	d := NewEventDecoder(rm.BPName)
+	cases := []struct {
+		in   cluster.TraceEvent
+		want EventKind
+	}{
+		{cluster.TraceEvent{Type: cluster.EventStop, Reason: rm.BPName}, EvBreakpoint},
+		{cluster.TraceEvent{Type: cluster.EventStop, Reason: "interrupt"}, EvAttachStop},
+		{cluster.TraceEvent{Type: cluster.EventStop, Reason: "dlopen"}, EvLauncherStop},
+		{cluster.TraceEvent{Type: cluster.EventExit, Code: 3}, EvLauncherExit},
+	}
+	for i, c := range cases {
+		if got := d.Decode(c.in); got.Kind != c.want {
+			t.Errorf("case %d: kind %v, want %v", i, got.Kind, c.want)
+		}
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	if a, err := parseAddr("fe0:1234"); err != nil || a.Host != "fe0" || a.Port != 1234 {
+		t.Fatalf("parseAddr = %+v, %v", a, err)
+	}
+	for _, bad := range []string{"", "fe0", "fe0:abc", ":"} {
+		if _, err := parseAddr(bad); err == nil {
+			t.Errorf("parseAddr(%q) accepted", bad)
+		}
+	}
+}

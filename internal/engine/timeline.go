@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"time"
+
+	"launchmon/internal/lmonp"
+)
+
+// The critical-path events of launchAndSpawn (paper §4, Figure 2). Marks
+// record the virtual time each event occurred; the perfmodel package turns
+// mark differences into the Region A/B/C component breakdown of Figure 3.
+const (
+	MarkE0  = "e0_fe_call"         // client calls the FE API
+	MarkE1  = "e1_engine_start"    // LaunchMON engine invoked
+	MarkE2  = "e2_launcher_exec"   // RM job launcher started under trace
+	MarkE3  = "e3_breakpoint"      // launcher stopped at MPIR_Breakpoint
+	MarkE4  = "e4_rpdtab_fetched"  // engine finished fetching the RPDTAB
+	MarkE5  = "e5_spawn_req"       // daemon launch command issued to the RM
+	MarkE6  = "e6_spawn_done"      // RM finished spawning tool daemons
+	MarkE7  = "e7_handshake_start" // FE began handshake with master daemon
+	MarkE8  = "e8_netsetup_start"  // master daemon began ICCL fabric setup
+	MarkE9  = "e9_netsetup_done"   // inter-daemon network established
+	MarkE10 = "e10_ready"          // FE received the master's ready message
+	MarkE11 = "e11_return"         // FE API returned to the client
+)
+
+// Derived duration marks (not timestamps).
+const (
+	MarkTracing = "tracing_cost" // accumulated engine event-handler time
+	MarkFetch   = "rpdtab_fetch" // symbolic read duration (Region B)
+)
+
+// MarkEntry is one named timestamp or duration on a Timeline.
+type MarkEntry struct {
+	Name string
+	At   time.Duration
+}
+
+// Timeline is an append-only list of named virtual-time marks collected
+// across LaunchMON's components. It is intentionally a plain value: the
+// engine encodes its marks into LMONP status payloads and the front end
+// merges them with its own.
+type Timeline struct {
+	Entries []MarkEntry
+}
+
+// Mark appends a named timestamp.
+func (t *Timeline) Mark(name string, at time.Duration) {
+	t.Entries = append(t.Entries, MarkEntry{Name: name, At: at})
+}
+
+// Get returns the first mark with the given name.
+func (t *Timeline) Get(name string) (time.Duration, bool) {
+	for _, e := range t.Entries {
+		if e.Name == name {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// Between returns the duration between two marks (0 when either is absent).
+func (t *Timeline) Between(from, to string) time.Duration {
+	a, okA := t.Get(from)
+	b, okB := t.Get(to)
+	if !okA || !okB || b < a {
+		return 0
+	}
+	return b - a
+}
+
+// Merge appends all entries of other.
+func (t *Timeline) Merge(other Timeline) {
+	t.Entries = append(t.Entries, other.Entries...)
+}
+
+// Encode renders the timeline for an LMONP payload.
+func (t Timeline) Encode() []byte {
+	b := lmonp.AppendUint32(nil, uint32(len(t.Entries)))
+	for _, e := range t.Entries {
+		b = lmonp.AppendString(b, e.Name)
+		b = lmonp.AppendUint64(b, uint64(e.At))
+	}
+	return b
+}
+
+// DecodeTimeline parses an encoded timeline.
+func DecodeTimeline(b []byte) (Timeline, error) {
+	var t Timeline
+	rd := lmonp.NewReader(b)
+	n, err := rd.Uint32()
+	if err != nil {
+		return t, err
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := rd.String()
+		if err != nil {
+			return t, err
+		}
+		at, err := rd.Uint64()
+		if err != nil {
+			return t, err
+		}
+		t.Entries = append(t.Entries, MarkEntry{Name: name, At: time.Duration(at)})
+	}
+	return t, nil
+}

@@ -1,0 +1,415 @@
+// Package iccl implements LaunchMON's Internal Collective Communication
+// Layer (paper §3.3): the minimal inter-daemon communication substrate
+// used to propagate and gather launch/setup information. Daemons bootstrap
+// a k-ary tree over the RM-provided node list (their rank and the list
+// arrive in the environment the RM sets when spawning them) and then
+// perform simple barriers, broadcasts, gathers and scatters.
+//
+// ICCL deliberately provides only these four collectives: it is not a
+// general TBŌN replacement (tools needing scalable filtering/reduction
+// should layer MRNet-like infrastructure — internal/tbon — on top), but it
+// is enough to launch daemons and hand tools a rudimentary coordination
+// fabric.
+package iccl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/simnet"
+)
+
+// Collective opcodes on tree links.
+const (
+	opJoin    = 1 // child → parent: rank announcement at bootstrap
+	opReady   = 2 // child → parent: subtree fully connected (count)
+	opBarrier = 3
+	opRelease = 4
+	opBcast   = 5
+	opGather  = 6
+	opScatter = 7
+)
+
+// Config describes one daemon's place in the ICCL tree.
+type Config struct {
+	Rank     int      // this daemon's rank (0 = master)
+	Size     int      // total daemons
+	Fanout   int      // tree fanout; 0 means flat (1-deep: everyone under rank 0)
+	Nodelist []string // node names indexed by rank
+	Port     int      // per-session TCP port each daemon listens on
+
+	// PerMsgCost is the CPU charge for handling one tree message
+	// (default 150us).
+	PerMsgCost time.Duration
+	// DialRetry and DialAttempts bound the child→parent connect loop
+	// (parents may not be listening yet when a child daemon starts).
+	DialRetry    time.Duration
+	DialAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout <= 0 {
+		c.Fanout = c.Size // flat: rank 0 parents everyone
+	}
+	if c.PerMsgCost == 0 {
+		c.PerMsgCost = 150 * time.Microsecond
+	}
+	if c.DialRetry == 0 {
+		c.DialRetry = 5 * time.Millisecond
+	}
+	if c.DialAttempts == 0 {
+		// Children may come up long before their parent when the RM is
+		// still spawning thousands of sibling daemons; allow a 30s window.
+		c.DialAttempts = 6000
+	}
+	return c
+}
+
+// Comm is a bootstrapped ICCL communicator.
+type Comm struct {
+	p    *cluster.Proc
+	cfg  Config
+	rank int
+	size int
+
+	parent   *simnet.Conn   // nil at root
+	children []*simnet.Conn // indexed by child slot
+	childRk  []int          // rank of each child slot
+}
+
+// Errors from the collective layer.
+var (
+	ErrBootstrap = errors.New("iccl: bootstrap failed")
+	ErrProtocol  = errors.New("iccl: protocol violation")
+)
+
+// Parent returns the parent rank of r in a k-ary tree (r>0).
+func Parent(r, fanout int) int { return (r - 1) / fanout }
+
+// Children returns the child ranks of r in a k-ary tree of the given size.
+func Children(r, size, fanout int) []int {
+	var out []int
+	for c := r*fanout + 1; c <= r*fanout+fanout && c < size; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// SubtreeRanks returns all ranks in r's subtree (including r), ascending.
+func SubtreeRanks(r, size, fanout int) []int {
+	out := []int{r}
+	for i := 0; i < len(out); i++ {
+		out = append(out, Children(out[i], size, fanout)...)
+	}
+	// BFS order from a heap layout is already ascending within levels but
+	// not globally; sort for a stable contract.
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Bootstrap connects the calling daemon into the tree and blocks until the
+// entire subtree below it (and, at the root, the whole tree) is connected.
+// The root's return therefore marks the fabric-setup completion (event e9
+// of the paper's critical path).
+func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("%w: bad rank/size %d/%d", ErrBootstrap, cfg.Rank, cfg.Size)
+	}
+	if len(cfg.Nodelist) != cfg.Size {
+		return nil, fmt.Errorf("%w: nodelist has %d entries for size %d", ErrBootstrap, len(cfg.Nodelist), cfg.Size)
+	}
+	c := &Comm{p: p, cfg: cfg, rank: cfg.Rank, size: cfg.Size}
+	kids := Children(cfg.Rank, cfg.Size, cfg.Fanout)
+
+	var l *simnet.Listener
+	if len(kids) > 0 {
+		var err error
+		l, err = p.Host().Listen(cfg.Port)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBootstrap, err)
+		}
+		defer l.Close()
+	}
+
+	// Connect upward (children race their parents coming up; retry).
+	if cfg.Rank > 0 {
+		parentRank := Parent(cfg.Rank, cfg.Fanout)
+		addr := simnet.Addr{Host: cfg.Nodelist[parentRank], Port: cfg.Port}
+		var conn *simnet.Conn
+		var err error
+		for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+			conn, err = p.Host().Dial(addr)
+			if err == nil {
+				break
+			}
+			p.Sim().Sleep(cfg.DialRetry)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: dialing parent %d: %v", ErrBootstrap, parentRank, err)
+		}
+		c.parent = conn
+		join := lmonp.AppendUint32(nil, opJoin)
+		join = lmonp.AppendUint32(join, uint32(cfg.Rank))
+		if err := lmonp.WriteFrame(conn, join); err != nil {
+			return nil, fmt.Errorf("%w: join: %v", ErrBootstrap, err)
+		}
+	}
+
+	// Accept children.
+	c.children = make([]*simnet.Conn, len(kids))
+	c.childRk = append([]int(nil), kids...)
+	for range kids {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("%w: accept: %v", ErrBootstrap, err)
+		}
+		frame, err := lmonp.ReadFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("%w: join frame: %v", ErrBootstrap, err)
+		}
+		p.Compute(cfg.PerMsgCost)
+		rd := lmonp.NewReader(frame)
+		op, _ := rd.Uint32()
+		rk32, err := rd.Uint32()
+		if err != nil || op != opJoin {
+			return nil, fmt.Errorf("%w: bad join", ErrBootstrap)
+		}
+		slot := -1
+		for i, k := range kids {
+			if k == int(rk32) {
+				slot = i
+			}
+		}
+		if slot < 0 || c.children[slot] != nil {
+			return nil, fmt.Errorf("%w: unexpected child rank %d", ErrBootstrap, rk32)
+		}
+		c.children[slot] = conn
+	}
+
+	// Subtree-ready wave: wait for all children to report their subtree
+	// connected, then report upward.
+	total := 1
+	for _, conn := range c.children {
+		frame, err := lmonp.ReadFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ready: %v", ErrBootstrap, err)
+		}
+		p.Compute(cfg.PerMsgCost)
+		rd := lmonp.NewReader(frame)
+		op, _ := rd.Uint32()
+		n32, err := rd.Uint32()
+		if err != nil || op != opReady {
+			return nil, fmt.Errorf("%w: bad ready", ErrBootstrap)
+		}
+		total += int(n32)
+	}
+	if c.parent != nil {
+		rdy := lmonp.AppendUint32(nil, opReady)
+		rdy = lmonp.AppendUint32(rdy, uint32(total))
+		if err := lmonp.WriteFrame(c.parent, rdy); err != nil {
+			return nil, fmt.Errorf("%w: ready up: %v", ErrBootstrap, err)
+		}
+	} else if total != cfg.Size {
+		return nil, fmt.Errorf("%w: connected %d of %d daemons", ErrBootstrap, total, cfg.Size)
+	}
+	return c, nil
+}
+
+// Rank returns this daemon's rank (0 is the master).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of daemons in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// IsMaster reports whether this daemon is rank 0.
+func (c *Comm) IsMaster() bool { return c.rank == 0 }
+
+// Close tears down the tree links.
+func (c *Comm) Close() {
+	if c.parent != nil {
+		c.parent.Close()
+	}
+	for _, conn := range c.children {
+		conn.Close()
+	}
+}
+
+func (c *Comm) recvOp(conn *simnet.Conn, want uint32) (*lmonp.Reader, error) {
+	frame, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	c.p.Compute(c.cfg.PerMsgCost)
+	rd := lmonp.NewReader(frame)
+	op, err := rd.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if op != want {
+		return nil, fmt.Errorf("%w: got op %d want %d", ErrProtocol, op, want)
+	}
+	return rd, nil
+}
+
+// Barrier blocks until every daemon has entered it.
+func (c *Comm) Barrier() error {
+	for _, conn := range c.children {
+		if _, err := c.recvOp(conn, opBarrier); err != nil {
+			return err
+		}
+	}
+	if c.parent != nil {
+		if err := lmonp.WriteFrame(c.parent, lmonp.AppendUint32(nil, opBarrier)); err != nil {
+			return err
+		}
+		if _, err := c.recvOp(c.parent, opRelease); err != nil {
+			return err
+		}
+	}
+	rel := lmonp.AppendUint32(nil, opRelease)
+	for _, conn := range c.children {
+		if err := lmonp.WriteFrame(conn, rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Broadcast distributes buf from the master to every daemon; every caller
+// returns the broadcast bytes (the master returns buf unchanged).
+func (c *Comm) Broadcast(buf []byte) ([]byte, error) {
+	if c.parent != nil {
+		rd, err := c.recvOp(c.parent, opBcast)
+		if err != nil {
+			return nil, err
+		}
+		buf, err = rd.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		buf = append([]byte(nil), buf...)
+	}
+	frame := lmonp.AppendUint32(nil, opBcast)
+	frame = lmonp.AppendBytes(frame, buf)
+	for _, conn := range c.children {
+		if err := lmonp.WriteFrame(conn, frame); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Gather collects one byte slice from every daemon; the master receives
+// them indexed by rank, other daemons receive nil.
+func (c *Comm) Gather(mine []byte) ([][]byte, error) {
+	collected := map[int][]byte{c.rank: mine}
+	for _, conn := range c.children {
+		rd, err := c.recvOp(conn, opGather)
+		if err != nil {
+			return nil, err
+		}
+		n, err := rd.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			rk, err := rd.Uint32()
+			if err != nil {
+				return nil, err
+			}
+			blob, err := rd.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			collected[int(rk)] = append([]byte(nil), blob...)
+		}
+	}
+	if c.parent != nil {
+		frame := lmonp.AppendUint32(nil, opGather)
+		frame = lmonp.AppendUint32(frame, uint32(len(collected)))
+		ranks := make([]int, 0, len(collected))
+		for rk := range collected {
+			ranks = append(ranks, rk)
+		}
+		sortInts(ranks)
+		for _, rk := range ranks {
+			frame = lmonp.AppendUint32(frame, uint32(rk))
+			frame = lmonp.AppendBytes(frame, collected[rk])
+		}
+		if err := lmonp.WriteFrame(c.parent, frame); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := make([][]byte, c.size)
+	if len(collected) != c.size {
+		return nil, fmt.Errorf("%w: gathered %d of %d contributions", ErrProtocol, len(collected), c.size)
+	}
+	for rk, blob := range collected {
+		out[rk] = blob
+	}
+	return out, nil
+}
+
+// Scatter delivers parts[rank] to each daemon; only the master's parts
+// argument is used, and it must have exactly Size entries.
+func (c *Comm) Scatter(parts [][]byte) ([]byte, error) {
+	byRank := map[int][]byte{}
+	if c.parent == nil {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("%w: scatter needs %d parts, got %d", ErrProtocol, c.size, len(parts))
+		}
+		for rk, p := range parts {
+			byRank[rk] = p
+		}
+	} else {
+		rd, err := c.recvOp(c.parent, opScatter)
+		if err != nil {
+			return nil, err
+		}
+		n, err := rd.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			rk, err := rd.Uint32()
+			if err != nil {
+				return nil, err
+			}
+			blob, err := rd.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			byRank[int(rk)] = append([]byte(nil), blob...)
+		}
+	}
+	for slot, conn := range c.children {
+		sub := SubtreeRanks(c.childRk[slot], c.size, c.cfg.Fanout)
+		frame := lmonp.AppendUint32(nil, opScatter)
+		frame = lmonp.AppendUint32(frame, uint32(len(sub)))
+		for _, rk := range sub {
+			frame = lmonp.AppendUint32(frame, uint32(rk))
+			frame = lmonp.AppendBytes(frame, byRank[rk])
+		}
+		if err := lmonp.WriteFrame(conn, frame); err != nil {
+			return nil, err
+		}
+	}
+	mine, ok := byRank[c.rank]
+	if !ok {
+		return nil, fmt.Errorf("%w: no scatter part for rank %d", ErrProtocol, c.rank)
+	}
+	return mine, nil
+}

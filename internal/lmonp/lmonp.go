@@ -1,0 +1,229 @@
+// Package lmonp implements the LMONP application-layer protocol
+// (paper §3.5): the compact message format spoken between LaunchMON's
+// components. A message has a fixed 16-byte header followed by two
+// variably sized payload sections — one for LaunchMON's own data and one
+// for piggybacked client-tool ("user") data, which is how tools bundle
+// their bootstrap information with LaunchMON's handshake exchanges.
+//
+// Header layout (big endian):
+//
+//	byte  0      : 3-bit message class | 5-bit protocol version
+//	byte  1      : message type (tag), meaningful within the class
+//	bytes 2-3    : flags
+//	bytes 4-7    : LaunchMON payload length
+//	bytes 8-11   : user payload length
+//	bytes 12-15  : sequence number
+//
+// LMONP only connects pairs of component representatives (front end ↔
+// engine, front end ↔ master back-end daemon, front end ↔ master
+// middleware daemon), which keeps the front end's connection count O(1)
+// regardless of job size.
+package lmonp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version carried in every header.
+const Version = 1
+
+// HeaderSize is the fixed LMONP header size in bytes.
+const HeaderSize = 16
+
+// MaxPayload bounds each payload section, protecting receivers from
+// corrupt or hostile length fields.
+const MaxPayload = 1 << 28
+
+// MsgClass is the 3-bit communication-pair class.
+type MsgClass uint8
+
+// The three assigned classes; the remaining five values are reserved
+// (the paper suggests e.g. a middleware↔middleware class for spanning
+// multiple communication fabrics).
+const (
+	ClassFEEngine MsgClass = 1 // front end ↔ LaunchMON engine
+	ClassFEBE     MsgClass = 2 // front end ↔ master back-end daemon
+	ClassFEMW     MsgClass = 3 // front end ↔ master middleware daemon
+)
+
+// String names the class for diagnostics.
+func (c MsgClass) String() string {
+	switch c {
+	case ClassFEEngine:
+		return "fe-engine"
+	case ClassFEBE:
+		return "fe-be"
+	case ClassFEMW:
+		return "fe-mw"
+	default:
+		return fmt.Sprintf("reserved(%d)", uint8(c))
+	}
+}
+
+// MsgType tags a message within its class.
+type MsgType uint8
+
+// Message types. Tags are flat across classes for simplicity; each is
+// documented with the class it travels in.
+const (
+	// fe-engine
+	TypeLaunchReq MsgType = iota + 1 // FE→Engine: launchAndSpawn request
+	TypeAttachReq                    // FE→Engine: attachAndSpawn request
+	TypeSpawnReq                     // FE→Engine: spawn daemons for an attached job
+	TypeProctab                      // Engine→FE: the RPDTAB
+	TypeReady                        // Engine→FE / BE→FE / MW→FE: component ready
+	TypeDetach                       // FE→Engine: detach from job, leave it running
+	TypeKill                         // FE→Engine: kill job and daemons
+	TypeShutdown                     // FE→Engine: shut down daemons, keep job
+	TypeStatus                       // Engine→FE: async status notification
+
+	// fe-be / fe-mw
+	TypeHandshake // FE→BE/MW master: session parameters (+ piggyback)
+	TypeUsrData   // either direction: pure tool payload
+	TypeProctabBE // FE→BE/MW master: RPDTAB broadcast seed
+)
+
+// String names the type for diagnostics.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TypeLaunchReq: "launch-req", TypeAttachReq: "attach-req",
+		TypeSpawnReq: "spawn-req", TypeProctab: "proctab",
+		TypeReady: "ready", TypeDetach: "detach", TypeKill: "kill",
+		TypeShutdown: "shutdown", TypeStatus: "status",
+		TypeHandshake: "handshake", TypeUsrData: "usrdata",
+		TypeProctabBE: "proctab-be",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Msg is one LMONP message.
+type Msg struct {
+	Class   MsgClass
+	Type    MsgType
+	Flags   uint16
+	Seq     uint32
+	Payload []byte // LaunchMON data section
+	UsrData []byte // piggybacked tool data section
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadVersion  = errors.New("lmonp: bad protocol version")
+	ErrTooLarge    = errors.New("lmonp: payload exceeds MaxPayload")
+	ErrShortHeader = errors.New("lmonp: short header")
+)
+
+// WireSize returns the total encoded size of the message in bytes.
+func (m *Msg) WireSize() int { return HeaderSize + len(m.Payload) + len(m.UsrData) }
+
+// Encode renders the message into a single buffer.
+func (m *Msg) Encode() ([]byte, error) {
+	if len(m.Payload) > MaxPayload || len(m.UsrData) > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, m.WireSize())
+	buf[0] = byte(m.Class&0x7)<<5 | Version&0x1f
+	buf[1] = byte(m.Type)
+	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(m.Payload)))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(m.UsrData)))
+	binary.BigEndian.PutUint32(buf[12:16], m.Seq)
+	copy(buf[HeaderSize:], m.Payload)
+	copy(buf[HeaderSize+len(m.Payload):], m.UsrData)
+	return buf, nil
+}
+
+// Write encodes and writes the message to w as one Write call (one
+// simulated network message).
+func Write(w io.Writer, m *Msg) error {
+	buf, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read reads exactly one message from r.
+func Read(r io.Reader) (*Msg, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortHeader
+		}
+		return nil, err
+	}
+	if v := hdr[0] & 0x1f; v != Version {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, v, Version)
+	}
+	m := &Msg{
+		Class: MsgClass(hdr[0] >> 5),
+		Type:  MsgType(hdr[1]),
+		Flags: binary.BigEndian.Uint16(hdr[2:4]),
+		Seq:   binary.BigEndian.Uint32(hdr[12:16]),
+	}
+	plen := binary.BigEndian.Uint32(hdr[4:8])
+	ulen := binary.BigEndian.Uint32(hdr[8:12])
+	if plen > MaxPayload || ulen > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	if plen > 0 {
+		m.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, fmt.Errorf("lmonp: truncated payload: %w", err)
+		}
+	}
+	if ulen > 0 {
+		m.UsrData = make([]byte, ulen)
+		if _, err := io.ReadFull(r, m.UsrData); err != nil {
+			return nil, fmt.Errorf("lmonp: truncated usr payload: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Conn wraps a stream with LMONP message framing and per-connection
+// sequence numbering.
+type Conn struct {
+	rw  io.ReadWriter
+	seq uint32
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send writes a message, stamping the connection's next sequence number.
+func (c *Conn) Send(m *Msg) error {
+	c.seq++
+	m.Seq = c.seq
+	return Write(c.rw, m)
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (*Msg, error) { return Read(c.rw) }
+
+// Expect reads the next message and verifies its class and type.
+func (c *Conn) Expect(class MsgClass, typ MsgType) (*Msg, error) {
+	m, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Class != class || m.Type != typ {
+		return nil, fmt.Errorf("lmonp: expected %v/%v, got %v/%v", class, typ, m.Class, m.Type)
+	}
+	return m, nil
+}
+
+// Close closes the underlying stream when it is closable.
+func (c *Conn) Close() error {
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package lmonp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderIs16Bytes(t *testing.T) {
+	m := &Msg{Class: ClassFEBE, Type: TypeReady}
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 16 {
+		t.Fatalf("empty message wire size = %d, want 16", len(buf))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := &Msg{
+		Class:   ClassFEEngine,
+		Type:    TypeProctab,
+		Flags:   0xBEEF,
+		Seq:     42,
+		Payload: []byte("launchmon-data"),
+		UsrData: []byte("tool-data"),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestClassIsThreeBits(t *testing.T) {
+	for _, c := range []MsgClass{ClassFEEngine, ClassFEBE, ClassFEMW, 7} {
+		m := &Msg{Class: c, Type: TypeReady}
+		buf, _ := m.Encode()
+		out, err := Read(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Class != c {
+			t.Errorf("class %d decoded as %d", c, out.Class)
+		}
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	m := &Msg{Class: ClassFEBE, Type: TypeReady}
+	buf, _ := m.Encode()
+	buf[0] = (buf[0] &^ 0x1f) | 9 // corrupt version bits
+	if _, err := Read(bytes.NewReader(buf)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestOversizedLengthRejected(t *testing.T) {
+	m := &Msg{Class: ClassFEBE, Type: TypeReady}
+	buf, _ := m.Encode()
+	buf[4], buf[5], buf[6], buf[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Read(bytes.NewReader(buf)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestShortHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("err = %v, want ErrShortHeader", err)
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	m := &Msg{Class: ClassFEBE, Type: TypeReady, Payload: []byte("0123456789")}
+	buf, _ := m.Encode()
+	if _, err := Read(bytes.NewReader(buf[:len(buf)-4])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestEOFOnEmptyStream(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestConnSequenceNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	for i := 1; i <= 3; i++ {
+		if err := c.Send(&Msg{Class: ClassFEBE, Type: TypeReady}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewConn(&buf)
+	for i := 1; i <= 3; i++ {
+		m, err := r.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != uint32(i) {
+			t.Fatalf("seq = %d, want %d", m.Seq, i)
+		}
+	}
+}
+
+func TestExpect(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	c.Send(&Msg{Class: ClassFEMW, Type: TypeHandshake})
+	r := NewConn(&buf)
+	if _, err := r.Expect(ClassFEMW, TypeHandshake); err != nil {
+		t.Fatal(err)
+	}
+	c.Send(&Msg{Class: ClassFEMW, Type: TypeReady})
+	if _, err := r.Expect(ClassFEBE, TypeReady); err == nil {
+		t.Fatal("Expect accepted wrong class")
+	}
+}
+
+func TestMultipleMessagesBackToBack(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Msg{
+		{Class: ClassFEEngine, Type: TypeLaunchReq, Payload: []byte("a")},
+		{Class: ClassFEBE, Type: TypeHandshake, UsrData: []byte("bb")},
+		{Class: ClassFEMW, Type: TypeReady},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.Class != want.Class || got.Type != want.Type ||
+			!bytes.Equal(got.Payload, want.Payload) || !bytes.Equal(got.UsrData, want.UsrData) {
+			t.Fatalf("msg %d mismatch", i)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary payload pairs.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(class uint8, typ uint8, flags uint16, seq uint32, payload, usr []byte) bool {
+		in := &Msg{
+			Class:   MsgClass(class & 0x7),
+			Type:    MsgType(typ),
+			Flags:   flags,
+			Seq:     seq,
+			Payload: payload,
+			UsrData: usr,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if out.Class != in.Class || out.Type != in.Type || out.Flags != in.Flags || out.Seq != in.Seq {
+			return false
+		}
+		return bytes.Equal(out.Payload, in.Payload) && bytes.Equal(out.UsrData, in.UsrData)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireHelpersRoundTrip(t *testing.T) {
+	b := AppendUint32(nil, 7)
+	b = AppendUint64(b, 1<<40)
+	b = AppendString(b, "hello")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendStringList(b, []string{"x", "", "zzz"})
+	b = AppendStringMap(b, [][2]string{{"k1", "v1"}, {"k2", "v2"}})
+
+	r := NewReader(b)
+	if v, err := r.Uint32(); err != nil || v != 7 {
+		t.Fatalf("Uint32 = %d, %v", v, err)
+	}
+	if v, err := r.Uint64(); err != nil || v != 1<<40 {
+		t.Fatalf("Uint64 = %d, %v", v, err)
+	}
+	if s, err := r.String(); err != nil || s != "hello" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+	if p, err := r.Bytes(); err != nil || !bytes.Equal(p, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v, %v", p, err)
+	}
+	if ss, err := r.StringList(); err != nil || !reflect.DeepEqual(ss, []string{"x", "", "zzz"}) {
+		t.Fatalf("StringList = %v, %v", ss, err)
+	}
+	if kv, err := r.StringMap(); err != nil || len(kv) != 2 || kv[1][1] != "v2" {
+		t.Fatalf("StringMap = %v, %v", kv, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	full := AppendString(nil, "hello")
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		if _, err := r.String(); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Hostile list count must not over-allocate or succeed.
+	bad := AppendUint32(nil, 1<<30)
+	if _, err := NewReader(bad).StringList(); err == nil {
+		t.Fatal("hostile list count accepted")
+	}
+	if _, err := NewReader(bad).StringMap(); err == nil {
+		t.Fatal("hostile map count accepted")
+	}
+}
+
+// Property: wire helper string lists round-trip.
+func TestPropertyStringList(t *testing.T) {
+	f := func(ss []string) bool {
+		b := AppendStringList(nil, ss)
+		out, err := NewReader(b).StringList()
+		if err != nil {
+			return false
+		}
+		if len(out) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if out[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

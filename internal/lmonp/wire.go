@@ -1,0 +1,196 @@
+package lmonp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file provides the compact binary encoders LaunchMON uses inside
+// LMONP payload sections: length-prefixed strings, string lists, and
+// key/value maps. They are deliberately simple and allocation-conscious —
+// payload sizes feed the performance model (RPDTAB and handshake message
+// sizes grow linearly with job scale), so the encodings must be faithful
+// to what a C implementation would ship.
+
+// ErrTruncated reports a payload shorter than its own length fields claim.
+var ErrTruncated = errors.New("lmonp: truncated field")
+
+// WriteFrame writes a 32-bit length-prefixed payload as one Write call
+// (one simulated network message). It is the request/response framing used
+// by RM-internal and ICCL traffic that does not need a full LMONP header.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf := make([]byte, 0, 4+len(payload))
+	buf = AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload written by WriteFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("lmonp: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// AppendUint32 appends v big-endian.
+func AppendUint32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// AppendUint64 appends v big-endian.
+func AppendUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// AppendString appends a 32-bit length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a 32-bit length-prefixed byte slice.
+func AppendBytes(b, p []byte) []byte {
+	b = AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// AppendStringList appends a count-prefixed list of strings.
+func AppendStringList(b []byte, ss []string) []byte {
+	b = AppendUint32(b, uint32(len(ss)))
+	for _, s := range ss {
+		b = AppendString(b, s)
+	}
+	return b
+}
+
+// AppendStringMap appends a count-prefixed key/value map in sorted-input
+// order (callers sort when determinism matters).
+func AppendStringMap(b []byte, kv [][2]string) []byte {
+	b = AppendUint32(b, uint32(len(kv)))
+	for _, e := range kv {
+		b = AppendString(b, e[0])
+		b = AppendString(b, e[1])
+	}
+	return b
+}
+
+// Reader consumes the encodings above.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Uint32 reads a big-endian uint32.
+func (r *Reader) Uint32() (uint32, error) {
+	if r.Remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// Uint64 reads a big-endian uint64.
+func (r *Reader) Uint64() (uint64, error) {
+	if r.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return "", err
+	}
+	if uint32(r.Remaining()) < n {
+		return "", fmt.Errorf("%w: string of %d bytes, %d remain", ErrTruncated, n, r.Remaining())
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Bytes reads a length-prefixed byte slice (aliasing the input buffer).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(r.Remaining()) < n {
+		return nil, fmt.Errorf("%w: bytes of %d, %d remain", ErrTruncated, n, r.Remaining())
+	}
+	p := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+// StringList reads a count-prefixed string list.
+func (r *Reader) StringList() ([]string, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*4 > uint64(r.Remaining())+4 {
+		return nil, fmt.Errorf("%w: list of %d entries", ErrTruncated, n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// StringMap reads a count-prefixed key/value list.
+func (r *Reader) StringMap() ([][2]string, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*8 > uint64(r.Remaining())+8 {
+		return nil, fmt.Errorf("%w: map of %d entries", ErrTruncated, n)
+	}
+	out := make([][2]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]string{k, v})
+	}
+	return out, nil
+}

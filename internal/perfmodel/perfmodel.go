@@ -1,0 +1,216 @@
+// Package perfmodel implements the paper's §4 analytic model of
+// launchAndSpawn: the decomposition of the service's critical path
+// (Figure 2's events e0..e11) into the Region A/B/C components, empirical
+// fitting of the T(op) cost functions from small-scale measurements, and
+// prediction at larger scales — the machinery behind Figure 3's
+// modeled-vs-measured comparison.
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"launchmon/internal/engine"
+)
+
+// Breakdown is the per-component decomposition of one launchAndSpawn.
+//
+// Region A (RM dominant): Job, DaemonSpawn, Setup, Collective, plus
+// LaunchMON's only contribution there, Tracing. Region B: Fetch (RPDTAB).
+// Region C: Collective/handshake costs at the front end. Other collects
+// the scale-independent local operations (T(e0,e2), T(e10,e11), engine
+// start).
+type Breakdown struct {
+	Job         time.Duration // T(job): spawning the application tasks
+	DaemonSpawn time.Duration // T(daemon): RM spawning the tool daemons
+	Setup       time.Duration // T(setup): inter-daemon fabric setup (e8..e9)
+	Collective  time.Duration // T(collective): handshake bcast/gather share
+	Tracing     time.Duration // engine event-handler cost (Region A, LaunchMON)
+	Fetch       time.Duration // Region B: RPDTAB fetch
+	Other       time.Duration // all remaining scale-independent costs
+	Total       time.Duration // e0 → e11
+}
+
+// Components returns the named components in presentation order (matching
+// Figure 3's stacking).
+func (b Breakdown) Components() []struct {
+	Name string
+	D    time.Duration
+} {
+	return []struct {
+		Name string
+		D    time.Duration
+	}{
+		{"T(job)", b.Job},
+		{"T(daemon)+T(setup)", b.DaemonSpawn + b.Setup},
+		{"T(collective)", b.Collective},
+		{"tracing", b.Tracing},
+		{"rpdtab-fetch", b.Fetch},
+		{"other", b.Other},
+	}
+}
+
+// LaunchMONShare returns the fraction of the total attributable to
+// LaunchMON itself (tracing + fetch + collective handshake + other) — the
+// paper reports ≈5.2% at 128 nodes.
+func (b Breakdown) LaunchMONShare() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	lm := b.Tracing + b.Fetch + b.Other + b.Collective
+	return float64(lm) / float64(b.Total)
+}
+
+// Decompose derives the component breakdown from a merged session
+// timeline.
+func Decompose(tl engine.Timeline) (Breakdown, error) {
+	var b Breakdown
+	need := []string{engine.MarkE0, engine.MarkE2, engine.MarkE3, engine.MarkE5,
+		engine.MarkE6, engine.MarkE7, engine.MarkE10, engine.MarkE11}
+	for _, m := range need {
+		if _, ok := tl.Get(m); !ok {
+			return b, fmt.Errorf("perfmodel: timeline missing mark %s", m)
+		}
+	}
+	b.Total = tl.Between(engine.MarkE0, engine.MarkE11)
+	b.Tracing, _ = tl.Get(engine.MarkTracing)
+	b.Fetch, _ = tl.Get(engine.MarkFetch)
+	b.Job = tl.Between(engine.MarkE2, engine.MarkE3) - b.Tracing
+	if b.Job < 0 {
+		b.Job = 0
+	}
+	b.DaemonSpawn = tl.Between(engine.MarkE5, engine.MarkE6)
+	b.Setup = tl.Between(engine.MarkE8, engine.MarkE9)
+	handshake := tl.Between(engine.MarkE7, engine.MarkE10)
+	if handshake > b.Setup {
+		b.Collective = handshake - b.Setup
+	}
+	accounted := b.Job + b.DaemonSpawn + b.Setup + b.Collective + b.Tracing + b.Fetch
+	if b.Total > accounted {
+		b.Other = b.Total - accounted
+	}
+	return b, nil
+}
+
+// CriticalPath lists the e0..e11 mark names in order — the Figure 2
+// contract that tests assert against.
+func CriticalPath() []string {
+	return []string{
+		engine.MarkE0, engine.MarkE1, engine.MarkE2, engine.MarkE3,
+		engine.MarkE4, engine.MarkE5, engine.MarkE6, engine.MarkE7,
+		engine.MarkE8, engine.MarkE9, engine.MarkE10, engine.MarkE11,
+	}
+}
+
+// Point is one calibration measurement.
+type Point struct {
+	Nodes int // tool daemon count (one per node)
+	Tasks int // application task count
+	B     Breakdown
+}
+
+// Model holds fitted affine cost functions: T(job) and fetch are affine in
+// the task count; T(daemon), T(setup) and T(collective) are affine in the
+// node count; tracing and other are scale-independent constants (their
+// mean).
+type Model struct {
+	JobA, JobB               float64 // T(job) ≈ JobA + JobB·tasks (seconds)
+	FetchA, FetchB           float64
+	DaemonA, DaemonB         float64 // per nodes
+	SetupA, SetupB           float64
+	CollectiveA, CollectiveB float64
+	Tracing                  float64
+	Other                    float64
+}
+
+// Fit builds a Model from small-scale calibration points (≥2 required).
+func Fit(points []Point) (*Model, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("perfmodel: need at least 2 points, got %d", len(points))
+	}
+	var m Model
+	tasks := make([]float64, len(points))
+	nodes := make([]float64, len(points))
+	for i, p := range points {
+		tasks[i] = float64(p.Tasks)
+		nodes[i] = float64(p.Nodes)
+	}
+	col := func(f func(Breakdown) time.Duration) []float64 {
+		ys := make([]float64, len(points))
+		for i, p := range points {
+			ys[i] = f(p.B).Seconds()
+		}
+		return ys
+	}
+	m.JobA, m.JobB = linfit(tasks, col(func(b Breakdown) time.Duration { return b.Job }))
+	m.FetchA, m.FetchB = linfit(tasks, col(func(b Breakdown) time.Duration { return b.Fetch }))
+	m.DaemonA, m.DaemonB = linfit(nodes, col(func(b Breakdown) time.Duration { return b.DaemonSpawn }))
+	m.SetupA, m.SetupB = linfit(nodes, col(func(b Breakdown) time.Duration { return b.Setup }))
+	m.CollectiveA, m.CollectiveB = linfit(nodes, col(func(b Breakdown) time.Duration { return b.Collective }))
+	m.Tracing = mean(col(func(b Breakdown) time.Duration { return b.Tracing }))
+	m.Other = mean(col(func(b Breakdown) time.Duration { return b.Other }))
+	return &m, nil
+}
+
+// Predict evaluates the model at a target scale.
+func (m *Model) Predict(nodesN, tasksN int) Breakdown {
+	t := float64(tasksN)
+	n := float64(nodesN)
+	sec := func(s float64) time.Duration {
+		if s < 0 {
+			s = 0
+		}
+		return time.Duration(s * float64(time.Second))
+	}
+	b := Breakdown{
+		Job:         sec(m.JobA + m.JobB*t),
+		Fetch:       sec(m.FetchA + m.FetchB*t),
+		DaemonSpawn: sec(m.DaemonA + m.DaemonB*n),
+		Setup:       sec(m.SetupA + m.SetupB*n),
+		Collective:  sec(m.CollectiveA + m.CollectiveB*n),
+		Tracing:     sec(m.Tracing),
+		Other:       sec(m.Other),
+	}
+	b.Total = b.Job + b.Fetch + b.DaemonSpawn + b.Setup + b.Collective + b.Tracing + b.Other
+	return b
+}
+
+// ErrorPct returns the relative error of the model total against a
+// measured total, in percent.
+func ErrorPct(model, measured Breakdown) float64 {
+	if measured.Total == 0 {
+		return 0
+	}
+	diff := model.Total.Seconds() - measured.Total.Seconds()
+	if diff < 0 {
+		diff = -diff
+	}
+	return 100 * diff / measured.Total.Seconds()
+}
+
+// linfit computes the least-squares affine fit y ≈ a + b·x.
+func linfit(xs, ys []float64) (a, b float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+func mean(ys []float64) float64 {
+	var s float64
+	for _, y := range ys {
+		s += y
+	}
+	return s / float64(len(ys))
+}

@@ -1,0 +1,188 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"launchmon/internal/engine"
+)
+
+// synthTimeline builds a plausible launchAndSpawn timeline.
+func synthTimeline() engine.Timeline {
+	var tl engine.Timeline
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	tl.Mark(engine.MarkE0, 0)
+	tl.Mark(engine.MarkE1, ms(5))
+	tl.Mark(engine.MarkE2, ms(9))
+	tl.Mark(engine.MarkE3, ms(209)) // includes 18ms tracing
+	tl.Mark(engine.MarkE4, ms(214))
+	tl.Mark(engine.MarkE5, ms(215))
+	tl.Mark(engine.MarkE6, ms(315))
+	tl.Mark(engine.MarkE7, ms(317))
+	tl.Mark(engine.MarkE8, ms(318))
+	tl.Mark(engine.MarkE9, ms(340))
+	tl.Mark(engine.MarkE10, ms(352))
+	tl.Mark(engine.MarkE11, ms(360))
+	tl.Mark(engine.MarkTracing, ms(18))
+	tl.Mark(engine.MarkFetch, ms(5))
+	return tl
+}
+
+func TestDecompose(t *testing.T) {
+	b, err := Decompose(synthTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 360*time.Millisecond {
+		t.Errorf("Total = %v", b.Total)
+	}
+	if b.Job != 182*time.Millisecond { // (209-9) - 18
+		t.Errorf("Job = %v", b.Job)
+	}
+	if b.DaemonSpawn != 100*time.Millisecond {
+		t.Errorf("DaemonSpawn = %v", b.DaemonSpawn)
+	}
+	if b.Setup != 22*time.Millisecond {
+		t.Errorf("Setup = %v", b.Setup)
+	}
+	if b.Collective != 13*time.Millisecond { // (352-317) - 22
+		t.Errorf("Collective = %v", b.Collective)
+	}
+	sum := b.Job + b.DaemonSpawn + b.Setup + b.Collective + b.Tracing + b.Fetch + b.Other
+	if sum != b.Total {
+		t.Errorf("components sum %v != total %v", sum, b.Total)
+	}
+}
+
+func TestDecomposeMissingMark(t *testing.T) {
+	var tl engine.Timeline
+	tl.Mark(engine.MarkE0, 0)
+	if _, err := Decompose(tl); err == nil {
+		t.Fatal("incomplete timeline accepted")
+	}
+}
+
+func TestLaunchMONShare(t *testing.T) {
+	b := Breakdown{
+		Job: 800 * time.Millisecond, Tracing: 18 * time.Millisecond,
+		Fetch: 5 * time.Millisecond, Other: 12 * time.Millisecond,
+		Collective: 15 * time.Millisecond, Total: 850 * time.Millisecond,
+	}
+	share := b.LaunchMONShare()
+	want := 50.0 / 850.0
+	if math.Abs(share-want) > 1e-9 {
+		t.Fatalf("share = %f, want %f", share, want)
+	}
+	if (Breakdown{}).LaunchMONShare() != 0 {
+		t.Fatal("zero breakdown share not 0")
+	}
+}
+
+func TestFitAndPredictRecoverAffine(t *testing.T) {
+	// Generate exact affine components, fit, and predict a larger scale.
+	mk := func(nodes int) Point {
+		tasks := nodes * 8
+		b := Breakdown{
+			Job:         time.Duration(10+2*tasks) * time.Millisecond,
+			Fetch:       time.Duration(tasks/100) * time.Millisecond,
+			DaemonSpawn: time.Duration(5+3*nodes) * time.Millisecond,
+			Setup:       time.Duration(1+nodes) * time.Millisecond,
+			Collective:  time.Duration(2+nodes/2) * time.Millisecond,
+			Tracing:     18 * time.Millisecond,
+			Other:       12 * time.Millisecond,
+		}
+		b.Total = b.Job + b.Fetch + b.DaemonSpawn + b.Setup + b.Collective + b.Tracing + b.Other
+		return Point{Nodes: nodes, Tasks: tasks, B: b}
+	}
+	m, err := Fit([]Point{mk(16), mk(32), mk(48)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(128, 1024)
+	want := mk(128).B
+	if ErrorPct(pred, want) > 1.0 {
+		t.Fatalf("prediction off: got %v, want %v", pred.Total, want.Total)
+	}
+}
+
+func TestFitRequiresTwoPoints(t *testing.T) {
+	if _, err := Fit([]Point{{Nodes: 1, Tasks: 8}}); err == nil {
+		t.Fatal("single-point fit accepted")
+	}
+}
+
+func TestErrorPct(t *testing.T) {
+	a := Breakdown{Total: 100 * time.Millisecond}
+	b := Breakdown{Total: 110 * time.Millisecond}
+	if e := ErrorPct(a, b); math.Abs(e-9.0909) > 0.01 {
+		t.Fatalf("ErrorPct = %f", e)
+	}
+	if e := ErrorPct(a, Breakdown{}); e != 0 {
+		t.Fatalf("zero measured ErrorPct = %f", e)
+	}
+}
+
+func TestCriticalPathOrder(t *testing.T) {
+	cp := CriticalPath()
+	if len(cp) != 12 {
+		t.Fatalf("critical path has %d events, want 12 (e0..e11)", len(cp))
+	}
+	if cp[0] != engine.MarkE0 || cp[11] != engine.MarkE11 {
+		t.Fatalf("endpoints wrong: %v", cp)
+	}
+}
+
+// Property: linfit recovers exact affine relations.
+func TestPropertyLinfitExact(t *testing.T) {
+	f := func(a8, b8 int8, xs []uint8) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		// Need at least two distinct x values.
+		distinct := false
+		for _, x := range xs[1:] {
+			if x != xs[0] {
+				distinct = true
+			}
+		}
+		if !distinct {
+			return true
+		}
+		a, b := float64(a8), float64(b8)
+		fx := make([]float64, len(xs))
+		fy := make([]float64, len(xs))
+		for i, x := range xs {
+			fx[i] = float64(x)
+			fy[i] = a + b*float64(x)
+		}
+		ga, gb := linfit(fx, fy)
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Predict never returns negative components.
+func TestPropertyPredictNonNegative(t *testing.T) {
+	f := func(coef [7]int8, nodes uint8) bool {
+		m := Model{
+			JobA: float64(coef[0]), JobB: float64(coef[1]) / 100,
+			FetchA: float64(coef[2]) / 10, DaemonA: float64(coef[3]),
+			SetupB: float64(coef[4]) / 100, CollectiveA: float64(coef[5]),
+			Tracing: float64(coef[6]) / 10,
+		}
+		b := m.Predict(int(nodes), int(nodes)*8)
+		for _, c := range b.Components() {
+			if c.D < 0 {
+				return false
+			}
+		}
+		return b.Total >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package proctab defines the Remote Process Descriptor Table (RPDTAB) —
+// the host name / executable name / process id / rank record for every
+// task of a parallel job that the resource manager's Automatic Process
+// Acquisition Interface exposes (MPIR_proctable in the MPIR convention) —
+// together with its compact wire encoding used inside LMONP payloads.
+package proctab
+
+import (
+	"fmt"
+	"sort"
+
+	"launchmon/internal/lmonp"
+)
+
+// ProcDesc describes one task of the parallel job.
+type ProcDesc struct {
+	Host string // node the task runs on
+	Exe  string // executable name
+	Pid  int    // node-local process id
+	Rank int    // MPI rank
+}
+
+// Table is the RPDTAB: one entry per task, ordered by rank.
+type Table []ProcDesc
+
+// Encode renders the table in LaunchMON's compact wire form. Host and
+// executable strings are pooled: real RPDTABs repeat the same executable
+// for every task and the same host for every task on a node, and the
+// compact form is what keeps the linear-in-tasks transfer affordable.
+func (t Table) Encode() []byte {
+	pool := make([]string, 0, 16)
+	index := make(map[string]uint32)
+	intern := func(s string) uint32 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint32(len(pool))
+		index[s] = i
+		pool = append(pool, s)
+		return i
+	}
+	entries := make([]byte, 0, len(t)*16)
+	for _, d := range t {
+		entries = lmonp.AppendUint32(entries, intern(d.Host))
+		entries = lmonp.AppendUint32(entries, intern(d.Exe))
+		entries = lmonp.AppendUint32(entries, uint32(d.Pid))
+		entries = lmonp.AppendUint32(entries, uint32(d.Rank))
+	}
+	out := lmonp.AppendStringList(nil, pool)
+	out = lmonp.AppendUint32(out, uint32(len(t)))
+	return append(out, entries...)
+}
+
+// Decode parses a table encoded by Encode.
+func Decode(b []byte) (Table, error) {
+	r := lmonp.NewReader(b)
+	pool, err := r.StringList()
+	if err != nil {
+		return nil, fmt.Errorf("proctab: pool: %w", err)
+	}
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("proctab: count: %w", err)
+	}
+	if uint64(n)*16 > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("proctab: truncated: %d entries, %d bytes", n, r.Remaining())
+	}
+	t := make(Table, 0, n)
+	for i := uint32(0); i < n; i++ {
+		hi, _ := r.Uint32()
+		ei, _ := r.Uint32()
+		pid, _ := r.Uint32()
+		rank, err := r.Uint32()
+		if err != nil {
+			return nil, fmt.Errorf("proctab: entry %d: %w", i, err)
+		}
+		if int(hi) >= len(pool) || int(ei) >= len(pool) {
+			return nil, fmt.Errorf("proctab: entry %d: pool index out of range", i)
+		}
+		t = append(t, ProcDesc{Host: pool[hi], Exe: pool[ei], Pid: int(pid), Rank: int(rank)})
+	}
+	return t, nil
+}
+
+// Hosts returns the distinct hosts in table order of first appearance.
+func (t Table) Hosts() []string {
+	seen := make(map[string]bool)
+	var hosts []string
+	for _, d := range t {
+		if !seen[d.Host] {
+			seen[d.Host] = true
+			hosts = append(hosts, d.Host)
+		}
+	}
+	return hosts
+}
+
+// OnHost returns the entries placed on the given host, ordered by rank.
+func (t Table) OnHost(host string) Table {
+	var out Table
+	for _, d := range t {
+		if d.Host == host {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Validate checks structural invariants: ranks 0..len-1 each exactly once
+// and no empty host or executable names.
+func (t Table) Validate() error {
+	seen := make([]bool, len(t))
+	for i, d := range t {
+		if d.Rank < 0 || d.Rank >= len(t) {
+			return fmt.Errorf("proctab: entry %d: rank %d out of range [0,%d)", i, d.Rank, len(t))
+		}
+		if seen[d.Rank] {
+			return fmt.Errorf("proctab: duplicate rank %d", d.Rank)
+		}
+		seen[d.Rank] = true
+		if d.Host == "" {
+			return fmt.Errorf("proctab: entry %d: empty host", i)
+		}
+		if d.Exe == "" {
+			return fmt.Errorf("proctab: entry %d: empty exe", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package proctab
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable(nodes, perNode int) Table {
+	var t Table
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < perNode; i++ {
+			t = append(t, ProcDesc{
+				Host: fmt.Sprintf("node%d", n),
+				Exe:  "app",
+				Pid:  1000 + n*perNode + i,
+				Rank: n*perNode + i,
+			})
+		}
+	}
+	return t
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tab := sampleTable(4, 8)
+	out, err := Decode(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, out) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	out, err := Decode(Table{}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("decoded %d entries from empty table", len(out))
+	}
+}
+
+func TestEncodingPoolsStrings(t *testing.T) {
+	// 1024 tasks across 128 nodes: pooled encoding must stay well under
+	// the naive per-entry string encoding.
+	tab := sampleTable(128, 8)
+	enc := tab.Encode()
+	naive := 0
+	for _, d := range tab {
+		naive += 4 + len(d.Host) + 4 + len(d.Exe) + 8
+	}
+	if len(enc) >= naive {
+		t.Fatalf("pooled encoding %dB not smaller than naive %dB", len(enc), naive)
+	}
+	// Size must still be linear in task count (16B/entry + pool).
+	if len(enc) < 16*len(tab) {
+		t.Fatalf("encoding %dB is below the 16B/entry floor", len(enc))
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	tab := sampleTable(2, 2)
+	enc := tab.Encode()
+	for _, cut := range []int{1, 5, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Out-of-range pool index.
+	bad := Table{{Host: "h", Exe: "e", Pid: 1, Rank: 0}}.Encode()
+	bad[len(bad)-13] = 0xff // corrupt host index of the single entry
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("corrupt pool index accepted")
+	}
+}
+
+func TestHostsAndOnHost(t *testing.T) {
+	tab := sampleTable(3, 4)
+	hosts := tab.Hosts()
+	if len(hosts) != 3 || hosts[0] != "node0" || hosts[2] != "node2" {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+	on1 := tab.OnHost("node1")
+	if len(on1) != 4 {
+		t.Fatalf("OnHost(node1) has %d entries", len(on1))
+	}
+	for i, d := range on1 {
+		if d.Host != "node1" {
+			t.Fatalf("entry %d host = %s", i, d.Host)
+		}
+		if i > 0 && on1[i].Rank < on1[i-1].Rank {
+			t.Fatal("OnHost not rank ordered")
+		}
+	}
+	if len(tab.OnHost("absent")) != 0 {
+		t.Fatal("OnHost(absent) nonempty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleTable(2, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	dup := sampleTable(2, 2)
+	dup[3].Rank = 0
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+	oob := sampleTable(1, 2)
+	oob[0].Rank = 5
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	empty := Table{{Host: "", Exe: "x", Rank: 0}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty host accepted")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary structurally valid tables.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(hostSeeds []uint8) bool {
+		var tab Table
+		for i, h := range hostSeeds {
+			tab = append(tab, ProcDesc{
+				Host: fmt.Sprintf("n%d", h%16),
+				Exe:  fmt.Sprintf("exe%d", h%3),
+				Pid:  int(h) + i,
+				Rank: i,
+			})
+		}
+		out, err := Decode(tab.Encode())
+		if err != nil {
+			return false
+		}
+		if len(tab) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(tab, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded size is linear in entries with a bounded pool term.
+func TestPropertySizeLinear(t *testing.T) {
+	f := func(n uint8) bool {
+		nodes := int(n%32) + 1
+		tab := sampleTable(nodes, 8)
+		enc := len(tab.Encode())
+		// 16 bytes per entry + pool (hosts ~ "nodeX" + "app") + 8 framing.
+		poolMax := nodes*12 + 16 + 8
+		return enc >= 16*len(tab) && enc <= 16*len(tab)+poolMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package alps implements a Cray ALPS/YOD-like resource manager: a
+// structurally different launch architecture from the SLURM-like tree
+// (internal/rm/slurm), used to demonstrate the paper's portability claim
+// — the LaunchMON engine and APIs run unchanged across resource managers
+// because they only consume the rm.Manager contract.
+//
+// Architecture: an apsched allocation service on the front end, a
+// lightweight apinit daemon on every compute node, and an aprun-like
+// launcher. Unlike the slurmd k-ary tree, aprun drives a *star*: it
+// submits the launch to each node's apinit directly from the service
+// node, pipelined (submissions overlap with remote forks), and gathers
+// acknowledgements asynchronously. Placement is by NID (node id) rather
+// than hostname lists, matching ALPS conventions.
+package alps
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// Service ports.
+const (
+	ApschedPort = 601 // allocation service on the front end
+	ApinitPort  = 602 // per-node launch daemon
+)
+
+// Config tunes the RM's cost model. Zero fields default.
+type Config struct {
+	// DebugEvents raised by aprun before MPIR_Breakpoint (default 14;
+	// scale-independent, like fixed SLURM).
+	DebugEvents int
+	// PerNodeSubmit is aprun's serial cost to submit one node's launch
+	// (default 350us; the star's linear term).
+	PerNodeSubmit time.Duration
+	// PerTaskRootCost is aprun's per-task bookkeeping (default 550us).
+	PerTaskRootCost time.Duration
+	// ApinitPerMsg is apinit's request-handling cost (default 150us).
+	ApinitPerMsg time.Duration
+	// AllocBase is apsched's allocation cost (default 4ms).
+	AllocBase time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DebugEvents == 0 {
+		c.DebugEvents = 14
+	}
+	if c.PerNodeSubmit == 0 {
+		c.PerNodeSubmit = 350 * time.Microsecond
+	}
+	if c.PerTaskRootCost == 0 {
+		c.PerTaskRootCost = 550 * time.Microsecond
+	}
+	if c.ApinitPerMsg == 0 {
+		c.ApinitPerMsg = 150 * time.Microsecond
+	}
+	if c.AllocBase == 0 {
+		c.AllocBase = 4 * time.Millisecond
+	}
+	return c
+}
+
+// Manager is the ALPS-like rm.Manager.
+type Manager struct {
+	cl  *cluster.Cluster
+	cfg Config
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[int]*job
+}
+
+var _ rm.Manager = (*Manager)(nil)
+
+// Install boots apsched on the front end and apinit on every compute node.
+func Install(cl *cluster.Cluster, cfg Config) (*Manager, error) {
+	m := &Manager{cl: cl, cfg: cfg.withDefaults(), jobs: make(map[int]*job)}
+	if _, err := cl.FrontEnd().SpawnSystemProc(cluster.Spec{Exe: "apsched", Main: m.apschedMain}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cl.NumNodes(); i++ {
+		node := cl.Node(i)
+		a := &apinit{m: m, node: node, jobProcs: make(map[int][]*cluster.Proc)}
+		if _, err := node.SpawnSystemProc(cluster.Spec{Exe: "apinit", Main: a.main}); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Name implements rm.Manager.
+func (m *Manager) Name() string { return "alps" }
+
+// DebugEventCount implements rm.Manager.
+func (m *Manager) DebugEventCount(rm.JobSpec) int { return m.cfg.DebugEvents }
+
+// StartJobHeld implements rm.Manager.
+func (m *Manager) StartJobHeld(spec rm.JobSpec) (rm.Job, error) { return m.start(spec, true) }
+
+// StartJob implements rm.Manager.
+func (m *Manager) StartJob(spec rm.JobSpec) (rm.Job, error) { return m.start(spec, false) }
+
+func (m *Manager) start(spec rm.JobSpec, hold bool) (rm.Job, error) {
+	if spec.Nodes <= 0 || spec.TasksPerNode <= 0 {
+		return nil, errors.New("alps: job needs positive Nodes and TasksPerNode")
+	}
+	if spec.Nodes > m.cl.NumNodes() {
+		return nil, fmt.Errorf("%w: want %d, have %d", rm.ErrInsufficient, spec.Nodes, m.cl.NumNodes())
+	}
+	m.mu.Lock()
+	m.nextID++
+	j := &job{m: m, id: m.nextID, spec: spec, cmds: vtime.NewChan[command](m.cl.Sim())}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+
+	p, err := m.cl.FrontEnd().SpawnProc(cluster.Spec{
+		Exe:  "aprun",
+		Main: j.launcherMain,
+		Hold: hold,
+		Args: []string{fmt.Sprintf("-n%d", spec.Tasks()), fmt.Sprintf("-N%d", spec.TasksPerNode), spec.Exe},
+	})
+	if err != nil {
+		return nil, err
+	}
+	j.proc = p
+	return j, nil
+}
+
+// FindJob implements rm.Manager.
+func (m *Manager) FindJob(id int) (rm.Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// --- apsched (allocation service) ---
+
+func (m *Manager) apschedMain(p *cluster.Proc) {
+	l, err := p.Host().Listen(ApschedPort)
+	if err != nil {
+		return
+	}
+	free := make(map[string]bool, m.cl.NumNodes())
+	order := make([]string, 0, m.cl.NumNodes())
+	for i := 0; i < m.cl.NumNodes(); i++ {
+		name := m.cl.Node(i).Name()
+		free[name] = true
+		order = append(order, name)
+	}
+	var mu sync.Mutex
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.Sim().Go("apsched-conn", func() {
+			defer conn.Close()
+			req, err := lmonp.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			p.Compute(m.cfg.AllocBase)
+			rd := lmonp.NewReader(req)
+			n32, _ := rd.Uint32()
+			exclude, err := rd.StringList()
+			if err != nil {
+				return
+			}
+			ex := make(map[string]bool, len(exclude))
+			for _, e := range exclude {
+				ex[e] = true
+			}
+			mu.Lock()
+			var picked []string
+			for _, name := range order {
+				if len(picked) == int(n32) {
+					break
+				}
+				if free[name] && !ex[name] {
+					picked = append(picked, name)
+				}
+			}
+			if len(picked) < int(n32) {
+				mu.Unlock()
+				lmonp.WriteFrame(conn, lmonp.AppendString(nil, "claim exceeds reservation"))
+				return
+			}
+			for _, name := range picked {
+				free[name] = false
+			}
+			mu.Unlock()
+			out := lmonp.AppendString(nil, "")
+			out = lmonp.AppendStringList(out, picked)
+			lmonp.WriteFrame(conn, out)
+		})
+	}
+}
+
+func (m *Manager) allocate(from *simnet.Host, n int, exclude []string) ([]string, error) {
+	conn, err := from.Dial(simnet.Addr{Host: m.cl.FrontEnd().Name(), Port: ApschedPort})
+	if err != nil {
+		return nil, fmt.Errorf("alps: apsched unreachable: %w", err)
+	}
+	defer conn.Close()
+	req := lmonp.AppendUint32(nil, uint32(n))
+	req = lmonp.AppendStringList(req, exclude)
+	if err := lmonp.WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(resp)
+	emsg, err := rd.String()
+	if err != nil {
+		return nil, err
+	}
+	if emsg != "" {
+		return nil, fmt.Errorf("%w: %s", rm.ErrInsufficient, emsg)
+	}
+	return rd.StringList()
+}
+
+func joinNIDs(nodes []string) string { return strings.Join(nodes, ",") }

@@ -1,0 +1,147 @@
+package alps
+
+import (
+	"fmt"
+	"sync"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/simnet"
+)
+
+// apinit opcodes (star protocol: aprun contacts every apinit directly).
+const (
+	opLaunchTasks = 1 // fork tasks for a job; reply with pids
+	opSpawnDaemon = 2 // fork one tool daemon; reply with pid
+	opKillJob     = 3 // kill all local processes of a job
+)
+
+// apinit is the per-node launch daemon; it only ever acts locally (no
+// forwarding — the star topology keeps it trivial compared to slurmd).
+type apinit struct {
+	m    *Manager
+	node *cluster.Node
+
+	mu       sync.Mutex
+	jobProcs map[int][]*cluster.Proc
+}
+
+func (a *apinit) main(p *cluster.Proc) {
+	l, err := p.Host().Listen(ApinitPort)
+	if err != nil {
+		return
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.Sim().Go("apinit-conn", func() {
+			defer conn.Close()
+			a.handle(p, conn)
+		})
+	}
+}
+
+func (a *apinit) handle(p *cluster.Proc, conn *simnet.Conn) {
+	req, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	p.Compute(a.m.cfg.ApinitPerMsg)
+	rd := lmonp.NewReader(req)
+	op, _ := rd.Uint32()
+	switch op {
+	case opLaunchTasks:
+		jobid32, _ := rd.Uint32()
+		baseRank32, _ := rd.Uint32()
+		count32, _ := rd.Uint32()
+		exe, err := rd.String()
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, "bad launch request"))
+			return
+		}
+		out := lmonp.AppendString(nil, "")
+		out = lmonp.AppendUint32(out, count32)
+		for i := 0; i < int(count32); i++ {
+			proc, err := a.node.SpawnProc(cluster.Spec{Exe: exe, Passive: true})
+			if err != nil {
+				lmonp.WriteFrame(conn, lmonp.AppendString(nil, err.Error()))
+				return
+			}
+			a.track(int(jobid32), proc)
+			out = lmonp.AppendUint32(out, uint32(int(baseRank32)+i))
+			out = lmonp.AppendUint32(out, uint32(proc.Pid()))
+		}
+		lmonp.WriteFrame(conn, out)
+	case opSpawnDaemon:
+		jobid32, _ := rd.Uint32()
+		exe, _ := rd.String()
+		args, _ := rd.StringList()
+		kv, err := rd.StringMap()
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, "bad spawn request"))
+			return
+		}
+		env := make(map[string]string, len(kv))
+		for _, e := range kv {
+			env[e[0]] = e[1]
+		}
+		proc, err := a.node.SpawnProc(cluster.Spec{Exe: exe, Args: args, Env: env})
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, err.Error()))
+			return
+		}
+		a.track(int(jobid32), proc)
+		out := lmonp.AppendString(nil, "")
+		out = lmonp.AppendUint32(out, uint32(proc.Pid()))
+		lmonp.WriteFrame(conn, out)
+	case opKillJob:
+		jobid32, err := rd.Uint32()
+		if err != nil {
+			lmonp.WriteFrame(conn, lmonp.AppendString(nil, "bad kill request"))
+			return
+		}
+		a.mu.Lock()
+		procs := a.jobProcs[int(jobid32)]
+		delete(a.jobProcs, int(jobid32))
+		a.mu.Unlock()
+		for _, proc := range procs {
+			proc.Kill()
+		}
+		lmonp.WriteFrame(conn, lmonp.AppendString(nil, ""))
+	default:
+		lmonp.WriteFrame(conn, lmonp.AppendString(nil, fmt.Sprintf("apinit: bad op %d", op)))
+	}
+}
+
+func (a *apinit) track(jobid int, p *cluster.Proc) {
+	a.mu.Lock()
+	a.jobProcs[jobid] = append(a.jobProcs[jobid], p)
+	a.mu.Unlock()
+}
+
+// starCall performs one request/response against a node's apinit.
+func starCall(p *cluster.Proc, node string, req []byte) (*lmonp.Reader, error) {
+	conn, err := p.Host().Dial(simnet.Addr{Host: node, Port: ApinitPort})
+	if err != nil {
+		return nil, fmt.Errorf("alps: apinit on %s unreachable: %w", node, err)
+	}
+	defer conn.Close()
+	if err := lmonp.WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(resp)
+	emsg, err := rd.String()
+	if err != nil {
+		return nil, err
+	}
+	if emsg != "" {
+		return nil, fmt.Errorf("alps: apinit on %s: %s", node, emsg)
+	}
+	return rd, nil
+}

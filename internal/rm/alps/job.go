@@ -1,0 +1,285 @@
+package alps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+	"launchmon/internal/vtime"
+)
+
+// command is a control request to the running aprun launcher.
+type command struct {
+	kind  cmdKind
+	spec  rm.DaemonSpec
+	n     int
+	reply *vtime.Chan[cmdResult]
+}
+
+type cmdKind int
+
+const (
+	cmdSpawnDaemons cmdKind = iota
+	cmdAllocSpawn
+	cmdKill
+)
+
+type cmdResult struct {
+	nodes []string
+	err   error
+}
+
+// job implements rm.Job for the ALPS-like manager.
+type job struct {
+	m    *Manager
+	id   int
+	spec rm.JobSpec
+	proc *cluster.Proc
+	cmds *vtime.Chan[command]
+
+	mu     sync.Mutex
+	nodes  []string
+	killed bool
+}
+
+var _ rm.Job = (*job)(nil)
+
+// ID implements rm.Job.
+func (j *job) ID() int { return j.id }
+
+// LauncherProc implements rm.Job.
+func (j *job) LauncherProc() *cluster.Proc { return j.proc }
+
+// Start implements rm.Job.
+func (j *job) Start() { j.proc.Start() }
+
+// Nodes implements rm.Job.
+func (j *job) Nodes() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.nodes...)
+}
+
+// SpawnDaemons implements rm.Job.
+func (j *job) SpawnDaemons(spec rm.DaemonSpec) error {
+	return j.send(command{kind: cmdSpawnDaemons, spec: spec}).err
+}
+
+// AllocateAndSpawn implements rm.Job.
+func (j *job) AllocateAndSpawn(n int, spec rm.DaemonSpec) ([]string, error) {
+	res := j.send(command{kind: cmdAllocSpawn, spec: spec, n: n})
+	return res.nodes, res.err
+}
+
+// Kill implements rm.Job.
+func (j *job) Kill() error {
+	j.mu.Lock()
+	if j.killed {
+		j.mu.Unlock()
+		return rm.ErrAlreadyKilled
+	}
+	j.mu.Unlock()
+	return j.send(command{kind: cmdKill}).err
+}
+
+func (j *job) send(c command) cmdResult {
+	c.reply = vtime.NewChan[cmdResult](j.m.cl.Sim())
+	j.cmds.Send(c)
+	res, ok := c.reply.Recv()
+	if !ok {
+		return cmdResult{err: errors.New("alps: launcher gone")}
+	}
+	return res
+}
+
+// launcherMain is the aprun-like process: allocate, star-launch the tasks,
+// publish the MPIR symbols, stop at MPIR_Breakpoint, service commands.
+func (j *job) launcherMain(p *cluster.Proc) {
+	cfg := j.m.cfg
+	for i := 0; i < cfg.DebugEvents; i++ {
+		p.DebugEvent(fmt.Sprintf("aprun-init-%d", i))
+	}
+
+	nodes, err := j.m.allocate(p.Host(), j.spec.Nodes, nil)
+	if err != nil {
+		p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "alloc-failed: " + err.Error(), Size: 64})
+		return
+	}
+	j.mu.Lock()
+	j.nodes = nodes
+	j.mu.Unlock()
+
+	tab, err := j.starLaunch(p, nodes)
+	if err != nil {
+		p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "launch-failed: " + err.Error(), Size: 64})
+		return
+	}
+	p.Compute(time.Duration(len(tab)) * cfg.PerTaskRootCost)
+
+	enc := tab.Encode()
+	p.SetSymbol(rm.SymProctab, cluster.Symbol{Value: enc, Size: len(enc)})
+	p.SetSymbol(rm.SymProctabLen, cluster.Symbol{Value: len(tab), Size: 4})
+	p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "spawned", Size: 4})
+	p.DebugEvent(rm.BPName)
+
+	for {
+		cmd, ok := j.cmds.Recv()
+		if !ok {
+			return
+		}
+		switch cmd.kind {
+		case cmdSpawnDaemons:
+			cmd.reply.Send(cmdResult{err: j.starSpawn(p, nodes, cmd.spec)})
+		case cmdAllocSpawn:
+			mwNodes, err := j.m.allocate(p.Host(), cmd.n, nodes)
+			if err != nil {
+				cmd.reply.Send(cmdResult{err: err})
+				continue
+			}
+			cmd.reply.Send(cmdResult{nodes: mwNodes, err: j.starSpawn(p, mwNodes, cmd.spec)})
+		case cmdKill:
+			err := j.starKill(p, nodes)
+			j.mu.Lock()
+			j.killed = true
+			j.mu.Unlock()
+			cmd.reply.Send(cmdResult{err: err})
+			return
+		}
+	}
+}
+
+// starLaunch submits the task launch to every node's apinit, pipelined:
+// each submission costs PerNodeSubmit at aprun, the remote forks overlap.
+func (j *job) starLaunch(p *cluster.Proc, nodes []string) (proctab.Table, error) {
+	type nodeResult struct {
+		idx int
+		tab proctab.Table
+		err error
+	}
+	results := vtime.NewChan[nodeResult](p.Sim())
+	tpn := j.spec.TasksPerNode
+	for i, node := range nodes {
+		i, node := i, node
+		p.Compute(j.m.cfg.PerNodeSubmit) // serial submit at aprun
+		p.Sim().Go("aprun-submit", func() {
+			req := lmonp.AppendUint32(nil, opLaunchTasks)
+			req = lmonp.AppendUint32(req, uint32(j.id))
+			req = lmonp.AppendUint32(req, uint32(i*tpn))
+			req = lmonp.AppendUint32(req, uint32(tpn))
+			req = lmonp.AppendString(req, j.spec.Exe)
+			rd, err := starCall(p, node, req)
+			if err != nil {
+				results.Send(nodeResult{idx: i, err: err})
+				return
+			}
+			n32, _ := rd.Uint32()
+			var sub proctab.Table
+			for k := 0; k < int(n32); k++ {
+				rank32, _ := rd.Uint32()
+				pid32, err := rd.Uint32()
+				if err != nil {
+					results.Send(nodeResult{idx: i, err: err})
+					return
+				}
+				sub = append(sub, proctab.ProcDesc{Host: node, Exe: j.spec.Exe, Pid: int(pid32), Rank: int(rank32)})
+			}
+			results.Send(nodeResult{idx: i, tab: sub})
+		})
+	}
+	tab := make(proctab.Table, 0, len(nodes)*tpn)
+	for range nodes {
+		res, ok := results.Recv()
+		if !ok {
+			return nil, errors.New("alps: launch interrupted")
+		}
+		if res.err != nil {
+			return nil, res.err
+		}
+		tab = append(tab, res.tab...)
+	}
+	// Acks arrive in completion order; restore rank order for the table.
+	sorted := make(proctab.Table, len(tab))
+	for _, d := range tab {
+		if d.Rank < 0 || d.Rank >= len(sorted) {
+			return nil, fmt.Errorf("alps: rank %d out of range", d.Rank)
+		}
+		sorted[d.Rank] = d
+	}
+	if err := sorted.Validate(); err != nil {
+		return nil, err
+	}
+	return sorted, nil
+}
+
+// starSpawn places one tool daemon per node, pipelined like starLaunch,
+// merging the RM-provided environment (the same contract slurmd honours).
+func (j *job) starSpawn(p *cluster.Proc, nodes []string, spec rm.DaemonSpec) error {
+	type nodeResult struct{ err error }
+	results := vtime.NewChan[nodeResult](p.Sim())
+	nidList := joinNIDs(nodes)
+	for i, node := range nodes {
+		i, node := i, node
+		p.Compute(j.m.cfg.PerNodeSubmit)
+		p.Sim().Go("aprun-spawn", func() {
+			env := make(map[string]string, len(spec.Env)+4)
+			for k, v := range spec.Env {
+				env[k] = v
+			}
+			env[rm.EnvNodeID] = fmt.Sprint(i)
+			env[rm.EnvNNodes] = fmt.Sprint(len(nodes))
+			env[rm.EnvNodeList] = nidList
+			env[rm.EnvJobID] = fmt.Sprint(j.id)
+			kv := make([][2]string, 0, len(env))
+			for k, v := range env {
+				kv = append(kv, [2]string{k, v})
+			}
+			req := lmonp.AppendUint32(nil, opSpawnDaemon)
+			req = lmonp.AppendUint32(req, uint32(j.id))
+			req = lmonp.AppendString(req, spec.Exe)
+			req = lmonp.AppendStringList(req, spec.Args)
+			req = lmonp.AppendStringMap(req, kv)
+			_, err := starCall(p, node, req)
+			results.Send(nodeResult{err: err})
+		})
+	}
+	for range nodes {
+		res, ok := results.Recv()
+		if !ok {
+			return errors.New("alps: spawn interrupted")
+		}
+		if res.err != nil {
+			return res.err
+		}
+	}
+	return nil
+}
+
+// starKill fans the kill to every node's apinit.
+func (j *job) starKill(p *cluster.Proc, nodes []string) error {
+	type nodeResult struct{ err error }
+	results := vtime.NewChan[nodeResult](p.Sim())
+	for _, node := range nodes {
+		node := node
+		p.Sim().Go("aprun-kill", func() {
+			req := lmonp.AppendUint32(nil, opKillJob)
+			req = lmonp.AppendUint32(req, uint32(j.id))
+			_, err := starCall(p, node, req)
+			results.Send(nodeResult{err: err})
+		})
+	}
+	for range nodes {
+		res, ok := results.Recv()
+		if !ok {
+			return errors.New("alps: kill interrupted")
+		}
+		if res.err != nil {
+			return res.err
+		}
+	}
+	return nil
+}

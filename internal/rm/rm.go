@@ -1,0 +1,126 @@
+// Package rm defines the resource-manager abstraction LaunchMON builds on:
+// starting a parallel job under tracer control, the MPIR-style Automatic
+// Process Acquisition Interface (APAI) contract, scalable co-located tool
+// daemon spawning, and extra-node allocation for middleware daemons.
+//
+// Concrete managers (internal/rm/slurm, internal/rm/bgl) install their
+// launcher and node daemons onto a simulated cluster and implement this
+// interface; the LaunchMON engine is written purely against it, which is
+// the m×n → m+n portability argument of the paper made concrete.
+package rm
+
+import (
+	"errors"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/proctab"
+)
+
+// Well-known environment variables the RM provides to spawned tool
+// daemons. They correspond to the bootstrap information real LaunchMON
+// passes via the RM's environment plumbing.
+const (
+	// EnvNodeID is the daemon's 0-based index within the launch node list
+	// (doubles as the ICCL rank).
+	EnvNodeID = "LMON_NODEID"
+	// EnvNNodes is the total number of daemons launched together.
+	EnvNNodes = "LMON_NNODES"
+	// EnvNodeList is the comma-joined node list of the launch.
+	EnvNodeList = "LMON_NODELIST"
+	// EnvJobID identifies the target job.
+	EnvJobID = "LMON_JOBID"
+)
+
+// MPIR symbol names exposed by launcher processes (the APAI contract).
+const (
+	SymProctab    = "MPIR_proctable"      // encoded proctab.Table
+	SymProctabLen = "MPIR_proctable_size" // entry count
+	SymDebugState = "MPIR_debug_state"    // launch progress indicator
+	BPName        = "MPIR_Breakpoint"     // debug-event reason at launch-done
+)
+
+// JobSpec describes a parallel application launch.
+type JobSpec struct {
+	Name         string // job name (diagnostics)
+	Exe          string // application executable name
+	Nodes        int    // number of compute nodes
+	TasksPerNode int    // MPI tasks per node
+}
+
+// Tasks returns the total task count.
+func (s JobSpec) Tasks() int { return s.Nodes * s.TasksPerNode }
+
+// DaemonSpec describes tool daemons for the RM to spawn (one per node).
+type DaemonSpec struct {
+	Exe  string // registered executable name
+	Args []string
+	Env  map[string]string // session bootstrap environment (LMON_*)
+}
+
+// Errors common to manager implementations.
+var (
+	ErrNoSuchJob     = errors.New("rm: no such job")
+	ErrInsufficient  = errors.New("rm: insufficient nodes available")
+	ErrJobNotReady   = errors.New("rm: job has not reached MPIR_Breakpoint")
+	ErrAlreadyKilled = errors.New("rm: job already terminated")
+)
+
+// Job is a handle onto one running (or launching) parallel job, obtained
+// from a Manager. The launcher process it wraps is the tracee of the
+// LaunchMON engine.
+type Job interface {
+	// ID returns the RM-assigned job id.
+	ID() int
+	// LauncherProc returns the job-launcher process (srun/mpirun); the
+	// engine attaches its tracer to it.
+	LauncherProc() *cluster.Proc
+	// Start releases a held launcher (launch mode spawns the launcher held
+	// so the engine can attach before it runs).
+	Start()
+	// Nodes returns the node names of the job's allocation (empty until the
+	// launch reaches MPIR_Breakpoint).
+	Nodes() []string
+	// SpawnDaemons scalably spawns one tool daemon per job node through the
+	// RM's native launch fabric, merging extra per-node variables into
+	// spec.Env. It blocks until every daemon process exists.
+	SpawnDaemons(spec DaemonSpec) error
+	// AllocateAndSpawn allocates n fresh nodes (disjoint from the job's)
+	// and spawns one daemon per node; it returns the new node names.
+	AllocateAndSpawn(n int, spec DaemonSpec) ([]string, error)
+	// Kill terminates the job's tasks and all daemons spawned through it.
+	Kill() error
+}
+
+// Manager abstracts one resource-manager installation on a cluster.
+type Manager interface {
+	// Name identifies the RM ("slurm", "bgl-mpirun").
+	Name() string
+	// StartJobHeld creates the job-launcher process on the front-end node
+	// in the held state and registers the job. The caller attaches a tracer
+	// and then calls Job.Start.
+	StartJobHeld(spec JobSpec) (Job, error)
+	// StartJob creates and immediately starts a job (no tracer), the way a
+	// user would from a shell; tools attach to it later.
+	StartJob(spec JobSpec) (Job, error)
+	// FindJob looks up a running job by id (attach mode).
+	FindJob(id int) (Job, bool)
+	// DebugEventCount reports how many tracer stop events the launcher
+	// raises before MPIR_Breakpoint (SLURM after the fix described in the
+	// paper raises a scale-independent number).
+	DebugEventCount(spec JobSpec) int
+}
+
+// ProctabFromLauncher reads and decodes the RPDTAB from a launcher process
+// through an attached tracer — the engine's Region B operation. The cost
+// charged by ReadSymbol is proportional to the encoded table size.
+func ProctabFromLauncher(tr *cluster.Tracer) (proctab.Table, error) {
+	raw, err := tr.ReadSymbol(SymProctab)
+	if err != nil {
+		return nil, err
+	}
+	enc, ok := raw.([]byte)
+	if !ok {
+		return nil, errors.New("rm: MPIR_proctable symbol has unexpected type")
+	}
+	return proctab.Decode(enc)
+}

@@ -1,0 +1,255 @@
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// command is a control request delivered to the running launcher process
+// (the simulated analogue of LaunchMON instructing the existing launcher,
+// or running "srun --jobid=N" against the allocation).
+type command struct {
+	kind  cmdKind
+	spec  rm.DaemonSpec
+	n     int // AllocateAndSpawn node count
+	reply *vtime.Chan[cmdResult]
+}
+
+type cmdKind int
+
+const (
+	cmdSpawnDaemons cmdKind = iota
+	cmdAllocSpawn
+	cmdKill
+)
+
+type cmdResult struct {
+	nodes []string
+	err   error
+}
+
+// job implements rm.Job for the SLURM-like manager.
+type job struct {
+	m    *Manager
+	id   int
+	spec rm.JobSpec
+	proc *cluster.Proc
+	cmds *vtime.Chan[command]
+
+	mu     sync.Mutex
+	nodes  []string
+	ptab   proctab.Table
+	killed bool
+}
+
+var _ rm.Job = (*job)(nil)
+
+// ID implements rm.Job.
+func (j *job) ID() int { return j.id }
+
+// LauncherProc implements rm.Job.
+func (j *job) LauncherProc() *cluster.Proc { return j.proc }
+
+// Start implements rm.Job.
+func (j *job) Start() { j.proc.Start() }
+
+// Nodes implements rm.Job.
+func (j *job) Nodes() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.nodes...)
+}
+
+// Proctab returns the job's RPDTAB as known by the launcher (empty before
+// MPIR_Breakpoint). The engine normally obtains it through the tracer
+// (charged); this accessor exists for tests and the RM's own bookkeeping.
+func (j *job) Proctab() proctab.Table {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append(proctab.Table(nil), j.ptab...)
+}
+
+// SpawnDaemons implements rm.Job.
+func (j *job) SpawnDaemons(spec rm.DaemonSpec) error {
+	res := j.send(command{kind: cmdSpawnDaemons, spec: spec})
+	return res.err
+}
+
+// AllocateAndSpawn implements rm.Job.
+func (j *job) AllocateAndSpawn(n int, spec rm.DaemonSpec) ([]string, error) {
+	res := j.send(command{kind: cmdAllocSpawn, spec: spec, n: n})
+	return res.nodes, res.err
+}
+
+// Kill implements rm.Job.
+func (j *job) Kill() error {
+	j.mu.Lock()
+	if j.killed {
+		j.mu.Unlock()
+		return rm.ErrAlreadyKilled
+	}
+	j.mu.Unlock()
+	res := j.send(command{kind: cmdKill})
+	return res.err
+}
+
+func (j *job) send(c command) cmdResult {
+	c.reply = vtime.NewChan[cmdResult](j.m.cl.Sim())
+	j.cmds.Send(c)
+	res, ok := c.reply.Recv()
+	if !ok {
+		return cmdResult{err: errors.New("slurm: launcher gone")}
+	}
+	return res
+}
+
+// launcherMain is the srun-like process body: allocate, launch the tasks
+// through the slurmd tree, publish the MPIR symbols, stop at
+// MPIR_Breakpoint, then service control commands.
+func (j *job) launcherMain(p *cluster.Proc) {
+	cfg := j.m.cfg
+
+	// Early debug events a tracer observes while the launcher initializes
+	// (library loads, thread creation). SLURM's count is scale-independent
+	// — the property the paper credits for the flat 18 ms tracing cost.
+	for i := 0; i < cfg.DebugEvents; i++ {
+		p.DebugEvent(fmt.Sprintf("launcher-init-%d", i))
+	}
+
+	nodes, err := j.m.allocate(p.Host(), j.spec.Nodes, nil)
+	if err != nil {
+		p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "alloc-failed: " + err.Error(), Size: 64})
+		return
+	}
+	j.mu.Lock()
+	j.nodes = nodes
+	j.mu.Unlock()
+
+	tab, err := j.treeLaunch(p, nodes)
+	if err != nil {
+		p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "launch-failed: " + err.Error(), Size: 64})
+		return
+	}
+
+	// Root-side per-task bookkeeping: stdio wiring, task records — the
+	// linear-in-tasks term of T(job).
+	p.Compute(time.Duration(len(tab)) * cfg.PerTaskRootCost)
+
+	j.mu.Lock()
+	j.ptab = tab
+	j.mu.Unlock()
+
+	enc := tab.Encode()
+	p.SetSymbol(rm.SymProctab, cluster.Symbol{Value: enc, Size: len(enc)})
+	p.SetSymbol(rm.SymProctabLen, cluster.Symbol{Value: len(tab), Size: 4})
+	p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "spawned", Size: 4})
+
+	// The APAI rendezvous: a traced launcher stops here and the debugger
+	// (the LaunchMON engine) harvests the proctable.
+	p.DebugEvent(rm.BPName)
+
+	// Service control commands until killed or torn down.
+	for {
+		cmd, ok := j.cmds.Recv()
+		if !ok {
+			return
+		}
+		switch cmd.kind {
+		case cmdSpawnDaemons:
+			err := j.treeSpawn(p, nodes, cmd.spec)
+			// Root-side per-node ack processing for the daemon spawn.
+			p.Compute(time.Duration(len(nodes)) * cfg.PerNodeSpawnRootCost)
+			cmd.reply.Send(cmdResult{err: err})
+		case cmdAllocSpawn:
+			mwNodes, err := j.m.allocate(p.Host(), cmd.n, nodes)
+			if err != nil {
+				cmd.reply.Send(cmdResult{err: err})
+				continue
+			}
+			err = j.treeSpawn(p, mwNodes, cmd.spec)
+			p.Compute(time.Duration(len(mwNodes)) * cfg.PerNodeSpawnRootCost)
+			cmd.reply.Send(cmdResult{nodes: mwNodes, err: err})
+		case cmdKill:
+			err := j.treeKill(p, nodes)
+			j.mu.Lock()
+			j.killed = true
+			j.mu.Unlock()
+			cmd.reply.Send(cmdResult{err: err})
+			return
+		}
+	}
+}
+
+// treeRequest sends a raw request to the root slurmd of nodelist and
+// returns the reply payload (past the error string, which it checks).
+func (j *job) treeRequest(p *cluster.Proc, nodelist []string, raw []byte) (*lmonp.Reader, error) {
+	conn, err := p.Host().Dial(simnet.Addr{Host: nodelist[0], Port: SlurmdPort})
+	if err != nil {
+		return nil, fmt.Errorf("slurm: root slurmd unreachable: %w", err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, raw); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	rd := lmonp.NewReader(resp)
+	emsg, err := rd.String()
+	if err != nil {
+		return nil, err
+	}
+	if emsg != "" {
+		return nil, errors.New(emsg)
+	}
+	return rd, nil
+}
+
+func (j *job) treeLaunch(p *cluster.Proc, nodes []string) (proctab.Table, error) {
+	rd, err := j.treeRequest(p, nodes, encodeLaunch(j.id, j.spec.TasksPerNode, j.spec.Exe, nodes))
+	if err != nil {
+		return nil, err
+	}
+	enc, err := rd.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := proctab.Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+func (j *job) treeSpawn(p *cluster.Proc, nodes []string, spec rm.DaemonSpec) error {
+	rd, err := j.treeRequest(p, nodes, encodeSpawn(j.id, spec, nodes))
+	if err != nil {
+		return err
+	}
+	count, err := rd.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(count) != len(nodes) {
+		return fmt.Errorf("slurm: spawned %d daemons on %d nodes", count, len(nodes))
+	}
+	return nil
+}
+
+func (j *job) treeKill(p *cluster.Proc, nodes []string) error {
+	_, err := j.treeRequest(p, nodes, encodeKill(j.id, nodes))
+	return err
+}

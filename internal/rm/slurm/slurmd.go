@@ -1,0 +1,318 @@
+package slurm
+
+import (
+	"fmt"
+	"sync"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// slurmd opcodes.
+const (
+	opLaunch = 10 // launch job tasks over the tree
+	opSpawn  = 11 // spawn one tool daemon per node over the tree
+	opKill   = 12 // kill a job's tasks and daemons over the tree
+)
+
+// slurmd is the per-node RM daemon. It receives tree requests, forwards
+// them to its children in the launch node list (k-ary heap layout), acts
+// locally, and aggregates replies.
+type slurmd struct {
+	m    *Manager
+	node *cluster.Node
+
+	mu       sync.Mutex
+	jobProcs map[int][]*cluster.Proc // processes started for each job id
+}
+
+func (d *slurmd) main(p *cluster.Proc) {
+	l, err := p.Host().Listen(SlurmdPort)
+	if err != nil {
+		return
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.Sim().Go("slurmd-conn", func() {
+			defer conn.Close()
+			d.handle(p, conn)
+		})
+	}
+}
+
+func (d *slurmd) handle(p *cluster.Proc, conn *simnet.Conn) {
+	req, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	p.Compute(d.m.cfg.PerMsgCost)
+	rd := lmonp.NewReader(req)
+	op, err := rd.Uint32()
+	if err != nil {
+		return
+	}
+	var resp []byte
+	switch op {
+	case opLaunch:
+		resp = d.handleLaunch(p, req, rd)
+	case opSpawn:
+		resp = d.handleSpawn(p, req, rd)
+	case opKill:
+		resp = d.handleKill(p, req, rd)
+	default:
+		resp = lmonp.AppendString(nil, fmt.Sprintf("slurmd: bad op %d", op))
+	}
+	writeFrame(conn, resp)
+}
+
+// children returns the k-ary heap children indices of self within a node
+// list of the given length.
+func children(self, n, fanout int) []int {
+	var out []int
+	for c := self*fanout + 1; c <= self*fanout+fanout && c < n; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// forward fans the raw request out to the children of self in nodelist,
+// rewriting the self-index field, and collects one reply payload each.
+// The self index is encoded as the uint32 immediately after the opcode by
+// all tree requests, letting forwarding work generically.
+func (d *slurmd) forward(p *cluster.Proc, raw []byte, nodelist []string, self int) ([][]byte, error) {
+	kids := children(self, len(nodelist), d.m.cfg.Fanout)
+	replies := make([][]byte, len(kids))
+	errs := make([]error, len(kids))
+	wg := vtime.NewWaitGroup(p.Sim())
+	wg.Add(len(kids))
+	for i, k := range kids {
+		i, k := i, k
+		p.Sim().Go("slurmd-fwd", func() {
+			defer wg.Done()
+			req := make([]byte, len(raw))
+			copy(req, raw)
+			// Rewrite the self index (bytes 4..8, right after the opcode).
+			req[4] = byte(uint32(k) >> 24)
+			req[5] = byte(uint32(k) >> 16)
+			req[6] = byte(uint32(k) >> 8)
+			req[7] = byte(uint32(k))
+			conn, err := p.Host().Dial(simnet.Addr{Host: nodelist[k], Port: SlurmdPort})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			if err := writeFrame(conn, req); err != nil {
+				errs[i] = err
+				return
+			}
+			replies[i], errs[i] = readFrame(conn)
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return replies, nil
+}
+
+// launch request layout: op, self, jobid, tasksPerNode, exe, nodelist.
+func encodeLaunch(jobid, tasksPerNode int, exe string, nodelist []string) []byte {
+	b := lmonp.AppendUint32(nil, opLaunch)
+	b = lmonp.AppendUint32(b, 0) // self index; rewritten per hop
+	b = lmonp.AppendUint32(b, uint32(jobid))
+	b = lmonp.AppendUint32(b, uint32(tasksPerNode))
+	b = lmonp.AppendString(b, exe)
+	b = lmonp.AppendString(b, joinNodes(nodelist))
+	return b
+}
+
+func (d *slurmd) handleLaunch(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byte {
+	self32, _ := rd.Uint32()
+	jobid32, _ := rd.Uint32()
+	tpn32, _ := rd.Uint32()
+	exe, _ := rd.String()
+	nl, err := rd.String()
+	if err != nil {
+		return lmonp.AppendString(nil, "slurmd: bad launch request")
+	}
+	self, jobid, tpn := int(self32), int(jobid32), int(tpn32)
+	nodelist := splitNodes(nl)
+
+	// Forward first so subtrees overlap with local forking.
+	type fwdResult struct {
+		replies [][]byte
+		err     error
+	}
+	fwdCh := vtime.NewChan[fwdResult](p.Sim())
+	p.Sim().Go("slurmd-launch-fwd", func() {
+		r, err := d.forward(p, raw, nodelist, self)
+		fwdCh.Send(fwdResult{r, err})
+	})
+
+	// Fork the local tasks (block rank distribution: node i owns ranks
+	// i*tpn .. i*tpn+tpn-1).
+	local := make(proctab.Table, 0, tpn)
+	for i := 0; i < tpn; i++ {
+		proc, err := d.node.SpawnProc(cluster.Spec{Exe: exe, Passive: true})
+		if err != nil {
+			return lmonp.AppendString(nil, fmt.Sprintf("slurmd %s: %v", d.node.Name(), err))
+		}
+		d.track(jobid, proc)
+		local = append(local, proctab.ProcDesc{
+			Host: d.node.Name(), Exe: exe, Pid: proc.Pid(), Rank: self*tpn + i,
+		})
+	}
+
+	fr, _ := fwdCh.Recv()
+	if fr.err != nil {
+		return lmonp.AppendString(nil, fr.err.Error())
+	}
+	merged := local
+	for _, rep := range fr.replies {
+		rrd := lmonp.NewReader(rep)
+		emsg, err := rrd.String()
+		if err != nil || emsg != "" {
+			return lmonp.AppendString(nil, "slurmd: child launch failed: "+emsg)
+		}
+		enc, err := rrd.Bytes()
+		if err != nil {
+			return lmonp.AppendString(nil, err.Error())
+		}
+		sub, err := proctab.Decode(enc)
+		if err != nil {
+			return lmonp.AppendString(nil, err.Error())
+		}
+		merged = append(merged, sub...)
+	}
+	out := lmonp.AppendString(nil, "")
+	return lmonp.AppendBytes(out, merged.Encode())
+}
+
+// spawn request layout: op, self, jobid, exe, args, env, nodelist.
+func encodeSpawn(jobid int, spec rm.DaemonSpec, nodelist []string) []byte {
+	b := lmonp.AppendUint32(nil, opSpawn)
+	b = lmonp.AppendUint32(b, 0) // self index; rewritten per hop
+	b = lmonp.AppendUint32(b, uint32(jobid))
+	b = lmonp.AppendString(b, spec.Exe)
+	b = lmonp.AppendStringList(b, spec.Args)
+	b = lmonp.AppendStringMap(b, sortedEnv(spec.Env))
+	b = lmonp.AppendString(b, joinNodes(nodelist))
+	return b
+}
+
+func (d *slurmd) handleSpawn(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byte {
+	self32, _ := rd.Uint32()
+	jobid32, _ := rd.Uint32()
+	exe, _ := rd.String()
+	args, _ := rd.StringList()
+	kv, _ := rd.StringMap()
+	nl, err := rd.String()
+	if err != nil {
+		return lmonp.AppendString(nil, "slurmd: bad spawn request")
+	}
+	self, jobid := int(self32), int(jobid32)
+	nodelist := splitNodes(nl)
+
+	type fwdResult struct {
+		replies [][]byte
+		err     error
+	}
+	fwdCh := vtime.NewChan[fwdResult](p.Sim())
+	p.Sim().Go("slurmd-spawn-fwd", func() {
+		r, err := d.forward(p, raw, nodelist, self)
+		fwdCh.Send(fwdResult{r, err})
+	})
+
+	env := make(map[string]string, len(kv)+4)
+	for _, e := range kv {
+		env[e[0]] = e[1]
+	}
+	env[rm.EnvNodeID] = fmt.Sprint(self)
+	env[rm.EnvNNodes] = fmt.Sprint(len(nodelist))
+	env[rm.EnvNodeList] = nl
+	env[rm.EnvJobID] = fmt.Sprint(jobid)
+	proc, err := d.node.SpawnProc(cluster.Spec{Exe: exe, Args: args, Env: env})
+	if err != nil {
+		return lmonp.AppendString(nil, fmt.Sprintf("slurmd %s: %v", d.node.Name(), err))
+	}
+	d.track(jobid, proc)
+
+	fr, _ := fwdCh.Recv()
+	if fr.err != nil {
+		return lmonp.AppendString(nil, fr.err.Error())
+	}
+	count := uint32(1)
+	for _, rep := range fr.replies {
+		rrd := lmonp.NewReader(rep)
+		emsg, err := rrd.String()
+		if err != nil || emsg != "" {
+			return lmonp.AppendString(nil, "slurmd: child spawn failed: "+emsg)
+		}
+		c, err := rrd.Uint32()
+		if err != nil {
+			return lmonp.AppendString(nil, err.Error())
+		}
+		count += c
+	}
+	out := lmonp.AppendString(nil, "")
+	return lmonp.AppendUint32(out, count)
+}
+
+// kill request layout: op, self, jobid, nodelist.
+func encodeKill(jobid int, nodelist []string) []byte {
+	b := lmonp.AppendUint32(nil, opKill)
+	b = lmonp.AppendUint32(b, 0)
+	b = lmonp.AppendUint32(b, uint32(jobid))
+	b = lmonp.AppendString(b, joinNodes(nodelist))
+	return b
+}
+
+func (d *slurmd) handleKill(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byte {
+	self32, _ := rd.Uint32()
+	jobid32, _ := rd.Uint32()
+	nl, err := rd.String()
+	if err != nil {
+		return lmonp.AppendString(nil, "slurmd: bad kill request")
+	}
+	self, jobid := int(self32), int(jobid32)
+	nodelist := splitNodes(nl)
+
+	type fwdResult struct {
+		err error
+	}
+	fwdCh := vtime.NewChan[fwdResult](p.Sim())
+	p.Sim().Go("slurmd-kill-fwd", func() {
+		_, err := d.forward(p, raw, nodelist, self)
+		fwdCh.Send(fwdResult{err})
+	})
+
+	d.mu.Lock()
+	procs := d.jobProcs[jobid]
+	delete(d.jobProcs, jobid)
+	d.mu.Unlock()
+	for _, proc := range procs {
+		proc.Kill()
+	}
+
+	fr, _ := fwdCh.Recv()
+	if fr.err != nil {
+		return lmonp.AppendString(nil, fr.err.Error())
+	}
+	return lmonp.AppendString(nil, "")
+}
+
+func (d *slurmd) track(jobid int, p *cluster.Proc) {
+	d.mu.Lock()
+	d.jobProcs[jobid] = append(d.jobProcs[jobid], p)
+	d.mu.Unlock()
+}

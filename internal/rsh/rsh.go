@@ -1,0 +1,201 @@
+// Package rsh implements the ad hoc remote-shell daemon launching that
+// tools used before LaunchMON (paper §2): a front end sequentially forks
+// one rsh/ssh client per target node; each client authenticates against
+// the remote node's shell daemon and asks it to exec the tool daemon.
+//
+// This is the baseline of the STAT start-up experiment (Figure 6). Its two
+// scalability pathologies are modeled mechanistically:
+//
+//   - the launch is sequential and each remote shell costs a connection
+//     plus authentication plus remote fork, so total time is linear in the
+//     node count (≈0.24 s/node on the paper's Atlas measurements); and
+//   - every rsh client remains resident on the front-end node as the
+//     daemon's control channel, so the front end's process table fills and
+//     fork eventually fails (the paper observed consistent failures at 512
+//     nodes).
+package rsh
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// Port of the per-node remote shell daemon (sshd-like).
+const Port = 22
+
+// Config models the cost of one remote shell invocation.
+type Config struct {
+	// ClientForkCost is the front-end fork+exec of the rsh client binary
+	// (default 6ms; rsh clients are fat).
+	ClientForkCost time.Duration
+	// AuthCost is connection setup + authentication + shell startup on the
+	// remote side (default 225ms, matching the paper's ≈0.24 s/node ad hoc
+	// launch slope).
+	AuthCost time.Duration
+	// RemoteForkCost is the remote daemon exec (default 4ms).
+	RemoteForkCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClientForkCost == 0 {
+		c.ClientForkCost = 6 * time.Millisecond
+	}
+	if c.AuthCost == 0 {
+		c.AuthCost = 225 * time.Millisecond
+	}
+	if c.RemoteForkCost == 0 {
+		c.RemoteForkCost = 4 * time.Millisecond
+	}
+	return c
+}
+
+// Service is an installed remote-shell infrastructure.
+type Service struct {
+	cl  *cluster.Cluster
+	cfg Config
+}
+
+// Install boots an sshd-like daemon on every compute node.
+func Install(cl *cluster.Cluster, cfg Config) (*Service, error) {
+	s := &Service{cl: cl, cfg: cfg.withDefaults()}
+	for i := 0; i < cl.NumNodes(); i++ {
+		node := cl.Node(i)
+		if _, err := node.SpawnSystemProc(cluster.Spec{Exe: "sshd", Main: s.sshdMain(node)}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// sshdMain accepts rsh sessions and execs requested commands locally.
+func (s *Service) sshdMain(node *cluster.Node) cluster.ProcMain {
+	return func(p *cluster.Proc) {
+		l, err := p.Host().Listen(Port)
+		if err != nil {
+			return
+		}
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			p.Sim().Go("sshd-session", func() {
+				defer conn.Close()
+				req, err := lmonp.ReadFrame(conn)
+				if err != nil {
+					return
+				}
+				// Authentication and shell startup happen on the remote
+				// side of the connection.
+				p.Compute(s.cfg.AuthCost)
+				rd := lmonp.NewReader(req)
+				exe, _ := rd.String()
+				args, _ := rd.StringList()
+				kv, err := rd.StringMap()
+				if err != nil {
+					lmonp.WriteFrame(conn, lmonp.AppendString(nil, "bad request"))
+					return
+				}
+				env := make(map[string]string, len(kv))
+				for _, e := range kv {
+					env[e[0]] = e[1]
+				}
+				p.Compute(s.cfg.RemoteForkCost)
+				proc, err := node.SpawnProc(cluster.Spec{Exe: exe, Args: args, Env: env})
+				if err != nil {
+					lmonp.WriteFrame(conn, lmonp.AppendString(nil, err.Error()))
+					return
+				}
+				out := lmonp.AppendString(nil, "")
+				out = lmonp.AppendUint32(out, uint32(proc.Pid()))
+				lmonp.WriteFrame(conn, out)
+				// The rsh session lingers as the daemon's stdio/control
+				// channel until the daemon exits.
+				proc.Wait()
+			})
+		}
+	}
+}
+
+// ErrSpawn wraps remote daemon spawn failures.
+var ErrSpawn = errors.New("rsh: remote spawn failed")
+
+// Spawn launches one daemon on each target node sequentially from the
+// calling front-end process, the way pre-LaunchMON MRNet/STAT did. Each
+// launch forks a resident rsh client on the caller's node; the spawn fails
+// when the front-end process table fills. env[i] extends the daemon
+// environment per node.
+func (s *Service) Spawn(p *cluster.Proc, nodes []string, exe string, args []string, env []map[string]string) error {
+	for i, node := range nodes {
+		if err := s.spawnOne(p, node, exe, args, env[i]); err != nil {
+			return fmt.Errorf("%w: node %s (%d of %d): %v", ErrSpawn, node, i+1, len(nodes), err)
+		}
+	}
+	return nil
+}
+
+// spawnOne runs one rsh client: fork locally, connect, authenticate,
+// remote-exec, then leave the client resident as the control channel.
+func (s *Service) spawnOne(p *cluster.Proc, node, exe string, args []string, env map[string]string) error {
+	// Fork the rsh client on the front end; it stays alive as the control
+	// channel, so the process stays in the table until the daemon dies.
+	done := vtime.NewChan[error](p.Sim())
+	_, err := p.Spawn(cluster.Spec{Exe: "rsh", Main: func(client *cluster.Proc) {
+		client.Compute(s.cfg.ClientForkCost)
+		conn, err := client.Host().Dial(simnet.Addr{Host: node, Port: Port})
+		if err != nil {
+			done.Send(err)
+			return
+		}
+		defer conn.Close()
+		req := lmonp.AppendString(nil, exe)
+		req = lmonp.AppendStringList(req, args)
+		kv := make([][2]string, 0, len(env))
+		for k, v := range env {
+			kv = append(kv, [2]string{k, v})
+		}
+		req = lmonp.AppendStringMap(req, kv)
+		if err := lmonp.WriteFrame(conn, req); err != nil {
+			done.Send(err)
+			return
+		}
+		resp, err := lmonp.ReadFrame(conn)
+		if err != nil {
+			done.Send(err)
+			return
+		}
+		rd := lmonp.NewReader(resp)
+		emsg, err := rd.String()
+		if err != nil {
+			done.Send(err)
+			return
+		}
+		if emsg != "" {
+			done.Send(errors.New(emsg))
+			return
+		}
+		done.Send(nil)
+		// Linger as the daemon's control channel: block until the remote
+		// side closes (daemon exit), then terminate.
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}})
+	if err != nil {
+		return err // fork on the front end failed (process table full)
+	}
+	res, ok := done.Recv()
+	if !ok {
+		return errors.New("rsh: client torn down")
+	}
+	return res
+}

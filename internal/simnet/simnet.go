@@ -1,0 +1,346 @@
+// Package simnet provides a simulated TCP-like network running in virtual
+// time (internal/vtime). Hosts own listeners; Dial establishes a bidirected
+// stream connection whose Read/Write implement io.Reader/io.Writer, so the
+// LaunchMON protocol stack runs over simnet exactly as it would over real
+// sockets while every transfer is charged latency + size/bandwidth in
+// virtual time.
+//
+// The cost model per message (one Write call) is:
+//
+//	start  = max(now, lastSendDone)   // per-direction serialization
+//	txDone = start + size/bandwidth
+//	arrive = txDone + latency
+//
+// which preserves FIFO ordering per connection and models a dedicated
+// full-duplex link per connection (adequate for the paper's experiments,
+// which are dominated by per-node spawn costs and message counts/sizes,
+// not by shared-fabric congestion).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"launchmon/internal/vtime"
+)
+
+// Options configure the network cost model. Zero fields take defaults.
+type Options struct {
+	// Latency is the one-way latency between distinct hosts.
+	Latency time.Duration
+	// LoopbackLatency is the one-way latency within one host.
+	LoopbackLatency time.Duration
+	// Bandwidth is the per-connection bandwidth in bytes/second between
+	// distinct hosts.
+	Bandwidth float64
+	// LoopbackBandwidth is the per-connection loopback bandwidth.
+	LoopbackBandwidth float64
+}
+
+// DefaultOptions models a 2008-era Infiniband cluster interconnect
+// (4x DDR): ~30us MPI-level latency, ~1.2 GB/s per stream, and fast local
+// loopback.
+func DefaultOptions() Options {
+	return Options{
+		Latency:           30 * time.Microsecond,
+		LoopbackLatency:   6 * time.Microsecond,
+		Bandwidth:         1.2e9,
+		LoopbackBandwidth: 4e9,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Latency == 0 {
+		o.Latency = d.Latency
+	}
+	if o.LoopbackLatency == 0 {
+		o.LoopbackLatency = d.LoopbackLatency
+	}
+	if o.Bandwidth == 0 {
+		o.Bandwidth = d.Bandwidth
+	}
+	if o.LoopbackBandwidth == 0 {
+		o.LoopbackBandwidth = d.LoopbackBandwidth
+	}
+	return o
+}
+
+// Addr identifies a network endpoint.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// String renders the address as host:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Stats aggregates traffic counters for the whole network.
+type Stats struct {
+	Messages int64 // Write calls delivered
+	Bytes    int64 // payload bytes delivered
+	Dials    int64 // successful connections
+}
+
+// Network is a set of hosts in one virtual-time simulation.
+type Network struct {
+	sim  *vtime.Sim
+	opts Options
+
+	mu    sync.Mutex
+	hosts map[string]*Host
+	stats Stats
+}
+
+// New creates an empty network bound to sim.
+func New(sim *vtime.Sim, opts Options) *Network {
+	return &Network{sim: sim, opts: opts.withDefaults(), hosts: make(map[string]*Host)}
+}
+
+// Sim returns the simulation the network runs on.
+func (n *Network) Sim() *vtime.Sim { return n.sim }
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Host returns the host with the given name, creating it if needed.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		h = &Host{net: n, name: name, listeners: make(map[int]*Listener), nextPort: 40000}
+		n.hosts[name] = h
+	}
+	return h
+}
+
+// LookupHost returns the named host, or nil when it does not exist.
+func (n *Network) LookupHost(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+// Host is a network endpoint that can listen and dial.
+type Host struct {
+	net       *Network
+	name      string
+	listeners map[int]*Listener
+	nextPort  int
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Errors returned by the network layer.
+var (
+	ErrPortInUse     = errors.New("simnet: port already in use")
+	ErrConnRefused   = errors.New("simnet: connection refused")
+	ErrClosed        = errors.New("simnet: use of closed connection")
+	ErrListenerClose = errors.New("simnet: listener closed")
+)
+
+// Listen opens a listener on the given port; port 0 selects an ephemeral
+// port.
+func (h *Host) Listen(port int) (*Listener, error) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if port == 0 {
+		for h.listeners[h.nextPort] != nil {
+			h.nextPort++
+		}
+		port = h.nextPort
+		h.nextPort++
+	}
+	if h.listeners[port] != nil {
+		return nil, fmt.Errorf("%w: %s:%d", ErrPortInUse, h.name, port)
+	}
+	l := &Listener{
+		host:     h,
+		addr:     Addr{Host: h.name, Port: port},
+		incoming: vtime.NewChan[*Conn](h.net.sim),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Listener accepts incoming connections on one port.
+type Listener struct {
+	host     *Host
+	addr     Addr
+	incoming *vtime.Chan[*Conn]
+	closed   bool
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() Addr { return l.addr }
+
+// Accept blocks in virtual time for the next incoming connection.
+func (l *Listener) Accept() (*Conn, error) {
+	c, ok := l.incoming.Recv()
+	if !ok {
+		return nil, ErrListenerClose
+	}
+	return c, nil
+}
+
+// AcceptTimeout is Accept with a virtual-time deadline; ok is false and err
+// nil when the deadline passed.
+func (l *Listener) AcceptTimeout(d time.Duration) (*Conn, error) {
+	c, ok, timedOut := l.incoming.RecvTimeout(d)
+	if timedOut {
+		return nil, fmt.Errorf("simnet: accept timeout on %s", l.addr)
+	}
+	if !ok {
+		return nil, ErrListenerClose
+	}
+	return c, nil
+}
+
+// Close stops the listener; blocked Accept calls return ErrListenerClose.
+func (l *Listener) Close() {
+	l.host.net.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		delete(l.host.listeners, l.addr.Port)
+	}
+	l.host.net.mu.Unlock()
+	l.incoming.Close()
+}
+
+// Dial connects from h to addr, blocking for the connection handshake
+// (one round trip). It fails immediately when no listener exists.
+func (h *Host) Dial(addr Addr) (*Conn, error) {
+	n := h.net
+	n.mu.Lock()
+	dst := n.hosts[addr.Host]
+	if dst == nil {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: no host %q", ErrConnRefused, addr.Host)
+	}
+	l := dst.listeners[addr.Port]
+	if l == nil || l.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+	lat, bw := n.opts.Latency, n.opts.Bandwidth
+	if addr.Host == h.name {
+		lat, bw = n.opts.LoopbackLatency, n.opts.LoopbackBandwidth
+	}
+	local := Addr{Host: h.name, Port: -1} // anonymous client port
+	a := &Conn{net: n, local: local, remote: addr, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
+	b := &Conn{net: n, local: addr, remote: local, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
+	a.peer, b.peer = b, a
+	n.stats.Dials++
+	incoming := l.incoming
+	n.mu.Unlock()
+
+	// SYN reaches the listener after one latency; the dialer's connect
+	// completes after a full round trip.
+	n.sim.After(lat, func() { incoming.Send(b) })
+	n.sim.Sleep(2 * lat)
+	return a, nil
+}
+
+// Conn is one direction-pair stream connection endpoint.
+type Conn struct {
+	net    *Network
+	local  Addr
+	remote Addr
+	lat    time.Duration
+	bw     float64
+
+	in   *vtime.Chan[[]byte] // arriving payloads
+	rbuf []byte              // partially consumed arrival
+
+	peer *Conn
+
+	mu       sync.Mutex
+	sendDone time.Duration // virtual time the previous Write finishes on the wire
+	closed   bool
+}
+
+// LocalAddr returns the local endpoint address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer endpoint address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Write sends p to the peer. It returns immediately (socket-buffer
+// semantics); delivery is charged serialization + latency in virtual time.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	now := c.net.sim.Now()
+	start := now
+	if c.sendDone > start {
+		start = c.sendDone
+	}
+	tx := time.Duration(float64(len(p)) / c.bw * float64(time.Second))
+	c.sendDone = start + tx
+	arrive := c.sendDone + c.lat
+	peerIn := c.peer.in
+	c.mu.Unlock()
+
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	c.net.sim.After(arrive-now, func() {
+		c.net.mu.Lock()
+		c.net.stats.Messages++
+		c.net.stats.Bytes += int64(len(buf))
+		c.net.mu.Unlock()
+		peerIn.Send(buf)
+	})
+	return len(p), nil
+}
+
+// Read fills p with received bytes, blocking in virtual time until data is
+// available. It returns io.EOF after the peer closes and all data is
+// consumed.
+func (c *Conn) Read(p []byte) (int, error) {
+	for len(c.rbuf) == 0 {
+		buf, ok := c.in.Recv()
+		if !ok {
+			return 0, io.EOF
+		}
+		c.rbuf = buf
+	}
+	n := copy(p, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Close shuts down the local endpoint; after one latency the peer observes
+// EOF (once queued data drains).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	// EOF must not overtake in-flight data.
+	now := c.net.sim.Now()
+	fin := c.sendDone
+	if fin < now {
+		fin = now
+	}
+	fin += c.lat
+	peer := c.peer
+	c.mu.Unlock()
+	c.net.sim.After(fin-now, func() { peer.in.Close() })
+	return nil
+}
+
+var _ io.ReadWriteCloser = (*Conn)(nil)

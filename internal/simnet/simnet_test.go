@@ -1,0 +1,460 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"launchmon/internal/vtime"
+)
+
+func pair(t *testing.T, sim *vtime.Sim, opts Options) (*Network, *Host, *Host) {
+	t.Helper()
+	n := New(sim, opts)
+	return n, n.Host("a"), n.Host("b")
+}
+
+func TestDialAndEcho(t *testing.T) {
+	sim := vtime.New()
+	_, a, b := pair(t, sim, Options{})
+	l, err := b.Listen(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	sim.Go("server", func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 16)
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(buf[:n]); err != nil {
+			t.Error(err)
+		}
+	})
+	sim.Go("client", func() {
+		c, err := a.Dial(Addr{Host: "b", Port: 9000})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write([]byte("hello")); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 16)
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = buf[:n]
+	})
+	sim.Run()
+	if string(got) != "hello" {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestDialLatencyCost(t *testing.T) {
+	sim := vtime.New()
+	lat := time.Millisecond
+	_, a, b := pair(t, sim, Options{Latency: lat})
+	l, _ := b.Listen(1)
+	var dialDone, acceptAt time.Duration
+	sim.Go("srv", func() {
+		if _, err := l.Accept(); err == nil {
+			acceptAt = sim.Now()
+		}
+	})
+	sim.Go("cli", func() {
+		if _, err := a.Dial(l.Addr()); err != nil {
+			t.Error(err)
+			return
+		}
+		dialDone = sim.Now()
+	})
+	sim.Run()
+	if acceptAt != lat {
+		t.Errorf("accept at %v, want %v", acceptAt, lat)
+	}
+	if dialDone != 2*lat {
+		t.Errorf("dial returned at %v, want %v", dialDone, 2*lat)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	sim := vtime.New()
+	_, a, _ := pair(t, sim, Options{})
+	var err error
+	sim.Go("cli", func() {
+		_, err = a.Dial(Addr{Host: "b", Port: 77})
+	})
+	sim.Run()
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestDialUnknownHost(t *testing.T) {
+	sim := vtime.New()
+	n := New(sim, Options{})
+	a := n.Host("a")
+	var err error
+	sim.Go("cli", func() { _, err = a.Dial(Addr{Host: "ghost", Port: 1}) })
+	sim.Run()
+	if err == nil {
+		t.Fatal("dial to unknown host succeeded")
+	}
+}
+
+func TestMessageLatencyAndBandwidth(t *testing.T) {
+	sim := vtime.New()
+	lat := time.Millisecond
+	bw := 1e6 // 1 MB/s
+	_, a, b := pair(t, sim, Options{Latency: lat, Bandwidth: bw})
+	l, _ := b.Listen(1)
+	size := 10000 // 10 ms of transmission at 1 MB/s
+	var recvAt time.Duration
+	sim.Go("srv", func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := io.ReadFull(c, make([]byte, size)); err != nil {
+			t.Error(err)
+			return
+		}
+		recvAt = sim.Now()
+	})
+	sim.Go("cli", func() {
+		c, err := a.Dial(l.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write(make([]byte, size))
+	})
+	sim.Run()
+	// dial completes at 2ms; tx takes 10ms; arrival +1ms latency = 13ms.
+	want := 2*lat + 10*time.Millisecond + lat
+	if recvAt != want {
+		t.Fatalf("large message arrived at %v, want %v", recvAt, want)
+	}
+}
+
+func TestBackToBackWritesSerialize(t *testing.T) {
+	sim := vtime.New()
+	lat := time.Millisecond
+	bw := 1e6
+	_, a, b := pair(t, sim, Options{Latency: lat, Bandwidth: bw})
+	l, _ := b.Listen(1)
+	var lastAt time.Duration
+	const msgs, size = 5, 1000 // each 1ms of tx
+	sim.Go("srv", func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := io.ReadFull(c, make([]byte, msgs*size)); err != nil {
+			t.Error(err)
+			return
+		}
+		lastAt = sim.Now()
+	})
+	sim.Go("cli", func() {
+		c, err := a.Dial(l.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			c.Write(make([]byte, size)) // non-blocking; must serialize on wire
+		}
+	})
+	sim.Run()
+	want := 2*lat + msgs*time.Millisecond + lat
+	if lastAt != want {
+		t.Fatalf("last byte at %v, want %v", lastAt, want)
+	}
+}
+
+func TestLoopbackIsFaster(t *testing.T) {
+	sim := vtime.New()
+	n := New(sim, Options{Latency: time.Millisecond, LoopbackLatency: time.Microsecond})
+	a := n.Host("a")
+	l, _ := a.Listen(5)
+	var dialDone time.Duration
+	sim.Go("srv", func() { l.Accept() })
+	sim.Go("cli", func() {
+		if _, err := a.Dial(l.Addr()); err != nil {
+			t.Error(err)
+			return
+		}
+		dialDone = sim.Now()
+	})
+	sim.Run()
+	if dialDone != 2*time.Microsecond {
+		t.Fatalf("loopback dial took %v, want 2us", dialDone)
+	}
+}
+
+func TestCloseDeliversEOFAfterData(t *testing.T) {
+	sim := vtime.New()
+	_, a, b := pair(t, sim, Options{})
+	l, _ := b.Listen(1)
+	var got []byte
+	var readErr error
+	sim.Go("srv", func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		got, readErr = io.ReadAll(c)
+	})
+	sim.Go("cli", func() {
+		c, err := a.Dial(l.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("payload"))
+		c.Close()
+	})
+	sim.Run()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q before EOF", got)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	sim := vtime.New()
+	_, a, b := pair(t, sim, Options{})
+	l, _ := b.Listen(1)
+	var err error
+	sim.Go("srv", func() { l.Accept() })
+	sim.Go("cli", func() {
+		c, derr := a.Dial(l.Addr())
+		if derr != nil {
+			t.Error(derr)
+			return
+		}
+		c.Close()
+		_, err = c.Write([]byte("x"))
+	})
+	sim.Run()
+	if err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	sim := vtime.New()
+	_, _, b := pair(t, sim, Options{})
+	l, _ := b.Listen(1)
+	var err error
+	sim.Go("srv", func() { _, err = l.Accept() })
+	sim.Go("closer", func() {
+		sim.Sleep(time.Second)
+		l.Close()
+	})
+	sim.Run()
+	if err == nil {
+		t.Fatal("Accept returned nil error after listener close")
+	}
+}
+
+func TestPortReuseAfterClose(t *testing.T) {
+	sim := vtime.New()
+	_, _, b := pair(t, sim, Options{})
+	l, err := b.Listen(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen(1234); err == nil {
+		t.Fatal("double listen succeeded")
+	}
+	l.Close()
+	if _, err := b.Listen(1234); err != nil {
+		t.Fatalf("listen after close: %v", err)
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	sim := vtime.New()
+	_, _, b := pair(t, sim, Options{})
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		l, err := b.Listen(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[l.Addr().Port] {
+			t.Fatalf("duplicate ephemeral port %d", l.Addr().Port)
+		}
+		seen[l.Addr().Port] = true
+	}
+}
+
+func TestAcceptTimeout(t *testing.T) {
+	sim := vtime.New()
+	_, _, b := pair(t, sim, Options{})
+	l, _ := b.Listen(1)
+	var err error
+	sim.Go("srv", func() { _, err = l.AcceptTimeout(time.Second) })
+	end := sim.Run()
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if end != time.Second {
+		t.Fatalf("sim ended at %v", end)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	sim := vtime.New()
+	n := New(sim, Options{})
+	a, b := n.Host("a"), n.Host("b")
+	l, _ := b.Listen(1)
+	sim.Go("srv", func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.ReadAll(c)
+	})
+	sim.Go("cli", func() {
+		c, err := a.Dial(l.Addr())
+		if err != nil {
+			return
+		}
+		c.Write(make([]byte, 100))
+		c.Write(make([]byte, 50))
+		c.Close()
+	})
+	sim.Run()
+	st := n.Stats()
+	if st.Dials != 1 || st.Messages != 2 || st.Bytes != 150 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: an arbitrary sequence of writes arrives intact and in order.
+func TestPropertyStreamIntegrity(t *testing.T) {
+	f := func(seed int64, nMsgs uint8) bool {
+		cnt := int(nMsgs%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var sent bytes.Buffer
+		chunks := make([][]byte, cnt)
+		for i := range chunks {
+			chunk := make([]byte, rng.Intn(4096)+1)
+			rng.Read(chunk)
+			chunks[i] = chunk
+			sent.Write(chunk)
+		}
+		sim := vtime.New()
+		n := New(sim, Options{})
+		a, b := n.Host("a"), n.Host("b")
+		l, _ := b.Listen(1)
+		var got []byte
+		sim.Go("srv", func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			got, _ = io.ReadAll(c)
+		})
+		sim.Go("cli", func() {
+			c, err := a.Dial(l.Addr())
+			if err != nil {
+				return
+			}
+			for _, ch := range chunks {
+				c.Write(ch)
+				if rng.Intn(2) == 0 {
+					sim.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+				}
+			}
+			c.Close()
+		})
+		sim.Run()
+		return bytes.Equal(got, sent.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivery time never decreases for successive messages on one
+// connection (FIFO in virtual time).
+func TestPropertyFIFODelivery(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 30 {
+			sizes = sizes[:30]
+		}
+		sim := vtime.New()
+		n := New(sim, Options{Latency: 100 * time.Microsecond, Bandwidth: 1e7})
+		a, b := n.Host("a"), n.Host("b")
+		l, _ := b.Listen(1)
+		var arrivals []time.Duration
+		var order []int
+		sim.Go("srv", func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			for i := range sizes {
+				buf := make([]byte, int(sizes[i])+4)
+				if _, err := io.ReadFull(c, buf); err != nil {
+					return
+				}
+				arrivals = append(arrivals, sim.Now())
+				order = append(order, int(buf[0]))
+			}
+		})
+		sim.Go("cli", func() {
+			c, err := a.Dial(l.Addr())
+			if err != nil {
+				return
+			}
+			for i, sz := range sizes {
+				buf := make([]byte, int(sz)+4)
+				buf[0] = byte(i)
+				c.Write(buf)
+			}
+		})
+		sim.Run()
+		if len(arrivals) != len(sizes) {
+			return false
+		}
+		for i := 1; i < len(arrivals); i++ {
+			if arrivals[i] < arrivals[i-1] {
+				return false
+			}
+		}
+		for i, o := range order {
+			if o != i%256 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package jobsnap implements Jobsnap (paper §5.1): the first portable,
+// scalable tool for gathering the information normally read through
+// /proc for every MPI task of a running job — task personality (rank,
+// executable), scheduler state (state, program counter, thread count),
+// memory statistics (virtual/physical high water mark, locked memory) and
+// simple performance metrics (user time, system time, major page faults)
+// — presented one line per task.
+//
+// The tool is deliberately thin (the paper reports ~100 lines of front-end
+// and ~500 lines of back-end code): the front end attachAndSpawns
+// lightweight daemons, each daemon snapshots its local tasks from the
+// RPDTAB, the master collects everything over ICCL gather, merges, and
+// sends the report with the "work-done" message (Figure 4's operation
+// sequence).
+package jobsnap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/rm"
+)
+
+// BEExe is the registered executable name of the Jobsnap back-end daemon.
+const BEExe = "jobsnap_be"
+
+// Install registers the Jobsnap back-end executable on the cluster.
+func Install(cl *cluster.Cluster) {
+	cl.Register(BEExe, beMain)
+}
+
+// Line is one task's snapshot, merged at the master.
+type Line struct {
+	Rank    int
+	Host    string
+	Exe     string
+	Pid     int
+	State   string
+	PC      uint64
+	Threads int
+	VmHWMKB int64
+	VmLckKB int64
+	UtimeMS int64
+	StimeMS int64
+	MajFlt  int64
+}
+
+// Format renders the line in Jobsnap's column layout.
+func (l Line) Format() string {
+	return fmt.Sprintf("%6d %-10s %-12s %7d %2s %#x %3d %8dkB %5dkB %8dms %7dms %6d",
+		l.Rank, l.Host, l.Exe, l.Pid, l.State, l.PC, l.Threads,
+		l.VmHWMKB, l.VmLckKB, l.UtimeMS, l.StimeMS, l.MajFlt)
+}
+
+// Header is the report's column header.
+const Header = "  rank host       exe              pid st pc        thr    vmhwm    vmlck     utime    stime majflt"
+
+func encodeLine(l Line) []byte {
+	b := lmonp.AppendUint32(nil, uint32(l.Rank))
+	b = lmonp.AppendString(b, l.Host)
+	b = lmonp.AppendString(b, l.Exe)
+	b = lmonp.AppendUint32(b, uint32(l.Pid))
+	b = lmonp.AppendString(b, l.State)
+	b = lmonp.AppendUint64(b, l.PC)
+	b = lmonp.AppendUint32(b, uint32(l.Threads))
+	b = lmonp.AppendUint64(b, uint64(l.VmHWMKB))
+	b = lmonp.AppendUint64(b, uint64(l.VmLckKB))
+	b = lmonp.AppendUint64(b, uint64(l.UtimeMS))
+	b = lmonp.AppendUint64(b, uint64(l.StimeMS))
+	b = lmonp.AppendUint64(b, uint64(l.MajFlt))
+	return b
+}
+
+func decodeLine(rd *lmonp.Reader) (Line, error) {
+	var l Line
+	r32, err := rd.Uint32()
+	if err != nil {
+		return l, err
+	}
+	l.Rank = int(r32)
+	if l.Host, err = rd.String(); err != nil {
+		return l, err
+	}
+	if l.Exe, err = rd.String(); err != nil {
+		return l, err
+	}
+	p32, err := rd.Uint32()
+	if err != nil {
+		return l, err
+	}
+	l.Pid = int(p32)
+	if l.State, err = rd.String(); err != nil {
+		return l, err
+	}
+	if l.PC, err = rd.Uint64(); err != nil {
+		return l, err
+	}
+	t32, err := rd.Uint32()
+	if err != nil {
+		return l, err
+	}
+	l.Threads = int(t32)
+	vm, err := rd.Uint64()
+	if err != nil {
+		return l, err
+	}
+	l.VmHWMKB = int64(vm)
+	lck, err := rd.Uint64()
+	if err != nil {
+		return l, err
+	}
+	l.VmLckKB = int64(lck)
+	ut, err := rd.Uint64()
+	if err != nil {
+		return l, err
+	}
+	l.UtimeMS = int64(ut)
+	st, err := rd.Uint64()
+	if err != nil {
+		return l, err
+	}
+	l.StimeMS = int64(st)
+	mf, err := rd.Uint64()
+	if err != nil {
+		return l, err
+	}
+	l.MajFlt = int64(mf)
+	return l, nil
+}
+
+// beMain is the Jobsnap back-end daemon (Figure 4, right column):
+// LMON_be_init → handshake/ready (inside BEInit) → collect local task
+// info → gather → master merges and sends "work-done" with the report.
+func beMain(p *cluster.Proc) {
+	be, err := core.BEInit(p)
+	if err != nil {
+		return
+	}
+	// Collect a snapshot per local task.
+	mine := lmonp.AppendUint32(nil, uint32(len(be.MyProctab())))
+	for _, d := range be.MyProctab() {
+		var line Line
+		if proc, ok := p.Node().Proc(d.Pid); ok {
+			snap := proc.Snapshot()
+			line = Line{
+				Rank: d.Rank, Host: d.Host, Exe: d.Exe, Pid: d.Pid,
+				State: snap.State, PC: snap.PC, Threads: snap.Threads,
+				VmHWMKB: snap.VmHWMKB, VmLckKB: snap.VmLckKB,
+				UtimeMS: snap.UtimeMS, StimeMS: snap.StimeMS, MajFlt: snap.MajFault,
+			}
+		} else {
+			line = Line{Rank: d.Rank, Host: d.Host, Exe: d.Exe, Pid: d.Pid, State: "?"}
+		}
+		mine = lmonp.AppendBytes(mine, encodeLine(line))
+	}
+	gathered, err := be.Gather(mine)
+	if err != nil {
+		return
+	}
+	if be.AmIMaster() {
+		lines := make([]Line, 0, 64)
+		for _, blob := range gathered {
+			rd := lmonp.NewReader(blob)
+			n, err := rd.Uint32()
+			if err != nil {
+				return
+			}
+			for i := uint32(0); i < n; i++ {
+				raw, err := rd.Bytes()
+				if err != nil {
+					return
+				}
+				l, err := decodeLine(lmonp.NewReader(raw))
+				if err != nil {
+					return
+				}
+				lines = append(lines, l)
+			}
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i].Rank < lines[j].Rank })
+		var sb strings.Builder
+		sb.WriteString(Header)
+		sb.WriteByte('\n')
+		for _, l := range lines {
+			sb.WriteString(l.Format())
+			sb.WriteByte('\n')
+		}
+		// "work-done" message carries the merged report to the front end.
+		be.SendToFE([]byte(sb.String()))
+	}
+	be.Finalize()
+}
+
+// Result is one Jobsnap run's output and timing decomposition (Figure 5
+// reports Total and the init→attachAndSpawn share).
+type Result struct {
+	Report     string
+	Lines      int
+	Total      time.Duration // whole jobsnap operation
+	LaunchTime time.Duration // init → attachAndSpawnDaemons return
+}
+
+// RunOptions tune a Jobsnap invocation.
+type RunOptions struct {
+	// Fanout selects the ICCL gather tree shape: 0 (the default) is the
+	// flat 1-deep collection the paper measured; a k-ary tree implements
+	// the paper's closing suggestion ("we are considering a TBŌN
+	// architecture that would reduce the impact of collecting and printing
+	// information from each back-end daemon").
+	Fanout int
+}
+
+// Run executes Jobsnap against a running job from the calling front-end
+// process (Figure 4, left column).
+func Run(p *cluster.Proc, jobID int) (Result, error) {
+	return RunWithOptions(p, jobID, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit collection-tree options.
+func RunWithOptions(p *cluster.Proc, jobID int, opts RunOptions) (Result, error) {
+	start := p.Sim().Now()
+	sess, err := core.AttachAndSpawn(p, core.Options{
+		JobID:      jobID,
+		Daemon:     rm.DaemonSpec{Exe: BEExe},
+		ICCLFanout: opts.Fanout,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("jobsnap: %w", err)
+	}
+	launchDone := p.Sim().Now()
+
+	report, err := sess.RecvFromBE() // blocks until "work-done"
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Report:     string(report),
+		Total:      p.Sim().Now() - start,
+		LaunchTime: launchDone - start,
+	}
+	res.Lines = strings.Count(res.Report, "\n") - 1 // minus header
+	if err := sess.Detach(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package jobsnap
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/rm/slurm"
+	"launchmon/internal/vtime"
+)
+
+func rig(t *testing.T, nodes int) (*vtime.Sim, *cluster.Cluster, rm.Manager) {
+	t.Helper()
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := slurm.Install(cl, slurm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Setup(cl, mgr)
+	Install(cl)
+	return sim, cl, mgr
+}
+
+func runJobsnap(t *testing.T, nodes, tpn int) Result {
+	t.Helper()
+	sim, cl, mgr := rig(t, nodes)
+	var res Result
+	var runErr error
+	sim.Go("boot", func() {
+		cl.FrontEnd().SpawnProc(cluster.Spec{Exe: "jobsnap_fe", Main: func(p *cluster.Proc) {
+			j, err := mgr.StartJob(rm.JobSpec{Exe: "mpiapp", Nodes: nodes, TasksPerNode: tpn})
+			if err != nil {
+				runErr = err
+				return
+			}
+			p.Sim().Sleep(5 * time.Second) // job runs a while before the snapshot
+			res, runErr = Run(p, j.ID())
+		}})
+	})
+	sim.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return res
+}
+
+func TestReportOneLinePerTask(t *testing.T) {
+	res := runJobsnap(t, 6, 4)
+	if res.Lines != 24 {
+		t.Fatalf("report has %d lines, want 24\n%s", res.Lines, res.Report)
+	}
+	rows := strings.Split(strings.TrimRight(res.Report, "\n"), "\n")
+	if !strings.Contains(rows[0], "rank") || !strings.Contains(rows[0], "vmhwm") {
+		t.Fatalf("missing header: %q", rows[0])
+	}
+	// Ranks appear in order 0..23 and carry the app name and a valid state.
+	for i, row := range rows[1:] {
+		fields := strings.Fields(row)
+		if fields[0] != itoa(i) {
+			t.Fatalf("row %d starts with rank %s", i, fields[0])
+		}
+		if fields[2] != "mpiapp" {
+			t.Fatalf("row %d exe = %s", i, fields[2])
+		}
+		if fields[4] != "R" && fields[4] != "T" {
+			t.Fatalf("row %d state = %s", i, fields[4])
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
+
+func TestTimingDecomposition(t *testing.T) {
+	res := runJobsnap(t, 8, 8)
+	if res.LaunchTime <= 0 || res.Total <= 0 {
+		t.Fatalf("timings not positive: %+v", res)
+	}
+	if res.LaunchTime > res.Total {
+		t.Fatalf("launch time %v exceeds total %v", res.LaunchTime, res.Total)
+	}
+	// Per Figure 5, the LaunchMON portion dominates the total.
+	if float64(res.LaunchTime) < 0.5*float64(res.Total) {
+		t.Fatalf("launch share %v of %v unexpectedly small", res.LaunchTime, res.Total)
+	}
+}
+
+func TestScalesWithDaemonCount(t *testing.T) {
+	small := runJobsnap(t, 4, 8)
+	big := runJobsnap(t, 16, 8)
+	if big.Total <= small.Total {
+		t.Fatalf("total time not increasing: %v (4 nodes) vs %v (16 nodes)", small.Total, big.Total)
+	}
+	// Sub-linear in daemons thanks to the parallel RM launch: 4x daemons
+	// must cost well under 4x time.
+	if float64(big.Total) > 3.5*float64(small.Total) {
+		t.Fatalf("jobsnap scaling poor: %v -> %v", small.Total, big.Total)
+	}
+}
+
+func TestDetachLeavesJobIntact(t *testing.T) {
+	sim, cl, mgr := rig(t, 4)
+	sim.Go("boot", func() {
+		cl.FrontEnd().SpawnProc(cluster.Spec{Exe: "jobsnap_fe", Main: func(p *cluster.Proc) {
+			j, err := mgr.StartJob(rm.JobSpec{Exe: "mpiapp", Nodes: 4, TasksPerNode: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sim().Sleep(2 * time.Second)
+			if _, err := Run(p, j.ID()); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sim().Sleep(time.Second)
+			// Tasks (2) + slurmd still present; jobsnap daemons gone.
+			for i := 0; i < 4; i++ {
+				if got := cl.Node(i).NumProcs(); got != 3 {
+					t.Errorf("node%d has %d procs after jobsnap, want 3", i, got)
+				}
+			}
+		}})
+	})
+	sim.Run()
+}
+
+func TestSnapshotConsistentAcrossRuns(t *testing.T) {
+	// Two runs at the same virtual times produce identical reports
+	// (deterministic simulation).
+	r1 := runJobsnap(t, 4, 4)
+	r2 := runJobsnap(t, 4, 4)
+	if r1.Report != r2.Report {
+		t.Fatal("reports differ across identical runs")
+	}
+	if r1.Total != r2.Total {
+		t.Fatalf("timings differ: %v vs %v", r1.Total, r2.Total)
+	}
+}

@@ -1,0 +1,246 @@
+// Package stat reproduces the Stack Trace Analysis Tool case study
+// (paper §5.2): lightweight daemons sample stack traces from every task of
+// a parallel job, merge them into a call-graph prefix tree over an
+// MRNet-like TBŌN (internal/tbon), and report process equivalence classes.
+//
+// Two start-up paths match Figure 6:
+//
+//   - MRNet-native: the front end launches the stack-sampling daemons
+//     itself through rsh, sequentially — slow, and failing outright at
+//     512 nodes when the front end can no longer fork; and
+//   - LaunchMON: attach/launchAndSpawn places the daemons through the RM,
+//     and the MRNet connection information (the parent address that was
+//     previously passed via command lines or a shared file) is broadcast
+//     to the daemons as piggybacked tool data.
+package stat
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/rsh"
+	"launchmon/internal/tbon"
+)
+
+// Registered executable names.
+const (
+	BEExe       = "stat_be"     // LaunchMON-launched daemon
+	NativeBEExe = "stat_be_rsh" // rsh-launched daemon (native MRNet path)
+	FilterName  = "stat-merge"  // TBŌN filter merging prefix trees
+)
+
+// SampleCost is the daemon-side cost of walking one task's stack.
+const SampleCost = 400 * time.Microsecond
+
+// DaemonInitCost models the stack-sampling daemon's startup (loading the
+// stackwalker runtime, attaching to local tasks), paid in parallel across
+// nodes before the daemon joins the overlay.
+const DaemonInitCost = 300 * time.Millisecond
+
+// Install registers STAT's daemons and the prefix-tree merge filter.
+func Install(cl *cluster.Cluster, cfg tbon.Config) {
+	tbon.RegisterFilter(FilterName, mergeFilter)
+	cl.Register(BEExe, func(p *cluster.Proc) { beMainLaunchMON(p) })
+	cl.Register(NativeBEExe, func(p *cluster.Proc) { beMainNative(p) })
+}
+
+// mergeFilter merges two encoded prefix trees.
+func mergeFilter(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	ta, errA := DecodeTree(a)
+	tb, errB := DecodeTree(b)
+	if errA != nil || errB != nil {
+		return a
+	}
+	ta.Merge(tb)
+	return ta.Encode()
+}
+
+// StackFor synthesizes the call stack of a task: a deterministic profile
+// with a handful of behaviour classes (the shape STAT's intro motivates —
+// most tasks wait in MPI while a few diverge).
+func StackFor(rank int) []string {
+	base := []string{"main", "solver_loop"}
+	switch {
+	case rank%17 == 3:
+		return append(base, "io_checkpoint", "write_block", "posix_write")
+	case rank%5 == 1:
+		return append(base, "compute_kernel", "dgemm_inner")
+	default:
+		return append(base, "exchange_halo", "mpi_waitall", "poll_cq")
+	}
+}
+
+// serveSampling answers TBŌN sample requests for the given local ranks.
+func serveSampling(p *cluster.Proc, leaf *tbon.Leaf, ranks []int) {
+	for {
+		pkt, err := leaf.Recv()
+		if err != nil {
+			return
+		}
+		local := NewTree()
+		for _, r := range ranks {
+			p.Compute(SampleCost)
+			local.AddStack(r, StackFor(r))
+		}
+		pkt.Data = local.Encode()
+		if err := leaf.Send(pkt); err != nil {
+			return
+		}
+	}
+}
+
+// beMainLaunchMON is the LaunchMON-launched STAT daemon: BEInit supplies
+// the local tasks and the piggybacked MRNet parent address.
+func beMainLaunchMON(p *cluster.Proc) {
+	be, err := core.BEInit(p)
+	if err != nil {
+		return
+	}
+	p.Compute(DaemonInitCost)
+	parentAddr := string(be.FEData())
+	leaf, err := tbon.ConnectLeaf(p, parentAddr, be.Rank())
+	if err != nil {
+		return
+	}
+	defer leaf.Close()
+	ranks := make([]int, 0, len(be.MyProctab()))
+	for _, d := range be.MyProctab() {
+		ranks = append(ranks, d.Rank)
+	}
+	serveSampling(p, leaf, ranks)
+}
+
+// beMainNative is the rsh-launched daemon: everything arrives through the
+// environment (the old mechanism the paper replaces), including the task
+// ranks via STAT_RANKS.
+func beMainNative(p *cluster.Proc) {
+	rank, err := strconv.Atoi(p.Env(tbon.EnvRank))
+	if err != nil {
+		return
+	}
+	p.Compute(DaemonInitCost)
+	leaf, err := tbon.ConnectLeaf(p, p.Env(tbon.EnvParent), rank)
+	if err != nil {
+		return
+	}
+	defer leaf.Close()
+	var ranks []int
+	for _, s := range splitCSV(p.Env("STAT_RANKS")) {
+		if r, err := strconv.Atoi(s); err == nil {
+			ranks = append(ranks, r)
+		}
+	}
+	serveSampling(p, leaf, ranks)
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// Instance is a running STAT session.
+type Instance struct {
+	p    *cluster.Proc
+	fe   *tbon.FrontEnd
+	sess *core.Session // nil in native mode
+
+	// StartupTime is the launch+connect duration (Figure 6's metric).
+	StartupTime time.Duration
+}
+
+// LaunchWithLaunchMON attaches STAT to a running job via LaunchMON,
+// broadcasting the TBŌN parent address as piggybacked tool data, and waits
+// for all daemons to connect (1-deep topology).
+func LaunchWithLaunchMON(p *cluster.Proc, jobID int, cfg tbon.Config) (*Instance, error) {
+	start := p.Sim().Now()
+	fe, err := tbon.NewFrontEnd(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.AttachAndSpawn(p, core.Options{
+		JobID:  jobID,
+		Daemon: rm.DaemonSpec{Exe: BEExe},
+		FEData: []byte(fe.Addr()),
+	})
+	if err != nil {
+		fe.Close()
+		return nil, fmt.Errorf("stat: %w", err)
+	}
+	n := len(sess.Daemons())
+	if err := fe.AcceptChildren(n); err != nil {
+		fe.Close()
+		return nil, err
+	}
+	return &Instance{p: p, fe: fe, sess: sess, StartupTime: p.Sim().Now() - start}, nil
+}
+
+// LaunchWithRsh starts STAT the pre-LaunchMON way: sequential rsh daemon
+// launch with per-node configuration passed through the environment. tab
+// maps node names to their task ranks (previously a shared file or long
+// command lines).
+func LaunchWithRsh(p *cluster.Proc, svc *rsh.Service, nodes []string, ranksPerNode map[string][]int, cfg tbon.Config) (*Instance, error) {
+	start := p.Sim().Now()
+	fe, err := tbon.NewFrontEnd(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	envs := make([]map[string]string, len(nodes))
+	for i, node := range nodes {
+		csv := ""
+		for j, r := range ranksPerNode[node] {
+			if j > 0 {
+				csv += ","
+			}
+			csv += strconv.Itoa(r)
+		}
+		envs[i] = map[string]string{
+			tbon.EnvParent: fe.Addr(),
+			tbon.EnvRank:   strconv.Itoa(i),
+			"STAT_RANKS":   csv,
+		}
+	}
+	if err := svc.Spawn(p, nodes, NativeBEExe, nil, envs); err != nil {
+		fe.Close()
+		return nil, fmt.Errorf("stat: native launch: %w", err)
+	}
+	if err := fe.AcceptChildren(len(nodes)); err != nil {
+		fe.Close()
+		return nil, err
+	}
+	return &Instance{p: p, fe: fe, StartupTime: p.Sim().Now() - start}, nil
+}
+
+// Sample performs one stack-sample wave and returns the merged call-graph
+// prefix tree.
+func (in *Instance) Sample() (*Tree, error) {
+	raw, err := in.fe.Request(tbon.Packet{Stream: 1, Tag: 1, Filter: FilterName})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTree(raw)
+}
+
+// Close shuts the session down (daemons observe EOF and exit).
+func (in *Instance) Close() {
+	in.fe.Close()
+	if in.sess != nil {
+		in.sess.Detach()
+	}
+}

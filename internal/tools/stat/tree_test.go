@@ -1,0 +1,153 @@
+package stat
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddStackAndClasses(t *testing.T) {
+	tr := NewTree()
+	tr.AddStack(0, []string{"main", "a", "x"})
+	tr.AddStack(1, []string{"main", "a", "x"})
+	tr.AddStack(2, []string{"main", "b"})
+	classes := tr.EquivalenceClasses()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(classes))
+	}
+	if classes[0].Path != "main>a>x" || len(classes[0].Ranks) != 2 {
+		t.Fatalf("largest class = %+v", classes[0])
+	}
+	if classes[1].Path != "main>b" || classes[1].Representative() != 2 {
+		t.Fatalf("second class = %+v", classes[1])
+	}
+}
+
+func TestMergeEquivalentToCombinedInsert(t *testing.T) {
+	a, b, both := NewTree(), NewTree(), NewTree()
+	stacks := map[int][]string{
+		0: {"main", "compute"},
+		1: {"main", "compute"},
+		2: {"main", "io", "write"},
+		3: {"main", "io", "read"},
+	}
+	for r, s := range stacks {
+		both.AddStack(r, s)
+		if r%2 == 0 {
+			a.AddStack(r, s)
+		} else {
+			b.AddStack(r, s)
+		}
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a.EquivalenceClasses(), both.EquivalenceClasses()) {
+		t.Fatalf("merged classes differ:\n%v\n%v", a.EquivalenceClasses(), both.EquivalenceClasses())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := NewTree()
+	for r := 0; r < 20; r++ {
+		tr.AddStack(r, StackFor(r))
+	}
+	out, err := DecodeTree(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.EquivalenceClasses(), out.EquivalenceClasses()) {
+		t.Fatal("roundtrip changed equivalence classes")
+	}
+	if out.Tasks() != 20 {
+		t.Fatalf("tasks = %d", out.Tasks())
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	tr := NewTree()
+	tr.AddStack(0, []string{"main"})
+	enc := tr.Encode()
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeTree(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestStackForDeterministicClasses(t *testing.T) {
+	// The synthetic profile has exactly three behaviours.
+	tr := NewTree()
+	for r := 0; r < 1000; r++ {
+		tr.AddStack(r, StackFor(r))
+	}
+	classes := tr.EquivalenceClasses()
+	if len(classes) != 3 {
+		t.Fatalf("synthetic profile yields %d classes, want 3", len(classes))
+	}
+	total := 0
+	for _, c := range classes {
+		total += len(c.Ranks)
+	}
+	if total != 1000 {
+		t.Fatalf("classes cover %d ranks, want 1000", total)
+	}
+	// The MPI-wait class dominates (the STAT motivation).
+	if classes[0].Path != "main>solver_loop>exchange_halo>mpi_waitall>poll_cq" {
+		t.Fatalf("dominant class = %s", classes[0].Path)
+	}
+}
+
+// Property: merging any partition of stacks equals inserting them all into
+// one tree (associativity of the TBŌN filter).
+func TestPropertyMergeAssociative(t *testing.T) {
+	f := func(split []bool) bool {
+		if len(split) == 0 {
+			return true
+		}
+		if len(split) > 200 {
+			split = split[:200]
+		}
+		a, b, both := NewTree(), NewTree(), NewTree()
+		for r, left := range split {
+			s := StackFor(r)
+			both.AddStack(r, s)
+			if left {
+				a.AddStack(r, s)
+			} else {
+				b.AddStack(r, s)
+			}
+		}
+		merged := mergeFilter(mergeFilter(nil, a.Encode()), b.Encode())
+		tr, err := DecodeTree(merged)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr.EquivalenceClasses(), both.EquivalenceClasses())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank insertion keeps Ranks sorted and deduplicated.
+func TestPropertyInsertRank(t *testing.T) {
+	f := func(rs []uint8) bool {
+		var ranks []int
+		seen := map[int]bool{}
+		for _, r := range rs {
+			ranks = insertRank(ranks, int(r))
+			seen[int(r)] = true
+		}
+		if len(ranks) != len(seen) {
+			return false
+		}
+		for i := 1; i < len(ranks); i++ {
+			if ranks[i] <= ranks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package vtime
+
+import "time"
+
+// Chan is an unbounded FIFO message queue with virtual-time blocking
+// receive semantics. Sends never block (the queue is unbounded, matching
+// kernel socket buffers in the simulated network). The zero value is not
+// usable; call NewChan.
+type Chan[T any] struct {
+	s      *Sim
+	q      []T
+	wakers []*parker // parked receivers, FIFO (stale fired entries skipped)
+	closed bool
+}
+
+// NewChan returns an empty open channel bound to s.
+func NewChan[T any](s *Sim) *Chan[T] {
+	return &Chan[T]{s: s}
+}
+
+// Send enqueues v and wakes one blocked receiver, if any. Send on a closed
+// channel is a no-op (the value is dropped), mirroring delivery to a closed
+// socket rather than panicking.
+func (c *Chan[T]) Send(v T) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.q = append(c.q, v)
+	c.wakeOneLocked()
+}
+
+func (c *Chan[T]) wakeOneLocked() {
+	for len(c.wakers) > 0 {
+		w := c.wakers[0]
+		c.wakers = c.wakers[1:]
+		if !w.fired {
+			w.wake()
+			return
+		}
+	}
+}
+
+// Close marks the channel closed and wakes all blocked receivers. Pending
+// queued values remain receivable.
+func (c *Chan[T]) Close() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.wakers {
+		w.wake()
+	}
+	c.wakers = nil
+}
+
+// Recv blocks in virtual time until a value is available or the channel is
+// closed and drained. ok is false when the channel is closed and empty or
+// the simulation has been torn down.
+func (c *Chan[T]) Recv() (v T, ok bool) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	for {
+		if len(c.q) > 0 {
+			v = c.q[0]
+			c.q = c.q[1:]
+			return v, true
+		}
+		if c.closed || c.s.stopped {
+			var zero T
+			return zero, false
+		}
+		p := c.s.park()
+		c.wakers = append(c.wakers, p)
+		if !p.wait() {
+			var zero T
+			return zero, false
+		}
+	}
+}
+
+// RecvTimeout is Recv with a virtual-time deadline. timedOut reports the
+// deadline expiring before a value arrived; ok follows Recv's contract.
+func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok, timedOut bool) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	deadline := c.s.now + d
+	for {
+		if len(c.q) > 0 {
+			v = c.q[0]
+			c.q = c.q[1:]
+			return v, true, false
+		}
+		if c.closed || c.s.stopped {
+			var zero T
+			return zero, false, false
+		}
+		if c.s.now >= deadline {
+			var zero T
+			return zero, false, true
+		}
+		p := c.s.park()
+		c.wakers = append(c.wakers, p)
+		cancel := c.s.afterCancellableLocked(deadline-c.s.now, func() {
+			c.s.mu.Lock()
+			// Waking a goroutine that was already woken by a Send is a
+			// no-op; the parker wake is idempotent.
+			p.wake()
+			c.s.mu.Unlock()
+		})
+		ok := p.wait()
+		cancel()
+		if !ok {
+			var zero T
+			return zero, false, false
+		}
+	}
+}
+
+// TryRecv receives without blocking. ok is false when no value is queued.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if len(c.q) == 0 {
+		return v, false
+	}
+	v = c.q[0]
+	c.q = c.q[1:]
+	return v, true
+}
+
+// Len returns the number of queued values.
+func (c *Chan[T]) Len() int {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return len(c.q)
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.closed
+}
+
+// WaitGroup is a virtual-time analogue of sync.WaitGroup.
+type WaitGroup struct {
+	s      *Sim
+	n      int
+	wakers []*parker
+}
+
+// NewWaitGroup returns a WaitGroup bound to s.
+func NewWaitGroup(s *Sim) *WaitGroup { return &WaitGroup{s: s} }
+
+// Add adds delta to the counter, waking waiters when it reaches zero.
+func (w *WaitGroup) Add(delta int) {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	w.n += delta
+	if w.n < 0 {
+		panic("vtime: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		for _, wk := range w.wakers {
+			wk.wake()
+		}
+		w.wakers = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks in virtual time until the counter is zero.
+func (w *WaitGroup) Wait() {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	for w.n > 0 {
+		if w.s.stopped {
+			return
+		}
+		p := w.s.park()
+		w.wakers = append(w.wakers, p)
+		if !p.wait() {
+			return
+		}
+	}
+}

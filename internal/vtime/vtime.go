@@ -1,0 +1,303 @@
+// Package vtime implements a discrete-event virtual-time scheduler on which
+// the whole simulated cluster runs.
+//
+// Simulated activities execute as ordinary goroutines, but every blocking
+// operation (sleeping, receiving on a simulated channel) goes through the
+// Sim, which tracks how many simulated goroutines are currently runnable.
+// When none are runnable the scheduler pops the earliest pending timer,
+// advances the virtual clock to it, and fires it — typically waking a
+// sleeper or delivering a message. Virtual time therefore advances only
+// when the simulation is otherwise quiescent, which makes a "60 second"
+// protocol run complete in milliseconds of real time and makes measured
+// durations independent of host load.
+//
+// The invariants that keep this sound:
+//
+//   - every goroutine participating in the simulation is started with
+//     Sim.Go (or is the caller of Sim.Run itself);
+//   - simulated goroutines never block on real synchronization primitives
+//     while counted as runnable — all blocking goes through Sleep, Chan,
+//     Cond or Semaphore from this package.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sim is a discrete-event virtual-time scheduler. The zero value is not
+// usable; call New.
+type Sim struct {
+	mu       sync.Mutex
+	schedule sync.Cond // signalled when runnable drops to zero
+	now      time.Duration
+	runnable int // simulated goroutines currently executing
+	timers   timerHeap
+	seq      uint64            // tie-break for deterministic ordering of equal timestamps
+	stopped  bool              // Run has returned; subsequent blocking ops abort
+	live     int               // simulated goroutines that have started and not finished
+	parked   map[uint64]func() // wake funcs of blocked goroutines, for teardown
+	parkSeq  uint64
+	panicked any
+}
+
+// New returns a fresh simulation with the clock at zero.
+func New() *Sim {
+	s := &Sim{parked: make(map[uint64]func())}
+	s.schedule.L = &s.mu
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// timer is a scheduled callback.
+type timer struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled *bool // non-nil for cancellable timers
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// After schedules fn to run at now+d. fn executes on the scheduler
+// goroutine and must not block; it typically wakes a parked goroutine or
+// enqueues a message. d < 0 is treated as 0.
+func (s *Sim) After(d time.Duration, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.afterLocked(d, fn)
+}
+
+func (s *Sim) afterLocked(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.timers, timer{at: s.now + d, seq: s.seq, fn: fn})
+}
+
+// afterCancellableLocked schedules fn like afterLocked but returns a cancel
+// func. A cancelled timer is discarded without firing and without advancing
+// the virtual clock. The cancel func must be called with s.mu held.
+func (s *Sim) afterCancellableLocked(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	c := new(bool)
+	heap.Push(&s.timers, timer{at: s.now + d, seq: s.seq, fn: fn, cancelled: c})
+	return func() { *c = true }
+}
+
+// Go starts fn as a simulated goroutine. The name is used in panic
+// diagnostics only. Go may be called before Run or from inside any
+// simulated goroutine.
+func (s *Sim) Go(name string, fn func()) {
+	s.mu.Lock()
+	s.runnable++
+	s.live++
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				if s.panicked == nil {
+					s.panicked = fmt.Sprintf("vtime goroutine %q panicked: %v", name, r)
+				}
+				s.mu.Unlock()
+			}
+			s.mu.Lock()
+			s.runnable--
+			s.live--
+			if s.runnable == 0 {
+				s.schedule.Signal()
+			}
+			s.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// parker represents one parked (blocked) simulated goroutine. Its wake
+// method is idempotent and must be called with s.mu held; fired reports
+// whether the parker has already been woken (so queued stale parkers can
+// be skipped by wakeup dispatchers).
+type parker struct {
+	s     *Sim
+	ch    chan bool
+	fired bool
+	id    uint64
+}
+
+// wake unparks the goroutine. Caller must hold s.mu. Idempotent.
+func (p *parker) wake() {
+	if p.fired {
+		return
+	}
+	p.fired = true
+	delete(p.s.parked, p.id)
+	p.s.runnable++
+	p.ch <- true
+}
+
+// abort unparks the goroutine with a teardown signal. Caller must hold s.mu.
+func (p *parker) abort() {
+	if p.fired {
+		return
+	}
+	p.fired = true
+	delete(p.s.parked, p.id)
+	p.s.runnable++
+	p.ch <- false
+}
+
+// wait blocks until wake or abort; it releases and reacquires s.mu and
+// returns false on teardown.
+func (p *parker) wait() bool {
+	p.s.mu.Unlock()
+	ok := <-p.ch
+	p.s.mu.Lock()
+	return ok
+}
+
+// park marks the calling simulated goroutine blocked and returns a parker
+// to wait on. The caller must hold s.mu. If the simulation is already torn
+// down, the returned parker's wait returns false immediately.
+func (s *Sim) park() *parker {
+	p := &parker{s: s, ch: make(chan bool, 1), id: s.parkSeq}
+	s.parkSeq++
+	if s.stopped {
+		p.fired = true
+		p.ch <- false
+		return p
+	}
+	s.parked[p.id] = p.abort
+	s.runnable--
+	if s.runnable == 0 {
+		s.schedule.Signal()
+	}
+	return p
+}
+
+// Sleep blocks the calling simulated goroutine for d of virtual time.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	p := s.park()
+	s.afterLocked(d, func() {
+		s.mu.Lock()
+		p.wake()
+		s.mu.Unlock()
+	})
+	p.wait()
+	s.mu.Unlock()
+}
+
+// Run drives the simulation until every simulated goroutine has either
+// finished or parked with no pending timers, then tears down any still
+// parked goroutines (their blocking calls return "closed"/false) and
+// returns the final virtual time. Run panics if a simulated goroutine
+// panicked.
+func (s *Sim) Run() time.Duration {
+	s.mu.Lock()
+	for {
+		for s.runnable > 0 {
+			s.schedule.Wait()
+		}
+		if s.panicked != nil {
+			p := s.panicked
+			s.mu.Unlock()
+			panic(p)
+		}
+		for len(s.timers) > 0 && s.timers[0].cancelled != nil && *s.timers[0].cancelled {
+			heap.Pop(&s.timers)
+		}
+		if len(s.timers) == 0 {
+			break
+		}
+		t := heap.Pop(&s.timers).(timer)
+		if t.at > s.now {
+			s.now = t.at
+		}
+		// Fire on the scheduler goroutine. Callbacks take s.mu themselves.
+		s.mu.Unlock()
+		t.fn()
+		s.mu.Lock()
+	}
+	// Quiescent: no timers, nothing runnable. Abort parked goroutines so
+	// their goroutines can exit and tests do not leak.
+	s.stopped = true
+	aborts := make([]func(), 0, len(s.parked))
+	for _, a := range s.parked {
+		aborts = append(aborts, a)
+	}
+	s.parked = map[uint64]func(){}
+	for _, a := range aborts {
+		a()
+	}
+	for s.live > 0 {
+		for s.runnable > 0 {
+			s.schedule.Wait()
+		}
+		if s.live == 0 {
+			break
+		}
+		// A torn-down goroutine became runnable and may spawn nothing new;
+		// also drain any timers it scheduled during teardown.
+		if len(s.timers) > 0 {
+			t := heap.Pop(&s.timers).(timer)
+			if t.at > s.now {
+				s.now = t.at
+			}
+			s.mu.Unlock()
+			t.fn()
+			s.mu.Lock()
+		}
+	}
+	if s.panicked != nil {
+		p := s.panicked
+		s.mu.Unlock()
+		panic(p)
+	}
+	end := s.now
+	s.mu.Unlock()
+	return end
+}
+
+// Stopped reports whether Run has completed and the simulation is torn down.
+func (s *Sim) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}

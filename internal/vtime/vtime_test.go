@@ -1,0 +1,407 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var woke time.Duration
+	s.Go("sleeper", func() {
+		s.Sleep(5 * time.Second)
+		woke = s.Now()
+	})
+	end := s.Run()
+	if woke != 5*time.Second {
+		t.Errorf("woke at %v, want 5s", woke)
+	}
+	if end != 5*time.Second {
+		t.Errorf("Run returned %v, want 5s", end)
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	s := New()
+	s.Go("z", func() {
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+	})
+	if end := s.Run(); end != 0 {
+		t.Errorf("clock moved to %v for zero sleeps", end)
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestManySleepersInterleave(t *testing.T) {
+	s := New()
+	var mu sync.Mutex
+	wakes := map[int]time.Duration{}
+	for i := 1; i <= 50; i++ {
+		i := i
+		s.Go("g", func() {
+			s.Sleep(time.Duration(i) * time.Millisecond)
+			mu.Lock()
+			wakes[i] = s.Now()
+			mu.Unlock()
+		})
+	}
+	s.Run()
+	for i := 1; i <= 50; i++ {
+		if wakes[i] != time.Duration(i)*time.Millisecond {
+			t.Fatalf("sleeper %d woke at %v", i, wakes[i])
+		}
+	}
+}
+
+func TestChanSendRecv(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	var got []int
+	s.Go("recv", func() {
+		for i := 0; i < 3; i++ {
+			v, ok := c.Recv()
+			if !ok {
+				t.Error("Recv returned !ok")
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	s.Go("send", func() {
+		s.Sleep(time.Millisecond)
+		c.Send(1)
+		c.Send(2)
+		s.Sleep(time.Millisecond)
+		c.Send(3)
+	})
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	oks := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go("r", func() {
+			_, ok := c.Recv()
+			oks[i] = ok
+		})
+	}
+	s.Go("closer", func() {
+		s.Sleep(time.Second)
+		c.Close()
+	})
+	s.Run()
+	for i, ok := range oks {
+		if ok {
+			t.Errorf("receiver %d got ok=true on closed empty chan", i)
+		}
+	}
+}
+
+func TestChanCloseDrainsPending(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	c.Send(7)
+	c.Close()
+	var v int
+	var ok bool
+	s.Go("r", func() { v, ok = c.Recv() })
+	s.Run()
+	if !ok || v != 7 {
+		t.Fatalf("got (%d,%v), want (7,true)", v, ok)
+	}
+}
+
+func TestChanSendAfterCloseDropped(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	c.Close()
+	c.Send(1)
+	if c.Len() != 0 {
+		t.Fatal("send after close enqueued a value")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	var timedOut bool
+	var at time.Duration
+	s.Go("r", func() {
+		_, _, timedOut = c.RecvTimeout(3 * time.Second)
+		at = s.Now()
+	})
+	s.Run()
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+	if at != 3*time.Second {
+		t.Fatalf("timed out at %v, want 3s", at)
+	}
+}
+
+func TestRecvTimeoutValueBeforeDeadline(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	var v int
+	var ok, timedOut bool
+	s.Go("r", func() { v, ok, timedOut = c.RecvTimeout(time.Hour) })
+	s.Go("w", func() {
+		s.Sleep(time.Second)
+		c.Send(42)
+	})
+	end := s.Run()
+	if !ok || timedOut || v != 42 {
+		t.Fatalf("got v=%d ok=%v timedOut=%v", v, ok, timedOut)
+	}
+	if end != time.Second {
+		t.Fatalf("sim ended at %v; stale timeout timer should not extend measured time beyond it firing", end)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	s := New()
+	c := NewChan[string](s)
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("TryRecv on empty chan returned ok")
+	}
+	c.Send("x")
+	v, ok := c.TryRecv()
+	if !ok || v != "x" {
+		t.Fatalf("got (%q,%v)", v, ok)
+	}
+}
+
+func TestRunTearsDownParkedGoroutines(t *testing.T) {
+	s := New()
+	c := NewChan[int](s)
+	returned := false
+	s.Go("blocked-forever", func() {
+		_, ok := c.Recv()
+		if ok {
+			t.Error("torn-down Recv returned ok=true")
+		}
+		returned = true
+	})
+	s.Run()
+	if !returned {
+		t.Fatal("parked goroutine did not return after Run")
+	}
+	if !s.Stopped() {
+		t.Fatal("Stopped() false after Run")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	wg.Add(3)
+	var doneAt time.Duration
+	s.Go("waiter", func() {
+		wg.Wait()
+		doneAt = s.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		s.Go("worker", func() {
+			s.Sleep(time.Duration(i) * time.Second)
+			wg.Done()
+		})
+	}
+	s.Run()
+	if doneAt != 3*time.Second {
+		t.Fatalf("waiter released at %v, want 3s", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	ok := false
+	s.Go("w", func() { wg.Wait(); ok = true })
+	s.Run()
+	if !ok {
+		t.Fatal("Wait on zero counter blocked")
+	}
+}
+
+func TestGoroutinePanicPropagates(t *testing.T) {
+	s := New()
+	s.Go("bad", func() { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not propagate goroutine panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestNestedGo(t *testing.T) {
+	s := New()
+	var hits int
+	var mu sync.Mutex
+	s.Go("parent", func() {
+		for i := 0; i < 5; i++ {
+			s.Go("child", func() {
+				s.Sleep(time.Millisecond)
+				mu.Lock()
+				hits++
+				mu.Unlock()
+			})
+		}
+	})
+	s.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+}
+
+// Property: for any set of sleep durations, every sleeper wakes exactly at
+// its requested virtual time and the final clock equals the max duration.
+func TestPropertySleepExactness(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		s := New()
+		var mu sync.Mutex
+		wakes := make([]time.Duration, len(raw))
+		var max time.Duration
+		for i, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			if d > max {
+				max = d
+			}
+			i := i
+			s.Go("p", func() {
+				s.Sleep(d)
+				mu.Lock()
+				wakes[i] = s.Now()
+				mu.Unlock()
+			})
+		}
+		end := s.Run()
+		if end != max {
+			return false
+		}
+		for i, r := range raw {
+			want := time.Duration(r) * time.Microsecond
+			if wakes[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Chan preserves FIFO order for a single sender/receiver pair
+// regardless of interleaved sleeps.
+func TestPropertyChanFIFO(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		cnt := int(n%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		c := NewChan[int](s)
+		var got []int
+		s.Go("recv", func() {
+			for i := 0; i < cnt; i++ {
+				v, ok := c.Recv()
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		delays := make([]time.Duration, cnt)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(1000)) * time.Microsecond
+		}
+		s.Go("send", func() {
+			for i := 0; i < cnt; i++ {
+				s.Sleep(delays[i])
+				c.Send(i)
+			}
+		})
+		s.Run()
+		if len(got) != cnt {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: the same program yields the same final clock on every run.
+func TestDeterministicEndTime(t *testing.T) {
+	run := func() time.Duration {
+		s := New()
+		c := NewChan[int](s)
+		for i := 0; i < 20; i++ {
+			i := i
+			s.Go("w", func() {
+				s.Sleep(time.Duration(i*7%13) * time.Millisecond)
+				c.Send(i)
+			})
+		}
+		s.Go("r", func() {
+			for i := 0; i < 20; i++ {
+				c.Recv()
+				s.Sleep(time.Millisecond)
+			}
+		})
+		return s.Run()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d ended at %v, first ended at %v", i, got, first)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package launchmon_test
 
 import (
+	"fmt"
 	"testing"
 
 	"launchmon/internal/bench"
@@ -116,6 +117,26 @@ func BenchmarkAblation_DebugEvents(b *testing.B) {
 		if _, err := bench.AblationDebugEvents(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAblation_ConcurrentSessions launches K ∈ {1,4,8} concurrent
+// sessions from one FE process over a single transport mux and reports
+// the aggregate session-setup throughput at each K.
+func BenchmarkAblation_ConcurrentSessions(b *testing.B) {
+	var rows []bench.ConcurrentRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ConcurrentSessions(bench.ConcurrentSessionOpts{}, bench.ConcurrentScales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(bench.ConcurrentScales) {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Throughput, fmt.Sprintf("sessions/vsec-K%d", r.Sessions))
 	}
 }
 

@@ -103,6 +103,12 @@ func main() {
 			}
 			fmt.Println()
 			bench.PrintJobsnapTree(os.Stdout, jt)
+			cc, err := bench.ConcurrentSessions(bench.ConcurrentSessionOpts{}, bench.ConcurrentScales)
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			bench.PrintConcurrent(os.Stdout, cc)
 			return nil
 		})
 	}

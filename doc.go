@@ -16,7 +16,14 @@
 // case-study tools Jobsnap, STAT and Open|SpeedShop
 // (internal/tools/...).
 //
+// Underneath the FE/BE/MW APIs, internal/transport multiplexes every
+// session of one front-end process over a single listener (sessions are
+// routed by a small hello frame), and internal/proctab streams the RPDTAB
+// as bounded-size chunks, so one tool process can drive many concurrent
+// sessions at million-task scale.
+//
 // The benchmarks in bench_test.go and the cmd/lmonbench binary regenerate
-// every table and figure of the paper's evaluation; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+// every table and figure of the paper's evaluation; see README.md for the
+// system inventory and DESIGN.md for the architecture, including the
+// transport layer.
 package launchmon

@@ -1,0 +1,3 @@
+module launchmon
+
+go 1.21

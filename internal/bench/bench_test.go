@@ -221,6 +221,30 @@ func TestJobsnapTreeAblationShape(t *testing.T) {
 	}
 }
 
+func TestConcurrentSessionsShape(t *testing.T) {
+	// Reduced scale: 4 nodes per session keeps the rigs small.
+	rows, err := ConcurrentSessions(ConcurrentSessionOpts{NodesEach: 4, TasksPerNode: 4}, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 || r.Slowest <= 0 || r.Slowest > r.Wall {
+			t.Errorf("K=%d: wall %v, slowest %v", r.Sessions, r.Wall, r.Slowest)
+		}
+	}
+	// Sessions overlap on disjoint nodes, so aggregate throughput must
+	// rise with K — the scaling the shared mux exists to deliver.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Throughput <= rows[i-1].Throughput {
+			t.Errorf("throughput not increasing: K=%d %.2f/s vs K=%d %.2f/s",
+				rows[i].Sessions, rows[i].Throughput, rows[i-1].Sessions, rows[i-1].Throughput)
+		}
+	}
+}
+
 func TestDebugEventsAblationShape(t *testing.T) {
 	rows, err := AblationDebugEvents()
 	if err != nil {

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/vtime"
+)
+
+// Concurrent-session ablation: one front-end process drives K tool
+// sessions at once over its single transport mux — the multi-session
+// workload the seed's one-listener-per-session design could not express.
+// Because the RM spawns each session's job and daemons on disjoint nodes,
+// the per-node work of the K sessions overlaps almost entirely and
+// aggregate session-setup throughput should rise with K.
+
+// ConcurrentRow is one K-sessions measurement.
+type ConcurrentRow struct {
+	Sessions   int           // K concurrent sessions
+	NodesEach  int           // nodes (daemons) per session
+	Wall       time.Duration // first launch call → last session ready (virtual)
+	Slowest    time.Duration // slowest single session's setup time
+	Throughput float64       // sessions per virtual second (aggregate)
+}
+
+// ConcurrentScales are the session counts of the ablation.
+var ConcurrentScales = []int{1, 4, 8}
+
+// ConcurrentSessionOpts sizes one session of the ablation.
+type ConcurrentSessionOpts struct {
+	NodesEach    int // default 16
+	TasksPerNode int // default 8
+}
+
+func (o ConcurrentSessionOpts) withDefaults() ConcurrentSessionOpts {
+	if o.NodesEach == 0 {
+		o.NodesEach = 16
+	}
+	if o.TasksPerNode == 0 {
+		o.TasksPerNode = 8
+	}
+	return o
+}
+
+// ConcurrentSessions measures aggregate launchAndSpawn throughput for
+// each K in scales: K sessions launched from parallel goroutines of one
+// FE process on a fresh rig sized to hold all K jobs.
+func ConcurrentSessions(opts ConcurrentSessionOpts, scales []int) ([]ConcurrentRow, error) {
+	o := opts.withDefaults()
+	rows := make([]ConcurrentRow, 0, len(scales))
+	for _, k := range scales {
+		row, err := measureConcurrent(k, o)
+		if err != nil {
+			return nil, fmt.Errorf("concurrent sessions at K=%d: %w", k, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureConcurrent(k int, o ConcurrentSessionOpts) (ConcurrentRow, error) {
+	row := ConcurrentRow{Sessions: k, NodesEach: o.NodesEach}
+	r, err := NewRig(RigOptions{Nodes: k * o.NodesEach})
+	if err != nil {
+		return row, err
+	}
+	registerNoopBE(r.Cl, "cc_be")
+	err = r.RunFE(func(p *cluster.Proc) error {
+		start := p.Sim().Now()
+		errs := make([]error, k)
+		durs := make([]time.Duration, k)
+		wg := vtime.NewWaitGroup(p.Sim())
+		wg.Add(k)
+		for i := 0; i < k; i++ {
+			i := i
+			p.Sim().Go(fmt.Sprintf("cc-session-%d", i), func() {
+				defer wg.Done()
+				t0 := p.Sim().Now()
+				_, err := core.LaunchAndSpawn(p, core.Options{
+					Job:    rm.JobSpec{Exe: "app", Nodes: o.NodesEach, TasksPerNode: o.TasksPerNode},
+					Daemon: rm.DaemonSpec{Exe: "cc_be"},
+				})
+				durs[i] = p.Sim().Now() - t0
+				errs[i] = err
+			})
+		}
+		wg.Wait()
+		row.Wall = p.Sim().Now() - start
+		for i := 0; i < k; i++ {
+			if errs[i] != nil {
+				return fmt.Errorf("session %d: %w", i, errs[i])
+			}
+			if durs[i] > row.Slowest {
+				row.Slowest = durs[i]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	if row.Wall > 0 {
+		row.Throughput = float64(row.Sessions) / row.Wall.Seconds()
+	}
+	return row, nil
+}
+
+// PrintConcurrent renders the concurrent-session rows.
+func PrintConcurrent(w io.Writer, rows []ConcurrentRow) {
+	fmt.Fprintln(w, "Ablation — concurrent sessions per FE process (one transport mux)")
+	fmt.Fprintln(w, "sessions  nodes/sess  wall      slowest   sessions/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %11d %8.3fs %8.3fs %10.2f\n",
+			r.Sessions, r.NodesEach, r.Wall.Seconds(), r.Slowest.Seconds(), r.Throughput)
+	}
+}

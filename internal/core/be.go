@@ -12,6 +12,7 @@ import (
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 	"launchmon/internal/simnet"
+	"launchmon/internal/transport"
 )
 
 // BackEnd is the daemon-side session handle (paper §3.3). Tool back-end
@@ -45,24 +46,28 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 	}
 	be := &BackEnd{p: p}
 
-	var handshake *lmonp.Msg
+	var masterTab proctab.Table
+	var feData []byte
 	if cfg.Rank == 0 {
-		// Master: connect to the FE and wait for the handshake before
-		// coordinating the network setup (e7 precedes e8).
-		feAddr, err := parseHostPort(p.Env(EnvFEAddr))
-		if err != nil {
-			return nil, err
-		}
-		raw, err := p.Host().Dial(feAddr)
+		// Master: connect to the FE through the session mux (the hello
+		// carries the session ID and back-end role) and consume the
+		// handshake — the piggybacked tool data plus the chunk-streamed
+		// RPDTAB — before coordinating the network setup (e7 precedes e8).
+		fe, err := dialFE(p, transport.RoleBE)
 		if err != nil {
 			return nil, fmt.Errorf("core: master dialing FE: %w", err)
 		}
-		be.fe = lmonp.NewConn(raw)
-		handshake, err = be.fe.Expect(lmonp.ClassFEBE, lmonp.TypeHandshake)
+		be.fe = fe
+		handshake, err := be.fe.Expect(lmonp.ClassFEBE, lmonp.TypeHandshake)
 		if err != nil {
 			return nil, err
 		}
 		be.tl.Mark(engine.MarkE8, p.Sim().Now())
+		feData = handshake.UsrData
+		masterTab, err = proctab.RecvStream(be.fe, lmonp.ClassFEBE, nil)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	comm, err := iccl.Bootstrap(p, cfg)
@@ -75,31 +80,13 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 	}
 
 	// Distribute RPDTAB + piggybacked FE data to every daemon.
-	var seed []byte
-	if comm.IsMaster() {
-		seed = lmonp.AppendBytes(nil, handshake.Payload)
-		seed = lmonp.AppendBytes(seed, handshake.UsrData)
-	}
-	blob, err := comm.Broadcast(seed)
-	if err != nil {
-		return nil, err
-	}
-	rd := lmonp.NewReader(blob)
-	tabEnc, err := rd.Bytes()
-	if err != nil {
-		return nil, err
-	}
-	feData, err := rd.Bytes()
-	if err != nil {
-		return nil, err
-	}
-	tab, err := proctab.Decode(tabEnc)
+	tab, data, err := distributeSessionSeed(comm, masterTab, feData)
 	if err != nil {
 		return nil, err
 	}
 	be.tab = tab
 	be.myTab = tab.OnHost(p.Node().Name())
-	be.feData = append([]byte(nil), feData...)
+	be.feData = data
 
 	// Gather per-daemon info to the master; it rides the ready message.
 	mine := encodeDaemonInfo(DaemonInfo{
@@ -226,6 +213,56 @@ func (b *BackEnd) Finalize() error {
 		b.fe.Close()
 	}
 	return err
+}
+
+// dialFE connects a master daemon to its front end's transport mux,
+// announcing the session ID and role from the bootstrap environment so
+// the mux routes the connection to the owning session.
+func dialFE(p *cluster.Proc, role transport.Role) (*lmonp.Conn, error) {
+	feAddr, err := parseHostPort(p.Env(EnvFEAddr))
+	if err != nil {
+		return nil, err
+	}
+	session, err := strconv.Atoi(p.Env(EnvSession))
+	if err != nil {
+		return nil, fmt.Errorf("core: bad %s: %w", EnvSession, err)
+	}
+	return transport.Dial(p.Host(), feAddr, session, role)
+}
+
+// distributeSessionSeed broadcasts the RPDTAB and the piggybacked tool
+// data from the master over the ICCL fabric. The broadcast is collective
+// traffic (one frame), not an LMONP payload, so it intentionally stays
+// monolithic — the paper's broadcast-vs-shared-file ablation depends on
+// its shape. The master keeps its already-decoded table instead of
+// re-decoding its own broadcast.
+func distributeSessionSeed(comm *iccl.Comm, masterTab proctab.Table, feData []byte) (proctab.Table, []byte, error) {
+	var seed []byte
+	if comm.IsMaster() {
+		seed = lmonp.AppendBytes(nil, masterTab.Encode())
+		seed = lmonp.AppendBytes(seed, feData)
+	}
+	blob, err := comm.Broadcast(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if comm.IsMaster() {
+		return masterTab, append([]byte(nil), feData...), nil
+	}
+	rd := lmonp.NewReader(blob)
+	tabEnc, err := rd.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := rd.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := proctab.Decode(tabEnc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tab, append([]byte(nil), data...), nil
 }
 
 func parseHostPort(s string) (simnet.Addr, error) {

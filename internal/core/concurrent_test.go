@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/engine"
+	"launchmon/internal/rm"
+	"launchmon/internal/vtime"
+)
+
+// Concurrent-session coverage: one FE process drives many sessions in
+// parallel goroutines over a single transport mux. Run with -race.
+
+// launchConcurrent runs k LaunchAndSpawn sessions in parallel goroutines
+// of one FE process and returns the sessions (indexed by goroutine).
+func launchConcurrent(t *testing.T, p *cluster.Proc, k, nodesEach, tpn int) []*Session {
+	t.Helper()
+	sessions := make([]*Session, k)
+	errs := make([]error, k)
+	wg := vtime.NewWaitGroup(p.Sim())
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		i := i
+		p.Sim().Go(fmt.Sprintf("fe-session-%d", i), func() {
+			defer wg.Done()
+			sessions[i], errs[i] = LaunchAndSpawn(p, Options{
+				Job:    rm.JobSpec{Exe: fmt.Sprintf("app%d", i), Nodes: nodesEach, TasksPerNode: tpn},
+				Daemon: rm.DaemonSpec{Exe: "cc_be"},
+				FEData: []byte(fmt.Sprintf("boot-%d", i)),
+			})
+		})
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("session %d: %v", i, err)
+		}
+	}
+	return sessions
+}
+
+func TestConcurrentSessionsOverOneMux(t *testing.T) {
+	const k, nodesEach, tpn = 8, 2, 2
+	sim, cl, _ := rig(t, k*nodesEach)
+	cl.Register("cc_be", func(p *cluster.Proc) {
+		be, err := BEInit(p)
+		if err != nil {
+			t.Errorf("BEInit on %s: %v", p.Node().Name(), err)
+			return
+		}
+		be.Finalize()
+	})
+	runFE(t, sim, cl, func(p *cluster.Proc) {
+		sessions := launchConcurrent(t, p, k, nodesEach, tpn)
+
+		fe, err := NewFrontEnd(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fe.Mux().Sessions(); got != k {
+			t.Errorf("mux tracks %d sessions, want %d", got, k)
+		}
+
+		// Proctabs are complete, valid, and pairwise disjoint: every
+		// session's job landed on its own nodes, and no session saw
+		// another session's table through the shared mux.
+		hostOwner := map[string]int{}
+		idSeen := map[int]bool{}
+		for i, s := range sessions {
+			if s == nil {
+				continue
+			}
+			if idSeen[s.ID] {
+				t.Errorf("duplicate session id %d", s.ID)
+			}
+			idSeen[s.ID] = true
+			tab := s.Proctab()
+			if len(tab) != nodesEach*tpn {
+				t.Errorf("session %d proctab has %d entries, want %d", i, len(tab), nodesEach*tpn)
+			}
+			if err := tab.Validate(); err != nil {
+				t.Errorf("session %d proctab: %v", i, err)
+			}
+			for _, d := range tab {
+				if d.Exe != fmt.Sprintf("app%d", i) {
+					t.Errorf("session %d proctab contains foreign task %q", i, d.Exe)
+				}
+				if prev, ok := hostOwner[d.Host]; ok && prev != i {
+					t.Errorf("host %s appears in sessions %d and %d", d.Host, prev, i)
+				}
+				hostOwner[d.Host] = i
+			}
+			if len(s.Daemons()) != nodesEach {
+				t.Errorf("session %d reports %d daemons, want %d", i, len(s.Daemons()), nodesEach)
+			}
+		}
+
+		// Per-session timelines: each session's critical-path marks are
+		// complete and monotonic on its own clock, independent of how the
+		// sessions interleaved.
+		order := []string{
+			engine.MarkE0, engine.MarkE1, engine.MarkE2, engine.MarkE3,
+			engine.MarkE4, engine.MarkE5, engine.MarkE6, engine.MarkE7,
+			engine.MarkE8, engine.MarkE9, engine.MarkE10, engine.MarkE11,
+		}
+		for i, s := range sessions {
+			if s == nil {
+				continue
+			}
+			var prev time.Duration
+			for _, name := range order {
+				at, ok := s.Timeline.Get(name)
+				if !ok {
+					t.Errorf("session %d: mark %s missing", i, name)
+					continue
+				}
+				if at < prev {
+					t.Errorf("session %d: mark %s at %v precedes %v", i, name, at, prev)
+				}
+				prev = at
+			}
+		}
+	})
+}
+
+func TestConcurrentSessionsIndependentTeardown(t *testing.T) {
+	const k, nodesEach, tpn = 4, 2, 1
+	sim, cl, _ := rig(t, k*nodesEach)
+	cl.Register("cc_be", func(p *cluster.Proc) {
+		be, err := BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Finalize()
+	})
+	runFE(t, sim, cl, func(p *cluster.Proc) {
+		sessions := launchConcurrent(t, p, k, nodesEach, tpn)
+		for _, s := range sessions {
+			if s == nil {
+				t.Fatal("missing session")
+			}
+		}
+		// Kill the even sessions, detach the odd ones, concurrently.
+		wg := vtime.NewWaitGroup(p.Sim())
+		wg.Add(k)
+		for i, s := range sessions {
+			i, s := i, s
+			p.Sim().Go(fmt.Sprintf("teardown-%d", i), func() {
+				defer wg.Done()
+				var err error
+				if i%2 == 0 {
+					err = s.Kill()
+				} else {
+					err = s.Detach()
+				}
+				if err != nil {
+					t.Errorf("teardown session %d: %v", i, err)
+				}
+			})
+		}
+		wg.Wait()
+		for i, s := range sessions {
+			if err := s.Kill(); err != ErrSessionClosed {
+				t.Errorf("session %d second teardown: %v", i, err)
+			}
+		}
+		// Mux endpoints deregistered with their sessions.
+		fe, err := NewFrontEnd(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fe.Mux().Sessions(); got != 0 {
+			t.Errorf("mux still tracks %d sessions after teardown", got)
+		}
+	})
+}
+
+func TestConcurrentLaunchAndAttachMix(t *testing.T) {
+	const nodesEach, tpn = 2, 2
+	sim, cl, mgr := rig(t, 4*nodesEach)
+	cl.Register("cc_be", func(p *cluster.Proc) {
+		be, err := BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Finalize()
+	})
+	runFE(t, sim, cl, func(p *cluster.Proc) {
+		// Two jobs started outside tool control...
+		var jobs []rm.Job
+		for i := 0; i < 2; i++ {
+			j, err := mgr.StartJob(rm.JobSpec{Exe: fmt.Sprintf("user%d", i), Nodes: nodesEach, TasksPerNode: tpn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		p.Sim().Sleep(2 * time.Second)
+
+		// ...attached to concurrently with two fresh launches.
+		sessions := make([]*Session, 4)
+		errs := make([]error, 4)
+		wg := vtime.NewWaitGroup(p.Sim())
+		wg.Add(4)
+		for i := 0; i < 4; i++ {
+			i := i
+			p.Sim().Go(fmt.Sprintf("mix-%d", i), func() {
+				defer wg.Done()
+				if i < 2 {
+					sessions[i], errs[i] = AttachAndSpawn(p, Options{
+						JobID:  jobs[i].ID(),
+						Daemon: rm.DaemonSpec{Exe: "cc_be"},
+					})
+				} else {
+					sessions[i], errs[i] = LaunchAndSpawn(p, Options{
+						Job:    rm.JobSpec{Exe: fmt.Sprintf("fresh%d", i), Nodes: nodesEach, TasksPerNode: tpn},
+						Daemon: rm.DaemonSpec{Exe: "cc_be"},
+					})
+				}
+			})
+		}
+		wg.Wait()
+		for i := 0; i < 4; i++ {
+			if errs[i] != nil {
+				t.Errorf("session %d: %v", i, errs[i])
+				continue
+			}
+			if got := len(sessions[i].Proctab()); got != nodesEach*tpn {
+				t.Errorf("session %d proctab = %d entries, want %d", i, got, nodesEach*tpn)
+			}
+		}
+	})
+}

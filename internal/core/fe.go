@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"launchmon/internal/cluster"
@@ -11,7 +12,7 @@ import (
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
-	"launchmon/internal/simnet"
+	"launchmon/internal/transport"
 )
 
 // Setup installs LaunchMON onto a cluster for the given resource manager:
@@ -39,6 +40,10 @@ type Options struct {
 	FEData []byte
 	// ICCLFanout is the back-end tree fanout; 0 means flat (1-deep).
 	ICCLFanout int
+	// ProctabChunkBytes bounds one RPDTAB chunk payload on every LMONP
+	// transfer of this session (engine→FE and FE→master daemons);
+	// 0 selects proctab.DefaultChunkBytes.
+	ProctabChunkBytes int
 	// Timeout bounds (in virtual time) how long the front end waits for
 	// the engine and the master daemon to connect; daemons that crash
 	// before dialing in surface as an error instead of a hang. Zero means
@@ -48,78 +53,170 @@ type Options struct {
 
 const defaultSessionTimeout = 10 * time.Minute
 
+// FrontEnd is the per-process LaunchMON front-end handle: it owns the one
+// transport mux every session of this tool process shares. Any number of
+// sessions may be created concurrently from separate goroutines; the mux
+// routes each engine / master-daemon dial to its owning session by the
+// session ID in the transport hello, so interleaved sessions never cross.
+type FrontEnd struct {
+	p   *cluster.Proc
+	mux *transport.Mux
+}
+
+// feRegistry maps FE processes to their FrontEnd so the package-level
+// LaunchAndSpawn/AttachAndSpawn entry points share one mux per process.
+var (
+	feRegMu sync.Mutex
+	feReg   = make(map[*cluster.Proc]*FrontEnd)
+)
+
+// NewFrontEnd returns the process-wide front-end handle for p, creating
+// its transport mux on first use.
+func NewFrontEnd(p *cluster.Proc) (*FrontEnd, error) {
+	feRegMu.Lock()
+	defer feRegMu.Unlock()
+	if fe, ok := feReg[p]; ok {
+		return fe, nil
+	}
+	mux, err := transport.ListenMux(p.Sim(), p.Host())
+	if err != nil {
+		return nil, err
+	}
+	fe := &FrontEnd{p: p, mux: mux}
+	feReg[p] = fe
+	// Reap the mux (and the registry entry) when the process exits, so
+	// long simulations with many tool processes do not accumulate muxes.
+	p.Sim().Go("fe-mux-reaper", func() {
+		p.Wait()
+		feRegMu.Lock()
+		delete(feReg, p)
+		feRegMu.Unlock()
+		mux.Close()
+	})
+	return fe, nil
+}
+
+// Mux exposes the front end's transport mux (tests and diagnostics).
+func (fe *FrontEnd) Mux() *transport.Mux { return fe.mux }
+
+// LaunchAndSpawn launches a new job under tool control and co-locates the
+// tool's daemons with it in a single operation — the paper's primary FE
+// service, whose critical path is modeled in §4.
+func (fe *FrontEnd) LaunchAndSpawn(opts Options) (*Session, error) {
+	return startSession(fe, opts, false)
+}
+
+// AttachAndSpawn attaches to the running job opts.JobID and co-locates
+// the tool's daemons with its tasks.
+func (fe *FrontEnd) AttachAndSpawn(opts Options) (*Session, error) {
+	return startSession(fe, opts, true)
+}
+
 // Session binds one job and its daemon sets (paper §3.2): the handle all
-// other FE operations take.
+// other FE operations take. A session's exported methods are safe to call
+// from the goroutine that created it; distinct sessions of one front end
+// are fully independent and may run concurrently.
 type Session struct {
 	ID int
 
 	p        *cluster.Proc
-	listener *simnet.Listener
+	fe       *FrontEnd
+	ep       *transport.Endpoint
 	eng      *lmonp.Conn
 	beMaster *lmonp.Conn
 	mwMaster *lmonp.Conn
 
-	tab     proctab.Table
-	daemons []DaemonInfo
-	mwInfos []DaemonInfo
-	mwNodes []string
-	timeout time.Duration
+	tab        proctab.Table
+	daemons    []DaemonInfo
+	timeout    time.Duration
+	chunkBytes int
 
 	// Timeline holds the merged e0..e11 critical-path marks for this
 	// session (paper Figure 2); consumed by the performance model.
 	Timeline engine.Timeline
 
-	detached bool
-	killed   bool
+	// mu guards the lifecycle flags and middleware state below against
+	// concurrent session operations.
+	mu          sync.Mutex
+	mwInfos     []DaemonInfo
+	mwNodes     []string
+	mwLaunching bool
+	detached    bool
+	killed      bool
 }
 
 // ErrSessionClosed is returned by operations on a finished session.
 var ErrSessionClosed = errors.New("core: session detached or killed")
 
-// LaunchAndSpawn launches a new job under tool control and co-locates the
-// tool's daemons with it in a single operation — the paper's primary FE
-// service, whose critical path is modeled in §4.
+// LaunchAndSpawn launches a new job under tool control, creating (or
+// reusing) the calling process's front-end handle. Concurrent calls from
+// one process share a single transport mux.
 func LaunchAndSpawn(p *cluster.Proc, opts Options) (*Session, error) {
-	return startSession(p, opts, false)
+	fe, err := NewFrontEnd(p)
+	if err != nil {
+		return nil, err
+	}
+	return startSession(fe, opts, false)
 }
 
 // AttachAndSpawn attaches to the running job opts.JobID and co-locates the
 // tool's daemons with its tasks.
 func AttachAndSpawn(p *cluster.Proc, opts Options) (*Session, error) {
-	return startSession(p, opts, true)
+	fe, err := NewFrontEnd(p)
+	if err != nil {
+		return nil, err
+	}
+	return startSession(fe, opts, true)
 }
 
-func startSession(p *cluster.Proc, opts Options, attach bool) (*Session, error) {
+func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
+	p := fe.p
 	sim := p.Sim()
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = defaultSessionTimeout
 	}
-	s := &Session{ID: nextSessionID(), p: p, timeout: timeout}
+	// Reject sizes the wire form cannot carry before they silently
+	// truncate through the request's uint32 (the engine enforces the same
+	// ceiling on its side).
+	if opts.ProctabChunkBytes < 0 || opts.ProctabChunkBytes > 1<<30 {
+		return nil, fmt.Errorf("core: ProctabChunkBytes %d out of range [0, 2^30]", opts.ProctabChunkBytes)
+	}
+	s := &Session{
+		ID:         nextSessionID(),
+		p:          p,
+		fe:         fe,
+		timeout:    timeout,
+		chunkBytes: opts.ProctabChunkBytes,
+	}
 	s.Timeline.Mark(engine.MarkE0, sim.Now())
 	p.Compute(feStartCost)
 
-	l, err := p.Host().Listen(0)
+	ep, err := fe.mux.Open(s.ID)
 	if err != nil {
 		return nil, err
 	}
-	s.listener = l
-	feAddr := l.Addr().String()
+	s.ep = ep
+	feAddr := fe.mux.Addr().String()
 
-	// Spawn the engine co-located with the RM process (same node).
+	// Spawn the engine co-located with the RM process (same node). It
+	// dials back through the mux, identified by the session hello.
 	if _, err := p.Spawn(cluster.Spec{
 		Exe: engine.ExeName,
-		Env: map[string]string{engine.EnvFEAddr: feAddr},
+		Env: map[string]string{
+			engine.EnvFEAddr:  feAddr,
+			engine.EnvSession: fmt.Sprint(s.ID),
+		},
 	}); err != nil {
-		l.Close()
+		s.close()
 		return nil, fmt.Errorf("core: spawning engine: %w", err)
 	}
-	engConnRaw, err := l.AcceptTimeout(timeout)
+	engConn, err := ep.Accept(transport.RoleEngine, timeout)
 	if err != nil {
-		l.Close()
+		s.close()
 		return nil, fmt.Errorf("core: engine did not connect: %w", err)
 	}
-	s.eng = lmonp.NewConn(engConnRaw)
+	s.eng = engConn
 
 	// Compose the daemon bootstrap environment.
 	daemon := opts.Daemon
@@ -137,15 +234,19 @@ func startSession(p *cluster.Proc, opts Options, attach bool) (*Session, error) 
 	var req *lmonp.Msg
 	if attach {
 		req = &lmonp.Msg{
-			Class:   lmonp.ClassFEEngine,
-			Type:    lmonp.TypeAttachReq,
-			Payload: engine.EncodeAttachReq(engine.AttachReq{JobID: opts.JobID, Daemon: daemon}),
+			Class: lmonp.ClassFEEngine,
+			Type:  lmonp.TypeAttachReq,
+			Payload: engine.EncodeAttachReq(engine.AttachReq{
+				JobID: opts.JobID, Daemon: daemon, ChunkBytes: opts.ProctabChunkBytes,
+			}),
 		}
 	} else {
 		req = &lmonp.Msg{
-			Class:   lmonp.ClassFEEngine,
-			Type:    lmonp.TypeLaunchReq,
-			Payload: engine.EncodeLaunchReq(engine.LaunchReq{Job: opts.Job, Daemon: daemon}),
+			Class: lmonp.ClassFEEngine,
+			Type:  lmonp.TypeLaunchReq,
+			Payload: engine.EncodeLaunchReq(engine.LaunchReq{
+				Job: opts.Job, Daemon: daemon, ChunkBytes: opts.ProctabChunkBytes,
+			}),
 		}
 	}
 	if err := s.eng.Send(req); err != nil {
@@ -153,23 +254,17 @@ func startSession(p *cluster.Proc, opts Options, attach bool) (*Session, error) 
 		return nil, err
 	}
 
-	// The engine replies with the RPDTAB first (it overlaps the daemon
-	// spawn), then a status message once the RM finished spawning.
-	msg, err := s.eng.Recv()
-	if err != nil {
-		s.close()
-		return nil, err
-	}
-	if msg.Type == lmonp.TypeStatus {
-		status, _, _ := engine.DecodeStatus(msg.Payload)
-		s.close()
-		return nil, fmt.Errorf("core: engine failed: %s", status)
-	}
-	if msg.Type != lmonp.TypeProctab {
-		s.close()
-		return nil, fmt.Errorf("core: expected proctab, got %v", msg.Type)
-	}
-	tab, err := proctab.Decode(msg.Payload)
+	// The engine replies with the RPDTAB first, streamed as bounded
+	// chunks (the transfer overlaps the daemon spawn), then a status
+	// message once the RM finished spawning. An early status message
+	// means the engine failed before harvesting the table.
+	tab, err := proctab.RecvStream(s.eng, lmonp.ClassFEEngine, func(msg *lmonp.Msg) error {
+		if msg.Type == lmonp.TypeStatus {
+			status, _, _ := engine.DecodeStatus(msg.Payload)
+			return fmt.Errorf("core: engine failed: %s", status)
+		}
+		return fmt.Errorf("core: expected proctab stream, got %v", msg.Type)
+	})
 	if err != nil {
 		s.close()
 		return nil, err
@@ -187,20 +282,16 @@ func startSession(p *cluster.Proc, opts Options, attach bool) (*Session, error) 
 	}
 	s.Timeline.Merge(engTL)
 
-	// Handshake with the master back-end daemon (e7..e10).
-	beConnRaw, err := l.AcceptTimeout(timeout)
+	// Handshake with the master back-end daemon (e7..e10): the hello-
+	// routed connection for this session, never another's.
+	beConn, err := ep.Accept(transport.RoleBE, timeout)
 	if err != nil {
 		s.close()
 		return nil, fmt.Errorf("core: master daemon did not connect: %w", err)
 	}
-	s.beMaster = lmonp.NewConn(beConnRaw)
+	s.beMaster = beConn
 	s.Timeline.Mark(engine.MarkE7, sim.Now())
-	if err := s.beMaster.Send(&lmonp.Msg{
-		Class:   lmonp.ClassFEBE,
-		Type:    lmonp.TypeHandshake,
-		Payload: tab.Encode(),
-		UsrData: opts.FEData,
-	}); err != nil {
+	if err := s.sendHandshake(s.beMaster, lmonp.ClassFEBE, opts.FEData); err != nil {
 		s.close()
 		return nil, err
 	}
@@ -223,12 +314,29 @@ func startSession(p *cluster.Proc, opts Options, attach bool) (*Session, error) 
 	return s, nil
 }
 
+// sendHandshake sends the session handshake to a master daemon: the
+// handshake message itself (carrying the piggybacked tool data), then the
+// RPDTAB as a bounded-chunk stream.
+func (s *Session) sendHandshake(c *lmonp.Conn, class lmonp.MsgClass, feData []byte) error {
+	if err := c.Send(&lmonp.Msg{Class: class, Type: lmonp.TypeHandshake, UsrData: feData}); err != nil {
+		return err
+	}
+	return proctab.SendStream(c, class, s.tab, s.chunkBytes)
+}
+
 func (s *Session) recvStatus() (string, engine.Timeline, error) {
 	msg, err := s.eng.Expect(lmonp.ClassFEEngine, lmonp.TypeStatus)
 	if err != nil {
 		return "", engine.Timeline{}, err
 	}
 	return engine.DecodeStatus(msg.Payload)
+}
+
+// closed reports whether the session has been detached or killed.
+func (s *Session) closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detached || s.killed
 }
 
 // Proctab returns the job's RPDTAB.
@@ -240,7 +348,7 @@ func (s *Session) Daemons() []DaemonInfo { return s.daemons }
 // SendToBE ships tool data to the master back-end daemon (which typically
 // broadcasts it over ICCL).
 func (s *Session) SendToBE(data []byte) error {
-	if s.beMaster == nil || s.detached || s.killed {
+	if s.beMaster == nil || s.closed() {
 		return ErrSessionClosed
 	}
 	return s.beMaster.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeUsrData, UsrData: data})
@@ -248,7 +356,7 @@ func (s *Session) SendToBE(data []byte) error {
 
 // RecvFromBE receives tool data from the master back-end daemon.
 func (s *Session) RecvFromBE() ([]byte, error) {
-	if s.beMaster == nil || s.detached || s.killed {
+	if s.beMaster == nil || s.closed() {
 		return nil, ErrSessionClosed
 	}
 	msg, err := s.beMaster.Expect(lmonp.ClassFEBE, lmonp.TypeUsrData)
@@ -258,13 +366,31 @@ func (s *Session) RecvFromBE() ([]byte, error) {
 	return msg.UsrData, nil
 }
 
+// endSession flips the given lifecycle flag exactly once; it reports
+// whether the caller won the transition.
+func (s *Session) endSession(kill bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detached || s.killed {
+		return false
+	}
+	if kill {
+		s.killed = true
+	} else {
+		s.detached = true
+	}
+	return true
+}
+
 // Detach ends tool control, leaving the job running. Daemons observe their
 // FE/ICCL connections closing and shut themselves down.
 func (s *Session) Detach() error {
-	if s.detached || s.killed {
+	if !s.endSession(false) {
 		return ErrSessionClosed
 	}
-	s.detached = true
+	// Close even when the exchange fails: the session is over either way,
+	// and the mux endpoint must be released.
+	defer s.close()
 	if err := s.eng.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeDetach}); err != nil {
 		return err
 	}
@@ -275,16 +401,15 @@ func (s *Session) Detach() error {
 	if status != "detached" {
 		return fmt.Errorf("core: detach failed: %s", status)
 	}
-	s.close()
 	return nil
 }
 
 // Kill terminates the job, its tasks and all daemons.
 func (s *Session) Kill() error {
-	if s.detached || s.killed {
+	if !s.endSession(true) {
 		return ErrSessionClosed
 	}
-	s.killed = true
+	defer s.close()
 	if err := s.eng.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeKill}); err != nil {
 		return err
 	}
@@ -295,7 +420,6 @@ func (s *Session) Kill() error {
 	if status != "killed" {
 		return fmt.Errorf("core: kill failed: %s", status)
 	}
-	s.close()
 	return nil
 }
 
@@ -303,14 +427,17 @@ func (s *Session) close() {
 	if s.eng != nil {
 		s.eng.Close()
 	}
-	if s.beMaster != nil {
-		s.beMaster.Close()
+	s.mu.Lock()
+	be, mw := s.beMaster, s.mwMaster
+	s.mu.Unlock()
+	if be != nil {
+		be.Close()
 	}
-	if s.mwMaster != nil {
-		s.mwMaster.Close()
+	if mw != nil {
+		mw.Close()
 	}
-	if s.listener != nil {
-		s.listener.Close()
+	if s.ep != nil {
+		s.ep.Close()
 	}
 }
 

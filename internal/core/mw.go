@@ -9,6 +9,7 @@ import (
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
+	"launchmon/internal/transport"
 )
 
 // MWOptions parameterize middleware daemon launches.
@@ -29,24 +30,44 @@ type MWOptions struct {
 // spawn; each daemon receives a personality handle (its rank), the RPDTAB,
 // and a bootstrap fabric it can use to set up its own network.
 func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
+	s.mu.Lock()
 	if s.detached || s.killed {
+		s.mu.Unlock()
 		return nil, ErrSessionClosed
 	}
-	if s.mwMaster != nil {
+	if s.mwMaster != nil || s.mwLaunching {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: session %d already has middleware daemons", s.ID)
 	}
+	s.mwLaunching = true
+	s.mu.Unlock()
 
 	daemon := opts.Daemon
 	env := make(map[string]string, len(daemon.Env)+5)
 	for k, v := range daemon.Env {
 		env[k] = v
 	}
-	env[EnvFEAddr] = s.listener.Addr().String()
+	env[EnvFEAddr] = s.fe.mux.Addr().String()
 	env[EnvSession] = fmt.Sprint(s.ID)
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, true))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvKind] = "mw"
 	daemon.Env = env
+
+	// A previous timed-out attempt may have left a late MW-master dial
+	// queued on this session's endpoint; shed it so this attempt cannot
+	// handshake with the stale daemon set.
+	s.ep.Drain(transport.RoleMW)
+
+	// A failed launch releases the slot so the tool may retry.
+	committed := false
+	defer func() {
+		if !committed {
+			s.mu.Lock()
+			s.mwLaunching = false
+			s.mu.Unlock()
+		}
+	}()
 
 	if err := s.eng.Send(&lmonp.Msg{
 		Class:   lmonp.ClassFEEngine,
@@ -71,54 +92,74 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mwNodes = nodes
 
-	// Handshake with the master middleware daemon.
-	raw, err := s.listener.AcceptTimeout(s.timeout)
+	// Handshake with the master middleware daemon over this session's
+	// mux endpoint (hello role "mw-master").
+	mwConn, err := s.ep.Accept(transport.RoleMW, s.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("core: MW master did not connect: %w", err)
 	}
-	s.mwMaster = lmonp.NewConn(raw)
-	if err := s.mwMaster.Send(&lmonp.Msg{
-		Class:   lmonp.ClassFEMW,
-		Type:    lmonp.TypeHandshake,
-		Payload: s.tab.Encode(),
-		UsrData: opts.FEData,
-	}); err != nil {
+	if err := s.sendHandshake(mwConn, lmonp.ClassFEMW, opts.FEData); err != nil {
+		mwConn.Close()
 		return nil, err
 	}
-	ready, err := s.mwMaster.Expect(lmonp.ClassFEMW, lmonp.TypeReady)
+	ready, err := mwConn.Expect(lmonp.ClassFEMW, lmonp.TypeReady)
 	if err != nil {
+		mwConn.Close()
 		return nil, err
 	}
 	infos, _, err := decodeReady(ready.Payload)
 	if err != nil {
+		mwConn.Close()
 		return nil, err
 	}
+	committed = true
+	s.mu.Lock()
+	s.mwMaster = mwConn
+	s.mwNodes = nodes
 	s.mwInfos = infos
+	s.mwLaunching = false
+	s.mu.Unlock()
 	return nodes, nil
 }
 
 // MWNodes returns the middleware allocation (after LaunchMW).
-func (s *Session) MWNodes() []string { return append([]string(nil), s.mwNodes...) }
+func (s *Session) MWNodes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.mwNodes...)
+}
 
 // MWDaemons returns the per-daemon records of the middleware set.
-func (s *Session) MWDaemons() []DaemonInfo { return append([]DaemonInfo(nil), s.mwInfos...) }
+func (s *Session) MWDaemons() []DaemonInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]DaemonInfo(nil), s.mwInfos...)
+}
+
+// mwConn returns the middleware master connection, if any.
+func (s *Session) mwConn() *lmonp.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mwMaster
+}
 
 // SendToMW ships tool data to the master middleware daemon.
 func (s *Session) SendToMW(data []byte) error {
-	if s.mwMaster == nil {
+	c := s.mwConn()
+	if c == nil {
 		return fmt.Errorf("core: session %d has no middleware daemons", s.ID)
 	}
-	return s.mwMaster.Send(&lmonp.Msg{Class: lmonp.ClassFEMW, Type: lmonp.TypeUsrData, UsrData: data})
+	return c.Send(&lmonp.Msg{Class: lmonp.ClassFEMW, Type: lmonp.TypeUsrData, UsrData: data})
 }
 
 // RecvFromMW receives tool data from the master middleware daemon.
 func (s *Session) RecvFromMW() ([]byte, error) {
-	if s.mwMaster == nil {
+	c := s.mwConn()
+	if c == nil {
 		return nil, fmt.Errorf("core: session %d has no middleware daemons", s.ID)
 	}
-	msg, err := s.mwMaster.Expect(lmonp.ClassFEMW, lmonp.TypeUsrData)
+	msg, err := c.Expect(lmonp.ClassFEMW, lmonp.TypeUsrData)
 	if err != nil {
 		return nil, err
 	}
@@ -146,19 +187,21 @@ func MWInit(p *cluster.Proc) (*Middleware, error) {
 		return nil, err
 	}
 	mw := &Middleware{p: p}
-	var handshake *lmonp.Msg
+	var masterTab proctab.Table
+	var feData []byte
 	var tl engine.Timeline
 	if cfg.Rank == 0 {
-		feAddr, err := parseHostPort(p.Env(EnvFEAddr))
-		if err != nil {
-			return nil, err
-		}
-		raw, err := p.Host().Dial(feAddr)
+		fe, err := dialFE(p, transport.RoleMW)
 		if err != nil {
 			return nil, fmt.Errorf("core: MW master dialing FE: %w", err)
 		}
-		mw.fe = lmonp.NewConn(raw)
-		handshake, err = mw.fe.Expect(lmonp.ClassFEMW, lmonp.TypeHandshake)
+		mw.fe = fe
+		handshake, err := mw.fe.Expect(lmonp.ClassFEMW, lmonp.TypeHandshake)
+		if err != nil {
+			return nil, err
+		}
+		feData = handshake.UsrData
+		masterTab, err = proctab.RecvStream(mw.fe, lmonp.ClassFEMW, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -170,30 +213,12 @@ func MWInit(p *cluster.Proc) (*Middleware, error) {
 	}
 	mw.comm = comm
 
-	var seed []byte
-	if comm.IsMaster() {
-		seed = lmonp.AppendBytes(nil, handshake.Payload)
-		seed = lmonp.AppendBytes(seed, handshake.UsrData)
-	}
-	blob, err := comm.Broadcast(seed)
-	if err != nil {
-		return nil, err
-	}
-	rd := lmonp.NewReader(blob)
-	tabEnc, err := rd.Bytes()
-	if err != nil {
-		return nil, err
-	}
-	feData, err := rd.Bytes()
-	if err != nil {
-		return nil, err
-	}
-	tab, err := proctab.Decode(tabEnc)
+	tab, data, err := distributeSessionSeed(comm, masterTab, feData)
 	if err != nil {
 		return nil, err
 	}
 	mw.tab = tab
-	mw.feData = append([]byte(nil), feData...)
+	mw.feData = data
 
 	mine := encodeDaemonInfo(DaemonInfo{Rank: comm.Rank(), Host: p.Node().Name(), Pid: p.Pid()})
 	all, err := comm.Gather(mine)

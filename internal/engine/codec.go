@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"launchmon/internal/lmonp"
 	"launchmon/internal/rm"
 )
@@ -11,6 +13,9 @@ import (
 type LaunchReq struct {
 	Job    rm.JobSpec
 	Daemon rm.DaemonSpec
+	// ChunkBytes overrides the engine's RPDTAB chunk size for this
+	// session; 0 keeps the engine default.
+	ChunkBytes int
 }
 
 // AttachReq asks the engine to attach to a running job and co-locate
@@ -18,6 +23,8 @@ type LaunchReq struct {
 type AttachReq struct {
 	JobID  int
 	Daemon rm.DaemonSpec
+	// ChunkBytes overrides the engine's RPDTAB chunk size; 0 = default.
+	ChunkBytes int
 }
 
 // SpawnReq asks the engine to allocate fresh nodes and spawn middleware
@@ -95,7 +102,8 @@ func readDaemonSpec(rd *lmonp.Reader) (rm.DaemonSpec, error) {
 // EncodeLaunchReq renders a LaunchReq payload.
 func EncodeLaunchReq(r LaunchReq) []byte {
 	b := appendJobSpec(nil, r.Job)
-	return appendDaemonSpec(b, r.Daemon)
+	b = appendDaemonSpec(b, r.Daemon)
+	return lmonp.AppendUint32(b, uint32(r.ChunkBytes))
 }
 
 // DecodeLaunchReq parses a LaunchReq payload.
@@ -109,13 +117,17 @@ func DecodeLaunchReq(b []byte) (LaunchReq, error) {
 	if r.Daemon, err = readDaemonSpec(rd); err != nil {
 		return r, err
 	}
+	if r.ChunkBytes, err = readChunkBytes(rd); err != nil {
+		return r, err
+	}
 	return r, nil
 }
 
 // EncodeAttachReq renders an AttachReq payload.
 func EncodeAttachReq(r AttachReq) []byte {
 	b := lmonp.AppendUint32(nil, uint32(r.JobID))
-	return appendDaemonSpec(b, r.Daemon)
+	b = appendDaemonSpec(b, r.Daemon)
+	return lmonp.AppendUint32(b, uint32(r.ChunkBytes))
 }
 
 // DecodeAttachReq parses an AttachReq payload.
@@ -130,7 +142,23 @@ func DecodeAttachReq(b []byte) (AttachReq, error) {
 	if r.Daemon, err = readDaemonSpec(rd); err != nil {
 		return r, err
 	}
+	if r.ChunkBytes, err = readChunkBytes(rd); err != nil {
+		return r, err
+	}
 	return r, nil
+}
+
+// readChunkBytes reads the trailing chunk-size override of a session
+// request, rejecting values that overflow int chunk arithmetic.
+func readChunkBytes(rd *lmonp.Reader) (int, error) {
+	v, err := rd.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<30 {
+		return 0, fmt.Errorf("engine: chunk size %d out of range", v)
+	}
+	return int(v), nil
 }
 
 // EncodeSpawnReq renders a SpawnReq payload.

@@ -21,15 +21,23 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 	"launchmon/internal/simnet"
+	"launchmon/internal/transport"
 )
 
 // ExeName is the registered executable name of the engine binary.
 const ExeName = "lmon_engine"
 
-// EnvFEAddr tells a freshly spawned engine where its front end listens.
+// EnvFEAddr tells a freshly spawned engine where its front end's
+// transport mux listens.
 const EnvFEAddr = "LMON_ENGINE_FE_ADDR"
+
+// EnvSession tells a freshly spawned engine which session it serves; the
+// engine announces it in the transport hello so the front-end mux routes
+// the connection to the owning session.
+const EnvSession = "LMON_ENGINE_SESSION"
 
 // Config tunes engine behaviour.
 type Config struct {
@@ -38,6 +46,10 @@ type Config struct {
 	HandlerCost time.Duration
 	// BaseCost models the engine's fixed startup bookkeeping (default 3ms).
 	BaseCost time.Duration
+	// ProctabChunkBytes bounds one RPDTAB chunk payload on the engine→FE
+	// stream (default proctab.DefaultChunkBytes). Requests may override it
+	// per session.
+	ProctabChunkBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BaseCost == 0 {
 		c.BaseCost = 3 * time.Millisecond
+	}
+	if c.ProctabChunkBytes == 0 {
+		c.ProctabChunkBytes = proctab.DefaultChunkBytes
 	}
 	return c
 }
@@ -67,6 +82,9 @@ type Engine struct {
 	mgr  rm.Manager
 	cfg  Config
 
+	session    int
+	chunkBytes int // effective RPDTAB chunk size for this session
+
 	fe  *lmonp.Conn
 	job rm.Job
 	tr  *cluster.Tracer
@@ -77,16 +95,21 @@ func (e *Engine) main() {
 	start := e.proc.Sim().Now()
 	e.tl.Mark(MarkE1, start)
 	e.proc.Compute(e.cfg.BaseCost)
+	e.chunkBytes = e.cfg.ProctabChunkBytes
 
 	addr, err := parseAddr(e.proc.Env(EnvFEAddr))
 	if err != nil {
 		return
 	}
-	conn, err := e.proc.Host().Dial(addr)
+	e.session, err = strconv.Atoi(e.proc.Env(EnvSession))
 	if err != nil {
 		return
 	}
-	e.fe = lmonp.NewConn(conn)
+	conn, err := transport.Dial(e.proc.Host(), addr, e.session, transport.RoleEngine)
+	if err != nil {
+		return
+	}
+	e.fe = conn
 	defer e.fe.Close()
 
 	req, err := e.fe.Recv()
@@ -119,6 +142,9 @@ func (e *Engine) serveLaunch(req *lmonp.Msg) error {
 	lr, err := DecodeLaunchReq(req.Payload)
 	if err != nil {
 		return err
+	}
+	if lr.ChunkBytes > 0 {
+		e.chunkBytes = lr.ChunkBytes
 	}
 	job, err := e.mgr.StartJobHeld(lr.Job)
 	if err != nil {
@@ -156,6 +182,9 @@ func (e *Engine) serveAttach(req *lmonp.Msg) error {
 	ar, err := DecodeAttachReq(req.Payload)
 	if err != nil {
 		return err
+	}
+	if ar.ChunkBytes > 0 {
+		e.chunkBytes = ar.ChunkBytes
 	}
 	job, ok := e.mgr.FindJob(ar.JobID)
 	if !ok {
@@ -204,12 +233,10 @@ func (e *Engine) harvestAndSpawn(spec rm.DaemonSpec, tr *cluster.Tracer) error {
 		return err
 	}
 
-	// Ship the RPDTAB to the front end (overlaps with the daemon spawn).
-	if err := e.fe.Send(&lmonp.Msg{
-		Class:   lmonp.ClassFEEngine,
-		Type:    lmonp.TypeProctab,
-		Payload: tab.Encode(),
-	}); err != nil {
+	// Ship the RPDTAB to the front end as a bounded-chunk stream: no
+	// single LMONP payload exceeds the configured chunk size, and the
+	// transfer overlaps with the daemon spawn below.
+	if err := proctab.SendStream(e.fe, lmonp.ClassFEEngine, tab, e.chunkBytes); err != nil {
 		return err
 	}
 

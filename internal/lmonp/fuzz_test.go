@@ -1,0 +1,108 @@
+package lmonp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader drives every Reader accessor over arbitrary bytes: no input
+// may panic, and a successful read must consume a plausible number of
+// bytes (never more than were available).
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendString(nil, "hello"))
+	f.Add(AppendStringList(nil, []string{"a", "bb", ""}))
+	f.Add(AppendStringMap(nil, [][2]string{{"k", "v"}}))
+	f.Add(AppendBytes(AppendUint32(AppendUint64(nil, 1<<40), 7), []byte{1, 2, 3}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                         // absurd count
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x01}) // list claiming 2 entries, 4 bytes left
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each accessor on its own Reader over the same input.
+		r := NewReader(data)
+		if s, err := r.String(); err == nil && len(s) > len(data) {
+			t.Fatalf("String longer than input: %d > %d", len(s), len(data))
+		}
+		r = NewReader(data)
+		if b, err := r.Bytes(); err == nil && len(b) > len(data) {
+			t.Fatalf("Bytes longer than input")
+		}
+		r = NewReader(data)
+		if ss, err := r.StringList(); err == nil {
+			// n entries need at least 4 bytes each after the count.
+			if len(ss)*4 > len(data)-4 {
+				t.Fatalf("list of %d entries decoded from %d bytes", len(ss), len(data))
+			}
+		}
+		r = NewReader(data)
+		if kv, err := r.StringMap(); err == nil {
+			if len(kv)*8 > len(data)-4 {
+				t.Fatalf("map of %d entries decoded from %d bytes", len(kv), len(data))
+			}
+		}
+		// A mixed sequence must keep Remaining consistent.
+		r = NewReader(data)
+		for r.Remaining() > 0 {
+			before := r.Remaining()
+			if _, err := r.Uint32(); err != nil {
+				break
+			}
+			if r.Remaining() >= before {
+				t.Fatal("Uint32 consumed nothing")
+			}
+		}
+	})
+}
+
+// TestLengthGuardBoundaries pins the exact count guards: a count whose
+// minimum encoding cannot fit in the remaining bytes must be rejected,
+// while one that exactly fits must decode.
+func TestLengthGuardBoundaries(t *testing.T) {
+	// List claiming 1 entry with zero bytes left: impossible.
+	if _, err := NewReader(AppendUint32(nil, 1)).StringList(); err == nil {
+		t.Error("list count 1 with 0 remaining bytes accepted")
+	}
+	// Map claiming 1 entry with only 4 bytes left (needs >= 8).
+	if _, err := NewReader(AppendUint32(AppendUint32(nil, 1), 0)).StringMap(); err == nil {
+		t.Error("map count 1 with 4 remaining bytes accepted")
+	}
+	// Exactly-fitting boundary: n empty strings in exactly 4n bytes.
+	ok := AppendStringList(nil, []string{"", "", ""})
+	if ss, err := NewReader(ok).StringList(); err != nil || len(ss) != 3 {
+		t.Errorf("exact-fit list rejected: %v, %v", ss, err)
+	}
+	okMap := AppendStringMap(nil, [][2]string{{"", ""}})
+	if kv, err := NewReader(okMap).StringMap(); err != nil || len(kv) != 1 {
+		t.Errorf("exact-fit map rejected: %v, %v", kv, err)
+	}
+}
+
+// FuzzMsgRead feeds arbitrary bytes to the LMONP message decoder and
+// round-trips whatever decodes cleanly.
+func FuzzMsgRead(f *testing.F) {
+	ok, _ := (&Msg{Class: ClassFEBE, Type: TypeHandshake, Payload: []byte("p"), UsrData: []byte("u")}).Encode()
+	f.Add(ok)
+	f.Add(ok[:HeaderSize-1])
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.WireSize() > len(data) {
+			t.Fatalf("decoded %d wire bytes from %d input bytes", m.WireSize(), len(data))
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		back, err := Read(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Class != m.Class || back.Type != m.Type || !bytes.Equal(back.Payload, m.Payload) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

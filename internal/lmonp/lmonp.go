@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the protocol version carried in every header.
@@ -83,7 +84,14 @@ const (
 	// fe-be / fe-mw
 	TypeHandshake // FE→BE/MW master: session parameters (+ piggyback)
 	TypeUsrData   // either direction: pure tool payload
-	TypeProctabBE // FE→BE/MW master: RPDTAB broadcast seed
+	TypeProctabBE // FE→BE/MW master: RPDTAB broadcast seed (legacy, unused)
+
+	// RPDTAB streaming (any proctab-carrying class): the table travels as
+	// bounded-size chunks so peak payload memory stays flat at
+	// million-task scale, closed by an end marker carrying the total
+	// entry count for reassembly validation.
+	TypeProctabChunk // sender→receiver: one independently decodable RPDTAB chunk
+	TypeProctabEnd   // sender→receiver: stream end; payload = uint64 total entries
 )
 
 // String names the type for diagnostics.
@@ -94,7 +102,8 @@ func (t MsgType) String() string {
 		TypeReady: "ready", TypeDetach: "detach", TypeKill: "kill",
 		TypeShutdown: "shutdown", TypeStatus: "status",
 		TypeHandshake: "handshake", TypeUsrData: "usrdata",
-		TypeProctabBE: "proctab-be",
+		TypeProctabBE: "proctab-be", TypeProctabChunk: "proctab-chunk",
+		TypeProctabEnd: "proctab-end",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -189,10 +198,15 @@ func Read(r io.Reader) (*Msg, error) {
 }
 
 // Conn wraps a stream with LMONP message framing and per-connection
-// sequence numbering.
+// sequence numbering. Send is safe for concurrent use (sessions running
+// in parallel goroutines may share helpers that write); Recv assumes a
+// single reader per connection, which is the LMONP ownership model —
+// every connection has exactly one component representative reading it.
 type Conn struct {
-	rw  io.ReadWriter
-	seq uint32
+	rw io.ReadWriter
+
+	sendMu sync.Mutex
+	seq    uint32
 }
 
 // NewConn wraps rw.
@@ -200,6 +214,8 @@ func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
 
 // Send writes a message, stamping the connection's next sequence number.
 func (c *Conn) Send(m *Msg) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
 	c.seq++
 	m.Seq = c.seq
 	return Write(c.rw, m)

@@ -157,8 +157,12 @@ func (r *Reader) StringList() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(n)*4 > uint64(r.Remaining())+4 {
-		return nil, fmt.Errorf("%w: list of %d entries", ErrTruncated, n)
+	// Each entry needs at least its own 4-byte length prefix, and the
+	// count field has already been consumed — so n entries can never need
+	// more than exactly the remaining bytes. (The previous guard allowed a
+	// +4 slack that admitted impossible counts at the boundary.)
+	if uint64(n)*4 > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: list of %d entries, %d bytes remain", ErrTruncated, n, r.Remaining())
 	}
 	out := make([]string, 0, n)
 	for i := uint32(0); i < n; i++ {
@@ -177,8 +181,9 @@ func (r *Reader) StringMap() ([][2]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(n)*8 > uint64(r.Remaining())+8 {
-		return nil, fmt.Errorf("%w: map of %d entries", ErrTruncated, n)
+	// Each entry is two length-prefixed strings: at least 8 bytes.
+	if uint64(n)*8 > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: map of %d entries, %d bytes remain", ErrTruncated, n, r.Remaining())
 	}
 	out := make([][2]string, 0, n)
 	for i := uint32(0); i < n; i++ {

@@ -1,0 +1,46 @@
+package proctab
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzProctabDecode hardens the RPDTAB decoder against truncated and
+// hostile inputs: it must never panic, never fabricate more entries than
+// the input could physically encode, and everything it accepts must
+// re-encode/re-decode to the same table.
+func FuzzProctabDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(synthTable(0).Encode())
+	f.Add(synthTable(3).Encode())
+	f.Add(synthTable(64).Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                                    // absurd pool count
+	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})                        // absurd entry count
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 'h', 0, 0, 0, 1, 0, 0, 0, 9, 9, 9}) // truncated entry
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Each entry consumes 16 bytes of input past the pool.
+		if len(tab)*16 > len(data) {
+			t.Fatalf("%d entries decoded from %d bytes", len(tab), len(data))
+		}
+		for i, d := range tab {
+			if d.Pid < 0 || d.Rank < 0 {
+				t.Fatalf("entry %d decoded negative identity: %+v", i, d)
+			}
+		}
+		back, err := Decode(tab.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted table failed: %v", err)
+		}
+		if len(tab) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(back, tab) {
+			t.Fatal("re-encode roundtrip mismatch")
+		}
+	})
+}

@@ -7,6 +7,7 @@ package proctab
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"launchmon/internal/lmonp"
@@ -76,6 +77,16 @@ func Decode(b []byte) (Table, error) {
 		}
 		if int(hi) >= len(pool) || int(ei) >= len(pool) {
 			return nil, fmt.Errorf("proctab: entry %d: pool index out of range", i)
+		}
+		// Pid and Rank travel as uint32 but live as int: values past
+		// MaxInt32 cannot round-trip through Encode (a negative int cast to
+		// uint32 lands here too), so reject them instead of smuggling
+		// corrupt identities into the table.
+		if pid > math.MaxInt32 {
+			return nil, fmt.Errorf("proctab: entry %d: pid %d overflows", i, pid)
+		}
+		if rank > math.MaxInt32 {
+			return nil, fmt.Errorf("proctab: entry %d: rank %d overflows", i, rank)
 		}
 		t = append(t, ProcDesc{Host: pool[hi], Exe: pool[ei], Pid: int(pid), Rank: int(rank)})
 	}

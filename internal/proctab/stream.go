@@ -1,0 +1,155 @@
+package proctab
+
+import (
+	"fmt"
+
+	"launchmon/internal/lmonp"
+)
+
+// This file implements the chunked RPDTAB transfer: instead of shipping
+// the whole table as one monolithic LMONP payload (16 MB+ at million-task
+// scale), the sender splits it into independently decodable chunks of
+// bounded encoded size, closed by an end marker carrying the total entry
+// count. Receivers reassemble and validate. Chunks on a connection are
+// FIFO, so reassembly is a straight append; because each chunk is a
+// complete mini-table (its own string pool), a receiver's peak
+// per-message memory is bounded by the chunk size regardless of job
+// scale, and early chunks overlap the tail of the transfer (and, on the
+// engine→FE path, the daemon-spawn window) on the wire.
+
+// DefaultChunkBytes bounds one encoded RPDTAB chunk when the caller does
+// not configure a size. 64 KiB keeps paper-scale tables (≤8192 tasks) in
+// a handful of chunks while capping million-task payloads.
+const DefaultChunkBytes = 64 << 10
+
+// EncodeChunks splits the table into encoded chunks of at most maxBytes
+// each (maxBytes <= 0 selects DefaultChunkBytes). Every chunk is a
+// complete Encode output for a contiguous slice of the table, so Decode
+// applies to each chunk on its own. A chunk always carries at least one
+// entry; a single entry whose pooled strings alone exceed maxBytes yields
+// one oversized chunk rather than an error. An empty table encodes to one
+// empty chunk.
+func (t Table) EncodeChunks(maxBytes int) [][]byte {
+	if maxBytes <= 0 {
+		maxBytes = DefaultChunkBytes
+	}
+	// Fixed per-chunk framing: pool count (4) + entry count (4).
+	const chunkOverhead, entryBytes = 8, 16
+	var chunks [][]byte
+	start := 0
+	size := chunkOverhead
+	pooled := make(map[string]bool)
+	for i, d := range t {
+		add := entryBytes
+		if !pooled[d.Host] {
+			add += 4 + len(d.Host)
+		}
+		if !pooled[d.Exe] && d.Exe != d.Host {
+			add += 4 + len(d.Exe)
+		}
+		if i > start && size+add > maxBytes {
+			chunks = append(chunks, t[start:i].Encode())
+			start = i
+			size = chunkOverhead
+			clear(pooled)
+			add = entryBytes + 4 + len(d.Host)
+			if d.Exe != d.Host {
+				add += 4 + len(d.Exe)
+			}
+		}
+		pooled[d.Host] = true
+		pooled[d.Exe] = true
+		size += add
+	}
+	return append(chunks, t[start:].Encode())
+}
+
+// Assembler reassembles a chunk stream back into a Table.
+type Assembler struct {
+	tab    Table
+	chunks int
+}
+
+// Add decodes one chunk and appends its entries.
+func (a *Assembler) Add(chunk []byte) error {
+	t, err := Decode(chunk)
+	if err != nil {
+		return fmt.Errorf("proctab: chunk %d: %w", a.chunks, err)
+	}
+	a.chunks++
+	a.tab = append(a.tab, t...)
+	return nil
+}
+
+// Chunks returns the number of chunks added so far.
+func (a *Assembler) Chunks() int { return a.chunks }
+
+// Finish checks the reassembled table against the end marker's total and
+// the structural invariants (Table.Validate: every rank exactly once,
+// no empty names) and returns it.
+func (a *Assembler) Finish(total int) (Table, error) {
+	if total < 0 || len(a.tab) != total {
+		return nil, fmt.Errorf("proctab: reassembled %d entries, end marker says %d", len(a.tab), total)
+	}
+	if err := a.tab.Validate(); err != nil {
+		return nil, fmt.Errorf("proctab: reassembled table: %w", err)
+	}
+	return a.tab, nil
+}
+
+// SendStream writes the table to c as TypeProctabChunk messages of at
+// most maxBytes payload each, closed by a TypeProctabEnd marker carrying
+// the total entry count.
+func SendStream(c *lmonp.Conn, class lmonp.MsgClass, t Table, maxBytes int) error {
+	for _, chunk := range t.EncodeChunks(maxBytes) {
+		if err := c.Send(&lmonp.Msg{Class: class, Type: lmonp.TypeProctabChunk, Payload: chunk}); err != nil {
+			return err
+		}
+	}
+	return c.Send(&lmonp.Msg{
+		Class:   class,
+		Type:    lmonp.TypeProctabEnd,
+		Payload: lmonp.AppendUint64(nil, uint64(len(t))),
+	})
+}
+
+// RecvStream consumes a chunk stream from c until the end marker and
+// returns the validated table. Messages of other types are passed to
+// onOther when non-nil (so callers can interleave status handling); a nil
+// onOther treats them as protocol errors. A non-nil error from onOther
+// aborts the stream.
+func RecvStream(c *lmonp.Conn, class lmonp.MsgClass, onOther func(*lmonp.Msg) error) (Table, error) {
+	var asm Assembler
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if msg.Class != class {
+			return nil, fmt.Errorf("proctab: stream message on class %v, want %v", msg.Class, class)
+		}
+		switch msg.Type {
+		case lmonp.TypeProctabChunk:
+			if err := asm.Add(msg.Payload); err != nil {
+				return nil, err
+			}
+		case lmonp.TypeProctabEnd:
+			rd := lmonp.NewReader(msg.Payload)
+			total, err := rd.Uint64()
+			if err != nil {
+				return nil, fmt.Errorf("proctab: end marker: %w", err)
+			}
+			if total > uint64(len(asm.tab)) {
+				return nil, fmt.Errorf("proctab: end marker claims %d entries, received %d", total, len(asm.tab))
+			}
+			return asm.Finish(int(total))
+		default:
+			if onOther == nil {
+				return nil, fmt.Errorf("proctab: unexpected %v message in RPDTAB stream", msg.Type)
+			}
+			if err := onOther(msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

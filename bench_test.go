@@ -3,6 +3,7 @@ package launchmon_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"launchmon/internal/bench"
 )
@@ -137,6 +138,37 @@ func BenchmarkAblation_ConcurrentSessions(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.Throughput, fmt.Sprintf("sessions/vsec-K%d", r.Sessions))
+	}
+}
+
+// BenchmarkAblation_FailureDetection kills the deepest-ranked daemon's
+// node mid-session at K ∈ {64, 1024, 16384} and reports how long (in
+// virtual time) the loss takes to reach the front end as a DaemonExited
+// callback plus the time to full watchdog teardown, and sweeps heartbeat
+// wire overhead vs period on an idle 256-daemon session.
+func BenchmarkAblation_FailureDetection(b *testing.B) {
+	var rows []bench.FailureRow
+	var overhead []bench.OverheadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.FailureDetection(bench.FailureOpts{}, bench.FailureScales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(bench.FailureScales) {
+			b.Fatalf("%d rows", len(rows))
+		}
+		overhead, err = bench.HeartbeatOverhead(256, bench.OverheadPeriods, 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.DetectSever.Seconds()*1e3, fmt.Sprintf("detect-vms-K%d", r.Nodes))
+		b.ReportMetric(r.Teardown.Seconds()*1e3, fmt.Sprintf("teardown-vms-K%d", r.Nodes))
+	}
+	for _, r := range overhead {
+		b.ReportMetric(r.MsgsPerSec, fmt.Sprintf("hb-msgs-per-vsec-p%s", r.Period))
 	}
 }
 

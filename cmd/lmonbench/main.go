@@ -3,25 +3,54 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-smoke] [-json] [-all]
+//
+// With -json, each experiment additionally writes its rows as
+// BENCH_<name>.json in the working directory (machine-readable results
+// for CI and regression tracking). -smoke runs a fast reduced-scale
+// subset that exercises the bench rig end to end.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"launchmon/internal/bench"
 )
+
+var writeJSON bool
+
+// emit optionally writes rows as BENCH_<name>.json.
+func emit(name string, rows any) error {
+	if !writeJSON {
+		return nil
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (3, 5 or 6)")
 	table := flag.Int("table", 0, "regenerate one table (1)")
 	ablations := flag.Bool("ablations", false, "run the ablation benches")
+	failure := flag.Bool("failure", false, "run the failure-detection ablation (K up to 16384)")
+	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
 	all := flag.Bool("all", false, "run every experiment")
+	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && *fig == 0 && *table == 0 {
+	if !*ablations && !*failure && !*smoke && *fig == 0 && *table == 0 {
 		*all = true
 	}
 	run := func(name string, fn func() error) {
@@ -32,6 +61,11 @@ func main() {
 		fmt.Println()
 	}
 
+	if *smoke {
+		run("smoke", runSmoke)
+		return
+	}
+
 	if *all || *fig == 3 {
 		run("figure 3", func() error {
 			rows, err := bench.Figure3()
@@ -39,7 +73,7 @@ func main() {
 				return err
 			}
 			bench.PrintFigure3(os.Stdout, rows)
-			return nil
+			return emit("figure3", rows)
 		})
 	}
 	if *all || *fig == 5 {
@@ -49,7 +83,7 @@ func main() {
 				return err
 			}
 			bench.PrintFigure5(os.Stdout, rows)
-			return nil
+			return emit("figure5", rows)
 		})
 	}
 	if *all || *fig == 6 {
@@ -59,7 +93,7 @@ func main() {
 				return err
 			}
 			bench.PrintFigure6(os.Stdout, rows)
-			return nil
+			return emit("figure6", rows)
 		})
 	}
 	if *all || *table == 1 {
@@ -69,7 +103,7 @@ func main() {
 				return err
 			}
 			bench.PrintTable1(os.Stdout, rows)
-			return nil
+			return emit("table1", rows)
 		})
 	}
 	if *all || *ablations {
@@ -109,7 +143,76 @@ func main() {
 			}
 			fmt.Println()
 			bench.PrintConcurrent(os.Stdout, cc)
-			return nil
+			if err := emit("ablation_bgl", bgl); err != nil {
+				return err
+			}
+			if err := emit("ablation_fanout", fan); err != nil {
+				return err
+			}
+			if err := emit("ablation_piggyback", pig); err != nil {
+				return err
+			}
+			if err := emit("ablation_debug_events", dbg); err != nil {
+				return err
+			}
+			if err := emit("ablation_proctab", pt); err != nil {
+				return err
+			}
+			if err := emit("ablation_jobsnap_tree", jt); err != nil {
+				return err
+			}
+			return emit("ablation_concurrent", cc)
 		})
 	}
+	if *all || *failure {
+		run("failure detection", func() error {
+			rows, err := bench.FailureDetection(bench.FailureOpts{Silent: true}, bench.FailureScales)
+			if err != nil {
+				return err
+			}
+			bench.PrintFailure(os.Stdout, rows)
+			if err := emit("failure_detection", rows); err != nil {
+				return err
+			}
+			overhead, err := bench.HeartbeatOverhead(256, bench.OverheadPeriods, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			bench.PrintOverhead(os.Stdout, overhead)
+			return emit("heartbeat_overhead", overhead)
+		})
+	}
+}
+
+// runSmoke exercises the bench rig end to end at reduced scale: a
+// concurrent-session sweep and a failure-detection sweep small enough for
+// a CI step, so bench-rig regressions fail the build.
+func runSmoke() error {
+	cc, err := bench.ConcurrentSessions(bench.ConcurrentSessionOpts{NodesEach: 4, TasksPerNode: 2}, []int{1, 4})
+	if err != nil {
+		return err
+	}
+	bench.PrintConcurrent(os.Stdout, cc)
+	if err := emit("smoke_concurrent", cc); err != nil {
+		return err
+	}
+	rows, err := bench.FailureDetection(bench.FailureOpts{
+		Period: 100 * time.Millisecond, Fanout: 4, Silent: true,
+	}, []int{8, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintFailure(os.Stdout, rows)
+	if err := emit("smoke_failure_detection", rows); err != nil {
+		return err
+	}
+	overhead, err := bench.HeartbeatOverhead(8, []time.Duration{500 * time.Millisecond}, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintOverhead(os.Stdout, overhead)
+	return emit("smoke_heartbeat_overhead", overhead)
 }

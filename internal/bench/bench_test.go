@@ -267,6 +267,52 @@ func TestDebugEventsAblationShape(t *testing.T) {
 	}
 }
 
+func TestFailureDetectionShapeSmall(t *testing.T) {
+	period := 100 * time.Millisecond
+	const miss = 3
+	rows, err := FailureDetection(FailureOpts{Period: period, Miss: miss, Fanout: 4, Silent: true}, []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Fail-stop (sever) detection is the fast path: the parent sees the
+		// dead connection well before a heartbeat is even due.
+		if r.DetectSever > period {
+			t.Errorf("K=%d: sever detection %v above one period %v", r.Nodes, r.DetectSever, period)
+		}
+		// Silent (link-drop) detection is bounded by the miss threshold but
+		// cannot beat it.
+		deadline := time.Duration(miss+1) * period
+		if r.DetectSilent > deadline {
+			t.Errorf("K=%d: silent detection %v above deadline %v", r.Nodes, r.DetectSilent, deadline)
+		}
+		if r.DetectSilent < time.Duration(miss-1)*period {
+			t.Errorf("K=%d: silent detection %v implausibly below threshold", r.Nodes, r.DetectSilent)
+		}
+		if r.Teardown < r.DetectSever {
+			t.Errorf("K=%d: teardown %v before detection %v", r.Nodes, r.Teardown, r.DetectSever)
+		}
+	}
+}
+
+func TestHeartbeatOverheadScalesWithPeriod(t *testing.T) {
+	rows, err := HeartbeatOverhead(16, []time.Duration{400 * time.Millisecond, 100 * time.Millisecond}, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	slow, fast := rows[0], rows[1]
+	if fast.Messages <= slow.Messages {
+		t.Errorf("4x faster heartbeat sent %d msgs vs %d — overhead not period-bound", fast.Messages, slow.Messages)
+	}
+	// 15 beating daemons at 4x the rate: expect roughly 4x the messages.
+	if fast.Messages < 3*slow.Messages {
+		t.Errorf("message ratio %d/%d below ~4x", fast.Messages, slow.Messages)
+	}
+}
+
 func TestPrinters(t *testing.T) {
 	// Smoke-test every printer against tiny inputs.
 	var buf bytes.Buffer
@@ -276,6 +322,8 @@ func TestPrinters(t *testing.T) {
 	PrintTable1(&buf, []T1Row{{Nodes: 2}})
 	PrintAblations(&buf, []BGLRow{{RM: "x"}}, []FanoutRow{{}}, []PiggybackRow{{Mode: "m"}}, []DebugEventsRow{{Mode: "f"}})
 	PrintProctabAblation(&buf, []ProctabRow{{Mode: "m"}})
+	PrintFailure(&buf, []FailureRow{{Nodes: 8, Period: time.Second, Miss: 3}})
+	PrintOverhead(&buf, []OverheadRow{{Nodes: 8, Period: time.Second, Window: time.Second}})
 	if buf.Len() == 0 {
 		t.Fatal("printers produced nothing")
 	}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/health"
+	"launchmon/internal/rm"
+	"launchmon/internal/vtime"
+)
+
+// Failure-detection ablation: how fast does a node loss mid-session reach
+// the front end as a DaemonExited callback, and what does the heartbeat
+// fabric cost while nothing is failing? Two sweeps:
+//
+//   - detection latency vs node count (K daemons, kill the deepest-ranked
+//     daemon's node; both the fail-stop sever path and the silent
+//     link-drop path are measured), plus the time to the watchdog's full
+//     session teardown; and
+//   - heartbeat overhead vs period (messages/bytes on the wire during an
+//     otherwise idle session window).
+
+// FailureRow is one detection-latency measurement at a node count.
+type FailureRow struct {
+	Nodes        int
+	Period       time.Duration
+	Miss         int
+	DetectSever  time.Duration // node killed: conns sever (fail-stop path)
+	DetectSilent time.Duration // link dropped: heartbeat-miss path
+	Teardown     time.Duration // node killed → SessionTornDown at the FE
+}
+
+// OverheadRow is one heartbeat-cost measurement at a period.
+type OverheadRow struct {
+	Nodes      int
+	Period     time.Duration
+	Window     time.Duration
+	Messages   int64
+	Bytes      int64
+	MsgsPerSec float64
+}
+
+// FailureScales are the daemon counts of the detection-latency sweep.
+var FailureScales = []int{64, 1024, 16384}
+
+// OverheadPeriods are the heartbeat periods of the overhead sweep.
+var OverheadPeriods = []time.Duration{
+	2 * time.Second, time.Second, 500 * time.Millisecond, 200 * time.Millisecond,
+}
+
+// FailureOpts parameterize the failure ablation.
+type FailureOpts struct {
+	Period time.Duration // heartbeat period (default 500ms)
+	Miss   int           // miss threshold (default 3)
+	Fanout int           // ICCL/heartbeat tree fanout (default 32)
+	Silent bool          // also measure the silent link-drop path (slower: one extra rig per scale)
+}
+
+func (o FailureOpts) withDefaults() FailureOpts {
+	if o.Period == 0 {
+		o.Period = 500 * time.Millisecond
+	}
+	if o.Miss == 0 {
+		o.Miss = 3
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 32
+	}
+	return o
+}
+
+// FailureDetection measures detection and teardown latency for each scale.
+func FailureDetection(opts FailureOpts, scales []int) ([]FailureRow, error) {
+	o := opts.withDefaults()
+	rows := make([]FailureRow, 0, len(scales))
+	for _, k := range scales {
+		row, err := measureFailure(k, o, false)
+		if err != nil {
+			return nil, fmt.Errorf("failure detection at K=%d: %w", k, err)
+		}
+		if o.Silent {
+			silent, err := measureFailure(k, o, true)
+			if err != nil {
+				return nil, fmt.Errorf("silent failure at K=%d: %w", k, err)
+			}
+			row.DetectSilent = silent.DetectSilent
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// registerResidentBE registers a BE daemon that joins the session and
+// parks until killed (the resident shape a monitoring tool has).
+func registerResidentBE(cl *cluster.Cluster, exe string) {
+	cl.Register(exe, func(p *cluster.Proc) {
+		if _, err := core.BEInit(p); err != nil {
+			return
+		}
+		vtime.NewChan[int](p.Sim()).Recv()
+	})
+}
+
+// measureFailure kills (or, silent, partitions) the node of the
+// deepest-ranked daemon and times the FE-side callbacks.
+func measureFailure(k int, o FailureOpts, silent bool) (FailureRow, error) {
+	row := FailureRow{Nodes: k, Period: o.Period, Miss: o.Miss}
+	r, err := NewRig(RigOptions{Nodes: k})
+	if err != nil {
+		return row, err
+	}
+	registerResidentBE(r.Cl, "fd_be")
+	err = r.RunFE(func(p *cluster.Proc) error {
+		s, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: 1},
+			Daemon:     rm.DaemonSpec{Exe: "fd_be"},
+			ICCLFanout: o.Fanout,
+			Health:     core.HealthOptions{Period: o.Period, Miss: o.Miss},
+		})
+		if err != nil {
+			return err
+		}
+		victim := k - 1 // deepest rank: worst-case report propagation
+		victimHost := ""
+		parentHost := ""
+		nodelist := make([]string, k)
+		for _, d := range s.Daemons() {
+			nodelist[d.Rank] = d.Host
+		}
+		victimHost = nodelist[victim]
+		if victim > 0 {
+			parentHost = nodelist[(victim-1)/o.Fanout]
+		}
+
+		exitedCh := vtime.NewChan[health.Event](p.Sim())
+		tornCh := vtime.NewChan[health.Event](p.Sim())
+		s.RegisterStatusCB(func(ev health.Event) {
+			switch ev.Kind {
+			case health.EvDaemonExited:
+				exitedCh.Send(ev)
+			case health.EvSessionTornDown:
+				tornCh.Send(ev)
+			}
+		})
+		p.Sim().Sleep(2 * time.Second) // steady state
+
+		failAt := p.Sim().Now()
+		if silent {
+			// Partition the victim from its heartbeat parent; only the
+			// miss threshold can see this.
+			r.Cl.Net().DropLink(victimHost, parentHost)
+		} else {
+			r.Cl.KillNodeByName(victimHost)
+		}
+
+		ev, ok := exitedCh.Recv()
+		if !ok {
+			return fmt.Errorf("no DaemonExited event")
+		}
+		if ev.Rank != victim {
+			return fmt.Errorf("DaemonExited rank %d, want %d", ev.Rank, victim)
+		}
+		detect := p.Sim().Now() - failAt
+		if silent {
+			row.DetectSilent = detect
+			// Heal the partition so the watchdog's kill tree can reach the
+			// victim's subtree again.
+			r.Cl.Net().RestoreLink(victimHost, parentHost)
+		} else {
+			row.DetectSever = detect
+		}
+
+		if _, ok := tornCh.Recv(); !ok {
+			return fmt.Errorf("no SessionTornDown event")
+		}
+		row.Teardown = p.Sim().Now() - failAt
+		return nil
+	})
+	return row, err
+}
+
+// HeartbeatOverhead measures heartbeat wire traffic during an idle window
+// at each period.
+func HeartbeatOverhead(nodes int, periods []time.Duration, window time.Duration) ([]OverheadRow, error) {
+	rows := make([]OverheadRow, 0, len(periods))
+	for _, period := range periods {
+		row, err := measureOverhead(nodes, period, window)
+		if err != nil {
+			return nil, fmt.Errorf("heartbeat overhead at period=%v: %w", period, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureOverhead(nodes int, period, window time.Duration) (OverheadRow, error) {
+	row := OverheadRow{Nodes: nodes, Period: period, Window: window}
+	r, err := NewRig(RigOptions{Nodes: nodes})
+	if err != nil {
+		return row, err
+	}
+	registerResidentBE(r.Cl, "ov_be")
+	err = r.RunFE(func(p *cluster.Proc) error {
+		s, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: nodes, TasksPerNode: 1},
+			Daemon:     rm.DaemonSpec{Exe: "ov_be"},
+			ICCLFanout: 32,
+			Health:     core.HealthOptions{Period: period},
+		})
+		if err != nil {
+			return err
+		}
+		p.Sim().Sleep(2 * period) // settle past the priming beats
+		before := r.Cl.Net().Stats()
+		p.Sim().Sleep(window)
+		after := r.Cl.Net().Stats()
+		row.Messages = after.Messages - before.Messages
+		row.Bytes = after.Bytes - before.Bytes
+		row.MsgsPerSec = float64(row.Messages) / window.Seconds()
+		return s.Kill()
+	})
+	return row, err
+}
+
+// PrintFailure renders the detection-latency rows.
+func PrintFailure(w io.Writer, rows []FailureRow) {
+	fmt.Fprintln(w, "Ablation — failure detection latency (kill deepest-ranked daemon's node)")
+	fmt.Fprintln(w, "daemons   period   miss  detect(sever)  detect(silent)  teardown")
+	for _, r := range rows {
+		silent := "-"
+		if r.DetectSilent > 0 {
+			silent = fmt.Sprintf("%.3fs", r.DetectSilent.Seconds())
+		}
+		fmt.Fprintf(w, "%7d %8s %5d %14.6fs %15s %8.3fs\n",
+			r.Nodes, r.Period, r.Miss, r.DetectSever.Seconds(), silent, r.Teardown.Seconds())
+	}
+}
+
+// PrintOverhead renders the heartbeat-overhead rows.
+func PrintOverhead(w io.Writer, rows []OverheadRow) {
+	fmt.Fprintln(w, "Ablation — heartbeat overhead vs period (idle session window)")
+	fmt.Fprintln(w, "daemons   period   window    msgs      bytes     msgs/vsec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d %8s %8s %7d %10d %11.1f\n",
+			r.Nodes, r.Period, r.Window, r.Messages, r.Bytes, r.MsgsPerSec)
+	}
+}

@@ -168,6 +168,7 @@ type Node struct {
 	procs   map[int]*Proc
 	pid     int
 	cpuFree time.Duration // fork serialization point
+	down    bool          // node killed by Fail/KillNode
 }
 
 // Name returns the node's host name.
@@ -197,6 +198,70 @@ func (n *Node) Proc(pid int) (*Proc, bool) {
 // ErrProcLimit is returned by Spawn when the node's process table is full
 // (the simulated analogue of fork failing with EAGAIN).
 var ErrProcLimit = errors.New("cluster: fork: resource temporarily unavailable")
+
+// ErrNodeDown is returned by Spawn on a killed node.
+var ErrNodeDown = errors.New("cluster: node is down")
+
+// Down reports whether the node has been killed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// Fail kills the node: its network host is severed (peers observe
+// ErrPeerDead once in-flight data drains) and every process on it is
+// force-terminated. Further spawns fail with ErrNodeDown. This is the
+// fault-injection entry point for node-loss scenarios; it is idempotent.
+func (n *Node) Fail() {
+	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return
+	}
+	n.down = true
+	procs := make([]*Proc, 0, len(n.procs))
+	for _, p := range n.procs {
+		procs = append(procs, p)
+	}
+	n.mu.Unlock()
+
+	// Sever the interconnect first so no process "escapes" a final message
+	// after the instant of failure, then reap the process table.
+	n.cl.net.KillHost(n.name)
+	for _, p := range procs {
+		p.Kill()
+	}
+}
+
+// KillNode fail-stops compute node i (injection API). See Node.Fail.
+func (c *Cluster) KillNode(i int) { c.nodes[i].Fail() }
+
+// KillNodeByName fail-stops the named node (front end or compute);
+// it reports whether the node existed.
+func (c *Cluster) KillNodeByName(name string) bool {
+	n, ok := c.NodeByName(name)
+	if !ok {
+		return false
+	}
+	n.Fail()
+	return true
+}
+
+// KillProc force-terminates one process identified by host name and pid
+// (injection API); it reports whether the process was found alive.
+func (c *Cluster) KillProc(host string, pid int) bool {
+	n, ok := c.NodeByName(host)
+	if !ok {
+		return false
+	}
+	p, ok := n.Proc(pid)
+	if !ok {
+		return false
+	}
+	p.Kill()
+	return true
+}
 
 // Spec describes a process to spawn.
 type Spec struct {
@@ -244,6 +309,10 @@ func (n *Node) spawn(spec Spec) (*Proc, error) {
 		main = m
 	}
 	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
 	if len(n.procs) >= n.cl.opts.MaxProcs {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%w (node %s, %d procs)", ErrProcLimit, n.name, n.cl.opts.MaxProcs)

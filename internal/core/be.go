@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"time"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/engine"
+	"launchmon/internal/health"
 	"launchmon/internal/iccl"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
@@ -22,7 +24,8 @@ import (
 type BackEnd struct {
 	p    *cluster.Proc
 	comm *iccl.Comm
-	fe   *lmonp.Conn // non-nil at the master only
+	fe   *lmonp.Conn     // non-nil at the master only
+	mon  *health.Monitor // nil when the session has no failure detection
 
 	tab    proctab.Table
 	myTab  proctab.Table
@@ -116,8 +119,72 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 			return nil, err
 		}
 	}
+
+	// Join the session's heartbeat tree when the front end enabled failure
+	// detection; the master forwards failure reports upstream as LMONP
+	// status events. Started after the ready message so the launch critical
+	// path (e7..e10) is not charged for it.
+	if err := be.startHealth(cfg); err != nil {
+		return nil, err
+	}
 	return be, nil
 }
+
+// startHealth joins the daemon into the session's heartbeat tree when the
+// FE planted a heartbeat period in the environment (Options.Health).
+func (b *BackEnd) startHealth(cfg iccl.Config) error {
+	periodStr := b.p.Env(EnvHealthPeriod)
+	if periodStr == "" {
+		return nil
+	}
+	period, err := time.ParseDuration(periodStr)
+	if err != nil {
+		return fmt.Errorf("core: bad %s: %w", EnvHealthPeriod, err)
+	}
+	miss := 0
+	if ms := b.p.Env(EnvHealthMiss); ms != "" {
+		if miss, err = strconv.Atoi(ms); err != nil {
+			return fmt.Errorf("core: bad %s: %w", EnvHealthMiss, err)
+		}
+	}
+	session, err := strconv.Atoi(b.p.Env(EnvSession))
+	if err != nil {
+		return fmt.Errorf("core: bad %s: %w", EnvSession, err)
+	}
+	mon, err := health.Start(b.p, health.Config{
+		Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
+		Nodelist: cfg.Nodelist, Port: healthPortFor(session),
+		Period: period, Miss: miss,
+	})
+	if err != nil {
+		return err
+	}
+	b.mon = mon
+	if b.comm.IsMaster() {
+		// Forward failure reports to the front end as status events. The
+		// goroutine ends when the monitor stops (Finalize or node death).
+		b.p.Sim().Go("be-health-forward", func() {
+			for {
+				r, ok := mon.Failures().Recv()
+				if !ok {
+					return
+				}
+				b.fe.Send(&lmonp.Msg{
+					Class: lmonp.ClassFEBE,
+					Type:  lmonp.TypeStatusEvent,
+					Payload: health.EncodeEvent(health.Event{
+						Kind: health.EvDaemonExited, Rank: r.Rank, Detail: r.Detail,
+					}),
+				})
+			}
+		})
+	}
+	return nil
+}
+
+// Health returns the daemon's failure-detection monitor (nil when the
+// session was created without Options.Health).
+func (b *BackEnd) Health() *health.Monitor { return b.mon }
 
 // icclConfigFromEnv builds the tree configuration from the environment the
 // RM and FE planted.
@@ -204,10 +271,16 @@ func (b *BackEnd) RecvFromFE() ([]byte, error) {
 	return msg.UsrData, nil
 }
 
-// Finalize leaves the session: it synchronizes all daemons and closes the
-// tree (and, at the master, the FE connection).
+// Finalize leaves the session: it synchronizes all daemons, stops the
+// failure detector, and closes the tree (and, at the master, the FE
+// connection). Stopping the master's monitor cascades a teardown wave
+// down the heartbeat tree, so daemons that already finalized are not
+// reported as failures.
 func (b *BackEnd) Finalize() error {
 	err := b.comm.Barrier()
+	if b.mon != nil {
+		b.mon.Stop()
+	}
 	b.comm.Close()
 	if b.fe != nil {
 		b.fe.Close()

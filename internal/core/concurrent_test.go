@@ -1,13 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/engine"
 	"launchmon/internal/rm"
+	"launchmon/internal/transport"
 	"launchmon/internal/vtime"
 )
 
@@ -174,6 +177,83 @@ func TestConcurrentSessionsIndependentTeardown(t *testing.T) {
 		}
 		if got := fe.Mux().Sessions(); got != 0 {
 			t.Errorf("mux still tracks %d sessions after teardown", got)
+		}
+	})
+}
+
+func TestConcurrentDetachKillRacesAcrossSessions(t *testing.T) {
+	// Eight parallel sessions; for each, Detach and Kill race from two
+	// goroutines. Exactly one must win per session; the loser gets
+	// ErrSessionClosed. Afterwards the mux must have deregistered every
+	// session, and connections routed at a closed session's queues must be
+	// shed with EOF.
+	const k, nodesEach = 8, 2
+	sim, cl, _ := rig(t, k*nodesEach)
+	cl.Register("cc_be", func(p *cluster.Proc) {
+		be, err := BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Finalize()
+	})
+	runFE(t, sim, cl, func(p *cluster.Proc) {
+		sessions := launchConcurrent(t, p, k, nodesEach, 1)
+		for _, s := range sessions {
+			if s == nil {
+				t.Fatal("missing session")
+			}
+		}
+		errs := make([]error, 2*k)
+		wg := vtime.NewWaitGroup(p.Sim())
+		wg.Add(2 * k)
+		for i, s := range sessions {
+			i, s := i, s
+			p.Sim().Go(fmt.Sprintf("race-detach-%d", i), func() {
+				defer wg.Done()
+				errs[2*i] = s.Detach()
+			})
+			p.Sim().Go(fmt.Sprintf("race-kill-%d", i), func() {
+				defer wg.Done()
+				errs[2*i+1] = s.Kill()
+			})
+		}
+		wg.Wait()
+		for i := 0; i < k; i++ {
+			de, ke := errs[2*i], errs[2*i+1]
+			if (de == nil) == (ke == nil) {
+				t.Errorf("session %d: detach=%v kill=%v; exactly one must win", i, de, ke)
+			}
+			if de != nil && !errors.Is(de, ErrSessionClosed) {
+				t.Errorf("session %d: losing detach got %v", i, de)
+			}
+			if ke != nil && !errors.Is(ke, ErrSessionClosed) {
+				t.Errorf("session %d: losing kill got %v", i, ke)
+			}
+		}
+
+		fe, err := NewFrontEnd(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fe.Mux().Sessions(); got != 0 {
+			t.Errorf("mux still tracks %d sessions after teardown", got)
+		}
+
+		// A dial announcing a closed session's ID is shed by the mux: the
+		// dialer observes EOF (not a hang) — the queue-drain contract.
+		for _, s := range sessions {
+			conn, err := p.Host().Dial(fe.Mux().Addr())
+			if err != nil {
+				t.Fatalf("dial mux: %v", err)
+			}
+			if err := transport.WriteHello(conn, transport.Hello{Session: s.ID, Role: transport.RoleBE}); err != nil {
+				t.Fatalf("hello: %v", err)
+			}
+			var buf [1]byte
+			if _, err := conn.Read(buf[:]); err != io.EOF {
+				t.Errorf("stale dial for session %d: read err %v, want EOF", s.ID, err)
+			}
+			conn.Close()
 		}
 	})
 }

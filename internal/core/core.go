@@ -35,6 +35,11 @@ const (
 	EnvICCLFanout = "LMON_ICCL_FANOUT"
 	// EnvKind marks the daemon role: "be" or "mw".
 	EnvKind = "LMON_KIND"
+	// EnvHealthPeriod is the heartbeat period of the session's failure
+	// detector (a Go duration string); unset or empty disables it.
+	EnvHealthPeriod = "LMON_HEALTH_PERIOD"
+	// EnvHealthMiss is the missed-heartbeat threshold.
+	EnvHealthMiss = "LMON_HEALTH_MISS"
 )
 
 // Cost model constants for the FE-local bookkeeping; together with the
@@ -62,3 +67,9 @@ func icclPortFor(session int, mw bool) int {
 	}
 	return p
 }
+
+// healthBasePort is the first port used for per-session heartbeat trees
+// (internal/health); kept clear of the ICCL port range.
+const healthBasePort = 58000
+
+func healthPortFor(session int) int { return healthBasePort + session }

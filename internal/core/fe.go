@@ -9,10 +9,13 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/engine"
+	"launchmon/internal/health"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
 	"launchmon/internal/transport"
+	"launchmon/internal/vtime"
 )
 
 // Setup installs LaunchMON onto a cluster for the given resource manager:
@@ -49,6 +52,22 @@ type Options struct {
 	// before dialing in surface as an error instead of a hang. Zero means
 	// the default of 10 minutes.
 	Timeout time.Duration
+	// Health configures the session's failure-detection subsystem
+	// (internal/health). The zero value disables it: daemon loss then
+	// surfaces only through connection errors at the master.
+	Health HealthOptions
+}
+
+// HealthOptions parameterize per-session failure detection: the back-end
+// daemons run heartbeats over a tree mirroring the ICCL topology, and
+// daemon/node loss is reported to the front end as DaemonExited status
+// events within roughly Period x Miss.
+type HealthOptions struct {
+	// Period between daemon heartbeats; 0 disables the subsystem.
+	Period time.Duration
+	// Miss is how many consecutive periods a daemon may miss before it is
+	// declared dead (default 3).
+	Miss int
 }
 
 const defaultSessionTimeout = 10 * time.Minute
@@ -141,8 +160,25 @@ type Session struct {
 	mwInfos     []DaemonInfo
 	mwNodes     []string
 	mwLaunching bool
+	established bool // launch completed; conns and watchers are live
 	detached    bool
 	killed      bool
+
+	// Fault subsystem state: once established, dedicated watcher
+	// goroutines own all reads of the engine and BE-master connections,
+	// demultiplexing synchronous status replies and tool data from
+	// asynchronous status events (job exit, daemon loss).
+	engStatus *vtime.Chan[[]byte]      // engine TypeStatus payloads
+	engToken  *vtime.Chan[struct{}]    // serializes engine request/reply exchanges
+	beUsr     *vtime.Chan[[]byte]      // BE-master TypeUsrData payloads
+	evQ       *vtime.Chan[sessionEvOp] // status-event dispatch queue
+}
+
+// sessionEvOp is one unit of work for the session's event dispatcher:
+// either an event to deliver or a callback to register (and replay to).
+type sessionEvOp struct {
+	ev *health.Event
+	cb func(health.Event)
 }
 
 // ErrSessionClosed is returned by operations on a finished session.
@@ -229,6 +265,10 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, false))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvKind] = "be"
+	if opts.Health.Period > 0 {
+		env[EnvHealthPeriod] = opts.Health.Period.String()
+		env[EnvHealthMiss] = fmt.Sprint(opts.Health.Miss)
+	}
 	daemon.Env = env
 
 	var req *lmonp.Msg
@@ -311,7 +351,206 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 
 	p.Compute(feFinishCost)
 	s.Timeline.Mark(engine.MarkE11, sim.Now())
+
+	// The session is up: hand ownership of both connections' read sides to
+	// watcher goroutines (they demux async status events from synchronous
+	// replies), start the event dispatcher, and report the first
+	// transition.
+	s.engStatus = vtime.NewChan[[]byte](sim)
+	s.engToken = vtime.NewChan[struct{}](sim)
+	s.engToken.Send(struct{}{})
+	s.beUsr = vtime.NewChan[[]byte](sim)
+	s.evQ = vtime.NewChan[sessionEvOp](sim)
+	s.mu.Lock()
+	s.established = true
+	s.mu.Unlock()
+	sim.Go(fmt.Sprintf("fe-sess-%d-events", s.ID), s.eventLoop)
+	sim.Go(fmt.Sprintf("fe-sess-%d-eng-watch", s.ID), s.engineReader)
+	sim.Go(fmt.Sprintf("fe-sess-%d-be-watch", s.ID), s.beReader)
+	s.fire(health.Event{Kind: health.EvDaemonsSpawned, Rank: -1})
 	return s, nil
+}
+
+// RegisterStatusCB mirrors lmon_fe_regStatusCB (paper §3.2): cb fires for
+// every session status transition — DaemonsSpawned, JobExited,
+// DaemonExited(rank), SessionTornDown. Transitions that fired before
+// registration are replayed to the new callback first, in order, so a
+// callback registered right after LaunchAndSpawn still observes
+// DaemonsSpawned. Callbacks run on the session's event-dispatch goroutine
+// and must not block indefinitely.
+func (s *Session) RegisterStatusCB(cb func(health.Event)) {
+	s.mu.Lock()
+	q := s.evQ
+	s.mu.Unlock()
+	if q == nil {
+		// Never-established session: no events ever fire.
+		return
+	}
+	q.Send(sessionEvOp{cb: cb})
+}
+
+// fire delivers a status event through the dispatcher (in-order, with
+// replay bookkeeping).
+func (s *Session) fire(ev health.Event) {
+	s.mu.Lock()
+	q := s.evQ
+	s.mu.Unlock()
+	if q != nil {
+		q.Send(sessionEvOp{ev: &ev})
+	}
+}
+
+// eventLoop is the session's single event dispatcher: it serializes event
+// delivery and callback registration so every callback sees every event
+// exactly once, in order.
+func (s *Session) eventLoop() {
+	var log []health.Event
+	var cbs []func(health.Event)
+	for {
+		op, ok := s.evQ.Recv()
+		if !ok {
+			return
+		}
+		switch {
+		case op.cb != nil:
+			cbs = append(cbs, op.cb)
+			for _, ev := range log {
+				op.cb(ev)
+			}
+		case op.ev != nil:
+			log = append(log, *op.ev)
+			for _, cb := range cbs {
+				cb(*op.ev)
+			}
+		}
+	}
+}
+
+// engineReader owns the engine connection's read side after launch: it
+// routes synchronous status replies to waiting session operations and
+// reacts to asynchronous status events (job exit) with the watchdog.
+func (s *Session) engineReader() {
+	for {
+		msg, err := s.eng.Recv()
+		if err != nil {
+			s.engStatus.Close()
+			// Only a severed link (the engine's host died) is a fault; a
+			// clean EOF is the engine exiting after detach/kill.
+			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
+				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
+					s.watchdogTeardown("engine connection lost")
+				})
+			}
+			return
+		}
+		switch msg.Type {
+		case lmonp.TypeStatus:
+			s.engStatus.Send(msg.Payload)
+		case lmonp.TypeStatusEvent:
+			ev, err := health.DecodeEvent(msg.Payload)
+			if err != nil {
+				continue
+			}
+			s.fire(ev)
+			if ev.Kind == health.EvJobExited {
+				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
+					s.watchdogTeardown("job exited")
+				})
+			}
+		}
+	}
+}
+
+// beReader owns the BE-master connection's read side after launch: tool
+// data queues for RecvFromBE; daemon-loss status events (from the health
+// subsystem at the BE master) fire callbacks and trigger the watchdog. An
+// unexpected connection loss means the master daemon itself (or its node)
+// died.
+func (s *Session) beReader() {
+	for {
+		msg, err := s.beMaster.Recv()
+		if err != nil {
+			s.beUsr.Close()
+			// A clean EOF is the master daemon finalizing (tools may leave
+			// the session at any time); only a severed link — the master's
+			// node died — is a fault.
+			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
+				s.fire(health.Event{
+					Kind: health.EvDaemonExited, Rank: 0,
+					Detail: "master daemon connection severed",
+				})
+				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
+					s.watchdogTeardown("master daemon lost")
+				})
+			}
+			return
+		}
+		switch msg.Type {
+		case lmonp.TypeUsrData:
+			s.beUsr.Send(msg.UsrData)
+		case lmonp.TypeStatusEvent:
+			ev, err := health.DecodeEvent(msg.Payload)
+			if err != nil {
+				continue
+			}
+			s.fire(ev)
+			if ev.Kind == health.EvDaemonExited {
+				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
+					s.watchdogTeardown(fmt.Sprintf("daemon %d lost", ev.Rank))
+				})
+			}
+		}
+	}
+}
+
+// watchdogTeardown reacts to a fatal session fault: it wins the lifecycle
+// transition (or yields to a teardown already in flight), best-effort
+// kills the job and daemons through the engine, releases every connection,
+// and fires SessionTornDown. Idempotent across the sever/heartbeat/job-exit
+// detection paths racing each other.
+func (s *Session) watchdogTeardown(detail string) {
+	if !s.endSession(true) {
+		return
+	}
+	_, _ = s.engExchange(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeKill}) // best effort; the engine may be gone
+	s.finishTeardown("watchdog: " + detail)
+}
+
+// awaitEngPayload waits for the next engine status payload routed by the
+// engine reader, bounded by the session timeout.
+func (s *Session) awaitEngPayload() ([]byte, error) {
+	payload, ok, timedOut := s.engStatus.RecvTimeout(s.timeout)
+	if timedOut {
+		return nil, fmt.Errorf("core: session %d: engine status timeout", s.ID)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: session %d: engine connection lost", s.ID)
+	}
+	return payload, nil
+}
+
+// engExchange performs one request/reply exchange with the engine under
+// the session's exchange token. The engine's command loop replies in
+// request order while engStatus wakes waiters in park order, so two
+// overlapping exchanges (say LaunchMW racing the watchdog's kill) could
+// otherwise each collect the other's reply.
+func (s *Session) engExchange(m *lmonp.Msg) ([]byte, error) {
+	if _, ok := s.engToken.Recv(); !ok {
+		return nil, fmt.Errorf("core: session %d: torn down", s.ID)
+	}
+	defer s.engToken.Send(struct{}{})
+	if err := s.eng.Send(m); err != nil {
+		return nil, err
+	}
+	return s.awaitEngPayload()
+}
+
+// finishTeardown releases the session's connections and delivers the
+// terminal SessionTornDown event. The event dispatcher stays available so
+// callbacks registered after the fact still get the full history replayed.
+func (s *Session) finishTeardown(detail string) {
+	s.close()
+	s.fire(health.Event{Kind: health.EvSessionTornDown, Rank: -1, Detail: detail})
 }
 
 // sendHandshake sends the session handshake to a master daemon: the
@@ -354,24 +593,28 @@ func (s *Session) SendToBE(data []byte) error {
 	return s.beMaster.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeUsrData, UsrData: data})
 }
 
-// RecvFromBE receives tool data from the master back-end daemon.
+// RecvFromBE receives tool data from the master back-end daemon (queued
+// by the session's BE watcher, which filters out status events).
 func (s *Session) RecvFromBE() ([]byte, error) {
 	if s.beMaster == nil || s.closed() {
 		return nil, ErrSessionClosed
 	}
-	msg, err := s.beMaster.Expect(lmonp.ClassFEBE, lmonp.TypeUsrData)
-	if err != nil {
-		return nil, err
+	data, ok := s.beUsr.Recv()
+	if !ok {
+		return nil, ErrSessionClosed
 	}
-	return msg.UsrData, nil
+	return data, nil
 }
 
 // endSession flips the given lifecycle flag exactly once; it reports
-// whether the caller won the transition.
+// whether the caller won the transition. A session that never finished
+// launching (startSession failed before returning it) is not transitionable:
+// Detach and Kill on it are idempotent no-ops, so racing them against a
+// failed launch cannot touch the half-initialized connection set.
 func (s *Session) endSession(kill bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.detached || s.killed {
+	if !s.established || s.detached || s.killed {
 		return false
 	}
 	if kill {
@@ -388,13 +631,14 @@ func (s *Session) Detach() error {
 	if !s.endSession(false) {
 		return ErrSessionClosed
 	}
-	// Close even when the exchange fails: the session is over either way,
-	// and the mux endpoint must be released.
-	defer s.close()
-	if err := s.eng.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeDetach}); err != nil {
+	// Tear down even when the exchange fails: the session is over either
+	// way, and the mux endpoint must be released.
+	defer s.finishTeardown("detached by tool")
+	payload, err := s.engExchange(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeDetach})
+	if err != nil {
 		return err
 	}
-	status, _, err := engine.DecodeStatusFromConn(s.eng)
+	status, _, err := engine.DecodeStatus(payload)
 	if err != nil {
 		return err
 	}
@@ -409,11 +653,12 @@ func (s *Session) Kill() error {
 	if !s.endSession(true) {
 		return ErrSessionClosed
 	}
-	defer s.close()
-	if err := s.eng.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeKill}); err != nil {
+	defer s.finishTeardown("killed by tool")
+	payload, err := s.engExchange(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeKill})
+	if err != nil {
 		return err
 	}
-	status, _, err := engine.DecodeStatusFromConn(s.eng)
+	status, _, err := engine.DecodeStatus(payload)
 	if err != nil {
 		return err
 	}

@@ -69,18 +69,15 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 		}
 	}()
 
-	if err := s.eng.Send(&lmonp.Msg{
+	payload, err := s.engExchange(&lmonp.Msg{
 		Class:   lmonp.ClassFEEngine,
 		Type:    lmonp.TypeSpawnReq,
 		Payload: engine.EncodeSpawnReq(engine.SpawnReq{Nodes: opts.Nodes, Daemon: daemon}),
-	}); err != nil {
-		return nil, err
-	}
-	msg, err := s.eng.Expect(lmonp.ClassFEEngine, lmonp.TypeStatus)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rd := lmonp.NewReader(msg.Payload)
+	rd := lmonp.NewReader(payload)
 	status, err := rd.String()
 	if err != nil {
 		return nil, err

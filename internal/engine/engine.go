@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"launchmon/internal/cluster"
+	"launchmon/internal/health"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
@@ -128,6 +129,9 @@ func (e *Engine) main() {
 		e.sendStatus("error: " + err.Error())
 		return
 	}
+	// The session is up: watch the traced launcher for an asynchronous
+	// exit (job death) while the command loop serves the front end.
+	e.proc.Sim().Go("engine-job-watch", e.watchJob)
 	e.commandLoop()
 }
 
@@ -135,6 +139,30 @@ func (e *Engine) sendStatus(s string) {
 	payload := lmonp.AppendString(nil, s)
 	payload = lmonp.AppendBytes(payload, e.tl.Encode())
 	e.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeStatus, Payload: payload})
+}
+
+// watchJob drains the tracer's event stream after launch. A launcher exit
+// is forwarded to the front end as an asynchronous JobExited status event
+// (the FE's watchdog reacts by tearing the session down). The stream
+// closes when the engine detaches, ending the watch.
+func (e *Engine) watchJob() {
+	for {
+		ev, ok := e.tr.Events().Recv()
+		if !ok {
+			return
+		}
+		if ev.Type == cluster.EventExit {
+			e.fe.Send(&lmonp.Msg{
+				Class: lmonp.ClassFEEngine,
+				Type:  lmonp.TypeStatusEvent,
+				Payload: health.EncodeEvent(health.Event{
+					Kind: health.EvJobExited, Rank: -1, Code: ev.Code,
+					Detail: "launcher exited",
+				}),
+			})
+			return
+		}
+	}
 }
 
 // serveLaunch implements launchAndSpawn's engine half: events e1..e6.
@@ -281,7 +309,9 @@ func (e *Engine) commandLoop() {
 			if e.tr != nil {
 				e.tr.Detach()
 			}
-			if err := e.job.Kill(); err != nil {
+			// An already-dead job (node loss, launcher exit) still counts
+			// as killed: the watchdog teardown path must converge.
+			if err := e.job.Kill(); err != nil && !errors.Is(err, rm.ErrAlreadyKilled) {
 				e.sendStatus("error: " + err.Error())
 				return
 			}

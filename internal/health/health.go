@@ -1,0 +1,451 @@
+// Package health is LaunchMON's failure-detection subsystem: a heartbeat
+// fabric running over the same k-ary tree topology as the ICCL daemon tree
+// (internal/iccl), detecting daemon and node loss at 10^4-node scale and
+// propagating failure reports to the tree root (the master back-end
+// daemon), which forwards them to the front end as LMONP status events.
+//
+// Two detection paths exist:
+//
+//   - connection sever: a killed node's connections return
+//     simnet.ErrPeerDead once in-flight data drains, so the parent learns
+//     of the loss within one link latency (fail-stop, fast path); and
+//   - heartbeat miss: a silent failure (dropped link, wedged daemon)
+//     surfaces when a child misses Miss consecutive periods, bounded by
+//     Period x Miss (slow path).
+//
+// Either way the parent declares the child's entire subtree unreachable
+// (descendants cannot report through a dead interior node) and sends one
+// report per lost rank toward the root. All waiting, sending and per-message
+// processing is charged in virtual time, so detection latency and heartbeat
+// overhead are measurable quantities (see internal/bench).
+package health
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/iccl"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// Heartbeat-tree opcodes.
+const (
+	hbJoin = 1 // child → parent: rank announcement
+	hbBeat = 2 // child → parent: heartbeat
+	hbDead = 3 // child → parent: failure report batch
+)
+
+// Config describes one daemon's place in the heartbeat tree. Rank, Size,
+// Fanout and Nodelist mirror the daemon's iccl.Config — the heartbeat tree
+// has the same shape as the ICCL tree, on its own port.
+type Config struct {
+	Rank     int
+	Size     int
+	Fanout   int // 0 = flat (everyone under rank 0)
+	Nodelist []string
+	Port     int
+
+	// Period is the interval between heartbeats (default 500ms).
+	Period time.Duration
+	// Miss is how many consecutive periods a child may miss before it is
+	// declared dead (default 3).
+	Miss int
+	// PerMsgCost is the CPU charge for handling one tree message
+	// (default 20us — heartbeats are cheap compared to collectives).
+	PerMsgCost time.Duration
+	// DialRetry and DialAttempts bound the child→parent connect loop.
+	DialRetry    time.Duration
+	DialAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout <= 0 {
+		c.Fanout = c.Size
+	}
+	if c.Period == 0 {
+		c.Period = 500 * time.Millisecond
+	}
+	if c.Miss == 0 {
+		c.Miss = 3
+	}
+	if c.PerMsgCost == 0 {
+		c.PerMsgCost = 20 * time.Microsecond
+	}
+	if c.DialRetry == 0 {
+		c.DialRetry = 5 * time.Millisecond
+	}
+	if c.DialAttempts == 0 {
+		c.DialAttempts = 2000
+	}
+	return c
+}
+
+// Deadline returns the worst-case detection bound of the configuration:
+// a failure is reported within Miss+1 periods (the extra period covers
+// checker phase alignment).
+func (c Config) Deadline() time.Duration {
+	cfg := c.withDefaults()
+	return time.Duration(cfg.Miss+1) * cfg.Period
+}
+
+// Report is one detected daemon loss, delivered at the tree root.
+type Report struct {
+	Rank   int    // lost daemon's rank
+	Detail string // "connection severed", "heartbeat timeout", "unreachable"
+}
+
+// ErrMonitor wraps heartbeat-tree bootstrap failures.
+var ErrMonitor = errors.New("health: monitor bootstrap failed")
+
+// Monitor is one daemon's view of the heartbeat tree.
+type Monitor struct {
+	p   *cluster.Proc
+	cfg Config
+
+	listener *simnet.Listener
+	parent   *simnet.Conn
+
+	failures *vtime.Chan[Report] // root only; nil elsewhere
+
+	// mu guards the fields below and serializes parent writes (simnet
+	// writes return immediately; virtual time is charged on delivery).
+	mu       sync.Mutex
+	children map[int]*simnet.Conn
+	lastBeat map[int]time.Duration // direct child rank → last heard (virtual)
+	reported map[int]bool          // ranks already declared dead
+	stopped  bool
+}
+
+// Start joins the calling daemon into the session's heartbeat tree and
+// begins monitoring. Children dial their parent with retries; Start
+// returns once the daemon's own links are up (it does not wait for the
+// whole subtree — detection of children that never join falls out of the
+// heartbeat-miss path). Call Stop to leave the tree; stopping the root
+// cascades an EOF teardown wave down the whole tree.
+func Start(p *cluster.Proc, cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("%w: bad rank/size %d/%d", ErrMonitor, cfg.Rank, cfg.Size)
+	}
+	if len(cfg.Nodelist) != cfg.Size {
+		return nil, fmt.Errorf("%w: nodelist has %d entries for size %d", ErrMonitor, len(cfg.Nodelist), cfg.Size)
+	}
+	m := &Monitor{
+		p:        p,
+		cfg:      cfg,
+		children: make(map[int]*simnet.Conn),
+		lastBeat: make(map[int]time.Duration),
+		reported: make(map[int]bool),
+	}
+	if cfg.Rank == 0 {
+		m.failures = vtime.NewChan[Report](p.Sim())
+	}
+	kids := iccl.Children(cfg.Rank, cfg.Size, cfg.Fanout)
+
+	if len(kids) > 0 {
+		l, err := p.Host().Listen(cfg.Port)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMonitor, err)
+		}
+		m.listener = l
+		now := p.Sim().Now()
+		for _, k := range kids {
+			m.lastBeat[k] = now
+		}
+		p.Sim().Go(fmt.Sprintf("health-accept-%d", cfg.Rank), m.acceptLoop)
+		p.Sim().Go(fmt.Sprintf("health-check-%d", cfg.Rank), m.checkLoop)
+	}
+
+	if cfg.Rank > 0 {
+		parentRank := iccl.Parent(cfg.Rank, cfg.Fanout)
+		addr := simnet.Addr{Host: cfg.Nodelist[parentRank], Port: cfg.Port}
+		var conn *simnet.Conn
+		var err error
+		for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+			conn, err = p.Host().Dial(addr)
+			if err == nil {
+				break
+			}
+			p.Sim().Sleep(cfg.DialRetry)
+		}
+		if err != nil {
+			m.Stop()
+			return nil, fmt.Errorf("%w: dialing parent %d: %v", ErrMonitor, parentRank, err)
+		}
+		m.parent = conn
+		join := lmonp.AppendUint32(nil, hbJoin)
+		join = lmonp.AppendUint32(join, uint32(cfg.Rank))
+		if err := lmonp.WriteFrame(conn, join); err != nil {
+			m.Stop()
+			return nil, fmt.Errorf("%w: join: %v", ErrMonitor, err)
+		}
+		p.Sim().Go(fmt.Sprintf("health-beat-%d", cfg.Rank), m.beatLoop)
+		p.Sim().Go(fmt.Sprintf("health-parent-%d", cfg.Rank), m.parentWatch)
+	}
+	return m, nil
+}
+
+// Failures returns the root's failure-report stream (nil off-root). The
+// channel closes when the monitor stops.
+func (m *Monitor) Failures() *vtime.Chan[Report] { return m.failures }
+
+// Rank returns the monitor's tree rank.
+func (m *Monitor) Rank() int { return m.cfg.Rank }
+
+// Config returns the effective configuration (defaults applied).
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Stop leaves the heartbeat tree: the listener and all links close, the
+// periodic loops wind down, and (at the root) the failure stream closes.
+// Children observe the closed parent link and stop too, cascading the
+// teardown down the tree. Idempotent.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	children := make([]*simnet.Conn, 0, len(m.children))
+	for _, c := range m.children {
+		children = append(children, c)
+	}
+	m.mu.Unlock()
+
+	if m.listener != nil {
+		m.listener.Close()
+	}
+	if m.parent != nil {
+		m.parent.Close()
+	}
+	for _, c := range children {
+		c.Close()
+	}
+	if m.failures != nil {
+		m.failures.Close()
+	}
+}
+
+// halted reports whether the monitor stopped or its process exited (a dead
+// daemon must not keep virtual-time timers alive).
+func (m *Monitor) halted() bool {
+	m.mu.Lock()
+	stopped := m.stopped
+	m.mu.Unlock()
+	return stopped || m.p.State() == cluster.StateExited
+}
+
+// acceptLoop admits child connections and hands each to a reader.
+func (m *Monitor) acceptLoop() {
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		m.p.Sim().Go("health-child-reader", func() { m.childReader(conn) })
+	}
+}
+
+// childReader consumes one child's frames: the join announcement, then
+// heartbeats and failure reports. A read error means the link was severed
+// (node killed) — the child's whole subtree is declared unreachable.
+func (m *Monitor) childReader(conn *simnet.Conn) {
+	frame, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	rd := lmonp.NewReader(frame)
+	op, _ := rd.Uint32()
+	rk32, err := rd.Uint32()
+	if err != nil || op != hbJoin {
+		conn.Close()
+		return
+	}
+	rank := int(rk32)
+	valid := false
+	for _, k := range iccl.Children(m.cfg.Rank, m.cfg.Size, m.cfg.Fanout) {
+		if k == rank {
+			valid = true
+		}
+	}
+	if !valid {
+		conn.Close()
+		return
+	}
+	m.mu.Lock()
+	m.children[rank] = conn
+	m.lastBeat[rank] = m.p.Sim().Now()
+	m.mu.Unlock()
+
+	for {
+		frame, err := lmonp.ReadFrame(conn)
+		if err != nil {
+			if !m.halted() {
+				m.declareSubtreeDead(rank, "connection severed")
+			}
+			return
+		}
+		if m.halted() {
+			// A dead parent closes its child links so the children stop
+			// beating (cascade teardown) instead of feeding a corpse.
+			conn.Close()
+			return
+		}
+		m.p.Compute(m.cfg.PerMsgCost)
+		rd := lmonp.NewReader(frame)
+		op, _ := rd.Uint32()
+		switch op {
+		case hbBeat:
+			m.mu.Lock()
+			m.lastBeat[rank] = m.p.Sim().Now()
+			m.mu.Unlock()
+		case hbDead:
+			reports, err := decodeReports(rd)
+			if err != nil {
+				continue
+			}
+			m.propagate(reports)
+		}
+	}
+}
+
+// beatLoop sends one heartbeat per period to the parent.
+func (m *Monitor) beatLoop() {
+	beat := lmonp.AppendUint32(nil, hbBeat)
+	// Prime immediately so the parent's miss window starts from a beat.
+	if err := m.sendUp(beat); err != nil {
+		return
+	}
+	for {
+		m.p.Sim().Sleep(m.cfg.Period)
+		if m.halted() {
+			return
+		}
+		if err := m.sendUp(beat); err != nil {
+			return
+		}
+	}
+}
+
+// parentWatch blocks on the parent link; when it closes (root stopped, or
+// the parent's node died) the local monitor stops, cascading downward.
+func (m *Monitor) parentWatch() {
+	var buf [1]byte
+	_, _ = m.parent.Read(buf[:]) // parents never send; returns on close/sever
+	m.Stop()
+}
+
+// checkLoop declares children dead when they miss too many heartbeats.
+func (m *Monitor) checkLoop() {
+	threshold := time.Duration(m.cfg.Miss) * m.cfg.Period
+	for {
+		m.p.Sim().Sleep(m.cfg.Period)
+		if m.halted() {
+			return
+		}
+		now := m.p.Sim().Now()
+		var late []int
+		m.mu.Lock()
+		for rank, last := range m.lastBeat {
+			if !m.reported[rank] && now-last > threshold {
+				late = append(late, rank)
+			}
+		}
+		m.mu.Unlock()
+		for _, rank := range late {
+			m.declareSubtreeDead(rank, "heartbeat timeout")
+		}
+	}
+}
+
+// declareSubtreeDead reports the child rank and all its descendants lost
+// (an interior-node failure makes its whole subtree unreachable).
+func (m *Monitor) declareSubtreeDead(rank int, detail string) {
+	var reports []Report
+	for _, r := range iccl.SubtreeRanks(rank, m.cfg.Size, m.cfg.Fanout) {
+		d := detail
+		if r != rank {
+			d = "unreachable"
+		}
+		reports = append(reports, Report{Rank: r, Detail: d})
+	}
+	m.propagate(reports)
+}
+
+// propagate delivers failure reports: to the failure stream at the root,
+// upward to the parent elsewhere. Already-reported ranks are dropped so
+// the sever and timeout paths cannot double-report.
+func (m *Monitor) propagate(reports []Report) {
+	fresh := reports[:0]
+	m.mu.Lock()
+	for _, r := range reports {
+		if m.reported[r.Rank] {
+			continue
+		}
+		m.reported[r.Rank] = true
+		fresh = append(fresh, r)
+	}
+	stopped := m.stopped
+	m.mu.Unlock()
+	if len(fresh) == 0 || stopped {
+		return
+	}
+	if m.failures != nil {
+		for _, r := range fresh {
+			m.failures.Send(r)
+		}
+		return
+	}
+	frame := lmonp.AppendUint32(nil, hbDead)
+	frame = encodeReports(frame, fresh)
+	_ = m.sendUp(frame)
+}
+
+// sendUp writes one frame to the parent, serialized across the beat,
+// reader and checker goroutines.
+func (m *Monitor) sendUp(frame []byte) error {
+	if m.parent == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return errors.New("health: monitor stopped")
+	}
+	return lmonp.WriteFrame(m.parent, frame)
+}
+
+func encodeReports(b []byte, reports []Report) []byte {
+	b = lmonp.AppendUint32(b, uint32(len(reports)))
+	for _, r := range reports {
+		b = lmonp.AppendUint32(b, uint32(r.Rank))
+		b = lmonp.AppendString(b, r.Detail)
+	}
+	return b
+}
+
+func decodeReports(rd *lmonp.Reader) ([]Report, error) {
+	n, err := rd.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Report, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rk, err := rd.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		detail, err := rd.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Report{Rank: int(rk), Detail: detail})
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package health
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/vtime"
+)
+
+// healthRig boots n "daemon" processes (one per compute node) that each
+// join a heartbeat tree, and returns the root's monitor through rootCh.
+func healthRig(t *testing.T, n, fanout int, period time.Duration, miss int) (*vtime.Sim, *cluster.Cluster, *vtime.Chan[*Monitor]) {
+	t.Helper()
+	sim := vtime.New()
+	cl, err := cluster.New(sim, cluster.Options{Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodelist := make([]string, n)
+	for i := 0; i < n; i++ {
+		nodelist[i] = cl.Node(i).Name()
+	}
+	rootCh := vtime.NewChan[*Monitor](sim)
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := cl.Node(i).SpawnSystemProc(cluster.Spec{
+			Exe: fmt.Sprintf("hd%d", i),
+			Main: func(p *cluster.Proc) {
+				m, err := Start(p, Config{
+					Rank: i, Size: n, Fanout: fanout, Nodelist: nodelist,
+					Port: 59000, Period: period, Miss: miss,
+				})
+				if err != nil {
+					t.Errorf("rank %d: %v", i, err)
+					return
+				}
+				if i == 0 {
+					rootCh.Send(m)
+				}
+				// Daemons park here; their monitors do the work. Node death
+				// or root teardown ends them.
+				vtime.NewChan[int](p.Sim()).Recv()
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sim, cl, rootCh
+}
+
+func TestSeveredNodeDetectedFast(t *testing.T) {
+	const n = 8
+	period := 200 * time.Millisecond
+	sim, cl, rootCh := healthRig(t, n, 0, period, 3)
+	var report Report
+	var latency time.Duration
+	sim.Go("driver", func() {
+		root, ok := rootCh.Recv()
+		if !ok {
+			t.Error("no root monitor")
+			return
+		}
+		sim.Sleep(1 * time.Second) // steady state
+		killAt := sim.Now()
+		cl.KillNode(5)
+		r, ok := root.Failures().Recv()
+		if !ok {
+			t.Error("failure stream closed early")
+			return
+		}
+		report, latency = r, sim.Now()-killAt
+		root.Stop()
+	})
+	sim.Run()
+	if report.Rank != 5 {
+		t.Errorf("reported rank %d, want 5", report.Rank)
+	}
+	if report.Detail != "connection severed" {
+		t.Errorf("detail %q", report.Detail)
+	}
+	// Sever detection is the fast path: well under one period.
+	if latency > period {
+		t.Errorf("detection took %v with period %v", latency, period)
+	}
+}
+
+func TestSilentLinkDropDetectedWithinDeadline(t *testing.T) {
+	const n = 4
+	period := 100 * time.Millisecond
+	const miss = 3
+	sim, cl, rootCh := healthRig(t, n, 0, period, miss)
+	var report Report
+	var latency time.Duration
+	sim.Go("driver", func() {
+		root, ok := rootCh.Recv()
+		if !ok {
+			t.Error("no root monitor")
+			return
+		}
+		sim.Sleep(1 * time.Second)
+		dropAt := sim.Now()
+		// Rank 2's beats vanish silently; only the miss threshold can see it.
+		cl.Net().DropLink(cl.Node(0).Name(), cl.Node(2).Name())
+		r, ok := root.Failures().Recv()
+		if !ok {
+			t.Error("failure stream closed early")
+			return
+		}
+		report, latency = r, sim.Now()-dropAt
+		root.Stop()
+	})
+	sim.Run()
+	if report.Rank != 2 {
+		t.Errorf("reported rank %d, want 2", report.Rank)
+	}
+	if report.Detail != "heartbeat timeout" {
+		t.Errorf("detail %q", report.Detail)
+	}
+	deadline := time.Duration(miss+1) * period
+	if latency > deadline {
+		t.Errorf("silent failure detected after %v, deadline %v", latency, deadline)
+	}
+	if latency < time.Duration(miss)*period-period {
+		t.Errorf("silent failure detected implausibly fast: %v", latency)
+	}
+}
+
+func TestInteriorDeathReportsSubtreeUnreachable(t *testing.T) {
+	// Fanout 2 over 7 ranks: rank 1's subtree is {1, 3, 4}.
+	const n = 7
+	sim, cl, rootCh := healthRig(t, n, 2, 100*time.Millisecond, 3)
+	got := map[int]string{}
+	sim.Go("driver", func() {
+		root, ok := rootCh.Recv()
+		if !ok {
+			t.Error("no root monitor")
+			return
+		}
+		sim.Sleep(1 * time.Second)
+		cl.KillNode(1)
+		for len(got) < 3 {
+			r, ok := root.Failures().Recv()
+			if !ok {
+				t.Error("failure stream closed early")
+				return
+			}
+			got[r.Rank] = r.Detail
+		}
+		root.Stop()
+	})
+	sim.Run()
+	if got[1] != "connection severed" {
+		t.Errorf("rank 1 detail %q", got[1])
+	}
+	for _, r := range []int{3, 4} {
+		if got[r] != "unreachable" {
+			t.Errorf("rank %d detail %q, want unreachable", r, got[r])
+		}
+	}
+}
+
+func TestRootStopCascades(t *testing.T) {
+	// After the root stops, every monitor winds down and the simulation
+	// quiesces — the absence of a hang IS the assertion (beat loops left
+	// running would keep virtual time advancing forever).
+	const n = 6
+	sim, _, rootCh := healthRig(t, n, 2, 100*time.Millisecond, 3)
+	sim.Go("driver", func() {
+		root, ok := rootCh.Recv()
+		if !ok {
+			t.Error("no root monitor")
+			return
+		}
+		sim.Sleep(500 * time.Millisecond)
+		root.Stop()
+	})
+	end := sim.Run()
+	if end > time.Hour {
+		t.Errorf("simulation ran to %v; teardown did not cascade", end)
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	for _, ev := range []Event{
+		{Kind: EvDaemonsSpawned, Rank: -1, Detail: ""},
+		{Kind: EvJobExited, Rank: -1, Code: 137, Detail: "killed"},
+		{Kind: EvDaemonExited, Rank: 42, Detail: "connection severed"},
+		{Kind: EvSessionTornDown, Rank: -1, Detail: "watchdog"},
+	} {
+		got, err := DecodeEvent(EncodeEvent(ev))
+		if err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		if got != ev {
+			t.Errorf("round trip: got %+v want %+v", got, ev)
+		}
+	}
+	if _, err := DecodeEvent([]byte{1, 2}); err == nil {
+		t.Error("truncated event decoded")
+	}
+}

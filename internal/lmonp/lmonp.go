@@ -92,6 +92,11 @@ const (
 	// entry count for reassembly validation.
 	TypeProctabChunk // sender→receiver: one independently decodable RPDTAB chunk
 	TypeProctabEnd   // sender→receiver: stream end; payload = uint64 total entries
+
+	// Fault subsystem (fe-engine and fe-be): an asynchronous session
+	// status transition — job exited, daemon lost, session torn down.
+	// Payload codec lives in internal/health (EncodeEvent/DecodeEvent).
+	TypeStatusEvent // engine→FE / BE master→FE: async status event
 )
 
 // String names the type for diagnostics.
@@ -103,7 +108,7 @@ func (t MsgType) String() string {
 		TypeShutdown: "shutdown", TypeStatus: "status",
 		TypeHandshake: "handshake", TypeUsrData: "usrdata",
 		TypeProctabBE: "proctab-be", TypeProctabChunk: "proctab-chunk",
-		TypeProctabEnd: "proctab-end",
+		TypeProctabEnd: "proctab-end", TypeStatusEvent: "status-event",
 	}
 	if n, ok := names[t]; ok {
 		return n

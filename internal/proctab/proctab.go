@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"launchmon/internal/lmonp"
 )
@@ -52,10 +53,44 @@ func (t Table) Encode() []byte {
 	return append(out, entries...)
 }
 
+// readPool reads the string pool as substrings of one shared backing
+// string. A decoded table otherwise holds one small string allocation per
+// distinct host — hundreds of millions of GC-traceable objects when every
+// daemon of a 10^4-node job decodes the full RPDTAB — where one backing
+// object per table costs the collector nothing.
+func readPool(r *lmonp.Reader) ([]string, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry needs at least its 4-byte length prefix.
+	if uint64(n)*4 > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("pool of %d entries, %d bytes remain", n, r.Remaining())
+	}
+	raw := make([][]byte, 0, n)
+	var b strings.Builder
+	for i := uint32(0); i < n; i++ {
+		s, err := r.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, s)
+		b.Write(s)
+	}
+	backing := b.String()
+	pool := make([]string, 0, n)
+	off := 0
+	for _, s := range raw {
+		pool = append(pool, backing[off:off+len(s)])
+		off += len(s)
+	}
+	return pool, nil
+}
+
 // Decode parses a table encoded by Encode.
 func Decode(b []byte) (Table, error) {
 	r := lmonp.NewReader(b)
-	pool, err := r.StringList()
+	pool, err := readPool(r)
 	if err != nil {
 		return nil, fmt.Errorf("proctab: pool: %w", err)
 	}

@@ -90,7 +90,9 @@ func (j *job) AllocateAndSpawn(n int, spec rm.DaemonSpec) ([]string, error) {
 	return res.nodes, res.err
 }
 
-// Kill implements rm.Job.
+// Kill implements rm.Job. It terminates the job even when the launcher
+// itself is gone (killed directly, or lost with its node): the command is
+// then served by the job's reaper instead of the launcher loop.
 func (j *job) Kill() error {
 	j.mu.Lock()
 	if j.killed {
@@ -110,6 +112,63 @@ func (j *job) send(c command) cmdResult {
 		return cmdResult{err: errors.New("slurm: launcher gone")}
 	}
 	return res
+}
+
+// reaper takes over the command queue once the launcher process has
+// exited, so control requests against a dead launcher fail fast instead of
+// hanging — and a kill still reaps the job's remaining processes (the
+// orphan-cleanup path of the fault model).
+func (j *job) reaper() {
+	j.proc.Wait()
+	for {
+		cmd, ok := j.cmds.Recv()
+		if !ok {
+			return
+		}
+		j.serveOrphanCmd(cmd)
+	}
+}
+
+// serveOrphanCmd handles one control command after launcher death.
+func (j *job) serveOrphanCmd(cmd command) {
+	switch cmd.kind {
+	case cmdKill:
+		cmd.reply.Send(cmdResult{err: j.directKill()})
+	default:
+		cmd.reply.Send(cmdResult{err: errors.New("slurm: launcher gone")})
+	}
+}
+
+// directKill reaps the job's tasks and daemons without the launcher: one
+// kill request per node, issued in parallel from the front-end node (where
+// srun ran), best-effort — dead nodes are skipped, their processes died
+// with them. The flat fan-out trades the tree's message economy for
+// independence from dead interior nodes.
+func (j *job) directKill() error {
+	j.mu.Lock()
+	if j.killed {
+		j.mu.Unlock()
+		return rm.ErrAlreadyKilled
+	}
+	nodes := append([]string(nil), j.nodes...)
+	j.mu.Unlock()
+	h := j.m.cl.FrontEnd().Host()
+	sim := j.m.cl.Sim()
+	wg := vtime.NewWaitGroup(sim)
+	wg.Add(len(nodes))
+	for _, node := range nodes {
+		node := node
+		sim.Go("slurm-direct-kill", func() {
+			defer wg.Done()
+			single := []string{node}
+			_, _ = j.treeRequest(h, single, encodeKill(j.id, single))
+		})
+	}
+	wg.Wait()
+	j.mu.Lock()
+	j.killed = true
+	j.mu.Unlock()
+	return nil
 }
 
 // launcherMain is the srun-like process body: allocate, launch the tasks
@@ -163,6 +222,12 @@ func (j *job) launcherMain(p *cluster.Proc) {
 		if !ok {
 			return
 		}
+		if p.State() == cluster.StateExited {
+			// The launcher was force-killed while parked here; do not act
+			// as a zombie — hand the command to the orphan path.
+			j.serveOrphanCmd(cmd)
+			return
+		}
 		switch cmd.kind {
 		case cmdSpawnDaemons:
 			err := j.treeSpawn(p, nodes, cmd.spec)
@@ -180,6 +245,11 @@ func (j *job) launcherMain(p *cluster.Proc) {
 			cmd.reply.Send(cmdResult{nodes: mwNodes, err: err})
 		case cmdKill:
 			err := j.treeKill(p, nodes)
+			if err != nil {
+				// The tree root may have died with its node; fall back to
+				// the flat best-effort reap so survivors are still cleaned.
+				err = j.directKill()
+			}
 			j.mu.Lock()
 			j.killed = true
 			j.mu.Unlock()
@@ -191,8 +261,8 @@ func (j *job) launcherMain(p *cluster.Proc) {
 
 // treeRequest sends a raw request to the root slurmd of nodelist and
 // returns the reply payload (past the error string, which it checks).
-func (j *job) treeRequest(p *cluster.Proc, nodelist []string, raw []byte) (*lmonp.Reader, error) {
-	conn, err := p.Host().Dial(simnet.Addr{Host: nodelist[0], Port: SlurmdPort})
+func (j *job) treeRequest(h *simnet.Host, nodelist []string, raw []byte) (*lmonp.Reader, error) {
+	conn, err := h.Dial(simnet.Addr{Host: nodelist[0], Port: SlurmdPort})
 	if err != nil {
 		return nil, fmt.Errorf("slurm: root slurmd unreachable: %w", err)
 	}
@@ -216,7 +286,7 @@ func (j *job) treeRequest(p *cluster.Proc, nodelist []string, raw []byte) (*lmon
 }
 
 func (j *job) treeLaunch(p *cluster.Proc, nodes []string) (proctab.Table, error) {
-	rd, err := j.treeRequest(p, nodes, encodeLaunch(j.id, j.spec.TasksPerNode, j.spec.Exe, nodes))
+	rd, err := j.treeRequest(p.Host(), nodes, encodeLaunch(j.id, j.spec.TasksPerNode, j.spec.Exe, nodes))
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +305,7 @@ func (j *job) treeLaunch(p *cluster.Proc, nodes []string) (proctab.Table, error)
 }
 
 func (j *job) treeSpawn(p *cluster.Proc, nodes []string, spec rm.DaemonSpec) error {
-	rd, err := j.treeRequest(p, nodes, encodeSpawn(j.id, spec, nodes))
+	rd, err := j.treeRequest(p.Host(), nodes, encodeSpawn(j.id, spec, nodes))
 	if err != nil {
 		return err
 	}
@@ -250,6 +320,6 @@ func (j *job) treeSpawn(p *cluster.Proc, nodes []string, spec rm.DaemonSpec) err
 }
 
 func (j *job) treeKill(p *cluster.Proc, nodes []string) error {
-	_, err := j.treeRequest(p, nodes, encodeKill(j.id, nodes))
+	_, err := j.treeRequest(p.Host(), nodes, encodeKill(j.id, nodes))
 	return err
 }

@@ -165,6 +165,9 @@ func (m *Manager) startJob(spec rm.JobSpec, hold bool) (rm.Job, error) {
 		return nil, err
 	}
 	j.proc = p
+	// The reaper serves control commands once the launcher dies, so a kill
+	// against a lost launcher still reaps the job instead of hanging.
+	m.cl.Sim().Go(fmt.Sprintf("slurm-job-reaper-%d", j.id), j.reaper)
 	return j, nil
 }
 

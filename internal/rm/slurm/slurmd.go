@@ -85,8 +85,11 @@ func children(self, n, fanout int) []int {
 // forward fans the raw request out to the children of self in nodelist,
 // rewriting the self-index field, and collects one reply payload each.
 // The self index is encoded as the uint32 immediately after the opcode by
-// all tree requests, letting forwarding work generically.
-func (d *slurmd) forward(p *cluster.Proc, raw []byte, nodelist []string, self int) ([][]byte, error) {
+// all tree requests, letting forwarding work generically. With tolerant
+// set, unreachable children are skipped (their reply slot stays nil)
+// instead of failing the whole request — the kill path uses this, since a
+// dead child's processes died with its node.
+func (d *slurmd) forward(p *cluster.Proc, raw []byte, nodelist []string, self int, tolerant bool) ([][]byte, error) {
 	kids := children(self, len(nodelist), d.m.cfg.Fanout)
 	replies := make([][]byte, len(kids))
 	errs := make([]error, len(kids))
@@ -118,7 +121,7 @@ func (d *slurmd) forward(p *cluster.Proc, raw []byte, nodelist []string, self in
 	}
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !tolerant {
 			return nil, err
 		}
 	}
@@ -155,7 +158,7 @@ func (d *slurmd) handleLaunch(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []b
 	}
 	fwdCh := vtime.NewChan[fwdResult](p.Sim())
 	p.Sim().Go("slurmd-launch-fwd", func() {
-		r, err := d.forward(p, raw, nodelist, self)
+		r, err := d.forward(p, raw, nodelist, self, false)
 		fwdCh.Send(fwdResult{r, err})
 	})
 
@@ -229,7 +232,7 @@ func (d *slurmd) handleSpawn(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []by
 	}
 	fwdCh := vtime.NewChan[fwdResult](p.Sim())
 	p.Sim().Go("slurmd-spawn-fwd", func() {
-		r, err := d.forward(p, raw, nodelist, self)
+		r, err := d.forward(p, raw, nodelist, self, false)
 		fwdCh.Send(fwdResult{r, err})
 	})
 
@@ -292,7 +295,7 @@ func (d *slurmd) handleKill(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byt
 	}
 	fwdCh := vtime.NewChan[fwdResult](p.Sim())
 	p.Sim().Go("slurmd-kill-fwd", func() {
-		_, err := d.forward(p, raw, nodelist, self)
+		_, err := d.forward(p, raw, nodelist, self, true)
 		fwdCh.Send(fwdResult{err})
 	})
 

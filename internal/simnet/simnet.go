@@ -38,6 +38,16 @@ type Options struct {
 	Bandwidth float64
 	// LoopbackBandwidth is the per-connection loopback bandwidth.
 	LoopbackBandwidth float64
+
+	// SlowHosts maps host names to a slowdown factor (> 1): connections
+	// touching a slow host see their latency multiplied and bandwidth
+	// divided by the factor (the fault model's slow-node knob). The larger
+	// factor wins when both endpoints are slow.
+	SlowHosts map[string]float64
+	// DropLinks lists host pairs whose links start out down (see
+	// Network.DropLink): messages between them are silently discarded and
+	// new dials fail with ErrLinkDown.
+	DropLinks [][2]string
 }
 
 // DefaultOptions models a 2008-era Infiniband cluster interconnect
@@ -90,14 +100,36 @@ type Network struct {
 	sim  *vtime.Sim
 	opts Options
 
-	mu    sync.Mutex
-	hosts map[string]*Host
-	stats Stats
+	mu        sync.Mutex
+	hosts     map[string]*Host
+	stats     Stats
+	dead      map[string]bool           // hosts killed by KillHost
+	downLinks map[[2]string]bool        // severed host pairs (normalized order)
+	conns     map[string]map[*Conn]bool // live conn endpoints by host name
 }
 
 // New creates an empty network bound to sim.
 func New(sim *vtime.Sim, opts Options) *Network {
-	return &Network{sim: sim, opts: opts.withDefaults(), hosts: make(map[string]*Host)}
+	n := &Network{
+		sim:       sim,
+		opts:      opts.withDefaults(),
+		hosts:     make(map[string]*Host),
+		dead:      make(map[string]bool),
+		downLinks: make(map[[2]string]bool),
+		conns:     make(map[string]map[*Conn]bool),
+	}
+	for _, pair := range n.opts.DropLinks {
+		n.downLinks[linkKey(pair[0], pair[1])] = true
+	}
+	return n
+}
+
+// linkKey normalizes an unordered host pair.
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
 }
 
 // Sim returns the simulation the network runs on.
@@ -129,6 +161,106 @@ func (n *Network) LookupHost(name string) *Host {
 	return n.hosts[name]
 }
 
+// HostDead reports whether KillHost has been called for name.
+func (n *Network) HostDead(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead[name]
+}
+
+// KillHost marks a host dead: its listeners close, new dials to or from it
+// fail with ErrPeerDead, and every established connection touching it is
+// severed — the remote peer reads any in-flight data, then observes
+// ErrPeerDead (after the link latency drains) instead of a clean EOF.
+// Killing an unknown or already-dead host is a no-op.
+func (n *Network) KillHost(name string) {
+	n.mu.Lock()
+	h := n.hosts[name]
+	if h == nil || n.dead[name] {
+		n.mu.Unlock()
+		return
+	}
+	n.dead[name] = true
+	listeners := make([]*Listener, 0, len(h.listeners))
+	for _, l := range h.listeners {
+		listeners = append(listeners, l)
+	}
+	conns := make([]*Conn, 0, len(n.conns[name]))
+	for c := range n.conns[name] {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.sever()
+	}
+}
+
+// DropLink severs the link between hosts a and b: in-flight and future
+// messages between them are silently discarded (neither side learns — the
+// failure-detection layer's heartbeat-miss case) and new dials across the
+// link fail with ErrLinkDown.
+func (n *Network) DropLink(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downLinks[linkKey(a, b)] = true
+}
+
+// RestoreLink brings a dropped link back up. Established connections
+// resume delivering (messages dropped while down stay lost).
+func (n *Network) RestoreLink(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downLinks, linkKey(a, b))
+}
+
+// linkDown reports whether the a↔b link is currently dropped.
+func (n *Network) linkDown(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.downLinks[linkKey(a, b)]
+}
+
+// registerLocked tracks a conn endpoint under its host for fault
+// injection. Caller holds n.mu (registration must be atomic with the
+// dead-host check in Dial, or a racing KillHost misses the new conn).
+func (n *Network) registerLocked(host string, c *Conn) {
+	set := n.conns[host]
+	if set == nil {
+		set = make(map[*Conn]bool)
+		n.conns[host] = set
+	}
+	set[c] = true
+}
+
+// unregister drops a closed conn endpoint from the fault-injection index.
+func (n *Network) unregister(host string, c *Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if set := n.conns[host]; set != nil {
+		delete(set, c)
+		if len(set) == 0 {
+			delete(n.conns, host)
+		}
+	}
+}
+
+// slowFactor returns the effective slowdown for a conn between two hosts
+// (1 when neither is slow).
+func (o Options) slowFactor(a, b string) float64 {
+	f := 1.0
+	if s, ok := o.SlowHosts[a]; ok && s > f {
+		f = s
+	}
+	if s, ok := o.SlowHosts[b]; ok && s > f {
+		f = s
+	}
+	return f
+}
+
 // Host is a network endpoint that can listen and dial.
 type Host struct {
 	net       *Network
@@ -146,6 +278,12 @@ var (
 	ErrConnRefused   = errors.New("simnet: connection refused")
 	ErrClosed        = errors.New("simnet: use of closed connection")
 	ErrListenerClose = errors.New("simnet: listener closed")
+	// ErrPeerDead is returned by reads and writes on connections whose
+	// remote (or local) host has been killed, once any in-flight data has
+	// drained — the simulated analogue of ECONNRESET after a node loss.
+	ErrPeerDead = errors.New("simnet: peer host is dead")
+	// ErrLinkDown is returned when dialing across a dropped link.
+	ErrLinkDown = errors.New("simnet: link is down")
 )
 
 // Listen opens a listener on the given port; port 0 selects an ephemeral
@@ -153,6 +291,9 @@ var (
 func (h *Host) Listen(port int) (*Listener, error) {
 	h.net.mu.Lock()
 	defer h.net.mu.Unlock()
+	if h.net.dead[h.name] {
+		return nil, fmt.Errorf("%w: %s", ErrPeerDead, h.name)
+	}
 	if port == 0 {
 		for h.listeners[h.nextPort] != nil {
 			h.nextPort++
@@ -217,10 +358,19 @@ func (l *Listener) Close() {
 }
 
 // Dial connects from h to addr, blocking for the connection handshake
-// (one round trip). It fails immediately when no listener exists.
+// (one round trip). It fails immediately when no listener exists, when
+// either host is dead, or when the link between them is down.
 func (h *Host) Dial(addr Addr) (*Conn, error) {
 	n := h.net
 	n.mu.Lock()
+	if n.dead[h.name] || n.dead[addr.Host] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrPeerDead, addr)
+	}
+	if n.downLinks[linkKey(h.name, addr.Host)] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s <-> %s", ErrLinkDown, h.name, addr.Host)
+	}
 	dst := n.hosts[addr.Host]
 	if dst == nil {
 		n.mu.Unlock()
@@ -235,10 +385,16 @@ func (h *Host) Dial(addr Addr) (*Conn, error) {
 	if addr.Host == h.name {
 		lat, bw = n.opts.LoopbackLatency, n.opts.LoopbackBandwidth
 	}
+	if f := n.opts.slowFactor(h.name, addr.Host); f > 1 {
+		lat = time.Duration(float64(lat) * f)
+		bw /= f
+	}
 	local := Addr{Host: h.name, Port: -1} // anonymous client port
 	a := &Conn{net: n, local: local, remote: addr, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
 	b := &Conn{net: n, local: addr, remote: local, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
 	a.peer, b.peer = b, a
+	n.registerLocked(h.name, a)
+	n.registerLocked(addr.Host, b)
 	n.stats.Dials++
 	incoming := l.incoming
 	n.mu.Unlock()
@@ -266,6 +422,7 @@ type Conn struct {
 	mu       sync.Mutex
 	sendDone time.Duration // virtual time the previous Write finishes on the wire
 	closed   bool
+	peerDead bool // the other endpoint's host was killed (reads/writes fail)
 }
 
 // LocalAddr returns the local endpoint address.
@@ -276,11 +433,17 @@ func (c *Conn) RemoteAddr() Addr { return c.remote }
 
 // Write sends p to the peer. It returns immediately (socket-buffer
 // semantics); delivery is charged serialization + latency in virtual time.
+// Messages crossing a dropped link are silently discarded at delivery
+// time; writes to a severed (dead-host) connection fail with ErrPeerDead.
 func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return 0, ErrClosed
+	}
+	if c.peerDead {
+		c.mu.Unlock()
+		return 0, ErrPeerDead
 	}
 	now := c.net.sim.Now()
 	start := now
@@ -296,6 +459,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 	buf := make([]byte, len(p))
 	copy(buf, p)
 	c.net.sim.After(arrive-now, func() {
+		// Delivery-time checks: packets vanish on a down link or when the
+		// destination died while they were in flight.
+		if c.net.linkDown(c.local.Host, c.remote.Host) || c.net.HostDead(c.remote.Host) {
+			return
+		}
 		c.net.mu.Lock()
 		c.net.stats.Messages++
 		c.net.stats.Bytes += int64(len(buf))
@@ -307,11 +475,18 @@ func (c *Conn) Write(p []byte) (int, error) {
 
 // Read fills p with received bytes, blocking in virtual time until data is
 // available. It returns io.EOF after the peer closes and all data is
-// consumed.
+// consumed, or ErrPeerDead once a severed connection's in-flight data has
+// drained.
 func (c *Conn) Read(p []byte) (int, error) {
 	for len(c.rbuf) == 0 {
 		buf, ok := c.in.Recv()
 		if !ok {
+			c.mu.Lock()
+			dead := c.peerDead
+			c.mu.Unlock()
+			if dead {
+				return 0, ErrPeerDead
+			}
 			return 0, io.EOF
 		}
 		c.rbuf = buf
@@ -321,8 +496,44 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// sever marks this endpoint's host dead: local reads/writes fail at once,
+// and the remote peer observes ErrPeerDead after the in-flight data (and
+// one link latency) drains. Idempotent; safe on closed connections.
+func (c *Conn) sever() {
+	c.mu.Lock()
+	if c.closed || c.peerDead {
+		c.mu.Unlock()
+		return
+	}
+	// The local side belongs to the dead host: fail its I/O immediately.
+	c.peerDead = true
+	now := c.net.sim.Now()
+	fin := c.sendDone
+	if fin < now {
+		fin = now
+	}
+	fin += c.lat
+	peer := c.peer
+	c.mu.Unlock()
+	c.in.Close()
+	c.net.unregister(c.local.Host, c)
+	c.net.sim.After(fin-now, func() {
+		peer.net.unregister(peer.local.Host, peer)
+		peer.mu.Lock()
+		if peer.closed {
+			// The survivor already closed its side; nothing to observe.
+			peer.mu.Unlock()
+			return
+		}
+		peer.peerDead = true
+		peer.mu.Unlock()
+		peer.in.Close()
+	})
+}
+
 // Close shuts down the local endpoint; after one latency the peer observes
-// EOF (once queued data drains).
+// EOF (once queued data drains). The local side's blocked readers wake
+// with EOF too, once buffered data is consumed.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -339,6 +550,8 @@ func (c *Conn) Close() error {
 	fin += c.lat
 	peer := c.peer
 	c.mu.Unlock()
+	c.in.Close()
+	c.net.unregister(c.local.Host, c)
 	c.net.sim.After(fin-now, func() { peer.in.Close() })
 	return nil
 }

@@ -172,6 +172,36 @@ func BenchmarkAblation_FailureDetection(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_Collective compares the flat FE↔BE-master pipe (every
+// gathered byte relayed monolithically through the master) against the
+// tree-routed collective plane at K ∈ {64, 1024, 16384}: per-link message
+// counts are bounded by the fanout and chunk size instead of K, so the
+// tree gather must beat the flat-master gather at the largest scale, and
+// the sum reduction's FE-bound payload is K-independent outright.
+func BenchmarkAblation_Collective(b *testing.B) {
+	var rows []bench.CollectiveRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.CollectiveAblation(bench.CollectiveOpts{}, bench.CollectiveScales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(bench.CollectiveScales) {
+			b.Fatalf("%d rows", len(rows))
+		}
+		last := rows[len(rows)-1]
+		if last.TreeGather >= last.FlatGather {
+			b.Fatalf("tree gather (%v) not faster than flat-master gather (%v) at K=%d",
+				last.TreeGather, last.FlatGather, last.Daemons)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.FlatGather.Seconds()*1e3, fmt.Sprintf("flat-gather-vms-K%d", r.Daemons))
+		b.ReportMetric(r.TreeGather.Seconds()*1e3, fmt.Sprintf("tree-gather-vms-K%d", r.Daemons))
+		b.ReportMetric(r.ReduceSum.Seconds()*1e3, fmt.Sprintf("reduce-sum-vms-K%d", r.Daemons))
+	}
+}
+
 // BenchmarkAblation_JobsnapTree quantifies the paper's §5.1 future-work
 // suggestion: Jobsnap with a TBŌN-style k-ary collection tree vs the flat
 // gather it measured.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-smoke] [-json] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-smoke] [-json] [-all]
 //
 // With -json, each experiment additionally writes its rows as
 // BENCH_<name>.json in the working directory (machine-readable results
@@ -45,12 +45,13 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1)")
 	ablations := flag.Bool("ablations", false, "run the ablation benches")
 	failure := flag.Bool("failure", false, "run the failure-detection ablation (K up to 16384)")
+	collective := flag.Bool("collective", false, "run the collective tool-data-plane ablation (flat vs tree, K up to 16384)")
 	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && !*failure && !*smoke && *fig == 0 && *table == 0 {
+	if !*ablations && !*failure && !*collective && !*smoke && *fig == 0 && *table == 0 {
 		*all = true
 	}
 	run := func(name string, fn func() error) {
@@ -164,6 +165,16 @@ func main() {
 			return emit("ablation_concurrent", cc)
 		})
 	}
+	if *all || *collective {
+		run("collective", func() error {
+			rows, err := bench.CollectiveAblation(bench.CollectiveOpts{}, bench.CollectiveScales)
+			if err != nil {
+				return err
+			}
+			bench.PrintCollective(os.Stdout, rows)
+			return emit("collective", rows)
+		})
+	}
 	if *all || *failure {
 		run("failure detection", func() error {
 			rows, err := bench.FailureDetection(bench.FailureOpts{Silent: true}, bench.FailureScales)
@@ -214,5 +225,14 @@ func runSmoke() error {
 	}
 	fmt.Println()
 	bench.PrintOverhead(os.Stdout, overhead)
-	return emit("smoke_heartbeat_overhead", overhead)
+	if err := emit("smoke_heartbeat_overhead", overhead); err != nil {
+		return err
+	}
+	cr, err := bench.CollectiveAblation(bench.CollectiveOpts{PayloadB: 128, Fanout: 4}, []int{8, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintCollective(os.Stdout, cr)
+	return emit("smoke_collective", cr)
 }

@@ -31,8 +31,9 @@ func main() {
 	core.Setup(cl, mgr) // registers the LaunchMON engine
 
 	// 2. Register the tool's back-end daemon: BEInit joins the session,
-	// then every daemon reports how many tasks it watches; the master
-	// forwards the tally to the front end.
+	// then every daemon contributes its report to the session's collective
+	// gather — routed over the ICCL tree straight to the front end, no
+	// hand-rolled fan-in at the master.
 	cl.Register("hello_be", func(p *cluster.Proc) {
 		be, err := core.BEInit(p)
 		if err != nil {
@@ -40,17 +41,8 @@ func main() {
 			return
 		}
 		report := []byte(fmt.Sprintf("%s watches %d tasks", p.Node().Name(), len(be.MyProctab())))
-		all, err := be.Gather(report)
-		if err != nil {
+		if err := be.Collective().Gather(report); err != nil {
 			return
-		}
-		if be.AmIMaster() {
-			var joined []byte
-			for _, line := range all {
-				joined = append(joined, line...)
-				joined = append(joined, '\n')
-			}
-			be.SendToFE(joined)
 		}
 		be.Finalize()
 	})
@@ -70,12 +62,14 @@ func main() {
 			fmt.Printf("session %d up: %d tasks, %d daemons, launch took %v\n",
 				sess.ID, len(sess.Proctab()), len(sess.Daemons()),
 				sess.Timeline.Between("e0_fe_call", "e11_return"))
-			reports, err := sess.RecvFromBE()
+			reports, err := sess.Gather() // one entry per daemon, rank-indexed
 			if err != nil {
 				log.Print(err)
 				return
 			}
-			fmt.Print(string(reports))
+			for _, line := range reports {
+				fmt.Println(string(line))
+			}
 			if err := sess.Kill(); err != nil {
 				log.Print(err)
 			}

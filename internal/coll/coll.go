@@ -1,0 +1,442 @@
+// Package coll is the wire codec of the collective tool-data plane: the
+// chunk framing, rank-tagged entry encoding, stream reassembly and
+// pluggable reduction filters shared by the FE-side Session collectives
+// (internal/core), the ICCL tree routing (internal/iccl) and the tools.
+//
+// A collective payload travels as a stream of bounded-size chunks — the
+// same idiom as the chunked RPDTAB transfer (internal/proctab/stream.go)
+// — closed by an end marker carrying a total for reassembly validation.
+// Every chunk is preceded by a Header naming the operation, the
+// session-wide collective tag, the chunk's index within its stream, and
+// the rank range its entries cover; reduce streams additionally carry the
+// filter spec so every tree node combines with the same function.
+package coll
+
+import (
+	"errors"
+	"fmt"
+
+	"launchmon/internal/lmonp"
+)
+
+// Op identifies the collective operation a chunk belongs to.
+type Op uint8
+
+// The four collectives of the tool-data plane.
+const (
+	OpBroadcast Op = iota + 1 // FE → every daemon: raw byte stream
+	OpScatter                 // FE → per-rank parts: rank-tagged entries
+	OpGather                  // every daemon → FE: rank-tagged entries
+	OpReduce                  // every daemon → FE: combined at interior nodes
+)
+
+// String names the op for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpBroadcast:
+		return "broadcast"
+	case OpScatter:
+		return "scatter"
+	case OpGather:
+		return "gather"
+	case OpReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// DefaultChunkBytes bounds one collective chunk body when the session does
+// not configure a size (core.Options.CollChunkBytes).
+const DefaultChunkBytes = 64 << 10
+
+// Header precedes every collective chunk and end marker.
+type Header struct {
+	Op     Op
+	Tag    uint32 // session-wide collective sequence number
+	Index  uint32 // chunk index within its per-link stream, from 0
+	Lo, Hi uint32 // rank range [Lo, Hi) covered by this chunk's entries
+	Filter string // reduction filter spec (OpReduce streams only)
+}
+
+// Encode renders the header.
+func (h Header) Encode() []byte {
+	b := []byte{byte(h.Op)}
+	b = lmonp.AppendUint32(b, h.Tag)
+	b = lmonp.AppendUint32(b, h.Index)
+	b = lmonp.AppendUint32(b, h.Lo)
+	b = lmonp.AppendUint32(b, h.Hi)
+	b = lmonp.AppendString(b, h.Filter)
+	return b
+}
+
+// ErrBadHeader reports an undecodable or inconsistent collective header.
+var ErrBadHeader = errors.New("coll: bad header")
+
+// DecodeHeader consumes one encoded header from rd.
+func DecodeHeader(rd *lmonp.Reader) (Header, error) {
+	var h Header
+	op, err := rd.Byte()
+	if err != nil {
+		return h, err
+	}
+	h.Op = Op(op)
+	if h.Op < OpBroadcast || h.Op > OpReduce {
+		return h, fmt.Errorf("%w: op %d", ErrBadHeader, op)
+	}
+	if h.Tag, err = rd.Uint32(); err != nil {
+		return h, err
+	}
+	if h.Index, err = rd.Uint32(); err != nil {
+		return h, err
+	}
+	if h.Lo, err = rd.Uint32(); err != nil {
+		return h, err
+	}
+	if h.Hi, err = rd.Uint32(); err != nil {
+		return h, err
+	}
+	if h.Filter, err = rd.String(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// Frame is one unit of a collective stream on any link: a chunk (Body
+// holds data) or the end marker (Total holds the stream's byte or entry
+// count, matching the proctab end-marker idiom).
+type Frame struct {
+	H     Header
+	Body  []byte
+	End   bool
+	Total uint64
+}
+
+// EncodeMsg renders the frame as the two LMONP payload sections of a
+// TypeCollChunk (chunks) or TypeCollEnd (end markers) message: the header
+// — plus the total, for end markers — in the LaunchMON section, the chunk
+// body as piggybacked tool data.
+func (f Frame) EncodeMsg() (payload, usr []byte) {
+	payload = f.H.Encode()
+	if f.End {
+		payload = lmonp.AppendUint64(payload, f.Total)
+		return payload, nil
+	}
+	return payload, f.Body
+}
+
+// DecodeMsg parses the payload sections of a collective LMONP message
+// (end selects the TypeCollEnd layout).
+func DecodeMsg(end bool, payload, usr []byte) (Frame, error) {
+	rd := lmonp.NewReader(payload)
+	h, err := DecodeHeader(rd)
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{H: h}
+	if end {
+		if f.Total, err = rd.Uint64(); err != nil {
+			return Frame{}, fmt.Errorf("%w: end total: %v", ErrBadHeader, err)
+		}
+		f.End = true
+		return f, nil
+	}
+	f.Body = usr
+	return f, nil
+}
+
+// Entry is one rank-tagged blob inside a scatter or gather chunk.
+type Entry struct {
+	Rank int
+	Blob []byte
+}
+
+// AppendEntries encodes a count-prefixed list of rank-tagged blobs.
+func AppendEntries(b []byte, entries []Entry) []byte {
+	b = lmonp.AppendUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = lmonp.AppendUint32(b, uint32(e.Rank))
+		b = lmonp.AppendBytes(b, e.Blob)
+	}
+	return b
+}
+
+// DecodeEntries parses an entry list (blobs alias the input buffer).
+func DecodeEntries(b []byte) ([]Entry, error) {
+	rd := lmonp.NewReader(b)
+	n, err := rd.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry needs at least its rank and blob-length fields.
+	if uint64(n)*8 > uint64(rd.Remaining()) {
+		return nil, fmt.Errorf("%w: %d entries, %d bytes remain", lmonp.ErrTruncated, n, rd.Remaining())
+	}
+	out := make([]Entry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rk, err := rd.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		blob, err := rd.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Entry{Rank: int(rk), Blob: blob})
+	}
+	return out, nil
+}
+
+// SplitRaw splits data into chunk bodies of at most maxBytes each
+// (maxBytes <= 0 selects DefaultChunkBytes). Empty data yields a single
+// empty chunk, mirroring proctab.EncodeChunks.
+func SplitRaw(data []byte, maxBytes int) [][]byte {
+	if maxBytes <= 0 {
+		maxBytes = DefaultChunkBytes
+	}
+	if len(data) == 0 {
+		return [][]byte{nil}
+	}
+	var chunks [][]byte
+	for len(data) > 0 {
+		n := maxBytes
+		if n > len(data) {
+			n = len(data)
+		}
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks
+}
+
+// RawFrames renders a raw byte stream (broadcast payloads, reduce
+// results) as its chunk frames plus the end marker (Total = byte count).
+func RawFrames(op Op, tag uint32, filter string, data []byte, maxBytes int) []Frame {
+	chunks := SplitRaw(data, maxBytes)
+	out := make([]Frame, 0, len(chunks)+1)
+	for i, ch := range chunks {
+		out = append(out, Frame{
+			H:    Header{Op: op, Tag: tag, Index: uint32(i), Filter: filter},
+			Body: ch,
+		})
+	}
+	out = append(out, Frame{
+		H:     Header{Op: op, Tag: tag, Index: uint32(len(chunks)), Filter: filter},
+		End:   true,
+		Total: uint64(len(data)),
+	})
+	return out
+}
+
+// Packer coalesces rank-tagged entries into chunk frames of at most
+// ChunkBytes each on one outgoing stream, emitting them through Emit as
+// they fill, closed by an end marker carrying the entry total. It is the
+// single implementation of the entry-packing invariant, shared by the
+// FE-originated scatter framing and the interior re-bucketing /
+// gather-coalescing hops. A single entry larger than ChunkBytes travels
+// as one oversized chunk rather than an error, like an oversized proctab
+// entry.
+type Packer struct {
+	Op         Op
+	Tag        uint32
+	ChunkBytes int
+	Emit       func(Frame) error
+
+	pend  []Entry
+	size  int
+	index uint32
+	total uint64
+}
+
+// Add appends one entry (copying its blob), flushing a frame when the
+// pending chunk would exceed the bound.
+func (p *Packer) Add(e Entry) error {
+	if p.ChunkBytes <= 0 {
+		p.ChunkBytes = DefaultChunkBytes
+	}
+	add := 8 + len(e.Blob) // rank + blob-length prefixes + blob
+	if len(p.pend) > 0 && p.size+add > p.ChunkBytes {
+		if err := p.flush(); err != nil {
+			return err
+		}
+	}
+	if len(p.pend) == 0 {
+		p.size = 4 // the chunk's entry-count prefix
+	}
+	p.pend = append(p.pend, Entry{Rank: e.Rank, Blob: append([]byte(nil), e.Blob...)})
+	p.size += add
+	p.total++
+	return nil
+}
+
+func (p *Packer) flush() error {
+	if len(p.pend) == 0 {
+		return nil
+	}
+	lo, hi := uint32(p.pend[0].Rank), uint32(p.pend[0].Rank)+1
+	for _, e := range p.pend[1:] {
+		if uint32(e.Rank) < lo {
+			lo = uint32(e.Rank)
+		}
+		if uint32(e.Rank)+1 > hi {
+			hi = uint32(e.Rank) + 1
+		}
+	}
+	f := Frame{
+		H:    Header{Op: p.Op, Tag: p.Tag, Index: p.index, Lo: lo, Hi: hi},
+		Body: AppendEntries(nil, p.pend),
+	}
+	p.pend, p.size = nil, 0
+	p.index++
+	return p.Emit(f)
+}
+
+// End flushes the final partial chunk and emits the end marker.
+func (p *Packer) End() error {
+	if err := p.flush(); err != nil {
+		return err
+	}
+	return p.Emit(Frame{
+		H:     Header{Op: p.Op, Tag: p.Tag, Index: p.index},
+		End:   true,
+		Total: p.total,
+	})
+}
+
+// EntryFrames packs rank-tagged entries into chunk frames of roughly
+// maxBytes each plus the end marker (Total = entry count).
+func EntryFrames(op Op, tag uint32, entries []Entry, maxBytes int) []Frame {
+	var out []Frame
+	p := Packer{Op: op, Tag: tag, ChunkBytes: maxBytes, Emit: func(f Frame) error {
+		out = append(out, f)
+		return nil
+	}}
+	for _, e := range entries {
+		p.Add(e)
+	}
+	p.End()
+	return out
+}
+
+// Stream-reassembly errors (mirrored on the proctab Assembler contract;
+// the duplicate/out-of-order distinction matters to tests and fuzzing —
+// links are FIFO, so either means a corrupted or hostile peer).
+var (
+	ErrChunkDup   = errors.New("coll: duplicate or out-of-order chunk")
+	ErrChunkGap   = errors.New("coll: chunk gap")
+	ErrStreamMix  = errors.New("coll: mixed streams")
+	ErrShortTotal = errors.New("coll: reassembly total mismatch")
+)
+
+// stream pins the op/tag/filter of a chunk stream and validates the chunk
+// index sequence.
+type stream struct {
+	started bool
+	h       Header // op/tag/filter of the stream
+	next    uint32
+}
+
+func (s *stream) admit(h Header) error {
+	if !s.started {
+		s.started, s.h = true, h
+	} else if h.Op != s.h.Op || h.Tag != s.h.Tag || h.Filter != s.h.Filter {
+		return fmt.Errorf("%w: %v/tag %d/filter %q in %v/tag %d/filter %q stream",
+			ErrStreamMix, h.Op, h.Tag, h.Filter, s.h.Op, s.h.Tag, s.h.Filter)
+	}
+	switch {
+	case h.Index < s.next:
+		return fmt.Errorf("%w: chunk %d after %d", ErrChunkDup, h.Index, s.next)
+	case h.Index > s.next:
+		return fmt.Errorf("%w: chunk %d, expected %d", ErrChunkGap, h.Index, s.next)
+	}
+	s.next++
+	return nil
+}
+
+// SeqCheck validates a per-link chunk stream — op/tag/filter consistency
+// and in-order, duplicate-free indices — without retaining data, for
+// interior nodes that forward frames verbatim.
+type SeqCheck struct{ s stream }
+
+// Admit validates the next frame header of the stream.
+func (c *SeqCheck) Admit(h Header) error { return c.s.admit(h) }
+
+// RawAssembler reassembles a raw chunk stream (broadcast payloads,
+// reduce results), validating in-order duplicate-free chunk indices.
+type RawAssembler struct {
+	s    stream
+	data []byte
+}
+
+// Add validates and appends one chunk.
+func (a *RawAssembler) Add(h Header, body []byte) error {
+	if err := a.s.admit(h); err != nil {
+		return err
+	}
+	a.data = append(a.data, body...)
+	return nil
+}
+
+// Finish validates the end marker (h continues the stream's index
+// sequence; total is the stream's byte count) and returns the payload.
+func (a *RawAssembler) Finish(h Header, total uint64) ([]byte, error) {
+	if err := a.s.admit(h); err != nil {
+		return nil, err
+	}
+	if uint64(len(a.data)) != total {
+		return nil, fmt.Errorf("%w: reassembled %d bytes, end marker says %d", ErrShortTotal, len(a.data), total)
+	}
+	return a.data, nil
+}
+
+// Filter returns the stream's filter spec (reduce streams).
+func (a *RawAssembler) Filter() string { return a.s.h.Filter }
+
+// RankAssembler reassembles a rank-tagged entry stream (the FE side of a
+// gather), validating chunk order and that no rank contributes twice.
+type RankAssembler struct {
+	s      stream
+	byRank map[int][]byte
+}
+
+// Add validates one chunk and indexes its entries by rank.
+func (a *RankAssembler) Add(h Header, body []byte) error {
+	if err := a.s.admit(h); err != nil {
+		return err
+	}
+	entries, err := DecodeEntries(body)
+	if err != nil {
+		return err
+	}
+	if a.byRank == nil {
+		a.byRank = make(map[int][]byte)
+	}
+	for _, e := range entries {
+		if _, dup := a.byRank[e.Rank]; dup {
+			return fmt.Errorf("coll: rank %d contributed twice", e.Rank)
+		}
+		a.byRank[e.Rank] = append([]byte(nil), e.Blob...)
+	}
+	return nil
+}
+
+// Finish validates the end marker against the expected participant count
+// and returns the contributions indexed by rank (every rank in [0, size)
+// exactly once).
+func (a *RankAssembler) Finish(h Header, total uint64, size int) ([][]byte, error) {
+	if err := a.s.admit(h); err != nil {
+		return nil, err
+	}
+	if total != uint64(len(a.byRank)) || len(a.byRank) != size {
+		return nil, fmt.Errorf("%w: %d contributions, end marker says %d, expected %d",
+			ErrShortTotal, len(a.byRank), total, size)
+	}
+	out := make([][]byte, size)
+	for rk, blob := range a.byRank {
+		if rk < 0 || rk >= size {
+			return nil, fmt.Errorf("coll: contribution from out-of-range rank %d", rk)
+		}
+		out[rk] = blob
+	}
+	return out, nil
+}

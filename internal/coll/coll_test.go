@@ -1,0 +1,334 @@
+package coll
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"launchmon/internal/lmonp"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, h := range []Header{
+		{Op: OpBroadcast, Tag: 1},
+		{Op: OpScatter, Tag: 7, Index: 3, Lo: 10, Hi: 20},
+		{Op: OpGather, Tag: 1 << 30, Index: 0xffffffff, Lo: 0, Hi: 1},
+		{Op: OpReduce, Tag: 2, Filter: "topk:8"},
+	} {
+		got, err := DecodeHeader(lmonp.NewReader(h.Encode()))
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestDecodeHeaderRejectsBadOp(t *testing.T) {
+	h := Header{Op: OpBroadcast, Tag: 1}
+	enc := h.Encode()
+	enc[0] = 99
+	if _, err := DecodeHeader(lmonp.NewReader(enc)); err == nil {
+		t.Fatal("op 99 accepted")
+	}
+	if _, err := DecodeHeader(lmonp.NewReader(nil)); err == nil {
+		t.Fatal("empty header accepted")
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	chunk := Frame{H: Header{Op: OpGather, Tag: 3, Index: 1, Lo: 4, Hi: 9}, Body: []byte("body")}
+	payload, usr := chunk.EncodeMsg()
+	got, err := DecodeMsg(false, payload, usr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.H != chunk.H || !bytes.Equal(got.Body, chunk.Body) || got.End {
+		t.Fatalf("chunk round trip: %+v", got)
+	}
+
+	end := Frame{H: Header{Op: OpGather, Tag: 3, Index: 2}, End: true, Total: 42}
+	payload, usr = end.EncodeMsg()
+	got, err = DecodeMsg(true, payload, usr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.End || got.Total != 42 || got.H != end.H {
+		t.Fatalf("end round trip: %+v", got)
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	in := []Entry{{Rank: 0, Blob: []byte("a")}, {Rank: 17, Blob: nil}, {Rank: 3, Blob: bytes.Repeat([]byte{7}, 100)}}
+	out, err := DecodeEntries(AppendEntries(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d entries", len(out))
+	}
+	for i := range in {
+		if out[i].Rank != in[i].Rank || !bytes.Equal(out[i].Blob, in[i].Blob) {
+			t.Fatalf("entry %d: %+v", i, out[i])
+		}
+	}
+}
+
+func TestSplitRawBounds(t *testing.T) {
+	data := bytes.Repeat([]byte{1}, 1000)
+	chunks := SplitRaw(data, 256)
+	if len(chunks) != 4 {
+		t.Fatalf("%d chunks", len(chunks))
+	}
+	var joined []byte
+	for _, ch := range chunks {
+		if len(ch) > 256 {
+			t.Fatalf("chunk of %d bytes", len(ch))
+		}
+		joined = append(joined, ch...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("chunks do not rejoin")
+	}
+	if got := SplitRaw(nil, 256); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty data: %v", got)
+	}
+}
+
+// Reassembly validation, mirroring the proctab Assembler tests: FIFO
+// links mean a duplicate or out-of-order chunk is a corrupted peer and
+// must be rejected, not silently misassembled.
+
+func TestRawAssemblerInOrder(t *testing.T) {
+	frames := RawFrames(OpBroadcast, 5, "", bytes.Repeat([]byte{9}, 700), 256)
+	var asm RawAssembler
+	for _, f := range frames[:len(frames)-1] {
+		if err := asm.Add(f.H, f.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := frames[len(frames)-1]
+	data, err := asm.Finish(end.H, end.Total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 700 {
+		t.Fatalf("%d bytes", len(data))
+	}
+}
+
+func TestRawAssemblerRejectsDuplicateChunk(t *testing.T) {
+	frames := RawFrames(OpBroadcast, 5, "", bytes.Repeat([]byte{9}, 700), 256)
+	var asm RawAssembler
+	if err := asm.Add(frames[0].H, frames[0].Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Add(frames[0].H, frames[0].Body); !errors.Is(err, ErrChunkDup) {
+		t.Fatalf("duplicate chunk: %v", err)
+	}
+}
+
+func TestRawAssemblerRejectsOutOfOrderChunk(t *testing.T) {
+	frames := RawFrames(OpBroadcast, 5, "", bytes.Repeat([]byte{9}, 700), 256)
+	var asm RawAssembler
+	if err := asm.Add(frames[1].H, frames[1].Body); !errors.Is(err, ErrChunkGap) {
+		t.Fatalf("chunk 1 first: %v", err)
+	}
+}
+
+func TestRawAssemblerRejectsMixedStreams(t *testing.T) {
+	var asm RawAssembler
+	if err := asm.Add(Header{Op: OpBroadcast, Tag: 1}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Add(Header{Op: OpBroadcast, Tag: 2, Index: 1}, []byte("y")); !errors.Is(err, ErrStreamMix) {
+		t.Fatalf("tag switch: %v", err)
+	}
+}
+
+func TestRawAssemblerRejectsShortTotal(t *testing.T) {
+	var asm RawAssembler
+	if err := asm.Add(Header{Op: OpBroadcast, Tag: 1}, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Finish(Header{Op: OpBroadcast, Tag: 1, Index: 1}, 99); !errors.Is(err, ErrShortTotal) {
+		t.Fatalf("bad total: %v", err)
+	}
+}
+
+func TestRankAssemblerRejectsDuplicateRank(t *testing.T) {
+	var asm RankAssembler
+	body := AppendEntries(nil, []Entry{{Rank: 2, Blob: []byte("a")}})
+	if err := asm.Add(Header{Op: OpGather, Tag: 1}, body); err != nil {
+		t.Fatal(err)
+	}
+	body = AppendEntries(nil, []Entry{{Rank: 2, Blob: []byte("b")}})
+	if err := asm.Add(Header{Op: OpGather, Tag: 1, Index: 1}, body); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+}
+
+func TestRankAssemblerFinishValidatesCoverage(t *testing.T) {
+	build := func(ranks ...int) *RankAssembler {
+		var asm RankAssembler
+		for i, rk := range ranks {
+			body := AppendEntries(nil, []Entry{{Rank: rk, Blob: []byte{byte(rk)}}})
+			if err := asm.Add(Header{Op: OpGather, Tag: 1, Index: uint32(i)}, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &asm
+	}
+	asm := build(0, 1, 2)
+	out, err := asm.Finish(Header{Op: OpGather, Tag: 1, Index: 3}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk, blob := range out {
+		if len(blob) != 1 || blob[0] != byte(rk) {
+			t.Fatalf("rank %d slot: %v", rk, blob)
+		}
+	}
+	// Missing rank.
+	asm = build(0, 2)
+	if _, err := asm.Finish(Header{Op: OpGather, Tag: 1, Index: 2}, 2, 3); err == nil {
+		t.Fatal("missing rank accepted")
+	}
+	// Out-of-range rank.
+	asm = build(0, 1, 5)
+	if _, err := asm.Finish(Header{Op: OpGather, Tag: 1, Index: 3}, 3, 3); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestEntryFramesPackAndRejoin(t *testing.T) {
+	var entries []Entry
+	for rk := 0; rk < 40; rk++ {
+		entries = append(entries, Entry{Rank: rk, Blob: bytes.Repeat([]byte{byte(rk)}, 50)})
+	}
+	frames := EntryFrames(OpGather, 9, entries, 256)
+	if len(frames) < 5 {
+		t.Fatalf("only %d frames for 2000 bytes at 256/chunk", len(frames))
+	}
+	var asm RankAssembler
+	for _, f := range frames {
+		if f.End {
+			out, err := asm.Finish(f.H, f.Total, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rk, blob := range out {
+				if !bytes.Equal(blob, entries[rk].Blob) {
+					t.Fatalf("rank %d mismatch", rk)
+				}
+			}
+			return
+		}
+		if len(f.Body) > 256+64 {
+			t.Fatalf("frame body %d bytes", len(f.Body))
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("no end frame")
+}
+
+func TestFilterConcat(t *testing.T) {
+	fn, err := LookupFilter("concat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := fn(nil, []byte("ab"))
+	acc, _ = fn(acc, []byte("cd"))
+	if string(acc) != "abcd" {
+		t.Fatalf("%q", acc)
+	}
+}
+
+func TestFilterSum(t *testing.T) {
+	fn, err := LookupFilter("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := func(xs ...uint64) []byte {
+		var b []byte
+		for _, x := range xs {
+			b = lmonp.AppendUint64(b, x)
+		}
+		return b
+	}
+	acc, err := fn(nil, v(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err = fn(acc, v(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(acc, v(3, 30)) {
+		t.Fatalf("%x", acc)
+	}
+	if _, err := fn(acc, v(1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := fn(nil, []byte{1, 2, 3}); err == nil {
+		t.Fatal("non-vector accepted")
+	}
+}
+
+func TestFilterTopK(t *testing.T) {
+	fn, err := LookupFilter("topk:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc []byte
+	for i := 0; i < 5; i++ {
+		acc, err = fn(acc, EncodeSample([][]byte{[]byte(fmt.Sprintf("item-%d", i))}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := DecodeSample(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("kept %d items", len(items))
+	}
+	if _, err := LookupFilter("topk:0"); err == nil {
+		t.Fatal("topk:0 accepted")
+	}
+	if _, err := LookupFilter("topk:x"); err == nil {
+		t.Fatal("topk:x accepted")
+	}
+}
+
+func TestLookupUnknownFilter(t *testing.T) {
+	if _, err := LookupFilter("no-such-filter"); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+}
+
+func TestRegisterFilterCustom(t *testing.T) {
+	RegisterFilter("test-max", func(string) (Combine, error) {
+		return func(acc, next []byte) ([]byte, error) {
+			if acc == nil || bytes.Compare(next, acc) > 0 {
+				return append([]byte(nil), next...), nil
+			}
+			return acc, nil
+		}, nil
+	})
+	fn, err := LookupFilter("test-max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := fn(nil, []byte("b"))
+	acc, _ = fn(acc, []byte("a"))
+	acc, _ = fn(acc, []byte("c"))
+	if string(acc) != "c" {
+		t.Fatalf("%q", acc)
+	}
+}

@@ -26,6 +26,7 @@ type BackEnd struct {
 	comm *iccl.Comm
 	fe   *lmonp.Conn     // non-nil at the master only
 	mon  *health.Monitor // nil when the session has no failure detection
+	coll *BECollective   // the session's collective tool-data plane
 
 	tab    proctab.Table
 	myTab  proctab.Table
@@ -81,6 +82,13 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 	if comm.IsMaster() {
 		be.tl.Mark(engine.MarkE9, p.Sim().Now())
 	}
+	collChunk := 0
+	if cc := p.Env(EnvCollChunk); cc != "" {
+		if collChunk, err = strconv.Atoi(cc); err != nil {
+			return nil, fmt.Errorf("core: bad %s: %w", EnvCollChunk, err)
+		}
+	}
+	be.coll = newBECollective(be, collChunk)
 
 	// Distribute RPDTAB + piggybacked FE data to every daemon.
 	tab, data, err := distributeSessionSeed(comm, masterTab, feData)

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"launchmon/internal/coll"
+	"launchmon/internal/iccl"
+	"launchmon/internal/lmonp"
+)
+
+// This file is the user-data collective plane (the successor of the flat
+// SendToBE/RecvFromBE pipe for bulk tool traffic): Session.Broadcast /
+// Scatter / Gather / Reduce on the front end, mirrored by the
+// BE.Collective handle on every back-end daemon. Payloads ride the ICCL
+// k-ary tree as bounded-size chunk streams (codec internal/coll, routing
+// internal/iccl); interior daemons forward — and, for Reduce, combine —
+// instead of the master relaying every byte over its single FE link.
+//
+// The plane is collective in the MPI sense: the front end and every
+// back-end daemon must issue matching operations in the same order. A
+// per-session tag advanced in lockstep on all participants turns order
+// violations into protocol errors. Ordering guarantees: Gather results
+// are rank-indexed; concat-style reductions combine in deterministic
+// tree order (own subtree first, then children by rank), which is not
+// rank order — tools needing rank order gather instead.
+
+// nextCollTag advances the FE side of the session's collective sequence.
+func (s *Session) nextCollTag() uint32 {
+	s.collTag++
+	return s.collTag
+}
+
+// sendFrameOn bridges one collective frame onto an LMONP connection —
+// the single Frame→message mapping, shared by the FE sender and the
+// master's up hook.
+func sendFrameOn(c *lmonp.Conn, f coll.Frame) error {
+	payload, usr := f.EncodeMsg()
+	typ := lmonp.TypeCollChunk
+	if f.End {
+		typ = lmonp.TypeCollEnd
+	}
+	return c.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: typ, Payload: payload, UsrData: usr})
+}
+
+// sendCollFrame ships one FE-originated frame to the master daemon.
+func (s *Session) sendCollFrame(f coll.Frame) error {
+	return sendFrameOn(s.beMaster, f)
+}
+
+// Broadcast ships data to every back-end daemon over the ICCL tree. Every
+// daemon receives it from BECollective.Broadcast.
+func (s *Session) Broadcast(data []byte) error {
+	if s.beMaster == nil || s.closed() {
+		return s.closedErr()
+	}
+	tag := s.nextCollTag()
+	for _, f := range coll.RawFrames(coll.OpBroadcast, tag, "", data, s.collChunk) {
+		if err := s.sendCollFrame(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter delivers parts[rank] to each back-end daemon (one part per
+// daemon, in rank order). Daemons receive their part from
+// BECollective.Scatter; interior tree nodes route each part toward its
+// rank's subtree, so no single link ever carries the whole part set.
+func (s *Session) Scatter(parts [][]byte) error {
+	if s.beMaster == nil || s.closed() {
+		return s.closedErr()
+	}
+	if len(parts) != len(s.daemons) {
+		return fmt.Errorf("core: scatter needs %d parts (one per daemon), got %d", len(s.daemons), len(parts))
+	}
+	tag := s.nextCollTag()
+	entries := make([]coll.Entry, len(parts))
+	for rk, p := range parts {
+		entries[rk] = coll.Entry{Rank: rk, Blob: p}
+	}
+	for _, f := range coll.EntryFrames(coll.OpScatter, tag, entries, s.collChunk) {
+		if err := s.sendCollFrame(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvCollFrame waits for the next collective frame routed by the BE
+// watcher, surfacing a malformed frame's decode error or — if the
+// session dies mid-collective — the terminal fault detail.
+func (s *Session) recvCollFrame() (coll.Frame, error) {
+	ev, ok := s.beColl.Recv()
+	if !ok {
+		return coll.Frame{}, s.closedErr()
+	}
+	if ev.err != nil {
+		return coll.Frame{}, fmt.Errorf("core: malformed collective frame from master daemon: %w", ev.err)
+	}
+	return ev.f, nil
+}
+
+// Gather collects one byte slice from every back-end daemon
+// (BECollective.Gather), indexed by rank. Contributions stream to the
+// front end as bounded-size chunks routed up the tree, arriving as each
+// subtree completes rather than as one monolithic master payload.
+func (s *Session) Gather() ([][]byte, error) {
+	if s.beMaster == nil || s.closed() {
+		return nil, s.closedErr()
+	}
+	tag := s.nextCollTag()
+	var asm coll.RankAssembler
+	for {
+		f, err := s.recvCollFrame()
+		if err != nil {
+			return nil, err
+		}
+		if f.H.Op != coll.OpGather || f.H.Tag != tag {
+			return nil, fmt.Errorf("core: %v frame tag %d during gather tag %d (collective order diverged)",
+				f.H.Op, f.H.Tag, tag)
+		}
+		if f.End {
+			return asm.Finish(f.H, f.Total, len(s.daemons))
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Reduce receives the tree-combined reduction of every daemon's
+// BECollective.Reduce contribution. The filter is chosen daemon-side and
+// applied at every interior node, so per-link bytes are bounded by the
+// combined result — a sum or top-k sample reaches the front end at a
+// size independent of the daemon count.
+func (s *Session) Reduce() ([]byte, error) {
+	if s.beMaster == nil || s.closed() {
+		return nil, s.closedErr()
+	}
+	tag := s.nextCollTag()
+	var asm coll.RawAssembler
+	for {
+		f, err := s.recvCollFrame()
+		if err != nil {
+			return nil, err
+		}
+		if f.H.Op != coll.OpReduce || f.H.Tag != tag {
+			return nil, fmt.Errorf("core: %v frame tag %d during reduce tag %d (collective order diverged)",
+				f.H.Op, f.H.Tag, tag)
+		}
+		if f.End {
+			return asm.Finish(f.H, f.Total)
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// BECollective is the daemon-side handle of the session's collective
+// tool-data plane, mirroring the Session methods: what the FE broadcasts
+// or scatters every daemon receives here, and what every daemon gathers
+// or reduces arrives at the FE.
+type BECollective struct {
+	be *BackEnd
+	pl *iccl.Plane
+}
+
+// Collective returns the daemon's handle on the session's collective
+// tool-data plane.
+func (b *BackEnd) Collective() *BECollective { return b.coll }
+
+// newBECollective wires the plane: at the master, gather/reduce frames
+// bridge onto the FE connection as TypeCollChunk/TypeCollEnd messages
+// and broadcast/scatter frames are pulled from it.
+func newBECollective(b *BackEnd, chunkBytes int) *BECollective {
+	var up iccl.UpFn
+	var down iccl.DownFn
+	if b.comm.IsMaster() {
+		up = func(f coll.Frame) error { return sendFrameOn(b.fe, f) }
+		down = func() (coll.Frame, error) {
+			msg, err := b.fe.Recv()
+			if err != nil {
+				return coll.Frame{}, err
+			}
+			switch msg.Type {
+			case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
+				return coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
+			default:
+				return coll.Frame{}, fmt.Errorf("core: %v message while awaiting a collective frame", msg.Type)
+			}
+		}
+	}
+	return &BECollective{be: b, pl: b.comm.NewPlane(chunkBytes, up, down)}
+}
+
+// Broadcast receives the front end's next Session.Broadcast payload
+// (every daemon gets the full data).
+func (bc *BECollective) Broadcast() ([]byte, error) { return bc.pl.Broadcast() }
+
+// Scatter receives this daemon's part of the front end's next
+// Session.Scatter.
+func (bc *BECollective) Scatter() ([]byte, error) { return bc.pl.Scatter() }
+
+// Gather contributes mine to the front end's next Session.Gather.
+func (bc *BECollective) Gather(mine []byte) error { return bc.pl.Gather(mine) }
+
+// Reduce contributes mine to the front end's next Session.Reduce, folded
+// at every tree node with the named filter ("concat", "sum", "topk:N",
+// or any coll.RegisterFilter registration). All daemons must name the
+// same filter.
+func (bc *BECollective) Reduce(mine []byte, filter string) error { return bc.pl.Reduce(mine, filter) }

@@ -15,6 +15,12 @@
 // broadcast with the RPDTAB; BackEnd.SendToFE/Session.RecvFromBE carry
 // tool data afterwards), which is what lets tools like STAT distribute
 // their MRNet connection information without extra startup round trips.
+//
+// Bulk tool traffic rides the collective data plane instead of the flat
+// master pipe: Session.Broadcast/Scatter/Gather/Reduce, mirrored by the
+// BE.Collective handle, stream chunked payloads over the ICCL k-ary
+// tree with interior forwarding and filtered reduction (see
+// internal/coll and DESIGN.md "Tool data plane").
 package core
 
 import (
@@ -35,6 +41,9 @@ const (
 	EnvICCLFanout = "LMON_ICCL_FANOUT"
 	// EnvKind marks the daemon role: "be" or "mw".
 	EnvKind = "LMON_KIND"
+	// EnvCollChunk bounds one collective-plane chunk body in bytes
+	// (0 or unset selects coll.DefaultChunkBytes).
+	EnvCollChunk = "LMON_COLL_CHUNK"
 	// EnvHealthPeriod is the heartbeat period of the session's failure
 	// detector (a Go duration string); unset or empty disables it.
 	EnvHealthPeriod = "LMON_HEALTH_PERIOD"

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -106,11 +108,13 @@ func TestNodeKillMidSessionFiresDaemonExitedAndTearsDown(t *testing.T) {
 		}
 		torn = ev
 
-		// The session is over: further operations are clean errors.
+		// The session is over: further operations are clean errors, and
+		// receives report why the watchdog tore the session down.
 		if err := s.Kill(); err != ErrSessionClosed {
 			t.Errorf("Kill after watchdog teardown: %v", err)
 		}
-		if _, err := s.RecvFromBE(); err != ErrSessionClosed {
+		if _, err := s.RecvFromBE(); !errors.Is(err, ErrSessionClosed) ||
+			!strings.Contains(err.Error(), "lost") {
 			t.Errorf("RecvFromBE after teardown: %v", err)
 		}
 

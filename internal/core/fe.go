@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
 	"launchmon/internal/engine"
 	"launchmon/internal/health"
 	"launchmon/internal/lmonp"
@@ -47,6 +48,10 @@ type Options struct {
 	// transfer of this session (engine→FE and FE→master daemons);
 	// 0 selects proctab.DefaultChunkBytes.
 	ProctabChunkBytes int
+	// CollChunkBytes bounds one chunk body on every link of the session's
+	// collective tool-data plane (Session.Broadcast/Scatter/Gather/Reduce
+	// and the BE.Collective mirror); 0 selects coll.DefaultChunkBytes.
+	CollChunkBytes int
 	// Timeout bounds (in virtual time) how long the front end waits for
 	// the engine and the master daemon to connect; daemons that crash
 	// before dialing in surface as an error instead of a hang. Zero means
@@ -149,6 +154,8 @@ type Session struct {
 	daemons    []DaemonInfo
 	timeout    time.Duration
 	chunkBytes int
+	collChunk  int    // collective-plane chunk bound (0 = coll default)
+	collTag    uint32 // session-wide collective sequence (FE side)
 
 	// Timeline holds the merged e0..e11 critical-path marks for this
 	// session (paper Figure 2); consumed by the performance model.
@@ -163,6 +170,7 @@ type Session struct {
 	established bool // launch completed; conns and watchers are live
 	detached    bool
 	killed      bool
+	faultDetail string // why the watchdog tore the session down ("" = no fault)
 
 	// Fault subsystem state: once established, dedicated watcher
 	// goroutines own all reads of the engine and BE-master connections,
@@ -171,7 +179,16 @@ type Session struct {
 	engStatus *vtime.Chan[[]byte]      // engine TypeStatus payloads
 	engToken  *vtime.Chan[struct{}]    // serializes engine request/reply exchanges
 	beUsr     *vtime.Chan[[]byte]      // BE-master TypeUsrData payloads
+	beColl    *vtime.Chan[collEvent]   // BE-master collective chunk/end frames
 	evQ       *vtime.Chan[sessionEvOp] // status-event dispatch queue
+}
+
+// collEvent is one routed collective frame — or the decode error that
+// poisoned its stream, so a malformed frame fails the pending collective
+// instead of leaving it waiting for an end marker that never comes.
+type collEvent struct {
+	f   coll.Frame
+	err error
 }
 
 // sessionEvOp is one unit of work for the session's event dispatcher:
@@ -218,12 +235,19 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	if opts.ProctabChunkBytes < 0 || opts.ProctabChunkBytes > 1<<30 {
 		return nil, fmt.Errorf("core: ProctabChunkBytes %d out of range [0, 2^30]", opts.ProctabChunkBytes)
 	}
+	// Cap at half the LMONP payload ceiling so a chunk plus its header
+	// always fits one message — a bound the wire would otherwise only
+	// enforce mid-transfer, with the session already up.
+	if opts.CollChunkBytes < 0 || opts.CollChunkBytes > lmonp.MaxPayload/2 {
+		return nil, fmt.Errorf("core: CollChunkBytes %d out of range [0, %d]", opts.CollChunkBytes, lmonp.MaxPayload/2)
+	}
 	s := &Session{
 		ID:         nextSessionID(),
 		p:          p,
 		fe:         fe,
 		timeout:    timeout,
 		chunkBytes: opts.ProctabChunkBytes,
+		collChunk:  opts.CollChunkBytes,
 	}
 	s.Timeline.Mark(engine.MarkE0, sim.Now())
 	p.Compute(feStartCost)
@@ -264,6 +288,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	env[EnvSession] = fmt.Sprint(s.ID)
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, false))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
+	env[EnvCollChunk] = fmt.Sprint(opts.CollChunkBytes)
 	env[EnvKind] = "be"
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
@@ -360,6 +385,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	s.engToken = vtime.NewChan[struct{}](sim)
 	s.engToken.Send(struct{}{})
 	s.beUsr = vtime.NewChan[[]byte](sim)
+	s.beColl = vtime.NewChan[collEvent](sim)
 	s.evQ = vtime.NewChan[sessionEvOp](sim)
 	s.mu.Lock()
 	s.established = true
@@ -437,6 +463,7 @@ func (s *Session) engineReader() {
 			// Only a severed link (the engine's host died) is a fault; a
 			// clean EOF is the engine exiting after detach/kill.
 			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
+				s.noteFault("engine connection lost")
 				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
 					s.watchdogTeardown("engine connection lost")
 				})
@@ -453,6 +480,7 @@ func (s *Session) engineReader() {
 			}
 			s.fire(ev)
 			if ev.Kind == health.EvJobExited {
+				s.noteFault("job exited")
 				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
 					s.watchdogTeardown("job exited")
 				})
@@ -470,10 +498,16 @@ func (s *Session) beReader() {
 	for {
 		msg, err := s.beMaster.Recv()
 		if err != nil {
-			s.beUsr.Close()
 			// A clean EOF is the master daemon finalizing (tools may leave
 			// the session at any time); only a severed link — the master's
-			// node died — is a fault.
+			// node died — is a fault. The fault detail is recorded before
+			// the queues close so blocked RecvFromBE/Gather/Reduce callers
+			// wake to an error that says why the session died.
+			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
+				s.noteFault("master daemon connection severed")
+			}
+			s.beUsr.Close()
+			s.beColl.Close()
 			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
 				s.fire(health.Event{
 					Kind: health.EvDaemonExited, Rank: 0,
@@ -488,6 +522,9 @@ func (s *Session) beReader() {
 		switch msg.Type {
 		case lmonp.TypeUsrData:
 			s.beUsr.Send(msg.UsrData)
+		case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
+			f, err := coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
+			s.beColl.Send(collEvent{f: f, err: err})
 		case lmonp.TypeStatusEvent:
 			ev, err := health.DecodeEvent(msg.Payload)
 			if err != nil {
@@ -495,8 +532,9 @@ func (s *Session) beReader() {
 			}
 			s.fire(ev)
 			if ev.Kind == health.EvDaemonExited {
+				s.noteFault(fmt.Sprintf("daemon rank %d lost", ev.Rank))
 				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
-					s.watchdogTeardown(fmt.Sprintf("daemon %d lost", ev.Rank))
+					s.watchdogTeardown(fmt.Sprintf("daemon rank %d lost", ev.Rank))
 				})
 			}
 		}
@@ -578,6 +616,34 @@ func (s *Session) closed() bool {
 	return s.detached || s.killed
 }
 
+// noteFault records the first terminal fault's detail so receive paths
+// can report why the session died; later faults keep the original cause.
+func (s *Session) noteFault(detail string) {
+	s.mu.Lock()
+	// A session the tool already ended has no fault to report — late
+	// events from the dying daemons must not turn a clean Detach/Kill
+	// into a "torn down" error.
+	if !s.detached && !s.killed && s.faultDetail == "" {
+		s.faultDetail = detail
+	}
+	s.mu.Unlock()
+}
+
+// closedErr is what a receive path returns on a finished session: the
+// bare ErrSessionClosed after a tool-initiated Detach/Kill, or — when
+// the watchdog tore the session down — an error wrapping the terminal
+// fault detail (e.g. "session torn down: daemon rank 3 lost"), so tools
+// can report why a gather died rather than just that it did.
+func (s *Session) closedErr() error {
+	s.mu.Lock()
+	d := s.faultDetail
+	s.mu.Unlock()
+	if d == "" {
+		return ErrSessionClosed
+	}
+	return fmt.Errorf("core: session torn down: %s: %w", d, ErrSessionClosed)
+}
+
 // Proctab returns the job's RPDTAB.
 func (s *Session) Proctab() proctab.Table { return s.tab }
 
@@ -594,14 +660,16 @@ func (s *Session) SendToBE(data []byte) error {
 }
 
 // RecvFromBE receives tool data from the master back-end daemon (queued
-// by the session's BE watcher, which filters out status events).
+// by the session's BE watcher, which filters out status events). On a
+// session the watchdog tore down, the error wraps the terminal fault
+// detail (see closedErr).
 func (s *Session) RecvFromBE() ([]byte, error) {
 	if s.beMaster == nil || s.closed() {
-		return nil, ErrSessionClosed
+		return nil, s.closedErr()
 	}
 	data, ok := s.beUsr.Recv()
 	if !ok {
-		return nil, ErrSessionClosed
+		return nil, s.closedErr()
 	}
 	return data, nil
 }

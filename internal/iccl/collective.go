@@ -1,0 +1,363 @@
+package iccl
+
+import (
+	"fmt"
+
+	"launchmon/internal/coll"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/simnet"
+)
+
+// This file implements the tool-data collective plane over the ICCL
+// tree: chunk streams (codec in internal/coll) routed hop by hop, with
+// interior daemons forwarding broadcast/scatter/gather traffic and
+// combining reduce contributions — instead of the master daemon relaying
+// every byte over the flat FE link. The master bridges the tree to the
+// front end through injected up/down frame hooks (internal/core wires
+// them to the FE's LMONP connection; tests wire them to in-memory
+// queues), so the routing logic is identical at every tree node.
+
+// Tree link opcodes of the collective plane.
+const (
+	opCollChunk = 8 // one collective chunk (header + body)
+	opCollEnd   = 9 // stream end (header + uint64 total)
+)
+
+// UpFn emits one FE-bound frame from the tree root (gather and reduce
+// streams, restamped per link).
+type UpFn func(coll.Frame) error
+
+// DownFn yields the next FE-originated frame at the tree root (broadcast
+// and scatter streams).
+type DownFn func() (coll.Frame, error)
+
+// Plane is one daemon's handle on the session's collective tool-data
+// plane. All daemons of a session must invoke the same collective
+// operations in the same order (SPMD discipline, like the base ICCL
+// collectives); the per-operation tag, advanced in lockstep on every
+// participant, catches violations as protocol errors instead of silent
+// cross-talk.
+type Plane struct {
+	c          *Comm
+	chunkBytes int
+	seq        uint32
+	up         UpFn
+	down       DownFn
+	slotOf     map[int]int // direct child rank → slot (flat roots have K-1 children)
+}
+
+// NewPlane attaches a collective plane to the communicator. chunkBytes
+// bounds one chunk body per link (<= 0 selects coll.DefaultChunkBytes);
+// up and down bridge the root to the front end and must be non-nil at
+// the root only.
+func (c *Comm) NewPlane(chunkBytes int, up UpFn, down DownFn) *Plane {
+	if chunkBytes <= 0 {
+		chunkBytes = coll.DefaultChunkBytes
+	}
+	slotOf := make(map[int]int, len(c.childRk))
+	for slot, rk := range c.childRk {
+		slotOf[rk] = slot
+	}
+	return &Plane{c: c, chunkBytes: chunkBytes, up: up, down: down, slotOf: slotOf}
+}
+
+// nextTag advances the plane's collective sequence.
+func (pl *Plane) nextTag() uint32 {
+	pl.seq++
+	return pl.seq
+}
+
+// sendFrame writes one collective frame to a tree link.
+func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
+	var b []byte
+	if f.End {
+		b = lmonp.AppendUint32(nil, opCollEnd)
+		b = lmonp.AppendBytes(b, f.H.Encode())
+		b = lmonp.AppendUint64(b, f.Total)
+	} else {
+		b = lmonp.AppendUint32(nil, opCollChunk)
+		b = lmonp.AppendBytes(b, f.H.Encode())
+		b = lmonp.AppendBytes(b, f.Body)
+	}
+	return lmonp.WriteFrame(conn, b)
+}
+
+// recvFrame reads one collective frame from a tree link.
+func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
+	raw, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return coll.Frame{}, err
+	}
+	pl.c.p.Compute(pl.c.cfg.PerMsgCost)
+	rd := lmonp.NewReader(raw)
+	op, err := rd.Uint32()
+	if err != nil {
+		return coll.Frame{}, err
+	}
+	if op != opCollChunk && op != opCollEnd {
+		return coll.Frame{}, fmt.Errorf("%w: got op %d on collective plane", ErrProtocol, op)
+	}
+	hraw, err := rd.Bytes()
+	if err != nil {
+		return coll.Frame{}, err
+	}
+	h, err := coll.DecodeHeader(lmonp.NewReader(hraw))
+	if err != nil {
+		return coll.Frame{}, err
+	}
+	f := coll.Frame{H: h}
+	if op == opCollEnd {
+		if f.Total, err = rd.Uint64(); err != nil {
+			return coll.Frame{}, err
+		}
+		f.End = true
+		return f, nil
+	}
+	if f.Body, err = rd.Bytes(); err != nil {
+		return coll.Frame{}, err
+	}
+	return f, nil
+}
+
+// emitUp ships one FE-bound frame: through the up hook at the root,
+// up the parent link elsewhere.
+func (pl *Plane) emitUp(f coll.Frame) error {
+	if pl.c.parent == nil {
+		if pl.up == nil {
+			return fmt.Errorf("%w: root plane has no up hook", ErrProtocol)
+		}
+		return pl.up(f)
+	}
+	return pl.sendFrame(pl.c.parent, f)
+}
+
+// recvDown yields the next FE-originated frame: from the down hook at
+// the root, from the parent link elsewhere.
+func (pl *Plane) recvDown() (coll.Frame, error) {
+	if pl.c.parent == nil {
+		if pl.down == nil {
+			return coll.Frame{}, fmt.Errorf("%w: root plane has no down hook", ErrProtocol)
+		}
+		return pl.down()
+	}
+	return pl.recvFrame(pl.c.parent)
+}
+
+// checkStream validates that a frame belongs to the current operation.
+func checkStream(f coll.Frame, op coll.Op, tag uint32) error {
+	if f.H.Op != op || f.H.Tag != tag {
+		return fmt.Errorf("%w: %v frame tag %d during %v tag %d (collective order diverged)",
+			ErrProtocol, f.H.Op, f.H.Tag, op, tag)
+	}
+	return nil
+}
+
+// Broadcast receives one FE-originated broadcast, forwarding every chunk
+// to the children as it arrives, and returns the reassembled payload.
+func (pl *Plane) Broadcast() ([]byte, error) {
+	tag := pl.nextTag()
+	var asm coll.RawAssembler
+	for {
+		f, err := pl.recvDown()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkStream(f, coll.OpBroadcast, tag); err != nil {
+			return nil, err
+		}
+		for _, conn := range pl.c.children {
+			if err := pl.sendFrame(conn, f); err != nil {
+				return nil, err
+			}
+		}
+		if f.End {
+			return asm.Finish(f.H, f.Total)
+		}
+		if err := asm.Add(f.H, f.Body); err != nil { // Add copies
+			return nil, err
+		}
+	}
+}
+
+// childSlot returns which child slot owns rank r's subtree, or -1 when r
+// is outside this node's subtree.
+func (pl *Plane) childSlot(r int) int {
+	fanout := pl.c.cfg.Fanout
+	for r > 0 {
+		p := Parent(r, fanout)
+		if p == pl.c.rank {
+			if slot, ok := pl.slotOf[r]; ok {
+				return slot
+			}
+			return -1
+		}
+		r = p
+	}
+	return -1
+}
+
+// Scatter receives one FE-originated scatter and returns this rank's
+// part. Interior nodes re-bucket the incoming rank-tagged entries by
+// child subtree and stream them onward in bounded-size chunks
+// (coll.Packer — the shared coalescing implementation).
+func (pl *Plane) Scatter() ([]byte, error) {
+	tag := pl.nextTag()
+	packers := make([]*coll.Packer, len(pl.c.children))
+	for slot, conn := range pl.c.children {
+		conn := conn
+		packers[slot] = &coll.Packer{
+			Op: coll.OpScatter, Tag: tag, ChunkBytes: pl.chunkBytes,
+			Emit: func(f coll.Frame) error { return pl.sendFrame(conn, f) },
+		}
+	}
+	var mine []byte
+	have := false
+	var in coll.SeqCheck // validates the incoming chunk index sequence
+	for {
+		f, err := pl.recvDown()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkStream(f, coll.OpScatter, tag); err != nil {
+			return nil, err
+		}
+		if err := in.Admit(f.H); err != nil {
+			return nil, err
+		}
+		if f.End {
+			for _, sp := range packers {
+				if err := sp.End(); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		entries, err := coll.DecodeEntries(f.Body)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Rank == pl.c.rank {
+				if have {
+					return nil, fmt.Errorf("%w: duplicate scatter part for rank %d", ErrProtocol, e.Rank)
+				}
+				mine = append([]byte(nil), e.Blob...)
+				have = true
+				continue
+			}
+			slot := pl.childSlot(e.Rank)
+			if slot < 0 {
+				return nil, fmt.Errorf("%w: scatter part for rank %d outside rank %d's subtree",
+					ErrProtocol, e.Rank, pl.c.rank)
+			}
+			if err := packers[slot].Add(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !have {
+		return nil, fmt.Errorf("%w: no scatter part for rank %d", ErrProtocol, pl.c.rank)
+	}
+	return mine, nil
+}
+
+// Gather contributes mine to an FE-bound gather. Interior nodes stream
+// their own entry first, then drain each child subtree's chunks as they
+// arrive, re-coalescing the entries into bounded-size frames — so the
+// number of messages on any link is bounded by subtree-bytes/chunk, not
+// by the subtree's daemon count, and no link ever carries a monolithic
+// K-entry payload.
+func (pl *Plane) Gather(mine []byte) error {
+	tag := pl.nextTag()
+	pk := &coll.Packer{Op: coll.OpGather, Tag: tag, ChunkBytes: pl.chunkBytes, Emit: pl.emitUp}
+	if err := pk.Add(coll.Entry{Rank: pl.c.rank, Blob: mine}); err != nil {
+		return err
+	}
+	for slot, conn := range pl.c.children {
+		var in coll.SeqCheck
+		var sub uint64
+		for {
+			f, err := pl.recvFrame(conn)
+			if err != nil {
+				return err
+			}
+			if err := checkStream(f, coll.OpGather, tag); err != nil {
+				return err
+			}
+			if err := in.Admit(f.H); err != nil {
+				return err
+			}
+			if f.End {
+				if sub != f.Total {
+					return fmt.Errorf("%w: child %d forwarded %d gather entries, end marker says %d",
+						ErrProtocol, pl.c.childRk[slot], sub, f.Total)
+				}
+				break
+			}
+			entries, err := coll.DecodeEntries(f.Body)
+			if err != nil {
+				return err
+			}
+			sub += uint64(len(entries))
+			for _, e := range entries {
+				if err := pk.Add(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return pk.End()
+}
+
+// Reduce contributes mine to an FE-bound reduction: every node folds its
+// children's subtree results into its own contribution with the named
+// filter (coll.LookupFilter) and ships one combined stream upward, so
+// per-link bytes are bounded by the combined result, not the subtree
+// size.
+func (pl *Plane) Reduce(mine []byte, filter string) error {
+	tag := pl.nextTag()
+	fn, err := coll.LookupFilter(filter)
+	if err != nil {
+		return err
+	}
+	acc, err := fn(nil, mine)
+	if err != nil {
+		return err
+	}
+	for slot, conn := range pl.c.children {
+		var asm coll.RawAssembler
+		for {
+			f, err := pl.recvFrame(conn)
+			if err != nil {
+				return err
+			}
+			if err := checkStream(f, coll.OpReduce, tag); err != nil {
+				return err
+			}
+			if f.H.Filter != filter {
+				return fmt.Errorf("%w: child %d reduces with filter %q, this node with %q",
+					ErrProtocol, pl.c.childRk[slot], f.H.Filter, filter)
+			}
+			if f.End {
+				blob, err := asm.Finish(f.H, f.Total)
+				if err != nil {
+					return err
+				}
+				pl.c.p.Compute(pl.c.cfg.PerMsgCost) // combine charge
+				if acc, err = fn(acc, blob); err != nil {
+					return err
+				}
+				break
+			}
+			if err := asm.Add(f.H, f.Body); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range coll.RawFrames(coll.OpReduce, tag, filter, acc, pl.chunkBytes) {
+		if err := pl.emitUp(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package iccl
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
+)
+
+// Collective-plane tests. The root's FE bridge is replaced by in-memory
+// hooks: down() replays pre-built FE frames, up() records the FE-bound
+// stream for assembly — exactly the framing internal/core speaks over
+// the LMONP connection.
+
+// feDriver is an in-memory front end for one collective op at the root.
+type feDriver struct {
+	send []coll.Frame // frames the "FE" ships down
+	sent int
+	recv []coll.Frame // frames the root ships up
+}
+
+func (d *feDriver) down() (coll.Frame, error) {
+	if d.sent >= len(d.send) {
+		return coll.Frame{}, fmt.Errorf("fe driver: out of frames")
+	}
+	f := d.send[d.sent]
+	d.sent++
+	return f, nil
+}
+
+func (d *feDriver) up(f coll.Frame) error {
+	d.recv = append(d.recv, f)
+	return nil
+}
+
+// gatherAtFE assembles the recorded up-stream like Session.Gather does.
+func (d *feDriver) gatherAtFE(size int) ([][]byte, error) {
+	var asm coll.RankAssembler
+	for _, f := range d.recv {
+		if f.End {
+			return asm.Finish(f.H, f.Total, size)
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("no end frame")
+}
+
+// reduceAtFE assembles the recorded up-stream like Session.Reduce does.
+func (d *feDriver) reduceAtFE() ([]byte, error) {
+	var asm coll.RawAssembler
+	for _, f := range d.recv {
+		if f.End {
+			return asm.Finish(f.H, f.Total)
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("no end frame")
+}
+
+// planeRig runs fn on every daemon of an n-wide fanout-f tree; the root's
+// plane gets the driver's hooks.
+func planeRig(t *testing.T, n, fanout, chunkBytes int, driver *feDriver, fn func(pl *Plane, c *Comm) error) {
+	t.Helper()
+	rig(t, n, fanout, func(c *Comm, p *cluster.Proc) error {
+		var pl *Plane
+		if c.IsMaster() {
+			pl = c.NewPlane(chunkBytes, driver.up, driver.down)
+		} else {
+			pl = c.NewPlane(chunkBytes, nil, nil)
+		}
+		return fn(pl, c)
+	})
+}
+
+// treeShapes are the shapes the satellite calls out: K=1, K=fanout+1,
+// prime K, plus larger non-power-of-k counts.
+var treeShapes = []struct{ n, fanout int }{
+	{1, 2},  // K=1: the master is the whole tree
+	{4, 3},  // K = k+1: one interior level, one partial
+	{5, 4},  // K = k+1
+	{13, 3}, // prime K
+	{17, 4}, // prime K
+	{23, 4}, // prime K, deeper
+	{9, 2},  // non-power-of-k
+}
+
+func TestPlaneGatherShapes(t *testing.T) {
+	for _, tc := range treeShapes {
+		t.Run(fmt.Sprintf("n%d_f%d", tc.n, tc.fanout), func(t *testing.T) {
+			d := &feDriver{}
+			planeRig(t, tc.n, tc.fanout, 64, d, func(pl *Plane, c *Comm) error {
+				mine := bytes.Repeat([]byte{byte(c.Rank())}, 10+c.Rank()*7%50)
+				return pl.Gather(mine)
+			})
+			out, err := d.gatherAtFE(tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rk, blob := range out {
+				want := bytes.Repeat([]byte{byte(rk)}, 10+rk*7%50)
+				if !bytes.Equal(blob, want) {
+					t.Fatalf("rank %d: %d bytes, want %d", rk, len(blob), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestPlaneScatterShapes(t *testing.T) {
+	for _, tc := range treeShapes {
+		t.Run(fmt.Sprintf("n%d_f%d", tc.n, tc.fanout), func(t *testing.T) {
+			entries := make([]coll.Entry, tc.n)
+			for rk := range entries {
+				entries[rk] = coll.Entry{Rank: rk, Blob: bytes.Repeat([]byte{byte(rk + 1)}, 5+rk*13%40)}
+			}
+			d := &feDriver{send: coll.EntryFrames(coll.OpScatter, 1, entries, 64)}
+			got := make([][]byte, tc.n)
+			planeRig(t, tc.n, tc.fanout, 64, d, func(pl *Plane, c *Comm) error {
+				mine, err := pl.Scatter()
+				if err != nil {
+					return err
+				}
+				got[c.Rank()] = mine
+				return nil
+			})
+			for rk, blob := range got {
+				if !bytes.Equal(blob, entries[rk].Blob) {
+					t.Fatalf("rank %d got %d bytes, want %d", rk, len(blob), len(entries[rk].Blob))
+				}
+			}
+		})
+	}
+}
+
+func TestPlaneBroadcastChunkedShapes(t *testing.T) {
+	payload := bytes.Repeat([]byte("broadcast-data-"), 40) // 600 bytes, chunked at 64
+	for _, tc := range treeShapes {
+		t.Run(fmt.Sprintf("n%d_f%d", tc.n, tc.fanout), func(t *testing.T) {
+			d := &feDriver{send: coll.RawFrames(coll.OpBroadcast, 1, "", payload, 64)}
+			got := make([][]byte, tc.n)
+			planeRig(t, tc.n, tc.fanout, 64, d, func(pl *Plane, c *Comm) error {
+				data, err := pl.Broadcast()
+				if err != nil {
+					return err
+				}
+				got[c.Rank()] = data
+				return nil
+			})
+			for rk, g := range got {
+				if !bytes.Equal(g, payload) {
+					t.Fatalf("rank %d got %d bytes", rk, len(g))
+				}
+			}
+		})
+	}
+}
+
+func TestPlaneReduceConcatAndSum(t *testing.T) {
+	for _, tc := range treeShapes {
+		t.Run(fmt.Sprintf("n%d_f%d", tc.n, tc.fanout), func(t *testing.T) {
+			d := &feDriver{}
+			planeRig(t, tc.n, tc.fanout, 64, d, func(pl *Plane, c *Comm) error {
+				mine := make([]byte, 8)
+				mine[7] = 1 // uint64(1) big-endian
+				return pl.Reduce(mine, "sum")
+			})
+			out, err := d.reduceAtFE()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 8 {
+				t.Fatalf("%d bytes", len(out))
+			}
+			sum := uint64(out[4])<<24 | uint64(out[5])<<16 | uint64(out[6])<<8 | uint64(out[7])
+			if sum != uint64(tc.n) {
+				t.Fatalf("sum %d, want %d", sum, tc.n)
+			}
+		})
+	}
+
+	// Concat: every daemon's byte appears exactly once; interior nodes
+	// combine, so the FE-bound stream carries n bytes regardless of shape.
+	d := &feDriver{}
+	n := 13
+	planeRig(t, n, 3, 64, d, func(pl *Plane, c *Comm) error {
+		return pl.Reduce([]byte{byte(c.Rank())}, "concat")
+	})
+	out, err := d.reduceAtFE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("concat of %d daemons yields %d bytes", n, len(out))
+	}
+	seen := make([]bool, n)
+	for _, b := range out {
+		if int(b) >= n || seen[b] {
+			t.Fatalf("byte %d duplicated or out of range", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestPlaneReduceTopKBoundsRootPayload(t *testing.T) {
+	const n, k = 17, 4
+	d := &feDriver{}
+	planeRig(t, n, 3, 0, d, func(pl *Plane, c *Comm) error {
+		item := []byte(fmt.Sprintf("sample-from-rank-%d", c.Rank()))
+		return pl.Reduce(coll.EncodeSample([][]byte{item}), fmt.Sprintf("topk:%d", k))
+	})
+	out, err := d.reduceAtFE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := coll.DecodeSample(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != k {
+		t.Fatalf("root sample has %d items, want %d", len(items), k)
+	}
+}
+
+func TestPlaneSequenceMixedOps(t *testing.T) {
+	// broadcast → gather → scatter → reduce in one session: the lockstep
+	// tag must keep the streams apart.
+	const n, fanout = 9, 2
+	bcast := []byte("seed")
+	entries := make([]coll.Entry, n)
+	for rk := range entries {
+		entries[rk] = coll.Entry{Rank: rk, Blob: []byte{byte(rk * 2)}}
+	}
+	d := &feDriver{}
+	d.send = append(d.send, coll.RawFrames(coll.OpBroadcast, 1, "", bcast, 0)...)
+	d.send = append(d.send, coll.EntryFrames(coll.OpScatter, 3, entries, 0)...)
+	gotScatter := make([][]byte, n)
+	planeRig(t, n, fanout, 0, d, func(pl *Plane, c *Comm) error {
+		b, err := pl.Broadcast() // tag 1
+		if err != nil {
+			return err
+		}
+		if err := pl.Gather(append(b, byte(c.Rank()))); err != nil { // tag 2
+			return err
+		}
+		mine, err := pl.Scatter() // tag 3
+		if err != nil {
+			return err
+		}
+		gotScatter[c.Rank()] = mine
+		return pl.Reduce([]byte{1}, "concat") // tag 4
+	})
+	// Split the up-stream by tag: gather frames (tag 2) then reduce (tag 4).
+	var dGather, dReduce feDriver
+	for _, f := range d.recv {
+		if f.H.Tag == 2 {
+			dGather.recv = append(dGather.recv, f)
+		} else {
+			dReduce.recv = append(dReduce.recv, f)
+		}
+	}
+	all, err := dGather.gatherAtFE(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk, blob := range all {
+		if string(blob) != "seed"+string(byte(rk)) {
+			t.Fatalf("rank %d gathered %q", rk, blob)
+		}
+	}
+	for rk, blob := range gotScatter {
+		if len(blob) != 1 || blob[0] != byte(rk*2) {
+			t.Fatalf("rank %d scatter part %v", rk, blob)
+		}
+	}
+	red, err := dReduce.reduceAtFE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != n {
+		t.Fatalf("reduce concat %d bytes", len(red))
+	}
+}
+
+func TestPlaneGatherPerLinkFramesBounded(t *testing.T) {
+	// Every FE-bound frame respects the chunk bound — never a monolithic
+	// K-entry payload.
+	const n, fanout, chunk = 23, 4, 128
+	d := &feDriver{}
+	planeRig(t, n, fanout, chunk, d, func(pl *Plane, c *Comm) error {
+		return pl.Gather(bytes.Repeat([]byte{1}, 100))
+	})
+	if len(d.recv) < 2 || len(d.recv) > n+1 {
+		t.Fatalf("%d frames at the root for %d daemons", len(d.recv), n)
+	}
+	for _, f := range d.recv {
+		if len(f.Body) > chunk+120 {
+			t.Fatalf("root-bound frame of %d bytes exceeds chunk bound", len(f.Body))
+		}
+	}
+}
+
+func TestPlaneGatherCoalescesSmallEntries(t *testing.T) {
+	// Interior nodes re-pack small contributions: the message count on
+	// the root link is bounded by payload-bytes/chunk, not the daemon
+	// count — the tree's whole point at scale.
+	const n, fanout, chunk = 64, 4, 4096
+	d := &feDriver{}
+	planeRig(t, n, fanout, chunk, d, func(pl *Plane, c *Comm) error {
+		return pl.Gather(bytes.Repeat([]byte{byte(c.Rank())}, 16))
+	})
+	// 64 entries x 24 bytes ≈ 1.5 KiB: a handful of frames, far fewer
+	// than one per daemon.
+	if len(d.recv) > 8 {
+		t.Fatalf("%d root-bound frames for %d daemons at %d B/entry — not coalescing", len(d.recv), n, 16)
+	}
+	if _, err := d.gatherAtFE(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaneUnknownReduceFilter(t *testing.T) {
+	rig(t, 1, 2, func(c *Comm, p *cluster.Proc) error {
+		pl := c.NewPlane(0, func(coll.Frame) error { return nil }, nil)
+		if err := pl.Reduce([]byte{1}, "definitely-not-registered"); err == nil {
+			return fmt.Errorf("unknown filter accepted")
+		}
+		return nil
+	})
+}

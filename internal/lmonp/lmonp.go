@@ -97,6 +97,14 @@ const (
 	// status transition — job exited, daemon lost, session torn down.
 	// Payload codec lives in internal/health (EncodeEvent/DecodeEvent).
 	TypeStatusEvent // engine→FE / BE master→FE: async status event
+
+	// Collective tool-data plane (fe-be): user payloads routed over the
+	// ICCL tree as bounded-size chunk streams. Payload carries the
+	// collective header (op, tag, chunk index, rank range, filter —
+	// codec in internal/coll), UsrData the chunk body; the end marker
+	// carries the stream total for reassembly validation.
+	TypeCollChunk // either direction: one collective chunk
+	TypeCollEnd   // either direction: stream end; payload = header + uint64 total
 )
 
 // String names the type for diagnostics.
@@ -109,6 +117,7 @@ func (t MsgType) String() string {
 		TypeHandshake: "handshake", TypeUsrData: "usrdata",
 		TypeProctabBE: "proctab-be", TypeProctabChunk: "proctab-chunk",
 		TypeProctabEnd: "proctab-end", TypeStatusEvent: "status-event",
+		TypeCollChunk: "coll-chunk", TypeCollEnd: "coll-end",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -136,10 +145,16 @@ var (
 // WireSize returns the total encoded size of the message in bytes.
 func (m *Msg) WireSize() int { return HeaderSize + len(m.Payload) + len(m.UsrData) }
 
-// Encode renders the message into a single buffer.
+// Encode renders the message into a single buffer. Oversized sections —
+// including a combined Payload+UsrData beyond MaxPayload — are rejected
+// here, with the offending sizes, so tool payloads that no peer could
+// accept fail at the sender instead of surfacing as a truncated read on
+// the other end of the connection.
 func (m *Msg) Encode() ([]byte, error) {
-	if len(m.Payload) > MaxPayload || len(m.UsrData) > MaxPayload {
-		return nil, ErrTooLarge
+	if len(m.Payload) > MaxPayload || len(m.UsrData) > MaxPayload ||
+		len(m.Payload)+len(m.UsrData) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d + usrdata %d bytes (cap %d)",
+			ErrTooLarge, len(m.Payload), len(m.UsrData), MaxPayload)
 	}
 	buf := make([]byte, m.WireSize())
 	buf[0] = byte(m.Class&0x7)<<5 | Version&0x1f
@@ -184,8 +199,9 @@ func Read(r io.Reader) (*Msg, error) {
 	}
 	plen := binary.BigEndian.Uint32(hdr[4:8])
 	ulen := binary.BigEndian.Uint32(hdr[8:12])
-	if plen > MaxPayload || ulen > MaxPayload {
-		return nil, ErrTooLarge
+	if plen > MaxPayload || ulen > MaxPayload || uint64(plen)+uint64(ulen) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d + usrdata %d bytes (cap %d)",
+			ErrTooLarge, plen, ulen, MaxPayload)
 	}
 	if plen > 0 {
 		m.Payload = make([]byte, plen)

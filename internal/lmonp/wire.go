@@ -103,6 +103,16 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 
+// Byte reads a single byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.Remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
 // Uint32 reads a big-endian uint32.
 func (r *Reader) Uint32() (uint32, error) {
 	if r.Remaining() < 4 {

@@ -9,9 +9,11 @@
 // The tool is deliberately thin (the paper reports ~100 lines of front-end
 // and ~500 lines of back-end code): the front end attachAndSpawns
 // lightweight daemons, each daemon snapshots its local tasks from the
-// RPDTAB, the master collects everything over ICCL gather, merges, and
-// sends the report with the "work-done" message (Figure 4's operation
-// sequence).
+// RPDTAB and contributes it to the session's collective gather; the
+// contributions stream to the front end over the ICCL tree (interior
+// daemons forward bounded-size chunks — nothing funnels monolithically
+// through the master), where the merged report is the "work-done" result
+// of Figure 4's operation sequence.
 package jobsnap
 
 import (
@@ -135,7 +137,8 @@ func decodeLine(rd *lmonp.Reader) (Line, error) {
 
 // beMain is the Jobsnap back-end daemon (Figure 4, right column):
 // LMON_be_init → handshake/ready (inside BEInit) → collect local task
-// info → gather → master merges and sends "work-done" with the report.
+// info → contribute it to the session's collective gather. The "work-done"
+// report materializes at the front end as the gather completes.
 func beMain(p *cluster.Proc) {
 	be, err := core.BEInit(p)
 	if err != nil {
@@ -158,42 +161,43 @@ func beMain(p *cluster.Proc) {
 		}
 		mine = lmonp.AppendBytes(mine, encodeLine(line))
 	}
-	gathered, err := be.Gather(mine)
-	if err != nil {
+	if err := be.Collective().Gather(mine); err != nil {
 		return
 	}
-	if be.AmIMaster() {
-		lines := make([]Line, 0, 64)
-		for _, blob := range gathered {
-			rd := lmonp.NewReader(blob)
-			n, err := rd.Uint32()
-			if err != nil {
-				return
-			}
-			for i := uint32(0); i < n; i++ {
-				raw, err := rd.Bytes()
-				if err != nil {
-					return
-				}
-				l, err := decodeLine(lmonp.NewReader(raw))
-				if err != nil {
-					return
-				}
-				lines = append(lines, l)
-			}
-		}
-		sort.Slice(lines, func(i, j int) bool { return lines[i].Rank < lines[j].Rank })
-		var sb strings.Builder
-		sb.WriteString(Header)
-		sb.WriteByte('\n')
-		for _, l := range lines {
-			sb.WriteString(l.Format())
-			sb.WriteByte('\n')
-		}
-		// "work-done" message carries the merged report to the front end.
-		be.SendToFE([]byte(sb.String()))
-	}
 	be.Finalize()
+}
+
+// MergeReport merges the per-daemon snapshot blobs of a Session.Gather
+// into the final rank-sorted report.
+func MergeReport(blobs [][]byte) (string, error) {
+	lines := make([]Line, 0, 64)
+	for _, blob := range blobs {
+		rd := lmonp.NewReader(blob)
+		n, err := rd.Uint32()
+		if err != nil {
+			return "", err
+		}
+		for i := uint32(0); i < n; i++ {
+			raw, err := rd.Bytes()
+			if err != nil {
+				return "", err
+			}
+			l, err := decodeLine(lmonp.NewReader(raw))
+			if err != nil {
+				return "", err
+			}
+			lines = append(lines, l)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Rank < lines[j].Rank })
+	var sb strings.Builder
+	sb.WriteString(Header)
+	sb.WriteByte('\n')
+	for _, l := range lines {
+		sb.WriteString(l.Format())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
 }
 
 // Result is one Jobsnap run's output and timing decomposition (Figure 5
@@ -207,11 +211,13 @@ type Result struct {
 
 // RunOptions tune a Jobsnap invocation.
 type RunOptions struct {
-	// Fanout selects the ICCL gather tree shape: 0 (the default) is the
+	// Fanout selects the collection tree shape: 0 (the default) is the
 	// flat 1-deep collection the paper measured; a k-ary tree implements
 	// the paper's closing suggestion ("we are considering a TBŌN
 	// architecture that would reduce the impact of collecting and printing
-	// information from each back-end daemon").
+	// information from each back-end daemon") — with the collective plane,
+	// interior daemons forward bounded chunks instead of the master
+	// relaying one monolithic payload.
 	Fanout int
 }
 
@@ -234,12 +240,17 @@ func RunWithOptions(p *cluster.Proc, jobID int, opts RunOptions) (Result, error)
 	}
 	launchDone := p.Sim().Now()
 
-	report, err := sess.RecvFromBE() // blocks until "work-done"
+	// Blocks until every daemon contributed — the "work-done" point.
+	blobs, err := sess.Gather()
+	if err != nil {
+		return Result{}, err
+	}
+	report, err := MergeReport(blobs)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{
-		Report:     string(report),
+		Report:     report,
 		Total:      p.Sim().Now() - start,
 		LaunchTime: launchDone - start,
 	}

@@ -13,10 +13,11 @@ import (
 // TestFigure4OperationSequence walks the exact operation sequence of the
 // paper's Figure 4 with explicit assertions at each step:
 //
-//	fe: init → createFEBESession/attachAndSpawnDaemons → block until
-//	    "work-done" → detach
-//	be: init → handshake/ready → collect per-task info → gather →
-//	    master prints one line per task → master sends "work-done"
+//	fe: init → createFEBESession/attachAndSpawnDaemons → block in the
+//	    collective gather until every daemon contributed ("work-done") →
+//	    merge → detach
+//	be: init → handshake/ready → collect per-task info → contribute to
+//	    the tree-routed gather
 func TestFigure4OperationSequence(t *testing.T) {
 	sim, cl, mgr := rig(t, 4)
 	const tpn = 3
@@ -47,9 +48,10 @@ func TestFigure4OperationSequence(t *testing.T) {
 				t.Errorf("%d daemons at attach return", len(sess.Daemons()))
 			}
 
-			// Steps 2-4 happen in the daemons; the FE blocks until the
-			// master's "work-done" message (which carries the report).
-			report, err := sess.RecvFromBE()
+			// Steps 2-4 happen in the daemons; the FE blocks in the
+			// collective gather until every daemon's contribution arrived
+			// (the "work-done" point), then merges the report locally.
+			blobs, err := sess.Gather()
 			if err != nil {
 				t.Error(err)
 				return
@@ -58,7 +60,15 @@ func TestFigure4OperationSequence(t *testing.T) {
 			if workDone < attachDone {
 				t.Error("work-done before attach returned")
 			}
-			lines := strings.Count(string(report), "\n") - 1
+			if len(blobs) != 4 {
+				t.Errorf("gathered %d contributions, want 4", len(blobs))
+			}
+			report, err := MergeReport(blobs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lines := strings.Count(report, "\n") - 1
 			if lines != 4*tpn {
 				t.Errorf("report has %d lines, want %d", lines, 4*tpn)
 			}

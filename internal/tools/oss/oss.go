@@ -21,6 +21,7 @@ import (
 	"launchmon/internal/cluster"
 	"launchmon/internal/core"
 	"launchmon/internal/dpcl"
+	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 )
@@ -40,10 +41,13 @@ func Install(cl *cluster.Cluster) {
 			return
 		}
 		p.Compute(DaemonInitCost)
-		// Signal readiness so the front end knows instrumentation can
-		// begin, then wait for work (none in the benchmark scenario).
-		if be.AmIMaster() {
-			be.SendToFE([]byte("oss-daemons-ready"))
+		// Every daemon signals readiness through a sum-reduction on the
+		// collective plane: the front end's Reduce completes only when the
+		// whole tree has bootstrapped its DPCL runtime — a stronger
+		// guarantee than the old master-only "oss-daemons-ready" message —
+		// then the daemons wait for work (none in the benchmark scenario).
+		if err := be.Collective().Reduce(lmonp.AppendUint64(nil, 1), "sum"); err != nil {
+			return
 		}
 		be.Finalize()
 	})
@@ -112,9 +116,18 @@ func (l *LaunchMONInstrumentor) AcquireAPAI(p *cluster.Proc, job rm.Job) (Result
 	if err != nil {
 		return Result{}, fmt.Errorf("oss/launchmon: %w", err)
 	}
-	// The daemons bootstrap their DPCL runtime and report readiness.
-	if _, err := sess.RecvFromBE(); err != nil {
+	// The daemons bootstrap their DPCL runtime and report readiness
+	// through the tree-combined sum; every daemon must check in.
+	ready, err := sess.Reduce()
+	if err != nil {
 		return Result{}, err
+	}
+	count, err := lmonp.NewReader(ready).Uint64()
+	if err != nil {
+		return Result{}, fmt.Errorf("oss/launchmon: readiness sum: %w", err)
+	}
+	if count != uint64(len(sess.Daemons())) {
+		return Result{}, fmt.Errorf("oss/launchmon: %d of %d daemons ready", count, len(sess.Daemons()))
 	}
 	return Result{Proctab: sess.Proctab(), Elapsed: p.Sim().Now() - start}, nil
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
 	"launchmon/internal/core"
 	"launchmon/internal/rm"
 	"launchmon/internal/rsh"
@@ -28,9 +29,10 @@ import (
 
 // Registered executable names.
 const (
-	BEExe       = "stat_be"     // LaunchMON-launched daemon
-	NativeBEExe = "stat_be_rsh" // rsh-launched daemon (native MRNet path)
-	FilterName  = "stat-merge"  // TBŌN filter merging prefix trees
+	BEExe       = "stat_be"      // LaunchMON-launched daemon (TBŌN overlay)
+	NativeBEExe = "stat_be_rsh"  // rsh-launched daemon (native MRNet path)
+	CollBEExe   = "stat_be_coll" // daemon sampling over the collective plane
+	FilterName  = "stat-merge"   // prefix-tree merge (TBŌN and coll registries)
 )
 
 // SampleCost is the daemon-side cost of walking one task's stack.
@@ -41,11 +43,22 @@ const SampleCost = 400 * time.Microsecond
 // nodes before the daemon joins the overlay.
 const DaemonInitCost = 300 * time.Millisecond
 
-// Install registers STAT's daemons and the prefix-tree merge filter.
+// Install registers STAT's daemons and the prefix-tree merge filter —
+// with both overlays: the MRNet-like TBŌN and the session's own
+// collective plane, where interior ICCL daemons run the merge.
 func Install(cl *cluster.Cluster, cfg tbon.Config) {
 	tbon.RegisterFilter(FilterName, mergeFilter)
+	coll.RegisterFilter(FilterName, func(string) (coll.Combine, error) {
+		return func(acc, next []byte) ([]byte, error) {
+			if acc == nil {
+				return append([]byte(nil), next...), nil
+			}
+			return mergeFilter(acc, next), nil
+		}, nil
+	})
 	cl.Register(BEExe, func(p *cluster.Proc) { beMainLaunchMON(p) })
 	cl.Register(NativeBEExe, func(p *cluster.Proc) { beMainNative(p) })
+	cl.Register(CollBEExe, func(p *cluster.Proc) { beMainCollective(p) })
 }
 
 // mergeFilter merges two encoded prefix trees.
@@ -117,6 +130,37 @@ func beMainLaunchMON(p *cluster.Proc) {
 	serveSampling(p, leaf, ranks)
 }
 
+// beMainCollective is the STAT daemon of the collective-plane mode: no
+// separate overlay at all — sample requests arrive as session broadcasts
+// and the prefix trees merge inside the ICCL tree via the stat-merge
+// reduction filter, so STAT needs nothing beyond LaunchMON itself.
+func beMainCollective(p *cluster.Proc) {
+	be, err := core.BEInit(p)
+	if err != nil {
+		return
+	}
+	p.Compute(DaemonInitCost)
+	ranks := make([]int, 0, len(be.MyProctab()))
+	for _, d := range be.MyProctab() {
+		ranks = append(ranks, d.Rank)
+	}
+	for {
+		req, err := be.Collective().Broadcast()
+		if err != nil || string(req) == "quit" {
+			be.Finalize()
+			return
+		}
+		local := NewTree()
+		for _, r := range ranks {
+			p.Compute(SampleCost)
+			local.AddStack(r, StackFor(r))
+		}
+		if err := be.Collective().Reduce(local.Encode(), FilterName); err != nil {
+			return
+		}
+	}
+}
+
 // beMainNative is the rsh-launched daemon: everything arrives through the
 // environment (the old mechanism the paper replaces), including the task
 // ranks via STAT_RANKS.
@@ -157,9 +201,10 @@ func splitCSV(s string) []string {
 
 // Instance is a running STAT session.
 type Instance struct {
-	p    *cluster.Proc
-	fe   *tbon.FrontEnd
-	sess *core.Session // nil in native mode
+	p          *cluster.Proc
+	fe         *tbon.FrontEnd // nil in collective mode
+	sess       *core.Session  // nil in native mode
+	collective bool           // sampling rides the session's collective plane
 
 	// StartupTime is the launch+connect duration (Figure 6's metric).
 	StartupTime time.Duration
@@ -189,6 +234,25 @@ func LaunchWithLaunchMON(p *cluster.Proc, jobID int, cfg tbon.Config) (*Instance
 		return nil, err
 	}
 	return &Instance{p: p, fe: fe, sess: sess, StartupTime: p.Sim().Now() - start}, nil
+}
+
+// LaunchCollective attaches STAT to a running job with no overlay
+// network at all: sampling waves ride the session's collective plane
+// (broadcast request, stat-merge tree reduction), merged at interior
+// ICCL daemons exactly as an MRNet filter would — the paper's "MRNet on
+// LaunchMON" layering collapsed into LaunchMON itself. fanout shapes the
+// merge tree (0 = flat).
+func LaunchCollective(p *cluster.Proc, jobID, fanout int) (*Instance, error) {
+	start := p.Sim().Now()
+	sess, err := core.AttachAndSpawn(p, core.Options{
+		JobID:      jobID,
+		Daemon:     rm.DaemonSpec{Exe: CollBEExe},
+		ICCLFanout: fanout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stat: %w", err)
+	}
+	return &Instance{p: p, sess: sess, collective: true, StartupTime: p.Sim().Now() - start}, nil
 }
 
 // LaunchWithRsh starts STAT the pre-LaunchMON way: sequential rsh daemon
@@ -228,8 +292,19 @@ func LaunchWithRsh(p *cluster.Proc, svc *rsh.Service, nodes []string, ranksPerNo
 }
 
 // Sample performs one stack-sample wave and returns the merged call-graph
-// prefix tree.
+// prefix tree — over the TBŌN in overlay modes, over the session's
+// collective plane in collective mode.
 func (in *Instance) Sample() (*Tree, error) {
+	if in.collective {
+		if err := in.sess.Broadcast([]byte("sample")); err != nil {
+			return nil, err
+		}
+		raw, err := in.sess.Reduce()
+		if err != nil {
+			return nil, err
+		}
+		return DecodeTree(raw)
+	}
 	raw, err := in.fe.Request(tbon.Packet{Stream: 1, Tag: 1, Filter: FilterName})
 	if err != nil {
 		return nil, err
@@ -237,8 +312,14 @@ func (in *Instance) Sample() (*Tree, error) {
 	return DecodeTree(raw)
 }
 
-// Close shuts the session down (daemons observe EOF and exit).
+// Close shuts the session down (daemons observe EOF — or, in collective
+// mode, the quit broadcast — and exit).
 func (in *Instance) Close() {
+	if in.collective {
+		in.sess.Broadcast([]byte("quit")) // best effort
+		in.sess.Detach()
+		return
+	}
 	in.fe.Close()
 	if in.sess != nil {
 		in.sess.Detach()

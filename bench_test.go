@@ -202,6 +202,46 @@ func BenchmarkAblation_Collective(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_LaunchPipeline compares time-to-DaemonsSpawned under
+// the serialized store-and-forward seed pipeline (full-table buffering at
+// the FE and the master, monolithic post-bootstrap broadcast) against the
+// cut-through pipeline (chunks relayed as they arrive and streamed through
+// the still-forming ICCL tree) at K ∈ {64, 1024, 16384}. Cut-through must
+// be measurably faster at the largest scale, and both modes must leave
+// every rank with a byte-identical RPDTAB.
+func BenchmarkAblation_LaunchPipeline(b *testing.B) {
+	var rows []bench.LaunchPipeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.LaunchPipeline(bench.LaunchPipeOpts{}, bench.LaunchScales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2*len(bench.LaunchScales) {
+			b.Fatalf("%d rows", len(rows))
+		}
+		byMode := map[string]map[int]bench.LaunchPipeRow{}
+		for _, r := range rows {
+			if !r.TableOK {
+				b.Fatalf("mode %s K=%d: RPDTAB not byte-identical at every rank", r.Mode, r.Daemons)
+			}
+			if byMode[r.Mode] == nil {
+				byMode[r.Mode] = map[int]bench.LaunchPipeRow{}
+			}
+			byMode[r.Mode][r.Daemons] = r
+		}
+		maxK := bench.LaunchScales[len(bench.LaunchScales)-1]
+		ct, sf := byMode["cut-through"][maxK], byMode["store-forward"][maxK]
+		if ct.Ready >= sf.Ready {
+			b.Fatalf("cut-through (%v) not below store-and-forward (%v) at K=%d",
+				ct.Ready, sf.Ready, maxK)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Ready.Seconds()*1e3, fmt.Sprintf("%s-ready-vms-K%d", r.Mode, r.Daemons))
+	}
+}
+
 // BenchmarkAblation_JobsnapTree quantifies the paper's §5.1 future-work
 // suggestion: Jobsnap with a TBŌN-style k-ary collection tree vs the flat
 // gather it measured.

@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-smoke] [-json] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-maxk N] [-smoke] [-json] [-all]
 //
 // With -json, each experiment additionally writes its rows as
 // BENCH_<name>.json in the working directory (machine-readable results
 // for CI and regression tracking). -smoke runs a fast reduced-scale
-// subset that exercises the bench rig end to end.
+// subset that exercises the bench rig end to end. -maxk caps the daemon
+// counts of the -failure/-collective/-launch sweeps (every simulated
+// daemon holds the full RPDTAB, so the 16384-point needs tens of GB of
+// host memory; CI runs -launch -maxk 1024).
 package main
 
 import (
@@ -46,14 +49,30 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation benches")
 	failure := flag.Bool("failure", false, "run the failure-detection ablation (K up to 16384)")
 	collective := flag.Bool("collective", false, "run the collective tool-data-plane ablation (flat vs tree, K up to 16384)")
+	launch := flag.Bool("launch", false, "run the launch-pipeline ablation (store-and-forward vs cut-through seed, K up to 16384)")
+	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/launch sweeps (0 = full scale)")
 	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && !*failure && !*collective && !*smoke && *fig == 0 && *table == 0 {
+	if !*ablations && !*failure && !*collective && !*launch && !*smoke && *fig == 0 && *table == 0 {
 		*all = true
 	}
+	// capScales filters a sweep's daemon counts under -maxk.
+	capScales := func(scales []int) []int {
+		if *maxk <= 0 {
+			return scales
+		}
+		out := make([]int, 0, len(scales))
+		for _, k := range scales {
+			if k <= *maxk {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+
 	run := func(name string, fn func() error) {
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "lmonbench: %s: %v\n", name, err)
@@ -167,7 +186,7 @@ func main() {
 	}
 	if *all || *collective {
 		run("collective", func() error {
-			rows, err := bench.CollectiveAblation(bench.CollectiveOpts{}, bench.CollectiveScales)
+			rows, err := bench.CollectiveAblation(bench.CollectiveOpts{}, capScales(bench.CollectiveScales))
 			if err != nil {
 				return err
 			}
@@ -175,9 +194,19 @@ func main() {
 			return emit("collective", rows)
 		})
 	}
+	if *all || *launch {
+		run("launch pipeline", func() error {
+			rows, err := bench.LaunchPipeline(bench.LaunchPipeOpts{}, capScales(bench.LaunchScales))
+			if err != nil {
+				return err
+			}
+			bench.PrintLaunchPipeline(os.Stdout, rows)
+			return emit("launchpipe", rows)
+		})
+	}
 	if *all || *failure {
 		run("failure detection", func() error {
-			rows, err := bench.FailureDetection(bench.FailureOpts{Silent: true}, bench.FailureScales)
+			rows, err := bench.FailureDetection(bench.FailureOpts{Silent: true}, capScales(bench.FailureScales))
 			if err != nil {
 				return err
 			}
@@ -234,5 +263,14 @@ func runSmoke() error {
 	}
 	fmt.Println()
 	bench.PrintCollective(os.Stdout, cr)
-	return emit("smoke_collective", cr)
+	if err := emit("smoke_collective", cr); err != nil {
+		return err
+	}
+	lp, err := bench.LaunchPipeline(bench.LaunchPipeOpts{Fanout: 4}, []int{8, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintLaunchPipeline(os.Stdout, lp)
+	return emit("smoke_launchpipe", lp)
 }

@@ -43,6 +43,12 @@ func measureLaunchAndSpawn(daemons, tasksPerDaemon int) (perfmodel.Breakdown, er
 		sess, err := core.LaunchAndSpawn(p, core.Options{
 			Job:    rm.JobSpec{Exe: "app", Nodes: daemons, TasksPerNode: tasksPerDaemon},
 			Daemon: rm.DaemonSpec{Exe: "f3_be"},
+			// Figure 3 reproduces the paper's serialized pipeline: the §4
+			// model decomposes the Figure 2 event chain, whose components
+			// (T(daemon), T(setup), T(collective)) are disjoint only when
+			// the phases do not overlap. The cut-through pipeline is
+			// measured by its own ablation (launchpipe.go).
+			SeedMode: core.SeedStoreForward,
 		})
 		if err != nil {
 			return err

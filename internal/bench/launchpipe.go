@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+)
+
+// Launch-pipeline ablation: time-to-DaemonsSpawned under the serialized
+// store-and-forward seed pipeline (the paper's Figure 2 shape: full-table
+// buffering at the FE and again at the master, monolithic broadcast after
+// bootstrap) versus the cut-through pipeline (chunks relayed FE→master as
+// they arrive from the engine and streamed through the still-forming ICCL
+// tree). Both runs verify that every rank reassembled a byte-identical
+// RPDTAB — the pipeline must never trade correctness for overlap.
+
+// LaunchPipeRow is one mode × scale measurement.
+type LaunchPipeRow struct {
+	Mode    string        // "cut-through" or "store-forward"
+	Daemons int           // K daemons (one per node)
+	Tasks   int           // application tasks
+	Ready   time.Duration // LaunchAndSpawn call → return (e0→e11, the DaemonsSpawned transition)
+	TableOK bool          // every rank's RPDTAB byte-identical to the FE's
+}
+
+// LaunchScales are the daemon counts of the pipeline sweep.
+var LaunchScales = []int{64, 1024, 16384}
+
+// LaunchPipeOpts parameterize the ablation.
+type LaunchPipeOpts struct {
+	// TasksPerNode sizes the RPDTAB (default 1, like the other 16384-scale
+	// sweeps: every simulated daemon holds the full table, so task count
+	// is bounded by host memory, not virtual time).
+	TasksPerNode int
+	Fanout       int // ICCL tree fanout (default 32)
+}
+
+func (o LaunchPipeOpts) withDefaults() LaunchPipeOpts {
+	if o.TasksPerNode == 0 {
+		o.TasksPerNode = 1
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 32
+	}
+	return o
+}
+
+// LaunchPipeline measures both pipelines at each scale.
+func LaunchPipeline(opts LaunchPipeOpts, scales []int) ([]LaunchPipeRow, error) {
+	o := opts.withDefaults()
+	rows := make([]LaunchPipeRow, 0, 2*len(scales))
+	for _, k := range scales {
+		for _, mode := range []core.SeedMode{core.SeedStoreForward, core.SeedCutThrough} {
+			row, err := measureLaunchPipe(k, mode, o)
+			if err != nil {
+				return nil, fmt.Errorf("launch pipeline %v at K=%d: %w", mode, k, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// tableHash fingerprints a daemon's reassembled seed for the
+// byte-identical check.
+func tableHash(encoded []byte) []byte {
+	h := fnv.New64a()
+	h.Write(encoded)
+	return h.Sum(nil)
+}
+
+func measureLaunchPipe(k int, mode core.SeedMode, o LaunchPipeOpts) (LaunchPipeRow, error) {
+	row := LaunchPipeRow{Mode: mode.String(), Daemons: k, Tasks: k * o.TasksPerNode}
+	r, err := NewRig(RigOptions{Nodes: k})
+	if err != nil {
+		return row, err
+	}
+	// Every daemon gathers its table fingerprint to the FE over the
+	// collective plane — after the launch, so the verification does not
+	// perturb the time-to-ready measurement.
+	r.Cl.Register("lp_be", func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Collective().Gather(tableHash(be.Proctab().Encode()))
+		be.Finalize()
+	})
+	err = r.RunFE(func(p *cluster.Proc) error {
+		t0 := p.Sim().Now()
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: o.TasksPerNode},
+			Daemon:     rm.DaemonSpec{Exe: "lp_be"},
+			ICCLFanout: o.Fanout,
+			SeedMode:   mode,
+		})
+		if err != nil {
+			return err
+		}
+		row.Ready = p.Sim().Now() - t0
+		hashes, err := sess.Gather()
+		if err != nil {
+			return err
+		}
+		want := string(tableHash(sess.Proctab().Encode()))
+		row.TableOK = len(hashes) == k
+		for _, h := range hashes {
+			if string(h) != want {
+				row.TableOK = false
+			}
+		}
+		return nil
+	})
+	return row, err
+}
+
+// PrintLaunchPipeline renders the comparison.
+func PrintLaunchPipeline(w io.Writer, rows []LaunchPipeRow) {
+	fmt.Fprintln(w, "Ablation — launch pipeline (time to DaemonsSpawned, byte-identical RPDTAB at every rank)")
+	fmt.Fprintln(w, "mode           daemons    tasks   ready      tables")
+	for _, r := range rows {
+		ok := "identical"
+		if !r.TableOK {
+			ok = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%-14s %7d %8d %8.3fs  %s\n", r.Mode, r.Daemons, r.Tasks, r.Ready.Seconds(), ok)
+	}
+}

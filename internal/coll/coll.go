@@ -22,12 +22,21 @@ import (
 // Op identifies the collective operation a chunk belongs to.
 type Op uint8
 
-// The four collectives of the tool-data plane.
+// The four collectives of the tool-data plane, plus the launch-time
+// session-seed stream.
 const (
 	OpBroadcast Op = iota + 1 // FE → every daemon: raw byte stream
 	OpScatter                 // FE → per-rank parts: rank-tagged entries
 	OpGather                  // every daemon → FE: rank-tagged entries
 	OpReduce                  // every daemon → FE: combined at interior nodes
+
+	// OpSeed is the cut-through session-seed stream of the launch pipeline
+	// (iccl.BootstrapSeed): frame 0 carries the piggybacked FEData, later
+	// frames carry RPDTAB chunks, and the end marker's Total is the table's
+	// entry count. It never shares a link direction with the tool-data
+	// collectives — the seed completes before the plane is usable — so it
+	// needs no tag discipline; Tag is always 0.
+	OpSeed
 )
 
 // String names the op for diagnostics.
@@ -41,6 +50,8 @@ func (o Op) String() string {
 		return "gather"
 	case OpReduce:
 		return "reduce"
+	case OpSeed:
+		return "seed"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -81,7 +92,7 @@ func DecodeHeader(rd *lmonp.Reader) (Header, error) {
 		return h, err
 	}
 	h.Op = Op(op)
-	if h.Op < OpBroadcast || h.Op > OpReduce {
+	if h.Op < OpBroadcast || h.Op > OpSeed {
 		return h, fmt.Errorf("%w: op %d", ErrBadHeader, op)
 	}
 	if h.Tag, err = rd.Uint32(); err != nil {

@@ -15,6 +15,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 		{Op: OpScatter, Tag: 7, Index: 3, Lo: 10, Hi: 20},
 		{Op: OpGather, Tag: 1 << 30, Index: 0xffffffff, Lo: 0, Hi: 1},
 		{Op: OpReduce, Tag: 2, Filter: "topk:8"},
+		{Op: OpSeed, Index: 5},
 	} {
 		got, err := DecodeHeader(lmonp.NewReader(h.Encode()))
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
 	"launchmon/internal/engine"
 	"launchmon/internal/health"
 	"launchmon/internal/iccl"
@@ -38,25 +39,141 @@ type BackEnd struct {
 // daemons.
 var ErrNotMaster = errors.New("core: operation restricted to the master daemon")
 
-// BEInit joins the calling daemon process into its session: it bootstraps
-// the ICCL tree (the master first completes the LMONP handshake with the
-// front end), receives the RPDTAB broadcast, and reports per-daemon info
-// up the gather so the master can send the ready message (events e7..e10
-// of the launch critical path).
+// BEInit joins the calling daemon process into its session: the master
+// completes the LMONP handshake with the front end, the ICCL tree
+// bootstraps, the session seed (RPDTAB + FEData) is distributed to and
+// validated at every daemon, and per-daemon info is gathered to the
+// master for the ready message (events e7..e10 of the launch critical
+// path). Under the default cut-through pipeline the seed streams through
+// the forming tree (iccl.BootstrapSeed); the store-forward baseline
+// (Options.SeedMode) buffers it at the master and broadcasts after
+// bootstrap.
 func BEInit(p *cluster.Proc) (*BackEnd, error) {
 	cfg, err := icclConfigFromEnv(p, false)
 	if err != nil {
 		return nil, err
 	}
+	if p.Env(EnvSeedMode) == SeedStoreForward.envValue() {
+		return beInitStoreForward(p, cfg)
+	}
+	return beInitCutThrough(p, cfg)
+}
+
+// beInitCutThrough receives the session seed as a chunk stream flowing
+// through the still-forming ICCL tree. Every rank reassembles the table
+// with a proctab.Assembler and validates it (Finish) before contributing
+// to the ready gather, so EvDaemonsSpawned at the front end implies a
+// validated, byte-identical table at every daemon.
+func beInitCutThrough(p *cluster.Proc, cfg iccl.Config) (*BackEnd, error) {
+	be := &BackEnd{p: p}
+
+	var src iccl.SeedSource
+	if cfg.Rank == 0 {
+		// Master: connect to the FE through the session mux and consume
+		// the handshake (the piggybacked tool data arrives ahead of the
+		// table stream; e7 precedes e8), then feed each relayed RPDTAB
+		// chunk straight into the tree's seed stream as it arrives.
+		fe, err := dialFE(p, transport.RoleBE)
+		if err != nil {
+			return nil, fmt.Errorf("core: master dialing FE: %w", err)
+		}
+		be.fe = fe
+		handshake, err := be.fe.Expect(lmonp.ClassFEBE, lmonp.TypeHandshake)
+		if err != nil {
+			return nil, err
+		}
+		be.tl.Mark(engine.MarkE8, p.Sim().Now())
+		src = seedSourceFromFE(be.fe, handshake.UsrData)
+	}
+
+	comm, seed, err := iccl.BootstrapSeed(p, cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	be.comm = comm
+	if comm.IsMaster() {
+		be.tl.Mark(engine.MarkE9, p.Sim().Now())
+	}
+	if err := be.setupCollective(); err != nil {
+		return nil, err
+	}
+
+	// Drain the seed: frame 0 carries the piggybacked FEData, later frames
+	// the RPDTAB chunks; the end marker's total validates the reassembly.
+	var asm proctab.Assembler
+	for {
+		f, err := seed.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.End {
+			tab, err := asm.Finish(int(f.Total))
+			if err != nil {
+				return nil, err
+			}
+			be.tab = tab
+			break
+		}
+		if f.H.Index == 0 {
+			be.feData = append([]byte(nil), f.Body...)
+			continue
+		}
+		if err := asm.Add(f.Body); err != nil {
+			return nil, err
+		}
+	}
+	be.tl.Mark(engine.MarkSeedValid, p.Sim().Now())
+	be.myTab = be.tab.OnHost(p.Node().Name())
+	// All child forwards must drain before any other down-flowing traffic
+	// may use the tree links.
+	if err := seed.Wait(); err != nil {
+		return nil, err
+	}
+	return be, be.completeInit(cfg)
+}
+
+// seedSourceFromFE adapts the master's FE connection into the tree's
+// seed stream: a synthesized frame 0 with the handshake's FEData, then
+// one frame per relayed RPDTAB chunk, closed by the relay's end marker.
+func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
+	idx := uint32(0)
+	return func() (coll.Frame, error) {
+		if idx == 0 {
+			idx = 1
+			return coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: 0}, Body: feData}, nil
+		}
+		msg, err := fe.Recv()
+		if err != nil {
+			return coll.Frame{}, err
+		}
+		switch msg.Type {
+		case lmonp.TypeProctabChunk:
+			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, Body: msg.Payload}
+			idx++
+			return f, nil
+		case lmonp.TypeProctabEnd:
+			total, err := lmonp.NewReader(msg.Payload).Uint64()
+			if err != nil {
+				return coll.Frame{}, fmt.Errorf("core: seed end marker: %w", err)
+			}
+			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, End: true, Total: total}
+			idx++
+			return f, nil
+		default:
+			return coll.Frame{}, fmt.Errorf("core: unexpected %v message in session-seed stream", msg.Type)
+		}
+	}
+}
+
+// beInitStoreForward is the serialized baseline: the master buffers the
+// full chunk-streamed RPDTAB from the FE, the tree bootstraps, and the
+// seed goes out as one monolithic ICCL broadcast.
+func beInitStoreForward(p *cluster.Proc, cfg iccl.Config) (*BackEnd, error) {
 	be := &BackEnd{p: p}
 
 	var masterTab proctab.Table
 	var feData []byte
 	if cfg.Rank == 0 {
-		// Master: connect to the FE through the session mux (the hello
-		// carries the session ID and back-end role) and consume the
-		// handshake — the piggybacked tool data plus the chunk-streamed
-		// RPDTAB — before coordinating the network setup (e7 precedes e8).
 		fe, err := dialFE(p, transport.RoleBE)
 		if err != nil {
 			return nil, fmt.Errorf("core: master dialing FE: %w", err)
@@ -82,13 +199,9 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 	if comm.IsMaster() {
 		be.tl.Mark(engine.MarkE9, p.Sim().Now())
 	}
-	collChunk := 0
-	if cc := p.Env(EnvCollChunk); cc != "" {
-		if collChunk, err = strconv.Atoi(cc); err != nil {
-			return nil, fmt.Errorf("core: bad %s: %w", EnvCollChunk, err)
-		}
+	if err := be.setupCollective(); err != nil {
+		return nil, err
 	}
-	be.coll = newBECollective(be, collChunk)
 
 	// Distribute RPDTAB + piggybacked FE data to every daemon.
 	tab, data, err := distributeSessionSeed(comm, masterTab, feData)
@@ -96,35 +209,54 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 		return nil, err
 	}
 	be.tab = tab
+	be.tl.Mark(engine.MarkSeedValid, p.Sim().Now())
 	be.myTab = tab.OnHost(p.Node().Name())
 	be.feData = data
+	return be, be.completeInit(cfg)
+}
 
+// setupCollective attaches the session's collective tool-data plane.
+func (b *BackEnd) setupCollective() error {
+	collChunk := 0
+	if cc := b.p.Env(EnvCollChunk); cc != "" {
+		var err error
+		if collChunk, err = strconv.Atoi(cc); err != nil {
+			return fmt.Errorf("core: bad %s: %w", EnvCollChunk, err)
+		}
+	}
+	b.coll = newBECollective(b, collChunk)
+	return nil
+}
+
+// completeInit is the shared tail of both seed pipelines: gather
+// per-daemon info for the ready message, then join the heartbeat tree.
+func (b *BackEnd) completeInit(cfg iccl.Config) error {
 	// Gather per-daemon info to the master; it rides the ready message.
 	mine := encodeDaemonInfo(DaemonInfo{
-		Rank:  comm.Rank(),
-		Host:  p.Node().Name(),
-		Pid:   p.Pid(),
-		Tasks: len(be.myTab),
+		Rank:  b.comm.Rank(),
+		Host:  b.p.Node().Name(),
+		Pid:   b.p.Pid(),
+		Tasks: len(b.myTab),
 	})
-	all, err := comm.Gather(mine)
+	all, err := b.comm.Gather(mine)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if comm.IsMaster() {
+	if b.comm.IsMaster() {
 		infos := make([]DaemonInfo, 0, len(all))
 		for _, raw := range all {
 			d, err := decodeDaemonInfo(raw)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			infos = append(infos, d)
 		}
-		if err := be.fe.Send(&lmonp.Msg{
+		if err := b.fe.Send(&lmonp.Msg{
 			Class:   lmonp.ClassFEBE,
 			Type:    lmonp.TypeReady,
-			Payload: encodeReady(infos, be.tl),
+			Payload: encodeReady(infos, b.tl),
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -132,10 +264,7 @@ func BEInit(p *cluster.Proc) (*BackEnd, error) {
 	// detection; the master forwards failure reports upstream as LMONP
 	// status events. Started after the ready message so the launch critical
 	// path (e7..e10) is not charged for it.
-	if err := be.startHealth(cfg); err != nil {
-		return nil, err
-	}
-	return be, nil
+	return b.startHealth(cfg)
 }
 
 // startHealth joins the daemon into the session's heartbeat tree when the
@@ -244,6 +373,11 @@ func (b *BackEnd) MyProctab() proctab.Table { return b.myTab }
 // FEData returns the tool data the front end piggybacked on the handshake.
 func (b *BackEnd) FEData() []byte { return b.feData }
 
+// Timeline returns the daemon's launch marks (e8/e9 at the master,
+// seed_validated at every rank). The master's copy also rides the ready
+// message into the front end's merged Session.Timeline.
+func (b *BackEnd) Timeline() engine.Timeline { return b.tl }
+
 // Proc returns the daemon's process handle.
 func (b *BackEnd) Proc() *cluster.Proc { return b.p }
 
@@ -312,11 +446,11 @@ func dialFE(p *cluster.Proc, role transport.Role) (*lmonp.Conn, error) {
 }
 
 // distributeSessionSeed broadcasts the RPDTAB and the piggybacked tool
-// data from the master over the ICCL fabric. The broadcast is collective
-// traffic (one frame), not an LMONP payload, so it intentionally stays
-// monolithic — the paper's broadcast-vs-shared-file ablation depends on
-// its shape. The master keeps its already-decoded table instead of
-// re-decoding its own broadcast.
+// data from the master over the ICCL fabric as one monolithic frame —
+// the store-forward baseline of the launch-pipeline ablation, still the
+// pipeline of middleware daemons (MWInit) and the shape the paper's
+// broadcast-vs-shared-file ablation measures. The master keeps its
+// already-decoded table instead of re-decoding its own broadcast.
 func distributeSessionSeed(comm *iccl.Comm, masterTab proctab.Table, feData []byte) (proctab.Table, []byte, error) {
 	var seed []byte
 	if comm.IsMaster() {

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"launchmon/internal/cluster"
-	"launchmon/internal/engine"
 	"launchmon/internal/rm"
 	"launchmon/internal/transport"
 	"launchmon/internal/vtime"
@@ -101,30 +100,14 @@ func TestConcurrentSessionsOverOneMux(t *testing.T) {
 			}
 		}
 
-		// Per-session timelines: each session's critical-path marks are
+		// Per-session timelines: each session's critical-path chains are
 		// complete and monotonic on its own clock, independent of how the
 		// sessions interleaved.
-		order := []string{
-			engine.MarkE0, engine.MarkE1, engine.MarkE2, engine.MarkE3,
-			engine.MarkE4, engine.MarkE5, engine.MarkE6, engine.MarkE7,
-			engine.MarkE8, engine.MarkE9, engine.MarkE10, engine.MarkE11,
-		}
 		for i, s := range sessions {
 			if s == nil {
 				continue
 			}
-			var prev time.Duration
-			for _, name := range order {
-				at, ok := s.Timeline.Get(name)
-				if !ok {
-					t.Errorf("session %d: mark %s missing", i, name)
-					continue
-				}
-				if at < prev {
-					t.Errorf("session %d: mark %s at %v precedes %v", i, name, at, prev)
-				}
-				prev = at
-			}
+			assertLaunchChains(t, fmt.Sprintf("session %d", i), s.Timeline)
 		}
 	})
 }

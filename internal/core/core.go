@@ -44,6 +44,11 @@ const (
 	// EnvCollChunk bounds one collective-plane chunk body in bytes
 	// (0 or unset selects coll.DefaultChunkBytes).
 	EnvCollChunk = "LMON_COLL_CHUNK"
+	// EnvSeedMode selects the session-seed (RPDTAB + FEData) distribution
+	// pipeline the back-end daemons must match: "cut-through" (or unset)
+	// streams chunks through the forming ICCL tree, "store-forward" is the
+	// serialized baseline (Options.SeedMode).
+	EnvSeedMode = "LMON_SEED_MODE"
 	// EnvHealthPeriod is the heartbeat period of the session's failure
 	// detector (a Go duration string); unset or empty disables it.
 	EnvHealthPeriod = "LMON_HEALTH_PERIOD"

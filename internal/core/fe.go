@@ -52,6 +52,10 @@ type Options struct {
 	// collective tool-data plane (Session.Broadcast/Scatter/Gather/Reduce
 	// and the BE.Collective mirror); 0 selects coll.DefaultChunkBytes.
 	CollChunkBytes int
+	// SeedMode selects the session-seed (RPDTAB + FEData) distribution
+	// pipeline: SeedCutThrough (the default) or the serialized
+	// SeedStoreForward baseline. See the SeedMode constants.
+	SeedMode SeedMode
 	// Timeout bounds (in virtual time) how long the front end waits for
 	// the engine and the master daemon to connect; daemons that crash
 	// before dialing in surface as an error instead of a hang. Zero means
@@ -289,6 +293,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, false))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvCollChunk] = fmt.Sprint(opts.CollChunkBytes)
+	env[EnvSeedMode] = opts.SeedMode.envValue()
 	env[EnvKind] = "be"
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
@@ -319,60 +324,17 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 		return nil, err
 	}
 
-	// The engine replies with the RPDTAB first, streamed as bounded
-	// chunks (the transfer overlaps the daemon spawn), then a status
-	// message once the RM finished spawning. An early status message
-	// means the engine failed before harvesting the table.
-	tab, err := proctab.RecvStream(s.eng, lmonp.ClassFEEngine, func(msg *lmonp.Msg) error {
-		if msg.Type == lmonp.TypeStatus {
-			status, _, _ := engine.DecodeStatus(msg.Payload)
-			return fmt.Errorf("core: engine failed: %s", status)
-		}
-		return fmt.Errorf("core: expected proctab stream, got %v", msg.Type)
-	})
+	// Distribute the session seed (RPDTAB + FEData) and complete the
+	// FE↔master handshake under the selected pipeline.
+	if opts.SeedMode == SeedStoreForward {
+		err = s.launchStoreForward(opts)
+	} else {
+		err = s.launchCutThrough(opts)
+	}
 	if err != nil {
 		s.close()
 		return nil, err
 	}
-	s.tab = tab
-
-	status, engTL, err := s.recvStatus()
-	if err != nil {
-		s.close()
-		return nil, err
-	}
-	if status != "daemons-spawned" {
-		s.close()
-		return nil, fmt.Errorf("core: engine failed: %s", status)
-	}
-	s.Timeline.Merge(engTL)
-
-	// Handshake with the master back-end daemon (e7..e10): the hello-
-	// routed connection for this session, never another's.
-	beConn, err := ep.Accept(transport.RoleBE, timeout)
-	if err != nil {
-		s.close()
-		return nil, fmt.Errorf("core: master daemon did not connect: %w", err)
-	}
-	s.beMaster = beConn
-	s.Timeline.Mark(engine.MarkE7, sim.Now())
-	if err := s.sendHandshake(s.beMaster, lmonp.ClassFEBE, opts.FEData); err != nil {
-		s.close()
-		return nil, err
-	}
-	ready, err := s.beMaster.Expect(lmonp.ClassFEBE, lmonp.TypeReady)
-	if err != nil {
-		s.close()
-		return nil, err
-	}
-	s.Timeline.Mark(engine.MarkE10, sim.Now())
-	infos, beTL, err := decodeReady(ready.Payload)
-	if err != nil {
-		s.close()
-		return nil, err
-	}
-	s.daemons = infos
-	s.Timeline.Merge(beTL)
 
 	p.Compute(feFinishCost)
 	s.Timeline.Mark(engine.MarkE11, sim.Now())
@@ -395,6 +357,63 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	sim.Go(fmt.Sprintf("fe-sess-%d-be-watch", s.ID), s.beReader)
 	s.fire(health.Event{Kind: health.EvDaemonsSpawned, Rank: -1})
 	return s, nil
+}
+
+// launchStoreForward is the serialized seed pipeline (the paper's
+// Figure 2 shape, kept as the ablation baseline and the pipeline the §4
+// analytic model decomposes): the FE buffers the full RPDTAB from the
+// engine, waits for the spawn status, and only then accepts the master
+// daemon and retransmits the table behind the handshake.
+func (s *Session) launchStoreForward(opts Options) error {
+	sim := s.p.Sim()
+	// The engine replies with the RPDTAB first, streamed as bounded
+	// chunks (the transfer overlaps the daemon spawn), then a status
+	// message once the RM finished spawning. An early status message
+	// means the engine failed before harvesting the table.
+	tab, err := proctab.RecvStream(s.eng, lmonp.ClassFEEngine, func(msg *lmonp.Msg) error {
+		if msg.Type == lmonp.TypeStatus {
+			status, _, _ := engine.DecodeStatus(msg.Payload)
+			return fmt.Errorf("core: engine failed: %s", status)
+		}
+		return fmt.Errorf("core: expected proctab stream, got %v", msg.Type)
+	})
+	if err != nil {
+		return err
+	}
+	s.tab = tab
+
+	status, engTL, err := s.recvStatus()
+	if err != nil {
+		return err
+	}
+	if status != "daemons-spawned" {
+		return fmt.Errorf("core: engine failed: %s", status)
+	}
+	s.Timeline.Merge(engTL)
+
+	// Handshake with the master back-end daemon (e7..e10): the hello-
+	// routed connection for this session, never another's.
+	beConn, err := s.ep.Accept(transport.RoleBE, s.timeout)
+	if err != nil {
+		return fmt.Errorf("core: master daemon did not connect: %w", err)
+	}
+	s.beMaster = beConn
+	s.Timeline.Mark(engine.MarkE7, sim.Now())
+	if err := s.sendHandshake(s.beMaster, lmonp.ClassFEBE, opts.FEData); err != nil {
+		return err
+	}
+	ready, err := s.beMaster.Expect(lmonp.ClassFEBE, lmonp.TypeReady)
+	if err != nil {
+		return err
+	}
+	s.Timeline.Mark(engine.MarkE10, sim.Now())
+	infos, beTL, err := decodeReady(ready.Payload)
+	if err != nil {
+		return err
+	}
+	s.daemons = infos
+	s.Timeline.Merge(beTL)
+	return nil
 }
 
 // RegisterStatusCB mirrors lmon_fe_regStatusCB (paper §3.2): cb fires for

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"launchmon/internal/engine"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/transport"
+	"launchmon/internal/vtime"
+)
+
+// This file is the front-end half of the cut-through launch pipeline
+// (DESIGN.md "Life of a session"): instead of buffering the full RPDTAB
+// from the engine and retransmitting it after the spawn status arrives,
+// the FE relays each chunk toward the master back-end daemon as it
+// arrives, and accepts the master's connection concurrently with the
+// engine stream and status wait — so the FE↔BE handshake (with FEData
+// ahead of the table) begins the moment the master dials in, typically
+// while the RM is still spawning the master's sibling daemons.
+
+// SeedMode selects how a session's seed — the RPDTAB plus the
+// piggybacked Options.FEData — reaches every back-end daemon.
+type SeedMode int
+
+const (
+	// SeedCutThrough (the default) streams the seed end to end: the FE
+	// relays engine chunks to the master as they arrive, and the master
+	// injects them into an ICCL seed stream that interior daemons forward
+	// while the tree is still forming. No component ever store-and-forwards
+	// the full table.
+	SeedCutThrough SeedMode = iota
+	// SeedStoreForward is the serialized baseline (the paper's Figure 2
+	// pipeline): full-table buffering at the FE and again at the master,
+	// which broadcasts it as one monolithic frame after bootstrap. Kept for
+	// the launch-pipeline ablation and for the §4 analytic model, whose
+	// decomposition assumes the serialized event chain.
+	SeedStoreForward
+)
+
+// String names the mode for diagnostics and bench output.
+func (m SeedMode) String() string {
+	if m == SeedStoreForward {
+		return "store-forward"
+	}
+	return "cut-through"
+}
+
+// envValue renders the mode for the daemon bootstrap environment.
+func (m SeedMode) envValue() string { return m.String() }
+
+// seedItem is one unit of the FE→master relay: an RPDTAB chunk or the
+// end marker carrying the table's entry count.
+type seedItem struct {
+	chunk []byte
+	end   bool
+	total uint64
+}
+
+// relayResult is what the seed-relay goroutine hands back to the launch
+// path: the established master connection, the decoded ready message, and
+// the relay's share of the timeline (e7, e10, overlap marks).
+type relayResult struct {
+	conn  *lmonp.Conn
+	infos []DaemonInfo
+	tl    engine.Timeline
+	err   error
+}
+
+// seedRelay accepts the master back-end connection and forwards the seed
+// stream to it, concurrently with the FE's engine reads.
+type seedRelay struct {
+	s      *Session
+	feData []byte
+	items  *vtime.Chan[seedItem]
+	result *vtime.Chan[relayResult]
+}
+
+// abort wakes a relay parked on the item queue; a relay parked in
+// Endpoint.Accept is released by the caller closing the session (s.close
+// closes the endpoint).
+func (r *seedRelay) abort() { r.items.Close() }
+
+func (r *seedRelay) run() {
+	res := r.relay()
+	if res.err != nil && res.conn != nil {
+		res.conn.Close()
+		res.conn = nil
+	}
+	r.result.Send(res)
+}
+
+func (r *seedRelay) relay() relayResult {
+	s := r.s
+	sim := s.p.Sim()
+	conn, err := s.ep.Accept(transport.RoleBE, s.timeout)
+	if err != nil {
+		return relayResult{err: fmt.Errorf("core: master daemon did not connect: %w", err)}
+	}
+	var tl engine.Timeline
+	tl.Mark(engine.MarkE7, sim.Now())
+	// FEData rides the handshake ahead of the proctab stream, so every
+	// daemon has its bootstrap data before the first table chunk lands.
+	if err := conn.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeHandshake, UsrData: r.feData}); err != nil {
+		return relayResult{conn: conn, err: fmt.Errorf("core: handshake to master: %w", err)}
+	}
+	first := true
+	for {
+		it, ok := r.items.Recv()
+		if !ok {
+			return relayResult{conn: conn, err: fmt.Errorf("core: session %d: seed relay aborted", s.ID)}
+		}
+		if first {
+			tl.Mark(engine.MarkSeedFwd, sim.Now())
+			first = false
+		}
+		if it.end {
+			err = conn.Send(&lmonp.Msg{
+				Class:   lmonp.ClassFEBE,
+				Type:    lmonp.TypeProctabEnd,
+				Payload: lmonp.AppendUint64(nil, it.total),
+			})
+		} else {
+			err = conn.Send(&lmonp.Msg{
+				Class:   lmonp.ClassFEBE,
+				Type:    lmonp.TypeProctabChunk,
+				Payload: it.chunk,
+			})
+		}
+		if err != nil {
+			return relayResult{conn: conn, err: fmt.Errorf("core: relaying session seed to master: %w", err)}
+		}
+		if it.end {
+			break
+		}
+	}
+	ready, err := conn.Expect(lmonp.ClassFEBE, lmonp.TypeReady)
+	if err != nil {
+		return relayResult{conn: conn, err: fmt.Errorf("core: awaiting master ready: %w", err)}
+	}
+	tl.Mark(engine.MarkE10, sim.Now())
+	infos, beTL, err := decodeReady(ready.Payload)
+	if err != nil {
+		return relayResult{conn: conn, err: err}
+	}
+	tl.Merge(beTL)
+	return relayResult{conn: conn, infos: infos, tl: tl}
+}
+
+// launchCutThrough drains the engine's chunk stream and status while the
+// relay goroutine independently accepts the master daemon, handshakes,
+// and forwards the chunks. The FE assembles its own table copy from the
+// same chunks in passing — it never waits for the full table before
+// forwarding, and never retransmits it after the status arrives.
+func (s *Session) launchCutThrough(opts Options) error {
+	sim := s.p.Sim()
+	relay := &seedRelay{
+		s:      s,
+		feData: opts.FEData,
+		items:  vtime.NewChan[seedItem](sim),
+		result: vtime.NewChan[relayResult](sim),
+	}
+	sim.Go(fmt.Sprintf("fe-sess-%d-seed-relay", s.ID), relay.run)
+
+	// fail abandons the relay on an engine-side error. Closing the item
+	// queue only reaches a relay still forwarding; one that has relayed
+	// the end marker is parked awaiting the master's ready and would
+	// otherwise hand back an open connection nobody reads — leaving the
+	// master (and with it the whole daemon tree) waiting on the session
+	// forever. A reaper drains the result and closes that connection; a
+	// relay still parked in Accept is released by the caller's s.close().
+	fail := func(err error) error {
+		relay.abort()
+		sim.Go(fmt.Sprintf("fe-sess-%d-relay-reaper", s.ID), func() {
+			if res, ok := relay.result.Recv(); ok && res.conn != nil {
+				res.conn.Close()
+			}
+		})
+		return err
+	}
+
+	var asm proctab.Assembler
+	var engTL engine.Timeline
+	tabDone, statusDone := false, false
+	for !tabDone || !statusDone {
+		msg, err := s.eng.Recv()
+		if err != nil {
+			return fail(err)
+		}
+		switch msg.Type {
+		case lmonp.TypeProctabChunk:
+			if tabDone {
+				return fail(fmt.Errorf("core: RPDTAB chunk after end marker"))
+			}
+			if err := asm.Add(msg.Payload); err != nil {
+				return fail(err)
+			}
+			relay.items.Send(seedItem{chunk: msg.Payload})
+		case lmonp.TypeProctabEnd:
+			if tabDone {
+				return fail(fmt.Errorf("core: duplicate RPDTAB end marker"))
+			}
+			rd := lmonp.NewReader(msg.Payload)
+			total, err := rd.Uint64()
+			if err != nil {
+				return fail(fmt.Errorf("core: RPDTAB end marker: %w", err))
+			}
+			tab, err := asm.Finish(int(total))
+			if err != nil {
+				return fail(err)
+			}
+			s.tab = tab
+			relay.items.Send(seedItem{end: true, total: total})
+			tabDone = true
+		case lmonp.TypeStatus:
+			status, tl, err := engine.DecodeStatus(msg.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			if status != "daemons-spawned" {
+				return fail(fmt.Errorf("core: engine failed: %s", status))
+			}
+			engTL = tl
+			statusDone = true
+		default:
+			return fail(fmt.Errorf("core: unexpected %v message during launch", msg.Type))
+		}
+	}
+	s.Timeline.Merge(engTL)
+
+	res, ok := relay.result.Recv()
+	if !ok {
+		return fmt.Errorf("core: session %d: seed relay lost", s.ID)
+	}
+	if res.err != nil {
+		return res.err
+	}
+	s.beMaster = res.conn
+	s.daemons = res.infos
+	s.Timeline.Merge(res.tl)
+	return nil
+}

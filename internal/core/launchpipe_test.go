@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/engine"
+	"launchmon/internal/rm"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// Cut-through launch-pipeline regressions: the e-mark partial order, the
+// every-rank-validates-before-DaemonsSpawned invariant, byte-identical
+// tables under both seed pipelines, and mid-stream fault surfacing.
+
+// launchChains is the documented partial order of the critical-path
+// marks (engine/timeline.go): the engine chain and the handshake chain
+// are each monotone in virtual time; under cut-through the two overlap
+// between e5 and e11 (e7–e9 may precede e6).
+var launchChains = [][]string{
+	{engine.MarkE0, engine.MarkE1, engine.MarkE2, engine.MarkE3,
+		engine.MarkE4, engine.MarkE5, engine.MarkE6, engine.MarkE11},
+	{engine.MarkE5, engine.MarkE7, engine.MarkE8, engine.MarkE9,
+		engine.MarkE10, engine.MarkE11},
+}
+
+// assertLaunchChains checks every chain's marks are present and monotone.
+func assertLaunchChains(t *testing.T, label string, tl engine.Timeline) {
+	t.Helper()
+	for _, chain := range launchChains {
+		prev := time.Duration(-1)
+		for _, name := range chain {
+			at, ok := tl.Get(name)
+			if !ok {
+				t.Errorf("%s: mark %s missing", label, name)
+				continue
+			}
+			if at < prev {
+				t.Errorf("%s: mark %s at %v precedes previous %v", label, name, at, prev)
+			}
+			prev = at
+		}
+	}
+}
+
+// launchPipeShapes are the tree shapes of the regression sweep: a lone
+// master, one more daemon than the fanout (a two-level tree with a
+// single grandchild), and a prime count that fills levels unevenly.
+var launchPipeShapes = []struct{ nodes, fanout int }{
+	{1, 4}, {5, 4}, {7, 4},
+}
+
+func TestLaunchPipelineMarksMonotone(t *testing.T) {
+	for _, shape := range launchPipeShapes {
+		t.Run(fmt.Sprintf("K%d_f%d", shape.nodes, shape.fanout), func(t *testing.T) {
+			sim, cl, _ := rig(t, shape.nodes)
+			cl.Register("lp_be", func(p *cluster.Proc) {
+				be, err := BEInit(p)
+				if err != nil {
+					t.Errorf("BEInit: %v", err)
+					return
+				}
+				be.Finalize()
+			})
+			runFE(t, sim, cl, func(p *cluster.Proc) {
+				s, err := LaunchAndSpawn(p, Options{
+					Job:        rm.JobSpec{Exe: "app", Nodes: shape.nodes, TasksPerNode: 4},
+					Daemon:     rm.DaemonSpec{Exe: "lp_be"},
+					ICCLFanout: shape.fanout,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				assertLaunchChains(t, fmt.Sprintf("K=%d", shape.nodes), s.Timeline)
+				// The overlap marks of the pipeline are present too.
+				if _, ok := s.Timeline.Get(engine.MarkSeedFwd); !ok {
+					t.Error("seed_first_forward mark missing")
+				}
+				if _, ok := s.Timeline.Get(engine.MarkSeedValid); !ok {
+					t.Error("master seed_validated mark missing from merged timeline")
+				}
+			})
+		})
+	}
+}
+
+// TestDaemonsSpawnedAfterEveryRankValidates pins the pipeline's safety
+// half: however aggressively phases overlap, the ready message (e10, and
+// with it the EvDaemonsSpawned transition) must not beat any rank's
+// assembler validation.
+func TestDaemonsSpawnedAfterEveryRankValidates(t *testing.T) {
+	for _, shape := range launchPipeShapes {
+		t.Run(fmt.Sprintf("K%d_f%d", shape.nodes, shape.fanout), func(t *testing.T) {
+			sim, cl, _ := rig(t, shape.nodes)
+			var mu sync.Mutex
+			validated := map[int]time.Duration{}
+			cl.Register("lv_be", func(p *cluster.Proc) {
+				be, err := BEInit(p)
+				if err != nil {
+					t.Errorf("BEInit: %v", err)
+					return
+				}
+				tl := be.Timeline()
+				at, ok := tl.Get(engine.MarkSeedValid)
+				if !ok {
+					t.Errorf("rank %d: no seed_validated mark", be.Rank())
+				}
+				mu.Lock()
+				validated[be.Rank()] = at
+				mu.Unlock()
+				be.Finalize()
+			})
+			runFE(t, sim, cl, func(p *cluster.Proc) {
+				s, err := LaunchAndSpawn(p, Options{
+					Job:        rm.JobSpec{Exe: "app", Nodes: shape.nodes, TasksPerNode: 4},
+					Daemon:     rm.DaemonSpec{Exe: "lv_be"},
+					ICCLFanout: shape.fanout,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ready, ok := s.Timeline.Get(engine.MarkE10)
+				if !ok {
+					t.Fatal("no e10 mark")
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if len(validated) != shape.nodes {
+					t.Fatalf("%d ranks validated, want %d", len(validated), shape.nodes)
+				}
+				for rank, at := range validated {
+					if at > ready {
+						t.Errorf("rank %d validated at %v, after the ready message at %v", rank, at, ready)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestSeedByteIdenticalBothModes launches under each pipeline and checks
+// every rank reassembled the exact bytes the front end holds.
+func TestSeedByteIdenticalBothModes(t *testing.T) {
+	for _, mode := range []SeedMode{SeedCutThrough, SeedStoreForward} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const nodes = 5
+			sim, cl, _ := rig(t, nodes)
+			cl.Register("bi_be", func(p *cluster.Proc) {
+				be, err := BEInit(p)
+				if err != nil {
+					t.Errorf("BEInit: %v", err)
+					return
+				}
+				h := fnv.New64a()
+				h.Write(be.Proctab().Encode())
+				h.Write(be.FEData())
+				if err := be.Collective().Gather(h.Sum(nil)); err != nil {
+					t.Errorf("rank %d gather: %v", be.Rank(), err)
+				}
+				be.Finalize()
+			})
+			runFE(t, sim, cl, func(p *cluster.Proc) {
+				s, err := LaunchAndSpawn(p, Options{
+					Job:        rm.JobSpec{Exe: "app", Nodes: nodes, TasksPerNode: 8},
+					Daemon:     rm.DaemonSpec{Exe: "bi_be"},
+					FEData:     []byte("seed-fedata"),
+					ICCLFanout: 2,
+					SeedMode:   mode,
+					// Small chunks so the stream is genuinely multi-chunk.
+					ProctabChunkBytes: 256,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := fnv.New64a()
+				want.Write(s.Proctab().Encode())
+				want.Write([]byte("seed-fedata"))
+				hashes, err := s.Gather()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for rank, h := range hashes {
+					if string(h) != string(want.Sum(nil)) {
+						t.Errorf("rank %d table/FEData bytes differ from the front end's", rank)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestSeedMidStreamFaultSurfaces kills the master daemon's node while the
+// launch is in flight: LaunchAndSpawn must return an error carrying the
+// severed-link fault (not hang), and the whole simulation must quiesce —
+// interior daemons blocked on in-flight seed frames included.
+func TestSeedMidStreamFaultSurfaces(t *testing.T) {
+	const nodes = 16
+	sim, cl, _ := rig(t, nodes)
+	masterHost := vtime.NewChan[string](sim)
+	cl.Register("mf_be", func(p *cluster.Proc) {
+		if p.Env(rm.EnvNodeID) == "0" {
+			masterHost.Send(p.Node().Name())
+		}
+		be, err := BEInit(p)
+		if err != nil {
+			return
+		}
+		be.Finalize()
+	})
+	runFE(t, sim, cl, func(p *cluster.Proc) {
+		sim.Go("mid-stream-killer", func() {
+			host, ok := masterHost.Recv()
+			if !ok {
+				return
+			}
+			// Let the master dial in and the handshake + first chunks land,
+			// then fail its node while the tree is still forming.
+			sim.Sleep(3 * time.Millisecond)
+			if !cl.KillNodeByName(host) {
+				t.Errorf("KillNodeByName(%q) found nothing", host)
+			}
+		})
+		_, err := LaunchAndSpawn(p, Options{
+			Job:               rm.JobSpec{Exe: "app", Nodes: nodes, TasksPerNode: 32},
+			Daemon:            rm.DaemonSpec{Exe: "mf_be"},
+			ICCLFanout:        2,
+			ProctabChunkBytes: 256,
+		})
+		if err == nil {
+			t.Error("LaunchAndSpawn succeeded despite the master's node dying mid-launch")
+			return
+		}
+		if !errors.Is(err, simnet.ErrPeerDead) {
+			t.Errorf("launch error does not wrap the severed-link fault: %v", err)
+		}
+	})
+}

@@ -263,7 +263,10 @@ func (e *Engine) harvestAndSpawn(spec rm.DaemonSpec, tr *cluster.Tracer) error {
 
 	// Ship the RPDTAB to the front end as a bounded-chunk stream: no
 	// single LMONP payload exceeds the configured chunk size, and the
-	// transfer overlaps with the daemon spawn below.
+	// transfer overlaps with the daemon spawn below. Under the cut-through
+	// pipeline the FE relays each chunk onward to the master daemon as it
+	// arrives (and the master into the forming ICCL tree), so these chunks
+	// flow end to end without a full-table stop anywhere.
 	if err := proctab.SendStream(e.fe, lmonp.ClassFEEngine, tab, e.chunkBytes); err != nil {
 		return err
 	}

@@ -9,6 +9,15 @@ import (
 // The critical-path events of launchAndSpawn (paper §4, Figure 2). Marks
 // record the virtual time each event occurred; the perfmodel package turns
 // mark differences into the Region A/B/C component breakdown of Figure 3.
+//
+// Under the cut-through launch pipeline (the default; see DESIGN.md "Life
+// of a session") the marks form a partial order, not a single chain: the
+// engine chain e0≤e1≤…≤e6≤e11 and the handshake chain e5≤e7≤e8≤e9≤e10≤e11
+// each stay monotone, but e7–e9 may precede e6 — the master daemon dials
+// the front end, receives the handshake and starts forming the ICCL tree
+// while the RM is still spawning its sibling daemons. The store-and-forward
+// pipeline (core.SeedStoreForward, the paper's serialized Figure 2 shape)
+// keeps the full e0…e11 chain monotone.
 const (
 	MarkE0  = "e0_fe_call"         // client calls the FE API
 	MarkE1  = "e1_engine_start"    // LaunchMON engine invoked
@@ -28,6 +37,16 @@ const (
 const (
 	MarkTracing = "tracing_cost" // accumulated engine event-handler time
 	MarkFetch   = "rpdtab_fetch" // symbolic read duration (Region B)
+)
+
+// Overlap marks of the cut-through launch pipeline (timestamps). They
+// instrument the phases the pipeline overlaps: the FE relays RPDTAB
+// chunks toward the master while still draining the engine stream, and
+// every daemon validates its reassembled table before contributing to
+// the ready gather.
+const (
+	MarkSeedFwd   = "seed_first_forward" // FE relayed the first RPDTAB chunk to the master
+	MarkSeedValid = "seed_validated"     // daemon-side assembler validated the reassembled RPDTAB
 )
 
 // MarkEntry is one named timestamp or duration on a Timeline.

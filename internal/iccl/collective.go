@@ -2,7 +2,9 @@ package iccl
 
 import (
 	"fmt"
+	"time"
 
+	"launchmon/internal/cluster"
 	"launchmon/internal/coll"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/simnet"
@@ -67,35 +69,38 @@ func (pl *Plane) nextTag() uint32 {
 	return pl.seq
 }
 
-// sendFrame writes one collective frame to a tree link.
-func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
+// writeFrameOp renders f as a tree-link frame under the given chunk/end
+// opcode pair and writes it — the single coll.Frame↔link-frame mapping,
+// shared by the collective plane and the session-seed stream.
+func writeFrameOp(conn *simnet.Conn, chunkOp, endOp uint32, f coll.Frame) error {
 	var b []byte
 	if f.End {
-		b = lmonp.AppendUint32(nil, opCollEnd)
+		b = lmonp.AppendUint32(nil, endOp)
 		b = lmonp.AppendBytes(b, f.H.Encode())
 		b = lmonp.AppendUint64(b, f.Total)
 	} else {
-		b = lmonp.AppendUint32(nil, opCollChunk)
+		b = lmonp.AppendUint32(nil, chunkOp)
 		b = lmonp.AppendBytes(b, f.H.Encode())
 		b = lmonp.AppendBytes(b, f.Body)
 	}
 	return lmonp.WriteFrame(conn, b)
 }
 
-// recvFrame reads one collective frame from a tree link.
-func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
+// readFrameOp reads one frame written by writeFrameOp, charging the
+// per-message handling cost.
+func readFrameOp(p *cluster.Proc, cost time.Duration, conn *simnet.Conn, chunkOp, endOp uint32) (coll.Frame, error) {
 	raw, err := lmonp.ReadFrame(conn)
 	if err != nil {
 		return coll.Frame{}, err
 	}
-	pl.c.p.Compute(pl.c.cfg.PerMsgCost)
+	p.Compute(cost)
 	rd := lmonp.NewReader(raw)
 	op, err := rd.Uint32()
 	if err != nil {
 		return coll.Frame{}, err
 	}
-	if op != opCollChunk && op != opCollEnd {
-		return coll.Frame{}, fmt.Errorf("%w: got op %d on collective plane", ErrProtocol, op)
+	if op != chunkOp && op != endOp {
+		return coll.Frame{}, fmt.Errorf("%w: got op %d, want %d or %d", ErrProtocol, op, chunkOp, endOp)
 	}
 	hraw, err := rd.Bytes()
 	if err != nil {
@@ -106,7 +111,7 @@ func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
 		return coll.Frame{}, err
 	}
 	f := coll.Frame{H: h}
-	if op == opCollEnd {
+	if op == endOp {
 		if f.Total, err = rd.Uint64(); err != nil {
 			return coll.Frame{}, err
 		}
@@ -117,6 +122,16 @@ func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
 		return coll.Frame{}, err
 	}
 	return f, nil
+}
+
+// sendFrame writes one collective frame to a tree link.
+func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
+	return writeFrameOp(conn, opCollChunk, opCollEnd, f)
+}
+
+// recvFrame reads one collective frame from a tree link.
+func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
+	return readFrameOp(pl.c.p, pl.c.cfg.PerMsgCost, conn, opCollChunk, opCollEnd)
 }
 
 // emitUp ships one FE-bound frame: through the up hook at the root,

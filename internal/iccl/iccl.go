@@ -123,7 +123,15 @@ func sortInts(xs []int) {
 // The root's return therefore marks the fabric-setup completion (event e9
 // of the paper's critical path).
 func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
-	cfg = cfg.withDefaults()
+	return bootstrap(p, cfg.withDefaults(), nil, nil)
+}
+
+// bootstrap is the shared tree-formation engine. The hooks expose links as
+// soon as they carry traffic — onParent right after the join is sent,
+// onChild right after a child's join is validated — so BootstrapSeed can
+// stream the session seed through the still-forming tree. Both may be nil.
+// cfg must already have its defaults applied.
+func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild func(slot int, conn *simnet.Conn)) (*Comm, error) {
 	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
 		return nil, fmt.Errorf("%w: bad rank/size %d/%d", ErrBootstrap, cfg.Rank, cfg.Size)
 	}
@@ -146,6 +154,18 @@ func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
 	// Connect upward (children race their parents coming up; retry).
 	if cfg.Rank > 0 {
 		parentRank := Parent(cfg.Rank, cfg.Fanout)
+		// Deterministic sub-microsecond dial skew: siblings spawned at the
+		// same virtual instant would otherwise tie their joins at the
+		// parent's listener, and the accept order of tied joins is a host
+		// race. Since the parent's per-join handling cost ladders whatever
+		// follows a join (the seed catch-up of BootstrapSeed in particular),
+		// that race would leak host scheduling into virtual time. One
+		// nanosecond per sibling slot breaks ties in rank order at no
+		// measurable cost (≤ fanout ns).
+		slot := cfg.Rank - (parentRank*cfg.Fanout + 1)
+		if slot > 0 {
+			p.Sim().Sleep(time.Duration(slot))
+		}
 		addr := simnet.Addr{Host: cfg.Nodelist[parentRank], Port: cfg.Port}
 		var conn *simnet.Conn
 		var err error
@@ -164,6 +184,9 @@ func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
 		join = lmonp.AppendUint32(join, uint32(cfg.Rank))
 		if err := lmonp.WriteFrame(conn, join); err != nil {
 			return nil, fmt.Errorf("%w: join: %v", ErrBootstrap, err)
+		}
+		if onParent != nil {
+			onParent(conn)
 		}
 	}
 
@@ -196,6 +219,9 @@ func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
 			return nil, fmt.Errorf("%w: unexpected child rank %d", ErrBootstrap, rk32)
 		}
 		c.children[slot] = conn
+		if onChild != nil {
+			onChild(slot, conn)
+		}
 	}
 
 	// Subtree-ready wave: wait for all children to report their subtree

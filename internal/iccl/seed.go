@@ -1,0 +1,207 @@
+package iccl
+
+import (
+	"fmt"
+	"sync"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
+	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
+)
+
+// This file implements the cut-through session-seed stream of the launch
+// pipeline: the RPDTAB (plus the piggybacked FEData) flows down the ICCL
+// tree as bounded coll-codec chunks *while the tree is still forming*,
+// instead of the root buffering the whole table and broadcasting it as
+// one monolithic frame after bootstrap completes. Every daemon starts
+// receiving as soon as its parent link exists (right after its join is
+// sent, before its own subtree's ready wave), and forwards each chunk to
+// a child the moment that child's join is accepted — so at no point does
+// any node store-and-forward the full table, and the transfer overlaps
+// the join/ready waves of the subtree below it.
+
+// Seed-stream opcodes on tree links (the frame layout is the shared
+// coll.Frame codec, see writeFrameOp).
+const (
+	opSeedChunk = 10
+	opSeedEnd   = 11
+)
+
+// SeedSource yields successive seed frames at the tree root (the master
+// daemon pulls them off its front-end connection as they arrive). Frames
+// must carry coll.OpSeed with a contiguous Index sequence, closed by an
+// End frame.
+type SeedSource func() (coll.Frame, error)
+
+// Seed is one daemon's handle on an in-flight session-seed stream. Next
+// yields the locally delivered frames (forwarding to children happens
+// independently, as frames arrive); Wait blocks until every child
+// forward has drained, which callers must do before issuing any other
+// down-flowing traffic on the communicator.
+type Seed struct {
+	local *vtime.Chan[coll.Frame]
+	wg    *vtime.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// fail records the stream's first error (later ones keep the original).
+func (s *Seed) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *Seed) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Next returns the next locally delivered seed frame, blocking in virtual
+// time. The frame whose End is set is the last one.
+func (s *Seed) Next() (coll.Frame, error) {
+	f, ok := s.local.Recv()
+	if !ok {
+		if err := s.firstErr(); err != nil {
+			return coll.Frame{}, err
+		}
+		return coll.Frame{}, fmt.Errorf("%w: seed stream aborted", ErrBootstrap)
+	}
+	return f, nil
+}
+
+// Wait blocks until the pump and every child forwarder have finished and
+// returns the stream's first error. After a nil Wait (and a consumed End
+// frame from Next) the communicator's links carry no more seed traffic.
+func (s *Seed) Wait() error {
+	s.wg.Wait()
+	return s.firstErr()
+}
+
+// BootstrapSeed is Bootstrap with the cut-through session-seed stream
+// layered over the forming tree. src must be non-nil exactly at the root
+// (rank 0); every other rank receives the stream from its parent. The
+// returned Seed delivers the frames locally; the caller must drain it to
+// the End frame and then Wait before using the communicator.
+//
+// On a bootstrap error the seed stream is aborted (Next and Wait report
+// it); on a mid-stream link failure — a child's node dying while chunks
+// are in flight — the affected forwarder records the error for Wait while
+// bootstrap itself surfaces the broken tree.
+func BootstrapSeed(p *cluster.Proc, cfg Config, src SeedSource) (*Comm, *Seed, error) {
+	cfg = cfg.withDefaults()
+	if (cfg.Rank == 0) != (src != nil) {
+		return nil, nil, fmt.Errorf("%w: seed source must be set at rank 0 only (rank %d)", ErrBootstrap, cfg.Rank)
+	}
+	sim := p.Sim()
+	seed := &Seed{local: vtime.NewChan[coll.Frame](sim), wg: vtime.NewWaitGroup(sim)}
+	kids := Children(cfg.Rank, cfg.Size, cfg.Fanout)
+	outs := make([]*vtime.Chan[coll.Frame], len(kids))
+	conns := make([]*vtime.Chan[*simnet.Conn], len(kids))
+	for i := range kids {
+		outs[i] = vtime.NewChan[coll.Frame](sim)
+		conns[i] = vtime.NewChan[*simnet.Conn](sim)
+	}
+	abort := func() {
+		seed.local.Close()
+		for i := range kids {
+			outs[i].Close()
+			conns[i].Close()
+		}
+	}
+
+	// One forwarder per child slot: parked until the child joins, then
+	// relaying frames in arrival order. It ends after forwarding the End
+	// frame — or when the stream aborts (outbox closed) or the child link
+	// dies mid-stream.
+	for i := range kids {
+		i := i
+		seed.wg.Add(1)
+		sim.Go(fmt.Sprintf("iccl-seed-fwd-%d-%d", cfg.Rank, kids[i]), func() {
+			defer seed.wg.Done()
+			conn, ok := conns[i].Recv()
+			if !ok {
+				return // bootstrap failed before this child joined
+			}
+			for {
+				f, ok := outs[i].Recv()
+				if !ok {
+					return
+				}
+				if err := writeFrameOp(conn, opSeedChunk, opSeedEnd, f); err != nil {
+					seed.fail(fmt.Errorf("iccl: seed forward to rank %d: %w", kids[i], err))
+					return
+				}
+				if f.End {
+					return
+				}
+			}
+		})
+	}
+
+	// The pump owns the incoming stream — the source callback at the root,
+	// the parent link elsewhere — validating the chunk sequence at every
+	// rank and fanning each frame out to the local consumer and the child
+	// forwarders the moment it arrives.
+	pump := func(next func() (coll.Frame, error)) {
+		seed.wg.Add(1)
+		sim.Go(fmt.Sprintf("iccl-seed-pump-%d", cfg.Rank), func() {
+			defer seed.wg.Done()
+			var chk coll.SeqCheck
+			for {
+				f, err := next()
+				if err != nil {
+					seed.fail(fmt.Errorf("iccl: seed stream at rank %d: %w", cfg.Rank, err))
+					abort()
+					return
+				}
+				if f.H.Op != coll.OpSeed {
+					seed.fail(fmt.Errorf("%w: %v frame in seed stream", ErrProtocol, f.H.Op))
+					abort()
+					return
+				}
+				if err := chk.Admit(f.H); err != nil {
+					seed.fail(err)
+					abort()
+					return
+				}
+				seed.local.Send(f)
+				for i := range outs {
+					outs[i].Send(f)
+				}
+				if f.End {
+					return
+				}
+			}
+		})
+	}
+	if cfg.Rank == 0 {
+		pump(src)
+	}
+
+	onParent := func(conn *simnet.Conn) {
+		pump(func() (coll.Frame, error) {
+			return readFrameOp(p, cfg.PerMsgCost, conn, opSeedChunk, opSeedEnd)
+		})
+	}
+	onChild := func(slot int, conn *simnet.Conn) {
+		conns[slot].Send(conn)
+	}
+	c, err := bootstrap(p, cfg, onParent, onChild)
+	if err != nil {
+		seed.fail(err)
+		abort()
+		return nil, nil, err
+	}
+	// Late Close is harmless (queued conns stay receivable); it only
+	// unparks forwarders whose child never joined on a failure path above.
+	for i := range kids {
+		conns[i].Close()
+	}
+	return c, seed, nil
+}

@@ -242,6 +242,47 @@ func BenchmarkAblation_LaunchPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_MWPipeline compares LaunchMW time-to-ready under the
+// serialized store-and-forward MW seed (the pre-parity middleware
+// pipeline: full-table buffering at the MW master, monolithic broadcast
+// after bootstrap) against the cut-through seed streamed through the
+// still-forming MW tree, at K ∈ {64, 1024, 16384} middleware daemons.
+// Cut-through must not be slower at any scale, and both modes must leave
+// every MW rank with a byte-identical RPDTAB.
+func BenchmarkAblation_MWPipeline(b *testing.B) {
+	var rows []bench.MWPipeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.MWPipeline(bench.MWPipeOpts{}, bench.MWScales)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2*len(bench.MWScales) {
+			b.Fatalf("%d rows", len(rows))
+		}
+		byMode := map[string]map[int]bench.MWPipeRow{}
+		for _, r := range rows {
+			if !r.TableOK {
+				b.Fatalf("mode %s K=%d: MW RPDTAB not byte-identical at every rank", r.Mode, r.Daemons)
+			}
+			if byMode[r.Mode] == nil {
+				byMode[r.Mode] = map[int]bench.MWPipeRow{}
+			}
+			byMode[r.Mode][r.Daemons] = r
+		}
+		for _, k := range bench.MWScales {
+			ct, sf := byMode["cut-through"][k], byMode["store-forward"][k]
+			if ct.Ready > sf.Ready {
+				b.Fatalf("cut-through (%v) above store-and-forward (%v) at K=%d",
+					ct.Ready, sf.Ready, k)
+			}
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Ready.Seconds()*1e3, fmt.Sprintf("%s-mw-ready-vms-K%d", r.Mode, r.Daemons))
+	}
+}
+
 // BenchmarkAblation_JobsnapTree quantifies the paper's §5.1 future-work
 // suggestion: Jobsnap with a TBŌN-style k-ary collection tree vs the flat
 // gather it measured.

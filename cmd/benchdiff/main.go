@@ -1,0 +1,169 @@
+// Command benchdiff is the CI bench-regression gate: it compares the
+// numeric metrics of BENCH_*.json files (written by lmonbench -json)
+// against a committed baseline and fails when any metric drifts beyond
+// the tolerance. The simulation runs in virtual time, so smoke-sweep
+// metrics are deterministic — run to run they reproduce bit-for-bit, and
+// a tight threshold is safe: any drift means the system's behaviour
+// changed, not that the runner was slow.
+//
+// Usage:
+//
+//	benchdiff -baseline ci/bench_baseline.json BENCH_smoke_*.json   # gate
+//	benchdiff -baseline ci/bench_baseline.json -write BENCH_smoke_*.json  # regenerate
+//
+// Metrics are keyed <file-stem>[<row>].<Field> for every numeric field of
+// every row (sweep rows are emitted in deterministic order). The gate
+// fails on: a metric drifting more than -tolerance in either direction
+// (an unexplained improvement is as much a behaviour change as a
+// regression), a baseline metric missing from the current run, or a new
+// metric absent from the baseline — regenerate with -write, review the
+// diff, and commit it to move the pin intentionally.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// baseline is the committed pin: one flat metric map.
+type baseline struct {
+	// Comment documents the file for humans browsing ci/.
+	Comment string `json:"comment,omitempty"`
+	// Metrics maps <file-stem>[<row>].<Field> to the pinned value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// extract flattens one BENCH_*.json file into metric entries.
+func extract(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w (benchdiff expects an array of row objects)", path, err)
+	}
+	stem := strings.TrimSuffix(filepath.Base(path), ".json")
+	stem = strings.TrimPrefix(stem, "BENCH_")
+	out := make(map[string]float64)
+	for i, row := range rows {
+		for field, v := range row {
+			if num, ok := v.(float64); ok {
+				out[fmt.Sprintf("%s[%d].%s", stem, i, field)] = num
+			}
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", "", "path to the committed baseline JSON")
+	tolerance := flag.Float64("tolerance", 0.10, "maximum relative drift per metric")
+	write := flag.Bool("write", false, "regenerate the baseline from the given files instead of gating")
+	flag.Parse()
+
+	if *basePath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline <file> [-tolerance 0.10] [-write] BENCH_*.json...")
+		os.Exit(2)
+	}
+
+	current := make(map[string]float64)
+	for _, path := range flag.Args() {
+		m, err := extract(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		for k, v := range m {
+			current[k] = v
+		}
+	}
+
+	if *write {
+		b := baseline{
+			Comment: "virtual-time bench pins for the CI smoke sweep; regenerate with: " +
+				"go run ./cmd/lmonbench -smoke -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_smoke_*.json",
+			Metrics: current,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: wrote %d metrics to %s\n", len(current), *basePath)
+		return
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *basePath, err)
+		os.Exit(1)
+	}
+
+	keys := make([]string, 0, len(base.Metrics)+len(current))
+	seen := make(map[string]bool)
+	for k := range base.Metrics {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range current {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	checked := 0
+	for _, k := range keys {
+		want, inBase := base.Metrics[k]
+		got, inCur := current[k]
+		switch {
+		case !inBase:
+			fmt.Fprintf(os.Stderr, "benchdiff: NEW %s = %v not in baseline (regenerate with -write and commit)\n", k, got)
+			failures++
+		case !inCur:
+			fmt.Fprintf(os.Stderr, "benchdiff: MISSING %s (baseline %v) absent from this run\n", k, want)
+			failures++
+		default:
+			checked++
+			drift := 0.0
+			if want != 0 {
+				drift = (got - want) / want
+			} else if got != 0 {
+				drift = math.Inf(1)
+			}
+			if math.Abs(drift) > *tolerance {
+				direction := "REGRESSION"
+				if drift < 0 {
+					direction = "DRIFT (improved)"
+				}
+				fmt.Fprintf(os.Stderr, "benchdiff: %s %s: baseline %v, got %v (%+.1f%%)\n",
+					direction, k, want, got, drift*100)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) out of bounds (tolerance %.0f%%); "+
+			"if intentional, regenerate the baseline with -write and commit the diff\n",
+			failures, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d metrics within %.0f%% of baseline\n", checked, *tolerance*100)
+}

@@ -3,15 +3,15 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-maxk N] [-smoke] [-json] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-mw] [-maxk N] [-smoke] [-json] [-all]
 //
 // With -json, each experiment additionally writes its rows as
 // BENCH_<name>.json in the working directory (machine-readable results
 // for CI and regression tracking). -smoke runs a fast reduced-scale
 // subset that exercises the bench rig end to end. -maxk caps the daemon
-// counts of the -failure/-collective/-launch sweeps (every simulated
+// counts of the -failure/-collective/-launch/-mw sweeps (every simulated
 // daemon holds the full RPDTAB, so the 16384-point needs tens of GB of
-// host memory; CI runs -launch -maxk 1024).
+// host memory; CI runs -launch and -mw with -maxk 1024).
 package main
 
 import (
@@ -50,13 +50,14 @@ func main() {
 	failure := flag.Bool("failure", false, "run the failure-detection ablation (K up to 16384)")
 	collective := flag.Bool("collective", false, "run the collective tool-data-plane ablation (flat vs tree, K up to 16384)")
 	launch := flag.Bool("launch", false, "run the launch-pipeline ablation (store-and-forward vs cut-through seed, K up to 16384)")
-	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/launch sweeps (0 = full scale)")
+	mwpipe := flag.Bool("mw", false, "run the middleware launch-pipeline ablation (store-and-forward vs cut-through MW seed, K up to 16384)")
+	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/launch/mw sweeps (0 = full scale)")
 	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && !*failure && !*collective && !*launch && !*smoke && *fig == 0 && *table == 0 {
+	if !*ablations && !*failure && !*collective && !*launch && !*mwpipe && !*smoke && *fig == 0 && *table == 0 {
 		*all = true
 	}
 	// capScales filters a sweep's daemon counts under -maxk.
@@ -204,6 +205,16 @@ func main() {
 			return emit("launchpipe", rows)
 		})
 	}
+	if *all || *mwpipe {
+		run("mw pipeline", func() error {
+			rows, err := bench.MWPipeline(bench.MWPipeOpts{}, capScales(bench.MWScales))
+			if err != nil {
+				return err
+			}
+			bench.PrintMWPipeline(os.Stdout, rows)
+			return emit("mwpipe", rows)
+		})
+	}
 	if *all || *failure {
 		run("failure detection", func() error {
 			rows, err := bench.FailureDetection(bench.FailureOpts{Silent: true}, capScales(bench.FailureScales))
@@ -272,5 +283,16 @@ func runSmoke() error {
 	}
 	fmt.Println()
 	bench.PrintLaunchPipeline(os.Stdout, lp)
-	return emit("smoke_launchpipe", lp)
+	if err := emit("smoke_launchpipe", lp); err != nil {
+		return err
+	}
+	mp, err := bench.MWPipeline(bench.MWPipeOpts{
+		JobNodes: 4, TasksPerNode: 4, Fanout: 4, ChunkBytes: 256,
+	}, []int{8, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintMWPipeline(os.Stdout, mp)
+	return emit("smoke_mwpipe", mp)
 }

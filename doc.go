@@ -21,15 +21,18 @@
 // routed by a small hello frame), and internal/proctab streams the RPDTAB
 // as bounded-size chunks, so one tool process can drive many concurrent
 // sessions at million-task scale. The launch pipeline is cut-through end
-// to end: the front end relays table chunks to the master daemon as they
-// arrive from the engine, and the master streams them through the
-// still-forming ICCL tree (DESIGN.md "Life of a session"). Bulk tool
-// traffic rides the collective data plane (internal/coll chunk codec over
-// the same tree), and internal/health provides per-session failure
-// detection with status callbacks.
+// to end on both daemon fabrics: the front end relays table chunks to the
+// master daemon as they arrive from the engine, and the master streams
+// them through the still-forming ICCL tree (DESIGN.md "Life of a
+// session") — the middleware fabric runs the same pipeline during
+// LaunchMW. Bulk tool traffic rides the collective data plane
+// (internal/coll chunk codec over the same trees, on the BE and MW
+// fabrics alike), and internal/health provides per-session failure
+// detection with status callbacks over either fabric's topology.
 //
 // The benchmarks in bench_test.go and the cmd/lmonbench binary regenerate
-// every table and figure of the paper's evaluation; see README.md for the
+// every table and figure of the paper's evaluation, with the canonical
+// virtual-time results recorded in EXPERIMENTS.md; see README.md for the
 // system inventory and DESIGN.md for the architecture, including the
 // transport layer, the launch pipeline, the tool data plane and the fault
 // model.

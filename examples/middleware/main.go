@@ -40,8 +40,9 @@ func main() {
 		be.Finalize()
 	})
 
-	// Middleware daemons: on separately allocated nodes. Each reports its
-	// personality handle and the middleware master forwards the roster.
+	// Middleware daemons: on separately allocated nodes. Each contributes
+	// its personality line to the front end over the MW collective plane
+	// (tree-routed; no hand-rolled master fan-in needed).
 	cl.Register("tool_mw", func(p *cluster.Proc) {
 		mw, err := core.MWInit(p)
 		if err != nil {
@@ -50,17 +51,8 @@ func main() {
 		}
 		rank, size := mw.Personality()
 		line := fmt.Sprintf("mw %d/%d on %s sees %d job tasks", rank, size, p.Node().Name(), len(mw.Proctab()))
-		all, err := mw.Gather([]byte(line))
-		if err != nil {
-			return
-		}
-		if mw.AmIMaster() {
-			var joined []byte
-			for _, l := range all {
-				joined = append(joined, l...)
-				joined = append(joined, '\n')
-			}
-			mw.SendToFE(joined)
+		if err := mw.Collective().Gather([]byte(line)); err != nil {
+			log.Printf("mw gather: %v", err)
 		}
 		mw.Finalize()
 	})
@@ -88,12 +80,14 @@ func main() {
 				return
 			}
 			fmt.Printf("middleware daemons on fresh allocation: %v\n", mwNodes)
-			roster, err := sess.RecvFromMW()
+			roster, err := sess.MWGather() // rank-indexed, one line per MW daemon
 			if err != nil {
 				log.Print(err)
 				return
 			}
-			fmt.Print(string(roster))
+			for _, line := range roster {
+				fmt.Println(string(line))
+			}
 		}})
 	})
 	sim.Run()

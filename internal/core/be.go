@@ -4,35 +4,22 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"time"
 
 	"launchmon/internal/cluster"
-	"launchmon/internal/coll"
-	"launchmon/internal/engine"
-	"launchmon/internal/health"
 	"launchmon/internal/iccl"
-	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 	"launchmon/internal/simnet"
-	"launchmon/internal/transport"
 )
 
-// BackEnd is the daemon-side session handle (paper §3.3). Tool back-end
-// daemon mains call BEInit as their first act; the returned BackEnd knows
-// the daemon's rank, the full RPDTAB, the local task slice, and exposes
-// the ICCL collectives.
+// BackEnd is the daemon-side session handle of the back-end fabric
+// (paper §3.3). Tool back-end daemon mains call BEInit as their first
+// act; the returned BackEnd knows the daemon's rank, the full RPDTAB,
+// the local task slice, and exposes the ICCL collectives plus the
+// collective tool-data plane. All of that machinery is the shared
+// daemonSession core (daemon.go), which the middleware fabric reuses.
 type BackEnd struct {
-	p    *cluster.Proc
-	comm *iccl.Comm
-	fe   *lmonp.Conn     // non-nil at the master only
-	mon  *health.Monitor // nil when the session has no failure detection
-	coll *BECollective   // the session's collective tool-data plane
-
-	tab    proctab.Table
-	myTab  proctab.Table
-	feData []byte
-	tl     engine.Timeline
+	*daemonSession
 }
 
 // ErrNotMaster is returned for master-only operations on non-master
@@ -49,279 +36,15 @@ var ErrNotMaster = errors.New("core: operation restricted to the master daemon")
 // (Options.SeedMode) buffers it at the master and broadcasts after
 // bootstrap.
 func BEInit(p *cluster.Proc) (*BackEnd, error) {
-	cfg, err := icclConfigFromEnv(p, false)
+	d, err := initDaemon(p, beFabric)
 	if err != nil {
 		return nil, err
 	}
-	if p.Env(EnvSeedMode) == SeedStoreForward.envValue() {
-		return beInitStoreForward(p, cfg)
-	}
-	return beInitCutThrough(p, cfg)
+	return &BackEnd{daemonSession: d}, nil
 }
 
-// beInitCutThrough receives the session seed as a chunk stream flowing
-// through the still-forming ICCL tree. Every rank reassembles the table
-// with a proctab.Assembler and validates it (Finish) before contributing
-// to the ready gather, so EvDaemonsSpawned at the front end implies a
-// validated, byte-identical table at every daemon.
-func beInitCutThrough(p *cluster.Proc, cfg iccl.Config) (*BackEnd, error) {
-	be := &BackEnd{p: p}
-
-	var src iccl.SeedSource
-	if cfg.Rank == 0 {
-		// Master: connect to the FE through the session mux and consume
-		// the handshake (the piggybacked tool data arrives ahead of the
-		// table stream; e7 precedes e8), then feed each relayed RPDTAB
-		// chunk straight into the tree's seed stream as it arrives.
-		fe, err := dialFE(p, transport.RoleBE)
-		if err != nil {
-			return nil, fmt.Errorf("core: master dialing FE: %w", err)
-		}
-		be.fe = fe
-		handshake, err := be.fe.Expect(lmonp.ClassFEBE, lmonp.TypeHandshake)
-		if err != nil {
-			return nil, err
-		}
-		be.tl.Mark(engine.MarkE8, p.Sim().Now())
-		src = seedSourceFromFE(be.fe, handshake.UsrData)
-	}
-
-	comm, seed, err := iccl.BootstrapSeed(p, cfg, src)
-	if err != nil {
-		return nil, err
-	}
-	be.comm = comm
-	if comm.IsMaster() {
-		be.tl.Mark(engine.MarkE9, p.Sim().Now())
-	}
-	if err := be.setupCollective(); err != nil {
-		return nil, err
-	}
-
-	// Drain the seed: frame 0 carries the piggybacked FEData, later frames
-	// the RPDTAB chunks; the end marker's total validates the reassembly.
-	var asm proctab.Assembler
-	for {
-		f, err := seed.Next()
-		if err != nil {
-			return nil, err
-		}
-		if f.End {
-			tab, err := asm.Finish(int(f.Total))
-			if err != nil {
-				return nil, err
-			}
-			be.tab = tab
-			break
-		}
-		if f.H.Index == 0 {
-			be.feData = append([]byte(nil), f.Body...)
-			continue
-		}
-		if err := asm.Add(f.Body); err != nil {
-			return nil, err
-		}
-	}
-	be.tl.Mark(engine.MarkSeedValid, p.Sim().Now())
-	be.myTab = be.tab.OnHost(p.Node().Name())
-	// All child forwards must drain before any other down-flowing traffic
-	// may use the tree links.
-	if err := seed.Wait(); err != nil {
-		return nil, err
-	}
-	return be, be.completeInit(cfg)
-}
-
-// seedSourceFromFE adapts the master's FE connection into the tree's
-// seed stream: a synthesized frame 0 with the handshake's FEData, then
-// one frame per relayed RPDTAB chunk, closed by the relay's end marker.
-func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
-	idx := uint32(0)
-	return func() (coll.Frame, error) {
-		if idx == 0 {
-			idx = 1
-			return coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: 0}, Body: feData}, nil
-		}
-		msg, err := fe.Recv()
-		if err != nil {
-			return coll.Frame{}, err
-		}
-		switch msg.Type {
-		case lmonp.TypeProctabChunk:
-			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, Body: msg.Payload}
-			idx++
-			return f, nil
-		case lmonp.TypeProctabEnd:
-			total, err := lmonp.NewReader(msg.Payload).Uint64()
-			if err != nil {
-				return coll.Frame{}, fmt.Errorf("core: seed end marker: %w", err)
-			}
-			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, End: true, Total: total}
-			idx++
-			return f, nil
-		default:
-			return coll.Frame{}, fmt.Errorf("core: unexpected %v message in session-seed stream", msg.Type)
-		}
-	}
-}
-
-// beInitStoreForward is the serialized baseline: the master buffers the
-// full chunk-streamed RPDTAB from the FE, the tree bootstraps, and the
-// seed goes out as one monolithic ICCL broadcast.
-func beInitStoreForward(p *cluster.Proc, cfg iccl.Config) (*BackEnd, error) {
-	be := &BackEnd{p: p}
-
-	var masterTab proctab.Table
-	var feData []byte
-	if cfg.Rank == 0 {
-		fe, err := dialFE(p, transport.RoleBE)
-		if err != nil {
-			return nil, fmt.Errorf("core: master dialing FE: %w", err)
-		}
-		be.fe = fe
-		handshake, err := be.fe.Expect(lmonp.ClassFEBE, lmonp.TypeHandshake)
-		if err != nil {
-			return nil, err
-		}
-		be.tl.Mark(engine.MarkE8, p.Sim().Now())
-		feData = handshake.UsrData
-		masterTab, err = proctab.RecvStream(be.fe, lmonp.ClassFEBE, nil)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	comm, err := iccl.Bootstrap(p, cfg)
-	if err != nil {
-		return nil, err
-	}
-	be.comm = comm
-	if comm.IsMaster() {
-		be.tl.Mark(engine.MarkE9, p.Sim().Now())
-	}
-	if err := be.setupCollective(); err != nil {
-		return nil, err
-	}
-
-	// Distribute RPDTAB + piggybacked FE data to every daemon.
-	tab, data, err := distributeSessionSeed(comm, masterTab, feData)
-	if err != nil {
-		return nil, err
-	}
-	be.tab = tab
-	be.tl.Mark(engine.MarkSeedValid, p.Sim().Now())
-	be.myTab = tab.OnHost(p.Node().Name())
-	be.feData = data
-	return be, be.completeInit(cfg)
-}
-
-// setupCollective attaches the session's collective tool-data plane.
-func (b *BackEnd) setupCollective() error {
-	collChunk := 0
-	if cc := b.p.Env(EnvCollChunk); cc != "" {
-		var err error
-		if collChunk, err = strconv.Atoi(cc); err != nil {
-			return fmt.Errorf("core: bad %s: %w", EnvCollChunk, err)
-		}
-	}
-	b.coll = newBECollective(b, collChunk)
-	return nil
-}
-
-// completeInit is the shared tail of both seed pipelines: gather
-// per-daemon info for the ready message, then join the heartbeat tree.
-func (b *BackEnd) completeInit(cfg iccl.Config) error {
-	// Gather per-daemon info to the master; it rides the ready message.
-	mine := encodeDaemonInfo(DaemonInfo{
-		Rank:  b.comm.Rank(),
-		Host:  b.p.Node().Name(),
-		Pid:   b.p.Pid(),
-		Tasks: len(b.myTab),
-	})
-	all, err := b.comm.Gather(mine)
-	if err != nil {
-		return err
-	}
-	if b.comm.IsMaster() {
-		infos := make([]DaemonInfo, 0, len(all))
-		for _, raw := range all {
-			d, err := decodeDaemonInfo(raw)
-			if err != nil {
-				return err
-			}
-			infos = append(infos, d)
-		}
-		if err := b.fe.Send(&lmonp.Msg{
-			Class:   lmonp.ClassFEBE,
-			Type:    lmonp.TypeReady,
-			Payload: encodeReady(infos, b.tl),
-		}); err != nil {
-			return err
-		}
-	}
-
-	// Join the session's heartbeat tree when the front end enabled failure
-	// detection; the master forwards failure reports upstream as LMONP
-	// status events. Started after the ready message so the launch critical
-	// path (e7..e10) is not charged for it.
-	return b.startHealth(cfg)
-}
-
-// startHealth joins the daemon into the session's heartbeat tree when the
-// FE planted a heartbeat period in the environment (Options.Health).
-func (b *BackEnd) startHealth(cfg iccl.Config) error {
-	periodStr := b.p.Env(EnvHealthPeriod)
-	if periodStr == "" {
-		return nil
-	}
-	period, err := time.ParseDuration(periodStr)
-	if err != nil {
-		return fmt.Errorf("core: bad %s: %w", EnvHealthPeriod, err)
-	}
-	miss := 0
-	if ms := b.p.Env(EnvHealthMiss); ms != "" {
-		if miss, err = strconv.Atoi(ms); err != nil {
-			return fmt.Errorf("core: bad %s: %w", EnvHealthMiss, err)
-		}
-	}
-	session, err := strconv.Atoi(b.p.Env(EnvSession))
-	if err != nil {
-		return fmt.Errorf("core: bad %s: %w", EnvSession, err)
-	}
-	mon, err := health.Start(b.p, health.Config{
-		Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
-		Nodelist: cfg.Nodelist, Port: healthPortFor(session),
-		Period: period, Miss: miss,
-	})
-	if err != nil {
-		return err
-	}
-	b.mon = mon
-	if b.comm.IsMaster() {
-		// Forward failure reports to the front end as status events. The
-		// goroutine ends when the monitor stops (Finalize or node death).
-		b.p.Sim().Go("be-health-forward", func() {
-			for {
-				r, ok := mon.Failures().Recv()
-				if !ok {
-					return
-				}
-				b.fe.Send(&lmonp.Msg{
-					Class: lmonp.ClassFEBE,
-					Type:  lmonp.TypeStatusEvent,
-					Payload: health.EncodeEvent(health.Event{
-						Kind: health.EvDaemonExited, Rank: r.Rank, Detail: r.Detail,
-					}),
-				})
-			}
-		})
-	}
-	return nil
-}
-
-// Health returns the daemon's failure-detection monitor (nil when the
-// session was created without Options.Health).
-func (b *BackEnd) Health() *health.Monitor { return b.mon }
+// MyProctab returns the RPDTAB entries for tasks on this daemon's node.
+func (b *BackEnd) MyProctab() proctab.Table { return b.myTab }
 
 // icclConfigFromEnv builds the tree configuration from the environment the
 // RM and FE planted.
@@ -353,131 +76,6 @@ func icclConfigFromEnv(p *cluster.Proc, mw bool) (iccl.Config, error) {
 	cfg.Rank, cfg.Size, cfg.Fanout, cfg.Port, cfg.Nodelist = rank, size, fanout, port, nodelist
 	_ = mw
 	return cfg, nil
-}
-
-// AmIMaster reports whether this daemon is the session master (rank 0).
-func (b *BackEnd) AmIMaster() bool { return b.comm.IsMaster() }
-
-// Rank returns the daemon's ICCL rank.
-func (b *BackEnd) Rank() int { return b.comm.Rank() }
-
-// Size returns the number of back-end daemons in the session.
-func (b *BackEnd) Size() int { return b.comm.Size() }
-
-// Proctab returns the full RPDTAB of the target job.
-func (b *BackEnd) Proctab() proctab.Table { return b.tab }
-
-// MyProctab returns the RPDTAB entries for tasks on this daemon's node.
-func (b *BackEnd) MyProctab() proctab.Table { return b.myTab }
-
-// FEData returns the tool data the front end piggybacked on the handshake.
-func (b *BackEnd) FEData() []byte { return b.feData }
-
-// Timeline returns the daemon's launch marks (e8/e9 at the master,
-// seed_validated at every rank). The master's copy also rides the ready
-// message into the front end's merged Session.Timeline.
-func (b *BackEnd) Timeline() engine.Timeline { return b.tl }
-
-// Proc returns the daemon's process handle.
-func (b *BackEnd) Proc() *cluster.Proc { return b.p }
-
-// Barrier is the ICCL barrier over all back-end daemons.
-func (b *BackEnd) Barrier() error { return b.comm.Barrier() }
-
-// Broadcast distributes buf from the master to every daemon.
-func (b *BackEnd) Broadcast(buf []byte) ([]byte, error) { return b.comm.Broadcast(buf) }
-
-// Gather collects one blob per daemon at the master (rank-indexed).
-func (b *BackEnd) Gather(mine []byte) ([][]byte, error) { return b.comm.Gather(mine) }
-
-// Scatter distributes parts[rank] from the master to each daemon.
-func (b *BackEnd) Scatter(parts [][]byte) ([]byte, error) { return b.comm.Scatter(parts) }
-
-// SendToFE ships tool data to the front end (master only).
-func (b *BackEnd) SendToFE(data []byte) error {
-	if !b.AmIMaster() {
-		return ErrNotMaster
-	}
-	return b.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeUsrData, UsrData: data})
-}
-
-// RecvFromFE receives tool data from the front end (master only).
-func (b *BackEnd) RecvFromFE() ([]byte, error) {
-	if !b.AmIMaster() {
-		return nil, ErrNotMaster
-	}
-	msg, err := b.fe.Expect(lmonp.ClassFEBE, lmonp.TypeUsrData)
-	if err != nil {
-		return nil, err
-	}
-	return msg.UsrData, nil
-}
-
-// Finalize leaves the session: it synchronizes all daemons, stops the
-// failure detector, and closes the tree (and, at the master, the FE
-// connection). Stopping the master's monitor cascades a teardown wave
-// down the heartbeat tree, so daemons that already finalized are not
-// reported as failures.
-func (b *BackEnd) Finalize() error {
-	err := b.comm.Barrier()
-	if b.mon != nil {
-		b.mon.Stop()
-	}
-	b.comm.Close()
-	if b.fe != nil {
-		b.fe.Close()
-	}
-	return err
-}
-
-// dialFE connects a master daemon to its front end's transport mux,
-// announcing the session ID and role from the bootstrap environment so
-// the mux routes the connection to the owning session.
-func dialFE(p *cluster.Proc, role transport.Role) (*lmonp.Conn, error) {
-	feAddr, err := parseHostPort(p.Env(EnvFEAddr))
-	if err != nil {
-		return nil, err
-	}
-	session, err := strconv.Atoi(p.Env(EnvSession))
-	if err != nil {
-		return nil, fmt.Errorf("core: bad %s: %w", EnvSession, err)
-	}
-	return transport.Dial(p.Host(), feAddr, session, role)
-}
-
-// distributeSessionSeed broadcasts the RPDTAB and the piggybacked tool
-// data from the master over the ICCL fabric as one monolithic frame —
-// the store-forward baseline of the launch-pipeline ablation, still the
-// pipeline of middleware daemons (MWInit) and the shape the paper's
-// broadcast-vs-shared-file ablation measures. The master keeps its
-// already-decoded table instead of re-decoding its own broadcast.
-func distributeSessionSeed(comm *iccl.Comm, masterTab proctab.Table, feData []byte) (proctab.Table, []byte, error) {
-	var seed []byte
-	if comm.IsMaster() {
-		seed = lmonp.AppendBytes(nil, masterTab.Encode())
-		seed = lmonp.AppendBytes(seed, feData)
-	}
-	blob, err := comm.Broadcast(seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	if comm.IsMaster() {
-		return masterTab, append([]byte(nil), feData...), nil
-	}
-	rd := lmonp.NewReader(blob)
-	tabEnc, err := rd.Bytes()
-	if err != nil {
-		return nil, nil, err
-	}
-	data, err := rd.Bytes()
-	if err != nil {
-		return nil, nil, err
-	}
-	tab, err := proctab.Decode(tabEnc)
-	if err != nil {
-		return nil, nil, err
-	}
-	return tab, append([]byte(nil), data...), nil
 }
 
 func parseHostPort(s string) (simnet.Addr, error) {

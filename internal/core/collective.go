@@ -6,56 +6,109 @@ import (
 	"launchmon/internal/coll"
 	"launchmon/internal/iccl"
 	"launchmon/internal/lmonp"
+	"launchmon/internal/vtime"
 )
 
 // This file is the user-data collective plane (the successor of the flat
 // SendToBE/RecvFromBE pipe for bulk tool traffic): Session.Broadcast /
-// Scatter / Gather / Reduce on the front end, mirrored by the
-// BE.Collective handle on every back-end daemon. Payloads ride the ICCL
-// k-ary tree as bounded-size chunk streams (codec internal/coll, routing
-// internal/iccl); interior daemons forward — and, for Reduce, combine —
-// instead of the master relaying every byte over its single FE link.
+// Scatter / Gather / Reduce on the front end, mirrored by the daemon-side
+// Collective handle on every back-end daemon — and, since the MW fabric
+// gained parity, Session.MWBroadcast / MWScatter / MWGather / MWReduce
+// mirrored by Middleware.Collective over the MW tree. Payloads ride the
+// fabric's ICCL k-ary tree as bounded-size chunk streams (codec
+// internal/coll, routing internal/iccl); interior daemons forward — and,
+// for Reduce, combine — instead of the master relaying every byte over
+// its single FE link.
 //
-// The plane is collective in the MPI sense: the front end and every
-// back-end daemon must issue matching operations in the same order. A
-// per-session tag advanced in lockstep on all participants turns order
+// Each plane is collective in the MPI sense: the front end and every
+// daemon of the fabric must issue matching operations in the same order.
+// A per-fabric tag advanced in lockstep on all participants turns order
 // violations into protocol errors. Ordering guarantees: Gather results
 // are rank-indexed; concat-style reductions combine in deterministic
 // tree order (own subtree first, then children by rank), which is not
 // rank order — tools needing rank order gather instead.
 
-// nextCollTag advances the FE side of the session's collective sequence.
+// feFabric is a snapshot of one fabric's FE-side plane state: the master
+// connection the FE sends on, the queue its reader demuxes collective
+// frames into, and the daemon count the operations are sized against.
+type feFabric struct {
+	class lmonp.MsgClass
+	conn  *lmonp.Conn
+	collQ *vtime.Chan[collEvent]
+	size  int
+	kind  string // "" for BE, "MW " for diagnostics
+}
+
+// beFab snapshots the BE fabric, or the session's terminal error.
+func (s *Session) beFab() (feFabric, error) {
+	if s.beMaster == nil || s.closed() {
+		return feFabric{}, s.closedErr()
+	}
+	return feFabric{class: lmonp.ClassFEBE, conn: s.beMaster, collQ: s.beColl, size: len(s.daemons)}, nil
+}
+
+// mwFab snapshots the MW fabric: an error when the session has no
+// middleware daemons, the terminal error when the session is over.
+func (s *Session) mwFab() (feFabric, error) {
+	s.mu.Lock()
+	conn, collQ, size := s.mwMaster, s.mwColl, len(s.mwInfos)
+	s.mu.Unlock()
+	if conn == nil {
+		return feFabric{}, fmt.Errorf("core: session %d has no middleware daemons", s.ID)
+	}
+	if s.closed() {
+		return feFabric{}, s.closedErr()
+	}
+	return feFabric{class: lmonp.ClassFEMW, conn: conn, collQ: collQ, size: size, kind: "MW "}, nil
+}
+
+// nextCollTag advances the FE side of the BE fabric's collective sequence.
 func (s *Session) nextCollTag() uint32 {
 	s.collTag++
 	return s.collTag
 }
 
+// nextMWCollTag advances the FE side of the MW fabric's sequence.
+func (s *Session) nextMWCollTag() uint32 {
+	s.mwTag++
+	return s.mwTag
+}
+
 // sendFrameOn bridges one collective frame onto an LMONP connection —
 // the single Frame→message mapping, shared by the FE sender and the
-// master's up hook.
-func sendFrameOn(c *lmonp.Conn, f coll.Frame) error {
+// masters' up hooks.
+func sendFrameOn(c *lmonp.Conn, class lmonp.MsgClass, f coll.Frame) error {
 	payload, usr := f.EncodeMsg()
 	typ := lmonp.TypeCollChunk
 	if f.End {
 		typ = lmonp.TypeCollEnd
 	}
-	return c.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: typ, Payload: payload, UsrData: usr})
-}
-
-// sendCollFrame ships one FE-originated frame to the master daemon.
-func (s *Session) sendCollFrame(f coll.Frame) error {
-	return sendFrameOn(s.beMaster, f)
+	return c.Send(&lmonp.Msg{Class: class, Type: typ, Payload: payload, UsrData: usr})
 }
 
 // Broadcast ships data to every back-end daemon over the ICCL tree. Every
-// daemon receives it from BECollective.Broadcast.
+// daemon receives it from Collective().Broadcast.
 func (s *Session) Broadcast(data []byte) error {
-	if s.beMaster == nil || s.closed() {
-		return s.closedErr()
+	fab, err := s.beFab()
+	if err != nil {
+		return err
 	}
-	tag := s.nextCollTag()
+	return s.collBroadcast(fab, s.nextCollTag(), data)
+}
+
+// MWBroadcast ships data to every middleware daemon over the MW tree
+// (received by Middleware.Collective().Broadcast).
+func (s *Session) MWBroadcast(data []byte) error {
+	fab, err := s.mwFab()
+	if err != nil {
+		return err
+	}
+	return s.collBroadcast(fab, s.nextMWCollTag(), data)
+}
+
+func (s *Session) collBroadcast(fab feFabric, tag uint32, data []byte) error {
 	for _, f := range coll.RawFrames(coll.OpBroadcast, tag, "", data, s.collChunk) {
-		if err := s.sendCollFrame(f); err != nil {
+		if err := sendFrameOn(fab.conn, fab.class, f); err != nil {
 			return err
 		}
 	}
@@ -64,54 +117,82 @@ func (s *Session) Broadcast(data []byte) error {
 
 // Scatter delivers parts[rank] to each back-end daemon (one part per
 // daemon, in rank order). Daemons receive their part from
-// BECollective.Scatter; interior tree nodes route each part toward its
+// Collective().Scatter; interior tree nodes route each part toward its
 // rank's subtree, so no single link ever carries the whole part set.
 func (s *Session) Scatter(parts [][]byte) error {
-	if s.beMaster == nil || s.closed() {
-		return s.closedErr()
+	fab, err := s.beFab()
+	if err != nil {
+		return err
 	}
-	if len(parts) != len(s.daemons) {
-		return fmt.Errorf("core: scatter needs %d parts (one per daemon), got %d", len(s.daemons), len(parts))
+	return s.collScatter(fab, s.nextCollTag(), parts)
+}
+
+// MWScatter delivers parts[rank] to each middleware daemon over the MW
+// tree (received by Middleware.Collective().Scatter).
+func (s *Session) MWScatter(parts [][]byte) error {
+	fab, err := s.mwFab()
+	if err != nil {
+		return err
 	}
-	tag := s.nextCollTag()
+	return s.collScatter(fab, s.nextMWCollTag(), parts)
+}
+
+func (s *Session) collScatter(fab feFabric, tag uint32, parts [][]byte) error {
+	if len(parts) != fab.size {
+		return fmt.Errorf("core: scatter needs %d parts (one per daemon), got %d", fab.size, len(parts))
+	}
 	entries := make([]coll.Entry, len(parts))
 	for rk, p := range parts {
 		entries[rk] = coll.Entry{Rank: rk, Blob: p}
 	}
 	for _, f := range coll.EntryFrames(coll.OpScatter, tag, entries, s.collChunk) {
-		if err := s.sendCollFrame(f); err != nil {
+		if err := sendFrameOn(fab.conn, fab.class, f); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// recvCollFrame waits for the next collective frame routed by the BE
-// watcher, surfacing a malformed frame's decode error or — if the
-// session dies mid-collective — the terminal fault detail.
-func (s *Session) recvCollFrame() (coll.Frame, error) {
-	ev, ok := s.beColl.Recv()
+// recvCollFrame waits for the next collective frame routed by the
+// fabric's watcher, surfacing a malformed frame's decode error or — if
+// the session dies mid-collective — the terminal fault detail.
+func (s *Session) recvCollFrame(fab feFabric) (coll.Frame, error) {
+	ev, ok := fab.collQ.Recv()
 	if !ok {
 		return coll.Frame{}, s.closedErr()
 	}
 	if ev.err != nil {
-		return coll.Frame{}, fmt.Errorf("core: malformed collective frame from master daemon: %w", ev.err)
+		return coll.Frame{}, fmt.Errorf("core: malformed collective frame from %smaster daemon: %w", fab.kind, ev.err)
 	}
 	return ev.f, nil
 }
 
 // Gather collects one byte slice from every back-end daemon
-// (BECollective.Gather), indexed by rank. Contributions stream to the
+// (Collective().Gather), indexed by rank. Contributions stream to the
 // front end as bounded-size chunks routed up the tree, arriving as each
 // subtree completes rather than as one monolithic master payload.
 func (s *Session) Gather() ([][]byte, error) {
-	if s.beMaster == nil || s.closed() {
-		return nil, s.closedErr()
+	fab, err := s.beFab()
+	if err != nil {
+		return nil, err
 	}
-	tag := s.nextCollTag()
+	return s.collGather(fab, s.nextCollTag())
+}
+
+// MWGather collects one byte slice from every middleware daemon over the
+// MW tree (contributed by Middleware.Collective().Gather).
+func (s *Session) MWGather() ([][]byte, error) {
+	fab, err := s.mwFab()
+	if err != nil {
+		return nil, err
+	}
+	return s.collGather(fab, s.nextMWCollTag())
+}
+
+func (s *Session) collGather(fab feFabric, tag uint32) ([][]byte, error) {
 	var asm coll.RankAssembler
 	for {
-		f, err := s.recvCollFrame()
+		f, err := s.recvCollFrame(fab)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +201,7 @@ func (s *Session) Gather() ([][]byte, error) {
 				f.H.Op, f.H.Tag, tag)
 		}
 		if f.End {
-			return asm.Finish(f.H, f.Total, len(s.daemons))
+			return asm.Finish(f.H, f.Total, fab.size)
 		}
 		if err := asm.Add(f.H, f.Body); err != nil {
 			return nil, err
@@ -129,18 +210,32 @@ func (s *Session) Gather() ([][]byte, error) {
 }
 
 // Reduce receives the tree-combined reduction of every daemon's
-// BECollective.Reduce contribution. The filter is chosen daemon-side and
+// Collective().Reduce contribution. The filter is chosen daemon-side and
 // applied at every interior node, so per-link bytes are bounded by the
 // combined result — a sum or top-k sample reaches the front end at a
 // size independent of the daemon count.
 func (s *Session) Reduce() ([]byte, error) {
-	if s.beMaster == nil || s.closed() {
-		return nil, s.closedErr()
+	fab, err := s.beFab()
+	if err != nil {
+		return nil, err
 	}
-	tag := s.nextCollTag()
+	return s.collReduce(fab, s.nextCollTag())
+}
+
+// MWReduce receives the tree-combined reduction of every middleware
+// daemon's Collective().Reduce contribution over the MW tree.
+func (s *Session) MWReduce() ([]byte, error) {
+	fab, err := s.mwFab()
+	if err != nil {
+		return nil, err
+	}
+	return s.collReduce(fab, s.nextMWCollTag())
+}
+
+func (s *Session) collReduce(fab feFabric, tag uint32) ([]byte, error) {
 	var asm coll.RawAssembler
 	for {
-		f, err := s.recvCollFrame()
+		f, err := s.recvCollFrame(fab)
 		if err != nil {
 			return nil, err
 		}
@@ -157,29 +252,32 @@ func (s *Session) Reduce() ([]byte, error) {
 	}
 }
 
-// BECollective is the daemon-side handle of the session's collective
+// DaemonCollective is the daemon-side handle of a fabric's collective
 // tool-data plane, mirroring the Session methods: what the FE broadcasts
-// or scatters every daemon receives here, and what every daemon gathers
-// or reduces arrives at the FE.
-type BECollective struct {
-	be *BackEnd
+// or scatters every daemon of the fabric receives here, and what every
+// daemon gathers or reduces arrives at the FE. Back-end daemons obtain
+// it from BackEnd.Collective (paired with Session.Broadcast/...),
+// middleware daemons from Middleware.Collective (paired with
+// Session.MWBroadcast/...).
+type DaemonCollective struct {
+	d  *daemonSession
 	pl *iccl.Plane
 }
 
-// Collective returns the daemon's handle on the session's collective
-// tool-data plane.
-func (b *BackEnd) Collective() *BECollective { return b.coll }
+// BECollective is the back-end fabric's name for the daemon-side
+// collective handle, kept from before the plane became fabric-agnostic.
+type BECollective = DaemonCollective
 
-// newBECollective wires the plane: at the master, gather/reduce frames
-// bridge onto the FE connection as TypeCollChunk/TypeCollEnd messages
-// and broadcast/scatter frames are pulled from it.
-func newBECollective(b *BackEnd, chunkBytes int) *BECollective {
+// newDaemonCollective wires the plane: at the master, gather/reduce
+// frames bridge onto the FE connection as TypeCollChunk/TypeCollEnd
+// messages and broadcast/scatter frames are pulled from it.
+func newDaemonCollective(d *daemonSession, chunkBytes int) *DaemonCollective {
 	var up iccl.UpFn
 	var down iccl.DownFn
-	if b.comm.IsMaster() {
-		up = func(f coll.Frame) error { return sendFrameOn(b.fe, f) }
+	if d.comm.IsMaster() {
+		up = func(f coll.Frame) error { return sendFrameOn(d.fe, d.fab.class, f) }
 		down = func() (coll.Frame, error) {
-			msg, err := b.fe.Recv()
+			msg, err := d.fe.Recv()
 			if err != nil {
 				return coll.Frame{}, err
 			}
@@ -191,22 +289,23 @@ func newBECollective(b *BackEnd, chunkBytes int) *BECollective {
 			}
 		}
 	}
-	return &BECollective{be: b, pl: b.comm.NewPlane(chunkBytes, up, down)}
+	return &DaemonCollective{d: d, pl: d.comm.NewPlane(chunkBytes, up, down)}
 }
 
-// Broadcast receives the front end's next Session.Broadcast payload
-// (every daemon gets the full data).
-func (bc *BECollective) Broadcast() ([]byte, error) { return bc.pl.Broadcast() }
+// Broadcast receives the front end's next broadcast payload for this
+// fabric (every daemon gets the full data).
+func (dc *DaemonCollective) Broadcast() ([]byte, error) { return dc.pl.Broadcast() }
 
-// Scatter receives this daemon's part of the front end's next
-// Session.Scatter.
-func (bc *BECollective) Scatter() ([]byte, error) { return bc.pl.Scatter() }
+// Scatter receives this daemon's part of the front end's next scatter.
+func (dc *DaemonCollective) Scatter() ([]byte, error) { return dc.pl.Scatter() }
 
-// Gather contributes mine to the front end's next Session.Gather.
-func (bc *BECollective) Gather(mine []byte) error { return bc.pl.Gather(mine) }
+// Gather contributes mine to the front end's next gather on this fabric.
+func (dc *DaemonCollective) Gather(mine []byte) error { return dc.pl.Gather(mine) }
 
-// Reduce contributes mine to the front end's next Session.Reduce, folded
-// at every tree node with the named filter ("concat", "sum", "topk:N",
-// or any coll.RegisterFilter registration). All daemons must name the
-// same filter.
-func (bc *BECollective) Reduce(mine []byte, filter string) error { return bc.pl.Reduce(mine, filter) }
+// Reduce contributes mine to the front end's next reduce, folded at
+// every tree node with the named filter ("concat", "sum", "topk:N", or
+// any coll.RegisterFilter registration). All daemons must name the same
+// filter.
+func (dc *DaemonCollective) Reduce(mine []byte, filter string) error {
+	return dc.pl.Reduce(mine, filter)
+}

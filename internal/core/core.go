@@ -18,9 +18,13 @@
 //
 // Bulk tool traffic rides the collective data plane instead of the flat
 // master pipe: Session.Broadcast/Scatter/Gather/Reduce, mirrored by the
-// BE.Collective handle, stream chunked payloads over the ICCL k-ary
-// tree with interior forwarding and filtered reduction (see
-// internal/coll and DESIGN.md "Tool data plane").
+// BackEnd.Collective handle, stream chunked payloads over the ICCL
+// k-ary tree with interior forwarding and filtered reduction (see
+// internal/coll and DESIGN.md "Tool data plane"). The middleware fabric
+// has full parity: Session.MWBroadcast/MWScatter/MWGather/MWReduce pair
+// with Middleware.Collective over the MW tree, the MW session seed
+// streams cut-through during LaunchMW, and MWOptions.Health runs the
+// failure detector over the MW topology.
 package core
 
 import (
@@ -45,9 +49,10 @@ const (
 	// (0 or unset selects coll.DefaultChunkBytes).
 	EnvCollChunk = "LMON_COLL_CHUNK"
 	// EnvSeedMode selects the session-seed (RPDTAB + FEData) distribution
-	// pipeline the back-end daemons must match: "cut-through" (or unset)
+	// pipeline the fabric's daemons must match: "cut-through" (or unset)
 	// streams chunks through the forming ICCL tree, "store-forward" is the
-	// serialized baseline (Options.SeedMode).
+	// serialized baseline (Options.SeedMode for the BE fabric,
+	// MWOptions.SeedMode for the MW fabric).
 	EnvSeedMode = "LMON_SEED_MODE"
 	// EnvHealthPeriod is the heartbeat period of the session's failure
 	// detector (a Go duration string); unset or empty disables it.
@@ -83,7 +88,14 @@ func icclPortFor(session int, mw bool) int {
 }
 
 // healthBasePort is the first port used for per-session heartbeat trees
-// (internal/health); kept clear of the ICCL port range.
+// (internal/health); kept clear of the ICCL port range. Each session uses
+// two ports, mirroring the ICCL banding (BE tree, MW tree).
 const healthBasePort = 58000
 
-func healthPortFor(session int) int { return healthBasePort + session }
+func healthPortFor(session int, mw bool) int {
+	p := healthBasePort + session*2
+	if mw {
+		p++
+	}
+	return p
+}

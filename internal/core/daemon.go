@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
+	"launchmon/internal/engine"
+	"launchmon/internal/health"
+	"launchmon/internal/iccl"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
+	"launchmon/internal/transport"
+)
+
+// This file is the fabric-agnostic daemon-side session core: everything a
+// LaunchMON daemon does to join its session — master handshake, ICCL
+// bootstrap with the cut-through seed stream (or the store-and-forward
+// baseline), per-rank seed validation, the collective tool-data plane,
+// the ready gather, and the heartbeat tree — is identical between the
+// back-end and middleware fabrics up to a small profile (LMONP class,
+// transport role, tree port band, timeline mark names). BEInit and MWInit
+// are thin wrappers over initDaemon with their fabric's profile.
+
+// fabricProfile names what differs between the two daemon fabrics.
+type fabricProfile struct {
+	kind string // diagnostic name: "BE" or "MW"
+	mw   bool   // selects the MW port band (ICCL + health trees)
+
+	class lmonp.MsgClass
+	role  transport.Role
+
+	markNetStart  string // master: handshake consumed, fabric setup begins
+	markNetDone   string // master: tree fully connected
+	markSeedValid string // every rank: reassembled seed validated
+}
+
+var (
+	beFabric = fabricProfile{
+		kind: "BE", class: lmonp.ClassFEBE, role: transport.RoleBE,
+		markNetStart: engine.MarkE8, markNetDone: engine.MarkE9,
+		markSeedValid: engine.MarkSeedValid,
+	}
+	mwFabric = fabricProfile{
+		kind: "MW", mw: true, class: lmonp.ClassFEMW, role: transport.RoleMW,
+		markNetStart: engine.MarkMW8, markNetDone: engine.MarkMW9,
+		markSeedValid: engine.MarkMWSeedValid,
+	}
+)
+
+// daemonSession is the shared daemon-side state. BackEnd and Middleware
+// embed it, so its exported methods are the common daemon API of both
+// fabrics.
+type daemonSession struct {
+	p    *cluster.Proc
+	fab  fabricProfile
+	comm *iccl.Comm
+	fe   *lmonp.Conn     // non-nil at the master only
+	mon  *health.Monitor // nil when the session has no failure detection
+	coll *DaemonCollective
+
+	tab    proctab.Table
+	myTab  proctab.Table // RPDTAB entries on this daemon's node (empty on MW nodes)
+	feData []byte
+	tl     engine.Timeline
+}
+
+// initDaemon joins the calling daemon process into its session over the
+// given fabric: the master completes the LMONP handshake with the front
+// end, the ICCL tree bootstraps, the session seed (RPDTAB + FEData) is
+// distributed to and validated at every daemon, and per-daemon info is
+// gathered to the master for the ready message. Under the default
+// cut-through pipeline the seed streams through the forming tree
+// (iccl.BootstrapSeed); the store-forward baseline (selected by
+// LMON_SEED_MODE) buffers it at the master and broadcasts after
+// bootstrap.
+func initDaemon(p *cluster.Proc, fab fabricProfile) (*daemonSession, error) {
+	cfg, err := icclConfigFromEnv(p, fab.mw)
+	if err != nil {
+		return nil, err
+	}
+	if p.Env(EnvSeedMode) == SeedStoreForward.envValue() {
+		return initStoreForward(p, cfg, fab)
+	}
+	return initCutThrough(p, cfg, fab)
+}
+
+// initCutThrough receives the session seed as a chunk stream flowing
+// through the still-forming ICCL tree. Every rank reassembles the table
+// with a proctab.Assembler and validates it (Finish) before contributing
+// to the ready gather, so the ready message at the front end implies a
+// validated, byte-identical table at every daemon of the fabric.
+func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
+	d := &daemonSession{p: p, fab: fab}
+
+	var src iccl.SeedSource
+	if cfg.Rank == 0 {
+		// Master: connect to the FE through the session mux and consume
+		// the handshake (the piggybacked tool data arrives ahead of the
+		// table stream), then feed each relayed RPDTAB chunk straight into
+		// the tree's seed stream as it arrives.
+		fe, err := dialFE(p, fab.role)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s master dialing FE: %w", fab.kind, err)
+		}
+		d.fe = fe
+		handshake, err := d.fe.Expect(fab.class, lmonp.TypeHandshake)
+		if err != nil {
+			return nil, err
+		}
+		d.tl.Mark(fab.markNetStart, p.Sim().Now())
+		src = seedSourceFromFE(d.fe, handshake.UsrData)
+	}
+
+	comm, seed, err := iccl.BootstrapSeed(p, cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	d.comm = comm
+	if comm.IsMaster() {
+		d.tl.Mark(fab.markNetDone, p.Sim().Now())
+	}
+	if err := d.setupCollective(); err != nil {
+		return nil, err
+	}
+
+	// Drain the seed: frame 0 carries the piggybacked FEData, later frames
+	// the RPDTAB chunks; the end marker's total validates the reassembly.
+	var asm proctab.Assembler
+	for {
+		f, err := seed.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.End {
+			tab, err := asm.Finish(int(f.Total))
+			if err != nil {
+				return nil, err
+			}
+			d.tab = tab
+			break
+		}
+		if f.H.Index == 0 {
+			d.feData = append([]byte(nil), f.Body...)
+			continue
+		}
+		if err := asm.Add(f.Body); err != nil {
+			return nil, err
+		}
+	}
+	d.tl.Mark(fab.markSeedValid, p.Sim().Now())
+	d.myTab = d.tab.OnHost(p.Node().Name())
+	// All child forwards must drain before any other down-flowing traffic
+	// may use the tree links.
+	if err := seed.Wait(); err != nil {
+		return nil, err
+	}
+	return d, d.completeInit(cfg)
+}
+
+// seedSourceFromFE adapts the master's FE connection into the tree's
+// seed stream: a synthesized frame 0 with the handshake's FEData, then
+// one frame per relayed RPDTAB chunk, closed by the relay's end marker.
+func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
+	idx := uint32(0)
+	return func() (coll.Frame, error) {
+		if idx == 0 {
+			idx = 1
+			return coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: 0}, Body: feData}, nil
+		}
+		msg, err := fe.Recv()
+		if err != nil {
+			return coll.Frame{}, err
+		}
+		switch msg.Type {
+		case lmonp.TypeProctabChunk:
+			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, Body: msg.Payload}
+			idx++
+			return f, nil
+		case lmonp.TypeProctabEnd:
+			total, err := lmonp.NewReader(msg.Payload).Uint64()
+			if err != nil {
+				return coll.Frame{}, fmt.Errorf("core: seed end marker: %w", err)
+			}
+			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, End: true, Total: total}
+			idx++
+			return f, nil
+		default:
+			return coll.Frame{}, fmt.Errorf("core: unexpected %v message in session-seed stream", msg.Type)
+		}
+	}
+}
+
+// initStoreForward is the serialized baseline: the master buffers the
+// full chunk-streamed RPDTAB from the FE, the tree bootstraps, and the
+// seed goes out as one monolithic ICCL broadcast.
+func initStoreForward(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
+	d := &daemonSession{p: p, fab: fab}
+
+	var masterTab proctab.Table
+	var feData []byte
+	if cfg.Rank == 0 {
+		fe, err := dialFE(p, fab.role)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s master dialing FE: %w", fab.kind, err)
+		}
+		d.fe = fe
+		handshake, err := d.fe.Expect(fab.class, lmonp.TypeHandshake)
+		if err != nil {
+			return nil, err
+		}
+		d.tl.Mark(fab.markNetStart, p.Sim().Now())
+		feData = handshake.UsrData
+		masterTab, err = proctab.RecvStream(d.fe, fab.class, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	comm, err := iccl.Bootstrap(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.comm = comm
+	if comm.IsMaster() {
+		d.tl.Mark(fab.markNetDone, p.Sim().Now())
+	}
+	if err := d.setupCollective(); err != nil {
+		return nil, err
+	}
+
+	// Distribute RPDTAB + piggybacked FE data to every daemon.
+	tab, data, err := distributeSessionSeed(comm, masterTab, feData)
+	if err != nil {
+		return nil, err
+	}
+	d.tab = tab
+	d.tl.Mark(fab.markSeedValid, p.Sim().Now())
+	d.myTab = tab.OnHost(p.Node().Name())
+	d.feData = data
+	return d, d.completeInit(cfg)
+}
+
+// setupCollective attaches the session's collective tool-data plane.
+func (d *daemonSession) setupCollective() error {
+	collChunk := 0
+	if cc := d.p.Env(EnvCollChunk); cc != "" {
+		var err error
+		if collChunk, err = strconv.Atoi(cc); err != nil {
+			return fmt.Errorf("core: bad %s: %w", EnvCollChunk, err)
+		}
+	}
+	d.coll = newDaemonCollective(d, collChunk)
+	return nil
+}
+
+// completeInit is the shared tail of both seed pipelines: gather
+// per-daemon info for the ready message, then join the heartbeat tree.
+func (d *daemonSession) completeInit(cfg iccl.Config) error {
+	// Gather per-daemon info to the master; it rides the ready message.
+	mine := encodeDaemonInfo(DaemonInfo{
+		Rank:  d.comm.Rank(),
+		Host:  d.p.Node().Name(),
+		Pid:   d.p.Pid(),
+		Tasks: len(d.myTab),
+	})
+	all, err := d.comm.Gather(mine)
+	if err != nil {
+		return err
+	}
+	if d.comm.IsMaster() {
+		infos := make([]DaemonInfo, 0, len(all))
+		for _, raw := range all {
+			di, err := decodeDaemonInfo(raw)
+			if err != nil {
+				return err
+			}
+			infos = append(infos, di)
+		}
+		if err := d.fe.Send(&lmonp.Msg{
+			Class:   d.fab.class,
+			Type:    lmonp.TypeReady,
+			Payload: encodeReady(infos, d.tl),
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Join the fabric's heartbeat tree when the front end enabled failure
+	// detection; the master forwards failure reports upstream as LMONP
+	// status events. Started after the ready message so the launch critical
+	// path is not charged for it.
+	return d.startHealth(cfg)
+}
+
+// startHealth joins the daemon into its fabric's heartbeat tree when the
+// FE planted a heartbeat period in the environment (Options.Health for
+// the BE fabric, MWOptions.Health for the MW fabric). Each fabric runs
+// its own tree over its own topology and port band.
+func (d *daemonSession) startHealth(cfg iccl.Config) error {
+	periodStr := d.p.Env(EnvHealthPeriod)
+	if periodStr == "" {
+		return nil
+	}
+	period, err := time.ParseDuration(periodStr)
+	if err != nil {
+		return fmt.Errorf("core: bad %s: %w", EnvHealthPeriod, err)
+	}
+	miss := 0
+	if ms := d.p.Env(EnvHealthMiss); ms != "" {
+		if miss, err = strconv.Atoi(ms); err != nil {
+			return fmt.Errorf("core: bad %s: %w", EnvHealthMiss, err)
+		}
+	}
+	session, err := strconv.Atoi(d.p.Env(EnvSession))
+	if err != nil {
+		return fmt.Errorf("core: bad %s: %w", EnvSession, err)
+	}
+	mon, err := health.Start(d.p, health.Config{
+		Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
+		Nodelist: cfg.Nodelist, Port: healthPortFor(session, d.fab.mw),
+		Period: period, Miss: miss,
+	})
+	if err != nil {
+		return err
+	}
+	d.mon = mon
+	if d.comm.IsMaster() {
+		// Forward failure reports to the front end as status events. The
+		// goroutine ends when the monitor stops (Finalize or node death).
+		kind := d.fab.kind
+		d.p.Sim().Go(fmt.Sprintf("%s-health-forward", kind), func() {
+			for {
+				r, ok := mon.Failures().Recv()
+				if !ok {
+					return
+				}
+				d.fe.Send(&lmonp.Msg{
+					Class: d.fab.class,
+					Type:  lmonp.TypeStatusEvent,
+					Payload: health.EncodeEvent(health.Event{
+						Kind: health.EvDaemonExited, Rank: r.Rank, Detail: r.Detail,
+					}),
+				})
+			}
+		})
+	}
+	return nil
+}
+
+// Health returns the daemon's failure-detection monitor (nil when the
+// fabric was launched without health options).
+func (d *daemonSession) Health() *health.Monitor { return d.mon }
+
+// AmIMaster reports whether this daemon is the fabric master (rank 0).
+func (d *daemonSession) AmIMaster() bool { return d.comm.IsMaster() }
+
+// Rank returns the daemon's ICCL rank.
+func (d *daemonSession) Rank() int { return d.comm.Rank() }
+
+// Size returns the number of daemons in this fabric of the session.
+func (d *daemonSession) Size() int { return d.comm.Size() }
+
+// Proctab returns the full RPDTAB of the target job.
+func (d *daemonSession) Proctab() proctab.Table { return d.tab }
+
+// FEData returns the tool data the front end piggybacked on the handshake.
+func (d *daemonSession) FEData() []byte { return d.feData }
+
+// Timeline returns the daemon's launch marks (net-setup marks at the
+// master, seed-validated at every rank). The master's copy also rides the
+// ready message into the front end's merged Session.Timeline.
+func (d *daemonSession) Timeline() engine.Timeline { return d.tl }
+
+// Proc returns the daemon's process handle.
+func (d *daemonSession) Proc() *cluster.Proc { return d.p }
+
+// Barrier is the ICCL barrier over all daemons of this fabric.
+func (d *daemonSession) Barrier() error { return d.comm.Barrier() }
+
+// Broadcast distributes buf from the master to every daemon of the fabric.
+func (d *daemonSession) Broadcast(buf []byte) ([]byte, error) { return d.comm.Broadcast(buf) }
+
+// Gather collects one blob per daemon at the master (rank-indexed).
+func (d *daemonSession) Gather(mine []byte) ([][]byte, error) { return d.comm.Gather(mine) }
+
+// Scatter distributes parts[rank] from the master to each daemon.
+func (d *daemonSession) Scatter(parts [][]byte) ([]byte, error) { return d.comm.Scatter(parts) }
+
+// Collective returns the daemon's handle on its fabric's collective
+// tool-data plane.
+func (d *daemonSession) Collective() *DaemonCollective { return d.coll }
+
+// SendToFE ships tool data to the front end (master only).
+func (d *daemonSession) SendToFE(data []byte) error {
+	if !d.AmIMaster() {
+		return ErrNotMaster
+	}
+	return d.fe.Send(&lmonp.Msg{Class: d.fab.class, Type: lmonp.TypeUsrData, UsrData: data})
+}
+
+// RecvFromFE receives tool data from the front end (master only).
+func (d *daemonSession) RecvFromFE() ([]byte, error) {
+	if !d.AmIMaster() {
+		return nil, ErrNotMaster
+	}
+	msg, err := d.fe.Expect(d.fab.class, lmonp.TypeUsrData)
+	if err != nil {
+		return nil, err
+	}
+	return msg.UsrData, nil
+}
+
+// Finalize leaves the session: it synchronizes the fabric's daemons,
+// stops the failure detector, and closes the tree (and, at the master,
+// the FE connection). Stopping the master's monitor cascades a teardown
+// wave down the heartbeat tree, so daemons that already finalized are not
+// reported as failures.
+func (d *daemonSession) Finalize() error {
+	err := d.comm.Barrier()
+	if d.mon != nil {
+		d.mon.Stop()
+	}
+	d.comm.Close()
+	if d.fe != nil {
+		d.fe.Close()
+	}
+	return err
+}
+
+// distributeSessionSeed broadcasts the RPDTAB and the piggybacked tool
+// data from the master over the ICCL fabric as one monolithic frame —
+// the store-forward baseline of both fabrics' seed ablations, and the
+// shape the paper's broadcast-vs-shared-file ablation measures. The
+// master keeps its already-decoded table instead of re-decoding its own
+// broadcast.
+func distributeSessionSeed(comm *iccl.Comm, masterTab proctab.Table, feData []byte) (proctab.Table, []byte, error) {
+	var seed []byte
+	if comm.IsMaster() {
+		seed = lmonp.AppendBytes(nil, masterTab.Encode())
+		seed = lmonp.AppendBytes(seed, feData)
+	}
+	blob, err := comm.Broadcast(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if comm.IsMaster() {
+		return masterTab, append([]byte(nil), feData...), nil
+	}
+	rd := lmonp.NewReader(blob)
+	tabEnc, err := rd.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := rd.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := proctab.Decode(tabEnc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tab, append([]byte(nil), data...), nil
+}
+
+// dialFE connects a master daemon to its front end's transport mux,
+// announcing the session ID and role from the bootstrap environment so
+// the mux routes the connection to the owning session.
+func dialFE(p *cluster.Proc, role transport.Role) (*lmonp.Conn, error) {
+	feAddr, err := parseHostPort(p.Env(EnvFEAddr))
+	if err != nil {
+		return nil, err
+	}
+	session, err := strconv.Atoi(p.Env(EnvSession))
+	if err != nil {
+		return nil, fmt.Errorf("core: bad %s: %w", EnvSession, err)
+	}
+	return transport.Dial(p.Host(), feAddr, session, role)
+}

@@ -159,7 +159,8 @@ type Session struct {
 	timeout    time.Duration
 	chunkBytes int
 	collChunk  int    // collective-plane chunk bound (0 = coll default)
-	collTag    uint32 // session-wide collective sequence (FE side)
+	collTag    uint32 // BE-fabric collective sequence (FE side)
+	mwTag      uint32 // MW-fabric collective sequence (FE side)
 
 	// Timeline holds the merged e0..e11 critical-path marks for this
 	// session (paper Figure 2); consumed by the performance model.
@@ -184,6 +185,8 @@ type Session struct {
 	engToken  *vtime.Chan[struct{}]    // serializes engine request/reply exchanges
 	beUsr     *vtime.Chan[[]byte]      // BE-master TypeUsrData payloads
 	beColl    *vtime.Chan[collEvent]   // BE-master collective chunk/end frames
+	mwUsr     *vtime.Chan[[]byte]      // MW-master TypeUsrData payloads (after LaunchMW)
+	mwColl    *vtime.Chan[collEvent]   // MW-master collective chunk/end frames
 	evQ       *vtime.Chan[sessionEvOp] // status-event dispatch queue
 }
 
@@ -514,46 +517,70 @@ func (s *Session) engineReader() {
 // unexpected connection loss means the master daemon itself (or its node)
 // died.
 func (s *Session) beReader() {
+	s.masterReader(s.beMaster, s.beUsr, s.beColl, "")
+}
+
+// mwReader is the MW-fabric mirror of beReader, started when LaunchMW
+// commits: it demuxes the MW master connection into the MW tool-data and
+// collective queues, and reacts to MW-daemon loss (health events from the
+// MW heartbeat tree, or the MW master's own link severing) exactly like
+// BE-daemon loss — callbacks fire and the watchdog tears the session down.
+func (s *Session) mwReader() {
+	s.mu.Lock()
+	conn, usrQ, collQ := s.mwMaster, s.mwUsr, s.mwColl
+	s.mu.Unlock()
+	s.masterReader(conn, usrQ, collQ, "mw ")
+}
+
+// masterReader is the shared demux loop for a fabric's master-daemon
+// connection. kind prefixes fault details ("" for the BE fabric, "mw "
+// for the MW fabric) so tools and fault errors can tell which fabric's
+// daemon was lost.
+func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ *vtime.Chan[collEvent], kind string) {
 	for {
-		msg, err := s.beMaster.Recv()
+		msg, err := conn.Recv()
 		if err != nil {
 			// A clean EOF is the master daemon finalizing (tools may leave
 			// the session at any time); only a severed link — the master's
 			// node died — is a fault. The fault detail is recorded before
-			// the queues close so blocked RecvFromBE/Gather/Reduce callers
-			// wake to an error that says why the session died.
+			// the queues close so blocked receive/collective callers wake
+			// to an error that says why the session died.
 			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
-				s.noteFault("master daemon connection severed")
+				s.noteFault(kind + "master daemon connection severed")
 			}
-			s.beUsr.Close()
-			s.beColl.Close()
+			usrQ.Close()
+			collQ.Close()
 			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
 				s.fire(health.Event{
 					Kind: health.EvDaemonExited, Rank: 0,
-					Detail: "master daemon connection severed",
+					Detail: kind + "master daemon connection severed",
 				})
 				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
-					s.watchdogTeardown("master daemon lost")
+					s.watchdogTeardown(kind + "master daemon lost")
 				})
 			}
 			return
 		}
 		switch msg.Type {
 		case lmonp.TypeUsrData:
-			s.beUsr.Send(msg.UsrData)
+			usrQ.Send(msg.UsrData)
 		case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
 			f, err := coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
-			s.beColl.Send(collEvent{f: f, err: err})
+			collQ.Send(collEvent{f: f, err: err})
 		case lmonp.TypeStatusEvent:
 			ev, err := health.DecodeEvent(msg.Payload)
 			if err != nil {
 				continue
 			}
+			if kind != "" {
+				ev.Detail = kind + "fabric: " + ev.Detail
+			}
 			s.fire(ev)
 			if ev.Kind == health.EvDaemonExited {
-				s.noteFault(fmt.Sprintf("daemon rank %d lost", ev.Rank))
+				detail := fmt.Sprintf("%sdaemon rank %d lost", kind, ev.Rank)
+				s.noteFault(detail)
 				s.p.Sim().Go(fmt.Sprintf("fe-sess-%d-watchdog", s.ID), func() {
-					s.watchdogTeardown(fmt.Sprintf("daemon rank %d lost", ev.Rank))
+					s.watchdogTeardown(detail)
 				})
 			}
 		}

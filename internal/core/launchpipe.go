@@ -6,7 +6,6 @@ import (
 	"launchmon/internal/engine"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
-	"launchmon/internal/transport"
 	"launchmon/internal/vtime"
 )
 
@@ -67,18 +66,40 @@ type relayResult struct {
 	err   error
 }
 
-// seedRelay accepts the master back-end connection and forwards the seed
-// stream to it, concurrently with the FE's engine reads.
+// seedRelay accepts a fabric's master-daemon connection and forwards the
+// seed stream to it, concurrently with whatever the launch path is doing
+// (draining the engine chunk stream on the BE fabric, awaiting the MW
+// spawn status on the MW fabric). The fabric profile selects the LMONP
+// class, the transport role, and which timeline marks the relay stamps.
 type seedRelay struct {
 	s      *Session
+	fab    fabricProfile
 	feData []byte
 	items  *vtime.Chan[seedItem]
 	result *vtime.Chan[relayResult]
+
+	markAccept, markFwd, markReady string
 }
 
-// abort wakes a relay parked on the item queue; a relay parked in
-// Endpoint.Accept is released by the caller closing the session (s.close
-// closes the endpoint).
+// newSeedRelay builds a relay for the given fabric with its mark names.
+func newSeedRelay(s *Session, fab fabricProfile, feData []byte, markAccept, markFwd, markReady string) *seedRelay {
+	sim := s.p.Sim()
+	return &seedRelay{
+		s: s, fab: fab, feData: feData,
+		items:      vtime.NewChan[seedItem](sim),
+		result:     vtime.NewChan[relayResult](sim),
+		markAccept: markAccept, markFwd: markFwd, markReady: markReady,
+	}
+}
+
+// abort wakes a relay parked on the item queue and stops further
+// forwarding: the relay checks the queue's closed flag before each item,
+// so even a pre-fed queue (the MW path queues the whole re-chunked table
+// up front) stops streaming to a stale dial after an abort — queued
+// values surviving Close would otherwise keep the stream flowing. A
+// relay parked in Endpoint.Accept is released by the caller closing the
+// session (s.close closes the endpoint); one already past its end marker
+// is parked on the peer's ready and is reaped by the caller instead.
 func (r *seedRelay) abort() { r.items.Close() }
 
 func (r *seedRelay) run() {
@@ -93,57 +114,60 @@ func (r *seedRelay) run() {
 func (r *seedRelay) relay() relayResult {
 	s := r.s
 	sim := s.p.Sim()
-	conn, err := s.ep.Accept(transport.RoleBE, s.timeout)
+	conn, err := s.ep.Accept(r.fab.role, s.timeout)
 	if err != nil {
-		return relayResult{err: fmt.Errorf("core: master daemon did not connect: %w", err)}
+		return relayResult{err: fmt.Errorf("core: %s master daemon did not connect: %w", r.fab.kind, err)}
 	}
 	var tl engine.Timeline
-	tl.Mark(engine.MarkE7, sim.Now())
+	tl.Mark(r.markAccept, sim.Now())
 	// FEData rides the handshake ahead of the proctab stream, so every
 	// daemon has its bootstrap data before the first table chunk lands.
-	if err := conn.Send(&lmonp.Msg{Class: lmonp.ClassFEBE, Type: lmonp.TypeHandshake, UsrData: r.feData}); err != nil {
-		return relayResult{conn: conn, err: fmt.Errorf("core: handshake to master: %w", err)}
+	if err := conn.Send(&lmonp.Msg{Class: r.fab.class, Type: lmonp.TypeHandshake, UsrData: r.feData}); err != nil {
+		return relayResult{conn: conn, err: fmt.Errorf("core: handshake to %s master: %w", r.fab.kind, err)}
 	}
 	first := true
 	for {
+		if r.items.Closed() {
+			return relayResult{conn: conn, err: fmt.Errorf("core: session %d: seed relay aborted", s.ID)}
+		}
 		it, ok := r.items.Recv()
 		if !ok {
 			return relayResult{conn: conn, err: fmt.Errorf("core: session %d: seed relay aborted", s.ID)}
 		}
 		if first {
-			tl.Mark(engine.MarkSeedFwd, sim.Now())
+			tl.Mark(r.markFwd, sim.Now())
 			first = false
 		}
 		if it.end {
 			err = conn.Send(&lmonp.Msg{
-				Class:   lmonp.ClassFEBE,
+				Class:   r.fab.class,
 				Type:    lmonp.TypeProctabEnd,
 				Payload: lmonp.AppendUint64(nil, it.total),
 			})
 		} else {
 			err = conn.Send(&lmonp.Msg{
-				Class:   lmonp.ClassFEBE,
+				Class:   r.fab.class,
 				Type:    lmonp.TypeProctabChunk,
 				Payload: it.chunk,
 			})
 		}
 		if err != nil {
-			return relayResult{conn: conn, err: fmt.Errorf("core: relaying session seed to master: %w", err)}
+			return relayResult{conn: conn, err: fmt.Errorf("core: relaying session seed to %s master: %w", r.fab.kind, err)}
 		}
 		if it.end {
 			break
 		}
 	}
-	ready, err := conn.Expect(lmonp.ClassFEBE, lmonp.TypeReady)
+	ready, err := conn.Expect(r.fab.class, lmonp.TypeReady)
 	if err != nil {
-		return relayResult{conn: conn, err: fmt.Errorf("core: awaiting master ready: %w", err)}
+		return relayResult{conn: conn, err: fmt.Errorf("core: awaiting %s master ready: %w", r.fab.kind, err)}
 	}
-	tl.Mark(engine.MarkE10, sim.Now())
-	infos, beTL, err := decodeReady(ready.Payload)
+	tl.Mark(r.markReady, sim.Now())
+	infos, masterTL, err := decodeReady(ready.Payload)
 	if err != nil {
 		return relayResult{conn: conn, err: err}
 	}
-	tl.Merge(beTL)
+	tl.Merge(masterTL)
 	return relayResult{conn: conn, infos: infos, tl: tl}
 }
 
@@ -154,12 +178,8 @@ func (r *seedRelay) relay() relayResult {
 // forwarding, and never retransmits it after the status arrives.
 func (s *Session) launchCutThrough(opts Options) error {
 	sim := s.p.Sim()
-	relay := &seedRelay{
-		s:      s,
-		feData: opts.FEData,
-		items:  vtime.NewChan[seedItem](sim),
-		result: vtime.NewChan[relayResult](sim),
-	}
+	relay := newSeedRelay(s, beFabric, opts.FEData,
+		engine.MarkE7, engine.MarkSeedFwd, engine.MarkE10)
 	sim.Go(fmt.Sprintf("fe-sess-%d-seed-relay", s.ID), relay.run)
 
 	// fail abandons the relay on an engine-side error. Closing the item

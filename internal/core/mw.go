@@ -5,14 +5,18 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/engine"
-	"launchmon/internal/iccl"
 	"launchmon/internal/lmonp"
-	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 	"launchmon/internal/transport"
+	"launchmon/internal/vtime"
 )
 
-// MWOptions parameterize middleware daemon launches.
+// MWOptions parameterize middleware daemon launches. The MW fabric gets
+// the same launch/data/health stack as the back-end fabric: a cut-through
+// (or store-forward) session seed, a collective tool-data plane
+// (Session.MWBroadcast/... mirrored by Middleware.Collective), and an
+// optional heartbeat tree whose failure reports surface as session status
+// events.
 type MWOptions struct {
 	// Nodes is how many fresh nodes to allocate for the TBŌN daemons.
 	Nodes int
@@ -23,12 +27,27 @@ type MWOptions struct {
 	FEData []byte
 	// ICCLFanout of the MW bootstrap fabric; 0 = flat.
 	ICCLFanout int
+	// SeedMode selects the MW seed pipeline, mirroring Options.SeedMode:
+	// SeedCutThrough (the default) streams the session seed through the
+	// forming MW tree; SeedStoreForward is the serialized baseline kept
+	// for the MW launch-pipeline ablation.
+	SeedMode SeedMode
+	// Health configures failure detection over the MW tree, mirroring
+	// Options.Health: MW-daemon loss then fires DaemonExited status
+	// callbacks and the session watchdog, exactly like BE-daemon loss.
+	// The zero value disables it.
+	Health HealthOptions
 }
 
 // LaunchMW launches middleware (TBŌN) daemons on newly allocated nodes
 // (paper §3.4): the engine asks the RM for the allocation and the scalable
 // spawn; each daemon receives a personality handle (its rank), the RPDTAB,
-// and a bootstrap fabric it can use to set up its own network.
+// and the same session fabric services as the back-end daemons. Under the
+// default cut-through seed the FE relays the session seed (RPDTAB +
+// MWOptions.FEData) to the MW master while the RM is still spawning the
+// master's siblings, and the master streams it through the forming MW tree
+// with per-rank validation; the MW marks form their own monotone chain
+// m7≤m8≤m9≤m10 in Session.Timeline.
 func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	s.mu.Lock()
 	if s.detached || s.killed {
@@ -42,8 +61,9 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	s.mwLaunching = true
 	s.mu.Unlock()
 
+	sim := s.p.Sim()
 	daemon := opts.Daemon
-	env := make(map[string]string, len(daemon.Env)+5)
+	env := make(map[string]string, len(daemon.Env)+8)
 	for k, v := range daemon.Env {
 		env[k] = v
 	}
@@ -51,7 +71,13 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	env[EnvSession] = fmt.Sprint(s.ID)
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, true))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
+	env[EnvCollChunk] = fmt.Sprint(s.collChunk)
+	env[EnvSeedMode] = opts.SeedMode.envValue()
 	env[EnvKind] = "mw"
+	if opts.Health.Period > 0 {
+		env[EnvHealthPeriod] = opts.Health.Period.String()
+		env[EnvHealthMiss] = fmt.Sprint(opts.Health.Miss)
+	}
 	daemon.Env = env
 
 	// A previous timed-out attempt may have left a late MW-master dial
@@ -59,20 +85,91 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	// handshake with the stale daemon set.
 	s.ep.Drain(transport.RoleMW)
 
-	// A failed launch releases the slot so the tool may retry.
-	committed := false
-	defer func() {
-		if !committed {
-			s.mu.Lock()
-			s.mwLaunching = false
-			s.mu.Unlock()
-		}
-	}()
+	// release frees the launch slot so the tool may retry a failed launch.
+	release := func() {
+		s.mu.Lock()
+		s.mwLaunching = false
+		s.mu.Unlock()
+	}
 
+	var nodes []string
+	var res relayResult
+	if opts.SeedMode == SeedStoreForward {
+		var err error
+		if nodes, err = s.mwSpawn(opts.Nodes, daemon); err != nil {
+			release()
+			return nil, err
+		}
+		if res, err = s.mwSeedStoreForward(opts); err != nil {
+			release()
+			return nil, err
+		}
+	} else {
+		// Cut-through: the relay accepts the MW master and streams the seed
+		// concurrently with the spawn exchange below — the master daemon
+		// dials the moment the RM spawns it, typically while its sibling
+		// daemons are still coming up, and the seed flows through the
+		// forming MW tree (iccl.BootstrapSeed) with per-rank validation.
+		relay := newSeedRelay(s, mwFabric, opts.FEData,
+			engine.MarkMW7, engine.MarkMWSeedFwd, engine.MarkMW10)
+		sim.Go(fmt.Sprintf("fe-sess-%d-mw-seed-relay", s.ID), relay.run)
+		// The FE already holds the assembled table; re-chunk it into the
+		// relay so the MW stream is bounded exactly like the BE stream.
+		for _, chunk := range s.tab.EncodeChunks(s.chunkBytes) {
+			relay.items.Send(seedItem{chunk: chunk})
+		}
+		relay.items.Send(seedItem{end: true, total: uint64(len(s.tab))})
+
+		var err error
+		if nodes, err = s.mwSpawn(opts.Nodes, daemon); err != nil {
+			// The relay may still be parked in Accept (no MW daemon will
+			// ever dial) or mid-handshake with a daemon set that is being
+			// torn down; a reaper closes whatever it hands back and only
+			// then frees the launch slot, so a retry cannot race a stale
+			// Accept for the next master's dial.
+			relay.abort()
+			sim.Go(fmt.Sprintf("fe-sess-%d-mw-relay-reaper", s.ID), func() {
+				if r, ok := relay.result.Recv(); ok && r.conn != nil {
+					r.conn.Close()
+				}
+				release()
+			})
+			return nil, err
+		}
+		var ok bool
+		if res, ok = relay.result.Recv(); !ok {
+			release()
+			return nil, fmt.Errorf("core: session %d: MW seed relay lost", s.ID)
+		}
+		if res.err != nil {
+			release()
+			return nil, res.err
+		}
+	}
+
+	s.Timeline.Merge(res.tl)
+	s.mu.Lock()
+	s.mwMaster = res.conn
+	s.mwNodes = nodes
+	s.mwInfos = res.infos
+	s.mwUsr = vtime.NewChan[[]byte](sim)
+	s.mwColl = vtime.NewChan[collEvent](sim)
+	s.mwLaunching = false
+	s.mu.Unlock()
+	// Hand the MW master connection's read side to a watcher goroutine
+	// demuxing tool data and collective frames from async status events
+	// (MW-daemon loss), mirroring the BE master's reader.
+	sim.Go(fmt.Sprintf("fe-sess-%d-mw-watch", s.ID), s.mwReader)
+	return nodes, nil
+}
+
+// mwSpawn asks the engine (and through it the RM) for the MW allocation
+// and spawn, returning the allocated node names.
+func (s *Session) mwSpawn(nodes int, daemon rm.DaemonSpec) ([]string, error) {
 	payload, err := s.engExchange(&lmonp.Msg{
 		Class:   lmonp.ClassFEEngine,
 		Type:    lmonp.TypeSpawnReq,
-		Payload: engine.EncodeSpawnReq(engine.SpawnReq{Nodes: opts.Nodes, Daemon: daemon}),
+		Payload: engine.EncodeSpawnReq(engine.SpawnReq{Nodes: nodes, Daemon: daemon}),
 	})
 	if err != nil {
 		return nil, err
@@ -85,39 +182,37 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	if status != "mw-spawned" {
 		return nil, fmt.Errorf("core: middleware spawn failed: %s", status)
 	}
-	nodes, err := rd.StringList()
-	if err != nil {
-		return nil, err
-	}
+	return rd.StringList()
+}
 
-	// Handshake with the master middleware daemon over this session's
-	// mux endpoint (hello role "mw-master").
-	mwConn, err := s.ep.Accept(transport.RoleMW, s.timeout)
+// mwSeedStoreForward is the serialized MW baseline: accept the master
+// after the spawn completed, stream the full table behind the handshake
+// (the master buffers it and broadcasts after bootstrap), await ready.
+func (s *Session) mwSeedStoreForward(opts MWOptions) (relayResult, error) {
+	sim := s.p.Sim()
+	conn, err := s.ep.Accept(transport.RoleMW, s.timeout)
 	if err != nil {
-		return nil, fmt.Errorf("core: MW master did not connect: %w", err)
+		return relayResult{}, fmt.Errorf("core: MW master did not connect: %w", err)
 	}
-	if err := s.sendHandshake(mwConn, lmonp.ClassFEMW, opts.FEData); err != nil {
-		mwConn.Close()
-		return nil, err
+	var tl engine.Timeline
+	tl.Mark(engine.MarkMW7, sim.Now())
+	if err := s.sendHandshake(conn, lmonp.ClassFEMW, opts.FEData); err != nil {
+		conn.Close()
+		return relayResult{}, err
 	}
-	ready, err := mwConn.Expect(lmonp.ClassFEMW, lmonp.TypeReady)
+	ready, err := conn.Expect(lmonp.ClassFEMW, lmonp.TypeReady)
 	if err != nil {
-		mwConn.Close()
-		return nil, err
+		conn.Close()
+		return relayResult{}, err
 	}
-	infos, _, err := decodeReady(ready.Payload)
+	tl.Mark(engine.MarkMW10, sim.Now())
+	infos, masterTL, err := decodeReady(ready.Payload)
 	if err != nil {
-		mwConn.Close()
-		return nil, err
+		conn.Close()
+		return relayResult{}, err
 	}
-	committed = true
-	s.mu.Lock()
-	s.mwMaster = mwConn
-	s.mwNodes = nodes
-	s.mwInfos = infos
-	s.mwLaunching = false
-	s.mu.Unlock()
-	return nodes, nil
+	tl.Merge(masterTL)
+	return relayResult{conn: conn, infos: infos, tl: tl}, nil
 }
 
 // MWNodes returns the middleware allocation (after LaunchMW).
@@ -147,156 +242,54 @@ func (s *Session) SendToMW(data []byte) error {
 	if c == nil {
 		return fmt.Errorf("core: session %d has no middleware daemons", s.ID)
 	}
+	if s.closed() {
+		return ErrSessionClosed
+	}
 	return c.Send(&lmonp.Msg{Class: lmonp.ClassFEMW, Type: lmonp.TypeUsrData, UsrData: data})
 }
 
-// RecvFromMW receives tool data from the master middleware daemon.
+// RecvFromMW receives tool data from the master middleware daemon
+// (queued by the session's MW watcher, which filters out status events
+// and collective frames). On a session the watchdog tore down, the error
+// wraps the terminal fault detail (see closedErr).
 func (s *Session) RecvFromMW() ([]byte, error) {
-	c := s.mwConn()
+	s.mu.Lock()
+	c, q := s.mwMaster, s.mwUsr
+	s.mu.Unlock()
 	if c == nil {
 		return nil, fmt.Errorf("core: session %d has no middleware daemons", s.ID)
 	}
-	msg, err := c.Expect(lmonp.ClassFEMW, lmonp.TypeUsrData)
-	if err != nil {
-		return nil, err
+	if s.closed() {
+		return nil, s.closedErr()
 	}
-	return msg.UsrData, nil
+	data, ok := q.Recv()
+	if !ok {
+		return nil, s.closedErr()
+	}
+	return data, nil
 }
 
 // Middleware is the MW-daemon-side session handle (paper §3.4). Its
-// personality handle is the rank, assigned by the RM spawn.
+// personality handle is the rank, assigned by the RM spawn. It shares the
+// daemonSession core with BackEnd: the same seed validation, collective
+// tool-data plane (Collective), heartbeat tree (Health) and FE pipe.
 type Middleware struct {
-	p    *cluster.Proc
-	comm *iccl.Comm
-	fe   *lmonp.Conn // master only
-
-	tab    proctab.Table
-	feData []byte
+	*daemonSession
 }
 
 // MWInit joins a middleware daemon into its session, mirroring BEInit:
-// master handshakes with the FE, the fabric bootstraps, and the RPDTAB and
-// piggybacked data are distributed so TBŌN daemons can locate the target
-// program and back-end daemons.
+// the master handshakes with the FE, the fabric bootstraps with the
+// cut-through seed stream (or the store-forward baseline the FE selected),
+// every rank validates its reassembled RPDTAB + piggybacked data, and the
+// ready gather reports the daemon set to the front end.
 func MWInit(p *cluster.Proc) (*Middleware, error) {
-	cfg, err := icclConfigFromEnv(p, true)
+	d, err := initDaemon(p, mwFabric)
 	if err != nil {
 		return nil, err
 	}
-	mw := &Middleware{p: p}
-	var masterTab proctab.Table
-	var feData []byte
-	var tl engine.Timeline
-	if cfg.Rank == 0 {
-		fe, err := dialFE(p, transport.RoleMW)
-		if err != nil {
-			return nil, fmt.Errorf("core: MW master dialing FE: %w", err)
-		}
-		mw.fe = fe
-		handshake, err := mw.fe.Expect(lmonp.ClassFEMW, lmonp.TypeHandshake)
-		if err != nil {
-			return nil, err
-		}
-		feData = handshake.UsrData
-		masterTab, err = proctab.RecvStream(mw.fe, lmonp.ClassFEMW, nil)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	comm, err := iccl.Bootstrap(p, cfg)
-	if err != nil {
-		return nil, err
-	}
-	mw.comm = comm
-
-	tab, data, err := distributeSessionSeed(comm, masterTab, feData)
-	if err != nil {
-		return nil, err
-	}
-	mw.tab = tab
-	mw.feData = data
-
-	mine := encodeDaemonInfo(DaemonInfo{Rank: comm.Rank(), Host: p.Node().Name(), Pid: p.Pid()})
-	all, err := comm.Gather(mine)
-	if err != nil {
-		return nil, err
-	}
-	if comm.IsMaster() {
-		infos := make([]DaemonInfo, 0, len(all))
-		for _, rawInfo := range all {
-			d, err := decodeDaemonInfo(rawInfo)
-			if err != nil {
-				return nil, err
-			}
-			infos = append(infos, d)
-		}
-		if err := mw.fe.Send(&lmonp.Msg{
-			Class:   lmonp.ClassFEMW,
-			Type:    lmonp.TypeReady,
-			Payload: encodeReady(infos, tl),
-		}); err != nil {
-			return nil, err
-		}
-	}
-	return mw, nil
+	return &Middleware{daemonSession: d}, nil
 }
 
 // Personality returns the daemon's personality handle (its rank) and the
 // total daemon count — the MPI-rank-like identity of §3.4.
 func (m *Middleware) Personality() (rank, size int) { return m.comm.Rank(), m.comm.Size() }
-
-// AmIMaster reports whether this daemon is the MW master.
-func (m *Middleware) AmIMaster() bool { return m.comm.IsMaster() }
-
-// Proctab returns the target job's RPDTAB.
-func (m *Middleware) Proctab() proctab.Table { return m.tab }
-
-// FEData returns the piggybacked tool bootstrap data.
-func (m *Middleware) FEData() []byte { return m.feData }
-
-// Proc returns the daemon's process handle.
-func (m *Middleware) Proc() *cluster.Proc { return m.p }
-
-// Barrier, Broadcast, Gather and Scatter expose the bootstrap fabric for
-// the TBŌN's own network setup.
-func (m *Middleware) Barrier() error { return m.comm.Barrier() }
-
-// Broadcast distributes buf from the MW master to every MW daemon.
-func (m *Middleware) Broadcast(buf []byte) ([]byte, error) { return m.comm.Broadcast(buf) }
-
-// Gather collects one blob per MW daemon at the master.
-func (m *Middleware) Gather(mine []byte) ([][]byte, error) { return m.comm.Gather(mine) }
-
-// Scatter distributes parts[rank] from the MW master to each daemon.
-func (m *Middleware) Scatter(parts [][]byte) ([]byte, error) { return m.comm.Scatter(parts) }
-
-// SendToFE ships tool data to the front end (master only).
-func (m *Middleware) SendToFE(data []byte) error {
-	if !m.AmIMaster() {
-		return ErrNotMaster
-	}
-	return m.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEMW, Type: lmonp.TypeUsrData, UsrData: data})
-}
-
-// RecvFromFE receives tool data from the front end (master only).
-func (m *Middleware) RecvFromFE() ([]byte, error) {
-	if !m.AmIMaster() {
-		return nil, ErrNotMaster
-	}
-	msg, err := m.fe.Expect(lmonp.ClassFEMW, lmonp.TypeUsrData)
-	if err != nil {
-		return nil, err
-	}
-	return msg.UsrData, nil
-}
-
-// Finalize leaves the session.
-func (m *Middleware) Finalize() error {
-	err := m.comm.Barrier()
-	m.comm.Close()
-	if m.fe != nil {
-		m.fe.Close()
-	}
-	return err
-}

@@ -49,6 +49,20 @@ const (
 	MarkSeedValid = "seed_validated"     // daemon-side assembler validated the reassembled RPDTAB
 )
 
+// Middleware seed-chain marks (timestamps): LaunchMW distributes the
+// same session seed over the MW fabric, and its events form their own
+// monotone chain m7≤m8≤m9≤m10 — the MW analogue of the back-end
+// handshake chain e7≤e8≤e9≤e10, starting after e11 (the session must be
+// established before middleware daemons can be requested).
+const (
+	MarkMW7         = "m7_mw_handshake_start" // FE accepted the MW master's dial, handshake begins
+	MarkMW8         = "m8_mw_netsetup_start"  // MW master consumed the handshake, starts ICCL fabric setup
+	MarkMW9         = "m9_mw_netsetup_done"   // MW tree fully connected
+	MarkMW10        = "m10_mw_ready"          // FE received the MW master's ready message
+	MarkMWSeedFwd   = "mw_seed_first_forward" // FE relayed the first seed chunk to the MW master
+	MarkMWSeedValid = "mw_seed_validated"     // MW-daemon assembler validated the reassembled RPDTAB
+)
+
 // MarkEntry is one named timestamp or duration on a Timeline.
 type MarkEntry struct {
 	Name string

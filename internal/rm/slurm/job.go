@@ -45,10 +45,11 @@ type job struct {
 	proc *cluster.Proc
 	cmds *vtime.Chan[command]
 
-	mu     sync.Mutex
-	nodes  []string
-	ptab   proctab.Table
-	killed bool
+	mu      sync.Mutex
+	nodes   []string
+	mwNodes []string // AllocateAndSpawn allocations, reaped with the job
+	ptab    proctab.Table
+	killed  bool
 }
 
 var _ rm.Job = (*job)(nil)
@@ -151,6 +152,7 @@ func (j *job) directKill() error {
 		return rm.ErrAlreadyKilled
 	}
 	nodes := append([]string(nil), j.nodes...)
+	nodes = append(nodes, j.mwNodes...)
 	j.mu.Unlock()
 	h := j.m.cl.FrontEnd().Host()
 	sim := j.m.cl.Sim()
@@ -240,11 +242,26 @@ func (j *job) launcherMain(p *cluster.Proc) {
 				cmd.reply.Send(cmdResult{err: err})
 				continue
 			}
+			// Record the allocation before spawning so a later kill reaps
+			// the middleware daemons together with the job even when the
+			// spawn only partially succeeded (kills are best-effort per
+			// node; nodes that never got a daemon are harmless to sweep).
+			j.mu.Lock()
+			j.mwNodes = append(j.mwNodes, mwNodes...)
+			j.mu.Unlock()
 			err = j.treeSpawn(p, mwNodes, cmd.spec)
 			p.Compute(time.Duration(len(mwNodes)) * cfg.PerNodeSpawnRootCost)
 			cmd.reply.Send(cmdResult{nodes: mwNodes, err: err})
 		case cmdKill:
 			err := j.treeKill(p, nodes)
+			// The middleware allocation is disjoint from the job's nodes;
+			// reap it through its own slurmd tree.
+			j.mu.Lock()
+			mw := append([]string(nil), j.mwNodes...)
+			j.mu.Unlock()
+			if err == nil && len(mw) > 0 {
+				err = j.treeKill(p, mw)
+			}
 			if err != nil {
 				// The tree root may have died with its node; fall back to
 				// the flat best-effort reap so survivors are still cleaned.

@@ -206,9 +206,14 @@ func BenchmarkAblation_Collective(b *testing.B) {
 // the serialized store-and-forward seed pipeline (full-table buffering at
 // the FE and the master, monolithic post-bootstrap broadcast) against the
 // cut-through pipeline (chunks relayed as they arrive and streamed through
-// the still-forming ICCL tree) at K ∈ {64, 1024, 16384}. Cut-through must
-// be measurably faster at the largest scale, and both modes must leave
-// every rank with a byte-identical RPDTAB.
+// the still-forming ICCL tree) at K ∈ {64, 1024, 16384}, with cut-through
+// measured under both RPDTAB retention modes (full copy at every daemon
+// vs rank slices over a shared index). Cut-through must be measurably
+// faster at the largest scale, every run must leave the union of the
+// daemons' rank slices byte-identical to the FE table, and sliced
+// retention must shrink the leaf-daemon footprint by at least an order of
+// magnitude at K=16384. The three-config sweep runs ~13 min of wall
+// clock — pass -timeout beyond go test's 10 m default.
 func BenchmarkAblation_LaunchPipeline(b *testing.B) {
 	var rows []bench.LaunchPipeRow
 	for i := 0; i < b.N; i++ {
@@ -217,28 +222,41 @@ func BenchmarkAblation_LaunchPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(rows) != 2*len(bench.LaunchScales) {
+		if len(rows) != 3*len(bench.LaunchScales) {
 			b.Fatalf("%d rows", len(rows))
 		}
-		byMode := map[string]map[int]bench.LaunchPipeRow{}
+		byCfg := map[string]map[int]bench.LaunchPipeRow{}
 		for _, r := range rows {
 			if !r.TableOK {
-				b.Fatalf("mode %s K=%d: RPDTAB not byte-identical at every rank", r.Mode, r.Daemons)
+				b.Fatalf("mode %s/%s K=%d: RPDTAB slice union not byte-identical", r.Mode, r.Table, r.Daemons)
 			}
-			if byMode[r.Mode] == nil {
-				byMode[r.Mode] = map[int]bench.LaunchPipeRow{}
+			key := r.Mode + "/" + r.Table
+			if byCfg[key] == nil {
+				byCfg[key] = map[int]bench.LaunchPipeRow{}
 			}
-			byMode[r.Mode][r.Daemons] = r
+			byCfg[key][r.Daemons] = r
 		}
 		maxK := bench.LaunchScales[len(bench.LaunchScales)-1]
-		ct, sf := byMode["cut-through"][maxK], byMode["store-forward"][maxK]
-		if ct.Ready >= sf.Ready {
-			b.Fatalf("cut-through (%v) not below store-and-forward (%v) at K=%d",
-				ct.Ready, sf.Ready, maxK)
+		sf := byCfg["store-forward/full"][maxK]
+		for _, key := range []string{"cut-through/full", "cut-through/sliced"} {
+			if ct := byCfg[key][maxK]; ct.Ready >= sf.Ready {
+				b.Fatalf("%s (%v) not below store-and-forward (%v) at K=%d",
+					key, ct.Ready, sf.Ready, maxK)
+			}
+		}
+		full, sliced := byCfg["cut-through/full"][maxK], byCfg["cut-through/sliced"][maxK]
+		if sliced.MemLeaf*10 > full.MemLeaf {
+			b.Fatalf("sliced leaf footprint %d B not 10x below full %d B at K=%d",
+				sliced.MemLeaf, full.MemLeaf, maxK)
 		}
 	}
 	for _, r := range rows {
-		b.ReportMetric(r.Ready.Seconds()*1e3, fmt.Sprintf("%s-ready-vms-K%d", r.Mode, r.Daemons))
+		b.ReportMetric(r.Ready.Seconds()*1e3, fmt.Sprintf("%s-%s-ready-vms-K%d", r.Mode, r.Table, r.Daemons))
+		if r.Table == "sliced" {
+			b.ReportMetric(float64(r.MemMaster), fmt.Sprintf("sliced-master-peakB-K%d", r.Daemons))
+			b.ReportMetric(float64(r.MemInterior), fmt.Sprintf("sliced-interior-peakB-K%d", r.Daemons))
+			b.ReportMetric(float64(r.MemLeaf), fmt.Sprintf("sliced-leaf-peakB-K%d", r.Daemons))
+		}
 	}
 }
 

@@ -15,9 +15,19 @@
 // every row (sweep rows are emitted in deterministic order). The gate
 // fails on: a metric drifting more than -tolerance in either direction
 // (an unexplained improvement is as much a behaviour change as a
-// regression), a baseline metric missing from the current run, or a new
-// metric absent from the baseline — regenerate with -write, review the
-// diff, and commit it to move the pin intentionally.
+// regression) or a baseline metric missing from the current run. A metric
+// present in the run but absent from the baseline only warns — new
+// instrumentation (extra columns, extra sweep points) must not brick the
+// gate before its pin lands; regenerate with -write, review the diff, and
+// commit it to adopt the new metrics intentionally.
+//
+// Baseline stems with no file in the current run are skipped entirely
+// (with a note), so the pin can hold results of sweeps too big for every
+// gate invocation — the full-scale launch_million point is pinned from a
+// large-memory host while CI gates only the smoke files — without the
+// absent file reading as a regression. Within a stem both sides gate, a
+// baseline metric missing from the run still fails: that means a sweep
+// that did run lost rows or columns.
 package main
 
 import (
@@ -37,6 +47,14 @@ type baseline struct {
 	Comment string `json:"comment,omitempty"`
 	// Metrics maps <file-stem>[<row>].<Field> to the pinned value.
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+// stemOf returns the file stem of a metric key (<stem>[<row>].<Field>).
+func stemOf(key string) string {
+	if i := strings.IndexByte(key, '['); i >= 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // extract flattens one BENCH_*.json file into metric entries.
@@ -74,6 +92,7 @@ func main() {
 	}
 
 	current := make(map[string]float64)
+	curStems := make(map[string]bool)
 	for _, path := range flag.Args() {
 		m, err := extract(path)
 		if err != nil {
@@ -82,14 +101,36 @@ func main() {
 		}
 		for k, v := range m {
 			current[k] = v
+			curStems[stemOf(k)] = true
 		}
 	}
 
 	if *write {
+		// Merge: stems covered by the given files are replaced wholesale,
+		// pins for other stems carry over. Re-pinning from the smoke files
+		// alone must not drop the launch_million point, which is pinned
+		// from a large-memory host.
+		merged := make(map[string]float64, len(current))
+		if data, err := os.ReadFile(*basePath); err == nil {
+			var prev baseline
+			if err := json.Unmarshal(data, &prev); err == nil {
+				for k, v := range prev.Metrics {
+					if !curStems[stemOf(k)] {
+						merged[k] = v
+					}
+				}
+			}
+		}
+		for k, v := range current {
+			merged[k] = v
+		}
 		b := baseline{
-			Comment: "virtual-time bench pins for the CI smoke sweep; regenerate with: " +
-				"go run ./cmd/lmonbench -smoke -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_smoke_*.json",
-			Metrics: current,
+			Comment: "virtual-time bench pins for the CI smoke sweep plus the full-scale launch_million point; " +
+				"-write replaces only the stems of the files it is given, so regenerate the smoke pins with: " +
+				"go run ./cmd/lmonbench -smoke -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_smoke_*.json " +
+				"and the million pin (needs ~40 GB host memory) with: " +
+				"go run ./cmd/lmonbench -million -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_launch_million.json",
+			Metrics: merged,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -100,7 +141,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchdiff: wrote %d metrics to %s\n", len(current), *basePath)
+		fmt.Printf("benchdiff: wrote %d metrics to %s (%d from this run, %d carried over)\n",
+			len(merged), *basePath, len(current), len(merged)-len(current))
 		return
 	}
 
@@ -130,14 +172,23 @@ func main() {
 
 	failures := 0
 	checked := 0
+	skippedStems := make(map[string]bool)
 	for _, k := range keys {
 		want, inBase := base.Metrics[k]
 		got, inCur := current[k]
 		switch {
 		case !inBase:
-			fmt.Fprintf(os.Stderr, "benchdiff: NEW %s = %v not in baseline (regenerate with -write and commit)\n", k, got)
-			failures++
+			// New instrumentation, not a regression: warn so the metric is
+			// visible, and let the pin catch up via -write.
+			fmt.Fprintf(os.Stderr, "benchdiff: warning: NEW %s = %v not in baseline (regenerate with -write to pin)\n", k, got)
 		case !inCur:
+			if !curStems[stemOf(k)] {
+				if stem := stemOf(k); !skippedStems[stem] {
+					skippedStems[stem] = true
+					fmt.Fprintf(os.Stderr, "benchdiff: note: baseline stem %q not part of this run, skipping its pins\n", stem)
+				}
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "benchdiff: MISSING %s (baseline %v) absent from this run\n", k, want)
 			failures++
 		default:

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-mw] [-maxk N] [-smoke] [-json] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-million] [-mem] [-mw] [-maxk N] [-smoke] [-json] [-all]
 //
 // With -json, each experiment additionally writes its rows as
 // BENCH_<name>.json in the working directory (machine-readable results
@@ -49,7 +49,9 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation benches")
 	failure := flag.Bool("failure", false, "run the failure-detection ablation (K up to 16384)")
 	collective := flag.Bool("collective", false, "run the collective tool-data-plane ablation (flat vs tree, K up to 16384)")
-	launch := flag.Bool("launch", false, "run the launch-pipeline ablation (store-and-forward vs cut-through seed, K up to 16384)")
+	launch := flag.Bool("launch", false, "run the launch-pipeline ablation (store-and-forward vs cut-through seed, full vs sliced retention, K up to 16384)")
+	million := flag.Bool("million", false, "run the million-daemon launch sweep (rank-sliced cut-through on a lean rig, K=2^20)")
+	mem := flag.Bool("mem", false, "with -launch/-million/-smoke, also print the per-role peak RPDTAB memory table")
 	mwpipe := flag.Bool("mw", false, "run the middleware launch-pipeline ablation (store-and-forward vs cut-through MW seed, K up to 16384)")
 	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/launch/mw sweeps (0 = full scale)")
 	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
@@ -57,7 +59,7 @@ func main() {
 	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && !*failure && !*collective && !*launch && !*mwpipe && !*smoke && *fig == 0 && *table == 0 {
+	if !*ablations && !*failure && !*collective && !*launch && !*million && !*mwpipe && !*smoke && *fig == 0 && *table == 0 {
 		*all = true
 	}
 	// capScales filters a sweep's daemon counts under -maxk.
@@ -83,7 +85,7 @@ func main() {
 	}
 
 	if *smoke {
-		run("smoke", runSmoke)
+		run("smoke", func() error { return runSmoke(*mem) })
 		return
 	}
 
@@ -202,7 +204,32 @@ func main() {
 				return err
 			}
 			bench.PrintLaunchPipeline(os.Stdout, rows)
+			if *mem {
+				fmt.Println()
+				bench.PrintLaunchMem(os.Stdout, rows)
+			}
 			return emit("launchpipe", rows)
+		})
+	}
+	if *million {
+		run("million launch", func() error {
+			// -maxk lowers the sweep point instead of filtering it away:
+			// the sweep has exactly one scale, and a reduced run should
+			// still produce a row.
+			scales := bench.MillionScales
+			if *maxk > 0 && *maxk < scales[len(scales)-1] {
+				scales = []int{*maxk}
+			}
+			rows, err := bench.LaunchMillion(bench.MillionOpts{}, scales)
+			if err != nil {
+				return err
+			}
+			bench.PrintLaunchPipeline(os.Stdout, rows)
+			if *mem {
+				fmt.Println()
+				bench.PrintLaunchMem(os.Stdout, rows)
+			}
+			return emit("launch_million", rows)
 		})
 	}
 	if *all || *mwpipe {
@@ -239,7 +266,7 @@ func main() {
 // runSmoke exercises the bench rig end to end at reduced scale: a
 // concurrent-session sweep and a failure-detection sweep small enough for
 // a CI step, so bench-rig regressions fail the build.
-func runSmoke() error {
+func runSmoke(mem bool) error {
 	cc, err := bench.ConcurrentSessions(bench.ConcurrentSessionOpts{NodesEach: 4, TasksPerNode: 2}, []int{1, 4})
 	if err != nil {
 		return err
@@ -283,7 +310,20 @@ func runSmoke() error {
 	}
 	fmt.Println()
 	bench.PrintLaunchPipeline(os.Stdout, lp)
+	if mem {
+		fmt.Println()
+		bench.PrintLaunchMem(os.Stdout, lp)
+	}
 	if err := emit("smoke_launchpipe", lp); err != nil {
+		return err
+	}
+	ml, err := bench.LaunchMillion(bench.MillionOpts{Fanout: 4}, []int{64})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintLaunchPipeline(os.Stdout, ml)
+	if err := emit("smoke_launch_million", ml); err != nil {
 		return err
 	}
 	mp, err := bench.MWPipeline(bench.MWPipeOpts{

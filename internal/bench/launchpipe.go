@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -8,6 +9,9 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/core"
+	"launchmon/internal/iccl"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 )
 
@@ -16,16 +20,31 @@ import (
 // buffering at the FE and again at the master, monolithic broadcast after
 // bootstrap) versus the cut-through pipeline (chunks relayed FE→master as
 // they arrive from the engine and streamed through the still-forming ICCL
-// tree). Both runs verify that every rank reassembled a byte-identical
-// RPDTAB — the pipeline must never trade correctness for overlap.
+// tree), and — under cut-through — full-table retention at every daemon
+// versus rank-sliced retention with one shared index (the memory model of
+// DESIGN.md). Every run verifies that the union of the daemons' rank
+// slices is byte-identical to the FE's table — the pipeline must never
+// trade correctness for overlap, and slicing must never lose an entry.
 
-// LaunchPipeRow is one mode × scale measurement.
+// LaunchPipeRow is one pipeline × retention × scale measurement.
 type LaunchPipeRow struct {
-	Mode    string        // "cut-through" or "store-forward"
+	Mode    string        // seed pipeline: "cut-through" or "store-forward"
+	Table   string        // RPDTAB retention: "full" or "sliced"
 	Daemons int           // K daemons (one per node)
 	Tasks   int           // application tasks
 	Ready   time.Duration // LaunchAndSpawn call → return (e0→e11, the DaemonsSpawned transition)
-	TableOK bool          // every rank's RPDTAB byte-identical to the FE's
+	TableOK bool          // slice union (and, under full retention, every rank's copy) matches the FE table
+
+	// Peak RPDTAB bytes per pipeline role — the memory-model headline:
+	// sliced retention keeps every daemon's private footprint at
+	// O(K/daemons), with the full table living once per session in the
+	// shared index, where full retention is O(K) per daemon.
+	MemEngine   int // largest encoded chunk the engine buffers (O(chunk), both pipelines)
+	MemFE       int // FE table copy
+	MemIndex    int // session-shared immutable index (once per session; 0 under full retention)
+	MemMaster   int // rank 0
+	MemInterior int // max over daemons with ICCL children (0 when the tree is flat)
+	MemLeaf     int // max over childless daemons
 }
 
 // LaunchScales are the daemon counts of the pipeline sweep.
@@ -34,8 +53,7 @@ var LaunchScales = []int{64, 1024, 16384}
 // LaunchPipeOpts parameterize the ablation.
 type LaunchPipeOpts struct {
 	// TasksPerNode sizes the RPDTAB (default 1, like the other 16384-scale
-	// sweeps: every simulated daemon holds the full table, so task count
-	// is bounded by host memory, not virtual time).
+	// sweeps: table memory at the FE bounds task count, not virtual time).
 	TasksPerNode int
 	Fanout       int // ICCL tree fanout (default 32)
 }
@@ -50,15 +68,32 @@ func (o LaunchPipeOpts) withDefaults() LaunchPipeOpts {
 	return o
 }
 
-// LaunchPipeline measures both pipelines at each scale.
+// launchPipeConfig is one pipeline/retention combination of the sweep.
+type launchPipeConfig struct {
+	seed  core.SeedMode
+	table core.TableMode
+}
+
+// launchPipeConfigs are the three measured combinations: the serialized
+// baseline, cut-through with the full-copy ablation, and cut-through with
+// rank-sliced retention (the default). Store-forward ignores TableMode,
+// so its sliced variant would duplicate the full row.
+var launchPipeConfigs = []launchPipeConfig{
+	{core.SeedStoreForward, core.TableFull},
+	{core.SeedCutThrough, core.TableFull},
+	{core.SeedCutThrough, core.TableSliced},
+}
+
+// LaunchPipeline measures every pipeline/retention combination at each
+// scale.
 func LaunchPipeline(opts LaunchPipeOpts, scales []int) ([]LaunchPipeRow, error) {
 	o := opts.withDefaults()
-	rows := make([]LaunchPipeRow, 0, 2*len(scales))
+	rows := make([]LaunchPipeRow, 0, len(launchPipeConfigs)*len(scales))
 	for _, k := range scales {
-		for _, mode := range []core.SeedMode{core.SeedStoreForward, core.SeedCutThrough} {
-			row, err := measureLaunchPipe(k, mode, o)
+		for _, cfg := range launchPipeConfigs {
+			row, err := measureLaunchPipe(k, cfg, o)
 			if err != nil {
-				return nil, fmt.Errorf("launch pipeline %v at K=%d: %w", mode, k, err)
+				return nil, fmt.Errorf("launch pipeline %v/%v at K=%d: %w", cfg.seed, cfg.table, k, err)
 			}
 			rows = append(rows, row)
 		}
@@ -74,46 +109,125 @@ func tableHash(encoded []byte) []byte {
 	return h.Sum(nil)
 }
 
-func measureLaunchPipe(k int, mode core.SeedMode, o LaunchPipeOpts) (LaunchPipeRow, error) {
-	row := LaunchPipeRow{Mode: mode.String(), Daemons: k, Tasks: k * o.TasksPerNode}
+// launchPipeBE is the ablation's back-end daemon: it gathers its own rank
+// slice (every retention mode has one) prefixed by a fingerprint of its
+// full table copy — empty under sliced retention, where no such copy
+// exists and materializing one through Proctab would defeat the
+// measurement.
+func launchPipeBE(p *cluster.Proc) {
+	be, err := core.BEInit(p)
+	if err != nil {
+		return
+	}
+	var full []byte
+	if p.Env(core.EnvTableMode) != core.TableSliced.String() {
+		full = tableHash(be.Proctab().Encode())
+	}
+	payload := lmonp.AppendBytes(nil, full)
+	payload = lmonp.AppendBytes(payload, be.MyProctab().Encode())
+	be.Collective().Gather(payload)
+	be.Finalize()
+}
+
+// checkLaunchTables verifies the gathered contributions against the FE's
+// table: the union of the per-daemon rank slices must be byte-identical
+// to the full table, and under full retention every daemon's own copy
+// must fingerprint like the FE's.
+func checkLaunchTables(contribs [][]byte, feTab proctab.Table, table core.TableMode) bool {
+	want := append(proctab.Table(nil), feTab...)
+	want.SortByRank()
+	fullHash := string(tableHash(feTab.Encode()))
+	var union proctab.Table
+	for _, raw := range contribs {
+		rd := lmonp.NewReader(raw)
+		full, err := rd.Bytes()
+		if err != nil {
+			return false
+		}
+		if table == core.TableFull && string(full) != fullHash {
+			return false
+		}
+		sliceRaw, err := rd.Bytes()
+		if err != nil {
+			return false
+		}
+		slice, err := proctab.Decode(sliceRaw)
+		if err != nil {
+			return false
+		}
+		union = append(union, slice...)
+	}
+	union.SortByRank()
+	return bytes.Equal(union.Encode(), want.Encode())
+}
+
+// roleMem splits the gathered per-daemon table footprints by tree role.
+func roleMem(row *LaunchPipeRow, infos []core.DaemonInfo, fanout int) {
+	size := len(infos)
+	eff := fanout
+	if eff <= 0 {
+		eff = size // flat: rank 0 parents everyone
+	}
+	for _, d := range infos {
+		switch {
+		case d.Rank == 0:
+			row.MemMaster = max(row.MemMaster, d.PeakBytes)
+		case len(iccl.Children(d.Rank, size, eff)) > 0:
+			row.MemInterior = max(row.MemInterior, d.PeakBytes)
+		default:
+			row.MemLeaf = max(row.MemLeaf, d.PeakBytes)
+		}
+	}
+}
+
+func measureLaunchPipe(k int, cfg launchPipeConfig, o LaunchPipeOpts) (LaunchPipeRow, error) {
+	row := LaunchPipeRow{
+		Mode:    cfg.seed.String(),
+		Table:   cfg.table.String(),
+		Daemons: k,
+		Tasks:   k * o.TasksPerNode,
+	}
 	r, err := NewRig(RigOptions{Nodes: k})
 	if err != nil {
 		return row, err
 	}
-	// Every daemon gathers its table fingerprint to the FE over the
-	// collective plane — after the launch, so the verification does not
-	// perturb the time-to-ready measurement.
-	r.Cl.Register("lp_be", func(p *cluster.Proc) {
-		be, err := core.BEInit(p)
-		if err != nil {
-			return
-		}
-		be.Collective().Gather(tableHash(be.Proctab().Encode()))
-		be.Finalize()
-	})
+	// Every daemon gathers its rank slice (plus, under full retention, a
+	// full-copy fingerprint) to the FE over the collective plane — after
+	// the launch, so verification does not perturb the time-to-ready
+	// measurement.
+	r.Cl.Register("lp_be", launchPipeBE)
 	err = r.RunFE(func(p *cluster.Proc) error {
 		t0 := p.Sim().Now()
 		sess, err := core.LaunchAndSpawn(p, core.Options{
 			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: o.TasksPerNode},
 			Daemon:     rm.DaemonSpec{Exe: "lp_be"},
 			ICCLFanout: o.Fanout,
-			SeedMode:   mode,
+			SeedMode:   cfg.seed,
+			TableMode:  cfg.table,
 		})
 		if err != nil {
 			return err
 		}
 		row.Ready = p.Sim().Now() - t0
-		hashes, err := sess.Gather()
+		contribs, err := sess.Gather()
 		if err != nil {
 			return err
 		}
-		want := string(tableHash(sess.Proctab().Encode()))
-		row.TableOK = len(hashes) == k
-		for _, h := range hashes {
-			if string(h) != want {
-				row.TableOK = false
-			}
+		row.TableOK = len(contribs) == k && checkLaunchTables(contribs, sess.Proctab(), cfg.table)
+		for _, chunk := range sess.Proctab().EncodeChunks(0) {
+			row.MemEngine = max(row.MemEngine, len(chunk))
 		}
+		row.MemFE = sess.Proctab().MemBytes()
+		if cfg.seed == core.SeedCutThrough && cfg.table == core.TableSliced {
+			sorted := append(proctab.Table(nil), sess.Proctab()...)
+			sorted.SortByRank()
+			idx, err := proctab.BuildIndex(sorted)
+			if err != nil {
+				return err
+			}
+			row.MemIndex = idx.MemBytes()
+		}
+		roleMem(&row, sess.Daemons(), o.Fanout)
 		return nil
 	})
 	return row, err
@@ -121,13 +235,25 @@ func measureLaunchPipe(k int, mode core.SeedMode, o LaunchPipeOpts) (LaunchPipeR
 
 // PrintLaunchPipeline renders the comparison.
 func PrintLaunchPipeline(w io.Writer, rows []LaunchPipeRow) {
-	fmt.Fprintln(w, "Ablation — launch pipeline (time to DaemonsSpawned, byte-identical RPDTAB at every rank)")
-	fmt.Fprintln(w, "mode           daemons    tasks   ready      tables")
+	fmt.Fprintln(w, "Ablation — launch pipeline (time to DaemonsSpawned, slice union byte-identical at the FE)")
+	fmt.Fprintln(w, "mode           table   daemons    tasks   ready      master-B  interior-B  leaf-B  tables")
 	for _, r := range rows {
 		ok := "identical"
 		if !r.TableOK {
 			ok = "MISMATCH"
 		}
-		fmt.Fprintf(w, "%-14s %7d %8d %8.3fs  %s\n", r.Mode, r.Daemons, r.Tasks, r.Ready.Seconds(), ok)
+		fmt.Fprintf(w, "%-14s %-7s %7d %8d %8.3fs %9d %11d %7d  %s\n",
+			r.Mode, r.Table, r.Daemons, r.Tasks, r.Ready.Seconds(), r.MemMaster, r.MemInterior, r.MemLeaf, ok)
+	}
+}
+
+// PrintLaunchMem renders the full per-role peak-memory breakdown of a
+// launch sweep (lmonbench -mem).
+func PrintLaunchMem(w io.Writer, rows []LaunchPipeRow) {
+	fmt.Fprintln(w, "Peak RPDTAB bytes per role (index is session-shared, counted once)")
+	fmt.Fprintln(w, "mode           table   daemons  engine-B      fe-B   index-B  master-B  interior-B  leaf-B")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-7s %7d %9d %9d %9d %9d %11d %7d\n",
+			r.Mode, r.Table, r.Daemons, r.MemEngine, r.MemFE, r.MemIndex, r.MemMaster, r.MemInterior, r.MemLeaf)
 	}
 }

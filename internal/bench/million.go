@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/proctab"
+	"launchmon/internal/rm"
+)
+
+// The million-daemon launch sweep — the ROADMAP's headline scale target.
+// Only the rank-sliced cut-through pipeline can reach K=10⁶ on a bounded
+// host: full retention would put a ~60 MB table copy in every one of a
+// million simulated daemons. The sweep runs on a lean rig (RM and
+// LaunchMON only — the full rig parks two extra system processes per
+// node, which at this scale costs more host memory than LaunchMON
+// itself) with health detection off, one task per node, and no
+// post-launch verification gather (the slice-union byte check runs in
+// LaunchPipeline at K≤16384, where full retention exists to compare
+// against).
+
+// MillionScales are the daemon counts of the million sweep.
+var MillionScales = []int{1 << 20}
+
+// MillionOpts parameterize the sweep.
+type MillionOpts struct {
+	TasksPerNode int // default 1
+	Fanout       int // ICCL tree fanout (default 64)
+}
+
+func (o MillionOpts) withDefaults() MillionOpts {
+	if o.TasksPerNode == 0 {
+		o.TasksPerNode = 1
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 64
+	}
+	return o
+}
+
+// LaunchMillion measures the rank-sliced cut-through launch at each
+// scale, reporting the same row shape as LaunchPipeline.
+func LaunchMillion(opts MillionOpts, scales []int) ([]LaunchPipeRow, error) {
+	o := opts.withDefaults()
+	rows := make([]LaunchPipeRow, 0, len(scales))
+	for _, k := range scales {
+		row, err := measureLaunchMillion(k, o)
+		if err != nil {
+			return nil, fmt.Errorf("million launch sweep at K=%d: %w", k, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureLaunchMillion(k int, o MillionOpts) (LaunchPipeRow, error) {
+	row := LaunchPipeRow{
+		Mode:    core.SeedCutThrough.String(),
+		Table:   core.TableSliced.String(),
+		Daemons: k,
+		Tasks:   k * o.TasksPerNode,
+	}
+	r, err := NewRig(RigOptions{Nodes: k, Lean: true})
+	if err != nil {
+		return row, err
+	}
+	registerNoopBE(r.Cl, "million_be")
+	err = r.RunFE(func(p *cluster.Proc) error {
+		t0 := p.Sim().Now()
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: o.TasksPerNode},
+			Daemon:     rm.DaemonSpec{Exe: "million_be"},
+			ICCLFanout: o.Fanout,
+			SeedMode:   core.SeedCutThrough,
+			TableMode:  core.TableSliced,
+		})
+		if err != nil {
+			return err
+		}
+		row.Ready = p.Sim().Now() - t0
+		row.TableOK = true // verified against full retention in LaunchPipeline at K≤16384
+		for _, chunk := range sess.Proctab().EncodeChunks(0) {
+			row.MemEngine = max(row.MemEngine, len(chunk))
+		}
+		row.MemFE = sess.Proctab().MemBytes()
+		sorted := append(proctab.Table(nil), sess.Proctab()...)
+		sorted.SortByRank()
+		idx, err := proctab.BuildIndex(sorted)
+		if err != nil {
+			return err
+		}
+		row.MemIndex = idx.MemBytes()
+		roleMem(&row, sess.Daemons(), o.Fanout)
+		return nil
+	})
+	return row, err
+}

@@ -39,6 +39,12 @@ type RigOptions struct {
 	Rsh      rsh.Config
 	Tbon     tbon.Config
 	Engine   engine.Config
+	// Lean skips the per-node system services the launch path does not
+	// need (sshd, dpcld) and the tool registrations, leaving only the RM
+	// and LaunchMON. The full rig spawns two parked system processes per
+	// node, which dominates host memory at the million-node scale of
+	// LaunchMillion; Rig.Rsh and Rig.Dpc are nil on a lean rig.
+	Lean bool
 }
 
 // NewRig boots the environment. It must be called before Sim.Run; run
@@ -52,6 +58,10 @@ func NewRig(o RigOptions) (*Rig, error) {
 	mgr, err := slurm.Install(cl, o.Slurm)
 	if err != nil {
 		return nil, err
+	}
+	if o.Lean {
+		core.SetupWithEngineConfig(cl, mgr, o.Engine)
+		return &Rig{Sim: sim, Cl: cl, Mgr: mgr}, nil
 	}
 	svc, err := rsh.Install(cl, o.Rsh)
 	if err != nil {

@@ -115,24 +115,30 @@ func DecodeHeader(rd *lmonp.Reader) (Header, error) {
 
 // Frame is one unit of a collective stream on any link: a chunk (Body
 // holds data) or the end marker (Total holds the stream's byte or entry
-// count, matching the proctab end-marker idiom).
+// count, matching the proctab end-marker idiom). Sum is the frame's
+// checksum: Sum64 of the body for chunks, the stream's rolling digest
+// for end markers — what lets a receiver validate a stream at O(chunk)
+// memory instead of retaining it for comparison.
 type Frame struct {
 	H     Header
 	Body  []byte
 	End   bool
 	Total uint64
+	Sum   uint64
 }
 
 // EncodeMsg renders the frame as the two LMONP payload sections of a
 // TypeCollChunk (chunks) or TypeCollEnd (end markers) message: the header
-// — plus the total, for end markers — in the LaunchMON section, the chunk
-// body as piggybacked tool data.
+// — plus the total, for end markers — and the checksum in the LaunchMON
+// section, the chunk body as piggybacked tool data.
 func (f Frame) EncodeMsg() (payload, usr []byte) {
 	payload = f.H.Encode()
 	if f.End {
 		payload = lmonp.AppendUint64(payload, f.Total)
+		payload = lmonp.AppendUint64(payload, f.Sum)
 		return payload, nil
 	}
+	payload = lmonp.AppendUint64(payload, f.Sum)
 	return payload, f.Body
 }
 
@@ -149,8 +155,14 @@ func DecodeMsg(end bool, payload, usr []byte) (Frame, error) {
 		if f.Total, err = rd.Uint64(); err != nil {
 			return Frame{}, fmt.Errorf("%w: end total: %v", ErrBadHeader, err)
 		}
+		if f.Sum, err = rd.Uint64(); err != nil {
+			return Frame{}, fmt.Errorf("%w: end sum: %v", ErrBadHeader, err)
+		}
 		f.End = true
 		return f, nil
+	}
+	if f.Sum, err = rd.Uint64(); err != nil {
+		return Frame{}, fmt.Errorf("%w: chunk sum: %v", ErrBadHeader, err)
 	}
 	f.Body = usr
 	return f, nil
@@ -225,16 +237,21 @@ func SplitRaw(data []byte, maxBytes int) [][]byte {
 func RawFrames(op Op, tag uint32, filter string, data []byte, maxBytes int) []Frame {
 	chunks := SplitRaw(data, maxBytes)
 	out := make([]Frame, 0, len(chunks)+1)
+	digest := lmonp.SumInit
 	for i, ch := range chunks {
+		sum := lmonp.Sum64(ch)
+		digest = lmonp.FoldSum(digest, sum)
 		out = append(out, Frame{
 			H:    Header{Op: op, Tag: tag, Index: uint32(i), Filter: filter},
 			Body: ch,
+			Sum:  sum,
 		})
 	}
 	out = append(out, Frame{
 		H:     Header{Op: op, Tag: tag, Index: uint32(len(chunks)), Filter: filter},
 		End:   true,
 		Total: uint64(len(data)),
+		Sum:   digest,
 	})
 	return out
 }
@@ -253,10 +270,11 @@ type Packer struct {
 	ChunkBytes int
 	Emit       func(Frame) error
 
-	pend  []Entry
-	size  int
-	index uint32
-	total uint64
+	pend   []Entry
+	size   int
+	index  uint32
+	total  uint64
+	digest uint64
 }
 
 // Add appends one entry (copying its blob), flushing a frame when the
@@ -293,9 +311,16 @@ func (p *Packer) flush() error {
 			hi = uint32(e.Rank) + 1
 		}
 	}
+	body := AppendEntries(nil, p.pend)
+	sum := lmonp.Sum64(body)
+	if p.index == 0 {
+		p.digest = lmonp.SumInit
+	}
+	p.digest = lmonp.FoldSum(p.digest, sum)
 	f := Frame{
 		H:    Header{Op: p.Op, Tag: p.Tag, Index: p.index, Lo: lo, Hi: hi},
-		Body: AppendEntries(nil, p.pend),
+		Body: body,
+		Sum:  sum,
 	}
 	p.pend, p.size = nil, 0
 	p.index++
@@ -307,10 +332,14 @@ func (p *Packer) End() error {
 	if err := p.flush(); err != nil {
 		return err
 	}
+	if p.index == 0 {
+		p.digest = lmonp.SumInit
+	}
 	return p.Emit(Frame{
 		H:     Header{Op: p.Op, Tag: p.Tag, Index: p.index},
 		End:   true,
 		Total: p.total,
+		Sum:   p.digest,
 	})
 }
 
@@ -366,11 +395,55 @@ func (s *stream) admit(h Header) error {
 
 // SeqCheck validates a per-link chunk stream — op/tag/filter consistency
 // and in-order, duplicate-free indices — without retaining data, for
-// interior nodes that forward frames verbatim.
-type SeqCheck struct{ s stream }
+// interior nodes that forward frames verbatim. AdmitFrame additionally
+// verifies per-chunk checksums and rolls the stream digest, so every
+// rank of a seed stream validates its link's bytes at O(chunk) memory.
+type SeqCheck struct {
+	s      stream
+	digest uint64
+	rolled bool
+}
 
 // Admit validates the next frame header of the stream.
 func (c *SeqCheck) Admit(h Header) error { return c.s.admit(h) }
+
+// AdmitFrame validates the next frame of a checksummed stream: header
+// sequencing, the chunk body against its Sum, and — for the end marker —
+// the sender's digest against the locally rolled one. Seed streams carry
+// the piggybacked FEData as frame 0; it is checksummed like any chunk
+// but excluded from the payload digest, so the link digest equals the
+// digest of the RPDTAB chunk stream alone.
+func (c *SeqCheck) AdmitFrame(f Frame) error {
+	if err := c.s.admit(f.H); err != nil {
+		return err
+	}
+	if !c.rolled {
+		c.digest = lmonp.SumInit
+		c.rolled = true
+	}
+	if f.End {
+		if f.Sum != c.digest {
+			return fmt.Errorf("coll: %v stream digest mismatch: end marker %#x, rolled %#x", f.H.Op, f.Sum, c.digest)
+		}
+		return nil
+	}
+	if sum := lmonp.Sum64(f.Body); f.Sum != sum {
+		return fmt.Errorf("coll: %v chunk %d checksum mismatch: frame %#x, body %#x", f.H.Op, f.H.Index, f.Sum, sum)
+	}
+	if f.H.Op != OpSeed || f.H.Index >= 1 {
+		c.digest = lmonp.FoldSum(c.digest, f.Sum)
+	}
+	return nil
+}
+
+// Digest returns the rolling digest over the chunk frames admitted so
+// far (SumInit before any).
+func (c *SeqCheck) Digest() uint64 {
+	if !c.rolled {
+		return lmonp.SumInit
+	}
+	return c.digest
+}
 
 // RawAssembler reassembles a raw chunk stream (broadcast payloads,
 // reduce results), validating in-order duplicate-free chunk indices.

@@ -2,9 +2,11 @@ package coll
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"launchmon/internal/lmonp"
+	"launchmon/internal/proctab"
 )
 
 // FuzzCollChunkDecode hardens the collective chunk decoders against
@@ -61,6 +63,99 @@ func FuzzCollChunkDecode(f *testing.F) {
 			if _, err := DecodeSample(EncodeSample(items)); err != nil {
 				t.Fatalf("sample re-decode: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzSeedStreamValidate exercises the streaming seed-validation path
+// (SeqCheck.AdmitFrame over the rolling-checksum contract): a pristine
+// seed stream — FEData frame 0, RPDTAB chunks from 1, digest-bearing end
+// marker — must always validate, and flipping any single body byte must
+// be rejected before the stream is accepted.
+func FuzzSeedStreamValidate(f *testing.F) {
+	f.Add(0, 64, uint16(0), byte(0))
+	f.Add(3, 64, uint16(2), byte(1))
+	f.Add(100, 128, uint16(500), byte(0xff))
+	f.Add(512, 32, uint16(9999), byte(7))
+
+	f.Fuzz(func(t *testing.T, entries, chunkBytes int, corruptAt uint16, xor byte) {
+		if entries < 0 {
+			entries = -entries
+		}
+		entries %= 513
+		if chunkBytes < 0 {
+			chunkBytes = -chunkBytes
+		}
+		chunkBytes = 32 + chunkBytes%4096
+		tab := make(proctab.Table, 0, entries)
+		for i := 0; i < entries; i++ {
+			tab = append(tab, proctab.ProcDesc{
+				Host: fmt.Sprintf("node%d", i/4), Exe: "app", Pid: 100 + i, Rank: i,
+			})
+		}
+
+		feData := []byte("fe-bootstrap-data")
+		frames := []Frame{{
+			H: Header{Op: OpSeed, Index: 0}, Body: feData, Sum: lmonp.Sum64(feData),
+		}}
+		w := proctab.NewChunkWriter(chunkBytes, func(chunk []byte, sum uint64) error {
+			frames = append(frames, Frame{
+				H: Header{Op: OpSeed, Index: uint32(len(frames))}, Body: chunk, Sum: sum,
+			})
+			return nil
+		})
+		if err := w.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, Frame{
+			H: Header{Op: OpSeed, Index: uint32(len(frames))}, End: true,
+			Total: uint64(entries), Sum: w.Digest(),
+		})
+
+		// The pristine stream must validate end to end.
+		var chk SeqCheck
+		for _, fr := range frames {
+			if err := chk.AdmitFrame(fr); err != nil {
+				t.Fatalf("pristine seed stream rejected: %v", err)
+			}
+		}
+		if chk.Digest() != w.Digest() {
+			t.Fatalf("link digest %#x != writer digest %#x", chk.Digest(), w.Digest())
+		}
+
+		if xor == 0 {
+			return
+		}
+		// Flip one body byte somewhere in the stream: validation must fail.
+		bodyBytes := 0
+		for _, fr := range frames {
+			bodyBytes += len(fr.Body)
+		}
+		if bodyBytes == 0 {
+			return
+		}
+		target := int(corruptAt) % bodyBytes
+		var bad SeqCheck
+		failed := false
+		for _, fr := range frames {
+			if !fr.End && target >= 0 && target < len(fr.Body) {
+				mut := append([]byte(nil), fr.Body...)
+				mut[target] ^= xor
+				fr.Body = mut
+			}
+			if !fr.End {
+				target -= len(fr.Body)
+			}
+			if err := bad.AdmitFrame(fr); err != nil {
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			t.Fatal("corrupted seed stream validated")
 		}
 	})
 }

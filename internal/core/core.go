@@ -28,8 +28,11 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"launchmon/internal/proctab"
 )
 
 // Environment variables the FE plants in daemon environments (in addition
@@ -59,6 +62,20 @@ const (
 	EnvHealthPeriod = "LMON_HEALTH_PERIOD"
 	// EnvHealthMiss is the missed-heartbeat threshold.
 	EnvHealthMiss = "LMON_HEALTH_MISS"
+	// EnvHealthLinks selects the heartbeat transport: "iccl" (the default)
+	// piggybacks heartbeats on the established ICCL tree links, "dial"
+	// builds the dedicated dialed heartbeat tree (the pre-link-reuse
+	// baseline, Options.Health.Dial).
+	EnvHealthLinks = "LMON_HEALTH_LINKS"
+	// EnvTableMode selects per-daemon RPDTAB retention under the
+	// cut-through seed: "sliced" keeps only the local rank slice plus the
+	// session-shared host/rank index, "full" (and any unset value, so
+	// hand-rolled rigs keep the legacy shape) retains the complete table
+	// at every daemon (Options.TableMode).
+	EnvTableMode = "LMON_TABLE_MODE"
+	// EnvProctabChunk bounds re-packed RPDTAB chunk bodies on routed
+	// (rank-sliced) seed links (0 or unset selects the proctab default).
+	EnvProctabChunk = "LMON_PROCTAB_CHUNK"
 )
 
 // Cost model constants for the FE-local bookkeeping; together with the
@@ -99,3 +116,60 @@ func healthPortFor(session int, mw bool) int {
 	}
 	return p
 }
+
+// sessionShared models one session's node-local shared memory segment
+// under rank-sliced table retention (TableSliced): the immutable columnar
+// RPDTAB index published by the front end once the stream validates, and
+// the host→daemon-rank map the seed router consults. Every daemon holds a
+// pointer into this one copy instead of materializing its own, which is
+// what turns the fabric's table memory from O(K x daemons) into
+// O(K/daemon + one shared index).
+type sessionShared struct {
+	mu     sync.Mutex
+	idx    *proctab.Index
+	rankOf map[string]int
+}
+
+// publishIndex installs the session's RPDTAB index. The front end calls it
+// after validating the assembled stream and before relaying the seed end
+// marker, so it happens-before any daemon finishing its own seed drain.
+func (g *sessionShared) publishIndex(idx *proctab.Index) {
+	g.mu.Lock()
+	g.idx = idx
+	g.mu.Unlock()
+}
+
+// index returns the published RPDTAB index (nil before publication).
+func (g *sessionShared) index() *proctab.Index {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.idx
+}
+
+// hostRanks returns the fabric's host→daemon-rank map, built from the
+// launch node list by the first daemon that asks and shared by the rest.
+func (g *sessionShared) hostRanks(nodelist []string) map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.rankOf == nil {
+		g.rankOf = make(map[string]int, len(nodelist))
+		for i, h := range nodelist {
+			g.rankOf[h] = i
+		}
+	}
+	return g.rankOf
+}
+
+// sharedSegs registers the per-session shared segments by session ID.
+var sharedSegs sync.Map
+
+// sharedSegFor returns (creating on first use) the session's shared segment.
+func sharedSegFor(session int) *sessionShared {
+	v, _ := sharedSegs.LoadOrStore(session, &sessionShared{})
+	return v.(*sessionShared)
+}
+
+// dropSharedSeg unregisters a closed session's segment. Daemons that
+// captured the pointer during init keep a valid reference; only the
+// registry entry is released.
+func dropSharedSeg(session int) { sharedSegs.Delete(session) }

@@ -61,8 +61,10 @@ type daemonSession struct {
 	mon  *health.Monitor // nil when the session has no failure detection
 	coll *DaemonCollective
 
-	tab    proctab.Table
-	myTab  proctab.Table // RPDTAB entries on this daemon's node (empty on MW nodes)
+	tab    proctab.Table  // full table (nil under TableSliced)
+	myTab  proctab.Table  // RPDTAB entries on this daemon's node (empty on MW nodes)
+	sliced bool           // TableSliced retention: tab is nil, seg has the index
+	seg    *sessionShared // session-shared segment (set under TableSliced)
 	feData []byte
 	tl     engine.Timeline
 }
@@ -95,6 +97,38 @@ func initDaemon(p *cluster.Proc, fab fabricProfile) (*daemonSession, error) {
 func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
 	d := &daemonSession{p: p, fab: fab}
 
+	// Rank-sliced retention (TableSliced): BE daemons route the seed so
+	// each keeps only its own slice, consulting the session-shared
+	// host→rank map; MW daemons receive an empty stream (their slice is
+	// empty by construction) and read the table, when they need it, from
+	// the same shared index. Unset EnvTableMode means full retention so
+	// hand-rolled rigs that bypass the FE keep the legacy shape.
+	var rt *iccl.SeedRouter
+	if p.Env(EnvTableMode) == TableSliced.envValue() {
+		session, err := strconv.Atoi(p.Env(EnvSession))
+		if err != nil {
+			return nil, fmt.Errorf("core: bad %s: %w", EnvSession, err)
+		}
+		d.sliced = true
+		d.seg = sharedSegFor(session)
+		if !fab.mw {
+			ranks := d.seg.hostRanks(cfg.Nodelist)
+			chunkBytes := 0
+			if cb := p.Env(EnvProctabChunk); cb != "" {
+				if chunkBytes, err = strconv.Atoi(cb); err != nil {
+					return nil, fmt.Errorf("core: bad %s: %w", EnvProctabChunk, err)
+				}
+			}
+			rt = &iccl.SeedRouter{
+				RankOf: func(host string) (int, bool) {
+					r, ok := ranks[host]
+					return r, ok
+				},
+				ChunkBytes: chunkBytes,
+			}
+		}
+	}
+
 	var src iccl.SeedSource
 	if cfg.Rank == 0 {
 		// Master: connect to the FE through the session mux and consume
@@ -114,7 +148,7 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 		src = seedSourceFromFE(d.fe, handshake.UsrData)
 	}
 
-	comm, seed, err := iccl.BootstrapSeed(p, cfg, src)
+	comm, seed, err := iccl.BootstrapSeedRouted(p, cfg, src, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -127,19 +161,25 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 	}
 
 	// Drain the seed: frame 0 carries the piggybacked FEData, later frames
-	// the RPDTAB chunks; the end marker's total validates the reassembly.
+	// the RPDTAB chunks; the end marker's total validates the reassembly
+	// (under TableSliced the stream — and so the assembled table — is just
+	// this daemon's rank slice, already validated chunk by chunk).
 	var asm proctab.Assembler
+	var tab proctab.Table
 	for {
 		f, err := seed.Next()
 		if err != nil {
 			return nil, err
 		}
 		if f.End {
-			tab, err := asm.Finish(int(f.Total))
+			if d.sliced {
+				tab, err = asm.FinishSlice(int(f.Total))
+			} else {
+				tab, err = asm.Finish(int(f.Total))
+			}
 			if err != nil {
 				return nil, err
 			}
-			d.tab = tab
 			break
 		}
 		if f.H.Index == 0 {
@@ -151,7 +191,13 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 		}
 	}
 	d.tl.Mark(fab.markSeedValid, p.Sim().Now())
-	d.myTab = d.tab.OnHost(p.Node().Name())
+	if d.sliced {
+		// The routed stream carried exactly the entries this daemon owns.
+		d.myTab = tab
+	} else {
+		d.tab = tab
+		d.myTab = d.tab.OnHost(p.Node().Name())
+	}
 	// All child forwards must drain before any other down-flowing traffic
 	// may use the tree links.
 	if err := seed.Wait(); err != nil {
@@ -163,12 +209,17 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 // seedSourceFromFE adapts the master's FE connection into the tree's
 // seed stream: a synthesized frame 0 with the handshake's FEData, then
 // one frame per relayed RPDTAB chunk, closed by the relay's end marker.
+// Chunk sums are computed here (the LMONP relay ships bare payloads); the
+// end marker's digest arrives from the FE, so the master's stream check
+// covers the whole engine→FE→master path.
 func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
 	idx := uint32(0)
 	return func() (coll.Frame, error) {
 		if idx == 0 {
 			idx = 1
-			return coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: 0}, Body: feData}, nil
+			return coll.Frame{
+				H: coll.Header{Op: coll.OpSeed, Index: 0}, Body: feData, Sum: lmonp.Sum64(feData),
+			}, nil
 		}
 		msg, err := fe.Recv()
 		if err != nil {
@@ -176,15 +227,17 @@ func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
 		}
 		switch msg.Type {
 		case lmonp.TypeProctabChunk:
-			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, Body: msg.Payload}
+			f := coll.Frame{
+				H: coll.Header{Op: coll.OpSeed, Index: idx}, Body: msg.Payload, Sum: lmonp.Sum64(msg.Payload),
+			}
 			idx++
 			return f, nil
 		case lmonp.TypeProctabEnd:
-			total, err := lmonp.NewReader(msg.Payload).Uint64()
+			total, digest, err := proctab.DecodeEndMarker(msg.Payload)
 			if err != nil {
 				return coll.Frame{}, fmt.Errorf("core: seed end marker: %w", err)
 			}
-			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, End: true, Total: total}
+			f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: idx}, End: true, Total: total, Sum: digest}
 			idx++
 			return f, nil
 		default:
@@ -261,10 +314,11 @@ func (d *daemonSession) setupCollective() error {
 func (d *daemonSession) completeInit(cfg iccl.Config) error {
 	// Gather per-daemon info to the master; it rides the ready message.
 	mine := encodeDaemonInfo(DaemonInfo{
-		Rank:  d.comm.Rank(),
-		Host:  d.p.Node().Name(),
-		Pid:   d.p.Pid(),
-		Tasks: len(d.myTab),
+		Rank:      d.comm.Rank(),
+		Host:      d.p.Node().Name(),
+		Pid:       d.p.Pid(),
+		Tasks:     len(d.myTab),
+		PeakBytes: d.peakTableBytes(),
 	})
 	all, err := d.comm.Gather(mine)
 	if err != nil {
@@ -295,10 +349,26 @@ func (d *daemonSession) completeInit(cfg iccl.Config) error {
 	return d.startHealth(cfg)
 }
 
+// peakTableBytes models the daemon's peak private RPDTAB memory for the
+// ready gather: the whole table under full retention, just the local rank
+// slice under sliced retention. The session-shared index is deliberately
+// not charged here — it is owned once per session (sessionShared), and
+// attributing it to every daemon would make the gathered totals scale as
+// O(K x daemons) on paper when the actual fabric footprint is O(K).
+func (d *daemonSession) peakTableBytes() int {
+	if !d.sliced {
+		return d.tab.MemBytes()
+	}
+	return d.myTab.MemBytes()
+}
+
 // startHealth joins the daemon into its fabric's heartbeat tree when the
 // FE planted a heartbeat period in the environment (Options.Health for
-// the BE fabric, MWOptions.Health for the MW fabric). Each fabric runs
-// its own tree over its own topology and port band.
+// the BE fabric, MWOptions.Health for the MW fabric). By default the
+// heartbeats piggyback on the established ICCL tree links (ShareLinks +
+// health.StartOnLinks) — no extra connections; HealthOptions.Dial
+// ("dial" in EnvHealthLinks) selects the dedicated dialed tree over the
+// fabric's own port band, kept as the pre-link-reuse baseline.
 func (d *daemonSession) startHealth(cfg iccl.Config) error {
 	periodStr := d.p.Env(EnvHealthPeriod)
 	if periodStr == "" {
@@ -318,11 +388,23 @@ func (d *daemonSession) startHealth(cfg iccl.Config) error {
 	if err != nil {
 		return fmt.Errorf("core: bad %s: %w", EnvSession, err)
 	}
-	mon, err := health.Start(d.p, health.Config{
-		Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
-		Nodelist: cfg.Nodelist, Port: healthPortFor(session, d.fab.mw),
-		Period: period, Miss: miss,
-	})
+	var mon *health.Monitor
+	switch mode := d.p.Env(EnvHealthLinks); mode {
+	case "", "iccl":
+		parent, children := d.comm.ShareLinks()
+		mon, err = health.StartOnLinks(d.p, health.Config{
+			Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
+			Period: period, Miss: miss,
+		}, parent, children)
+	case "dial":
+		mon, err = health.Start(d.p, health.Config{
+			Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
+			Nodelist: cfg.Nodelist, Port: healthPortFor(session, d.fab.mw),
+			Period: period, Miss: miss,
+		})
+	default:
+		return fmt.Errorf("core: bad %s %q", EnvHealthLinks, mode)
+	}
 	if err != nil {
 		return err
 	}
@@ -363,8 +445,21 @@ func (d *daemonSession) Rank() int { return d.comm.Rank() }
 // Size returns the number of daemons in this fabric of the session.
 func (d *daemonSession) Size() int { return d.comm.Size() }
 
-// Proctab returns the full RPDTAB of the target job.
-func (d *daemonSession) Proctab() proctab.Table { return d.tab }
+// Proctab returns the full RPDTAB of the target job. Under rank-sliced
+// retention (Options.TableMode == TableSliced, the default) the daemon
+// holds no full copy; the call materializes a fresh table from the
+// session-shared index — an O(K) allocation the caller owns, deliberately
+// paid only when a tool actually asks for the whole table. Scalable tools
+// should prefer MyProctab (the local slice, held anyway).
+func (d *daemonSession) Proctab() proctab.Table {
+	if !d.sliced {
+		return d.tab
+	}
+	if idx := d.seg.index(); idx != nil {
+		return idx.Table()
+	}
+	return nil
+}
 
 // FEData returns the tool data the front end piggybacked on the handshake.
 func (d *daemonSession) FEData() []byte { return d.feData }

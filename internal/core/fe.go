@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"launchmon/internal/coll"
 	"launchmon/internal/engine"
 	"launchmon/internal/health"
+	"launchmon/internal/hostlist"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
@@ -56,6 +56,12 @@ type Options struct {
 	// pipeline: SeedCutThrough (the default) or the serialized
 	// SeedStoreForward baseline. See the SeedMode constants.
 	SeedMode SeedMode
+	// TableMode selects per-daemon RPDTAB retention under the cut-through
+	// pipeline: TableSliced (the default) keeps only each daemon's rank
+	// slice plus a session-shared immutable index, TableFull retains the
+	// complete table at every daemon (the ablation baseline, and the only
+	// shape store-forward supports). See the TableMode constants.
+	TableMode TableMode
 	// Timeout bounds (in virtual time) how long the front end waits for
 	// the engine and the master daemon to connect; daemons that crash
 	// before dialing in surface as an error instead of a hang. Zero means
@@ -77,6 +83,12 @@ type HealthOptions struct {
 	// Miss is how many consecutive periods a daemon may miss before it is
 	// declared dead (default 3).
 	Miss int
+	// Dial forces the heartbeat tree onto dedicated dialed connections
+	// (the pre-link-reuse baseline). The default false piggybacks
+	// heartbeats on the established ICCL tree links (iccl.Comm.ShareLinks
+	// + health.StartOnLinks), halving the session's per-daemon connection
+	// count.
+	Dial bool
 }
 
 const defaultSessionTimeout = 10 * time.Minute
@@ -158,6 +170,7 @@ type Session struct {
 	daemons    []DaemonInfo
 	timeout    time.Duration
 	chunkBytes int
+	tableMode  TableMode
 	collChunk  int    // collective-plane chunk bound (0 = coll default)
 	collTag    uint32 // BE-fabric collective sequence (FE side)
 	mwTag      uint32 // MW-fabric collective sequence (FE side)
@@ -255,6 +268,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 		timeout:    timeout,
 		chunkBytes: opts.ProctabChunkBytes,
 		collChunk:  opts.CollChunkBytes,
+		tableMode:  opts.TableMode,
 	}
 	s.Timeline.Mark(engine.MarkE0, sim.Now())
 	p.Compute(feStartCost)
@@ -297,10 +311,13 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvCollChunk] = fmt.Sprint(opts.CollChunkBytes)
 	env[EnvSeedMode] = opts.SeedMode.envValue()
+	env[EnvTableMode] = opts.TableMode.envValue()
+	env[EnvProctabChunk] = fmt.Sprint(opts.ProctabChunkBytes)
 	env[EnvKind] = "be"
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
 		env[EnvHealthMiss] = fmt.Sprint(opts.Health.Miss)
+		env[EnvHealthLinks] = healthLinksEnv(opts.Health)
 	}
 	daemon.Env = env
 
@@ -783,6 +800,7 @@ func (s *Session) Kill() error {
 }
 
 func (s *Session) close() {
+	dropSharedSeg(s.ID)
 	if s.eng != nil {
 		s.eng.Close()
 	}
@@ -824,10 +842,19 @@ func encodeReady(infos []DaemonInfo, tl engine.Timeline) []byte {
 	return lmonp.AppendBytes(b, tl.Encode())
 }
 
-// splitNodeList parses the RM-provided comma-joined node list.
-func splitNodeList(s string) []string {
-	if s == "" {
-		return nil
+// healthLinksEnv renders the heartbeat-transport knob for the daemon
+// bootstrap environment.
+func healthLinksEnv(h HealthOptions) string {
+	if h.Dial {
+		return "dial"
 	}
-	return strings.Split(s, ",")
+	return "iccl"
+}
+
+// splitNodeList parses the RM-provided node list: a hostlist-compressed
+// range expression ("n[0-999999]") or a plain comma-joined list. Expansion
+// interns the shared suffix structure, so a million-node list costs one
+// slice, not a million independent strings.
+func splitNodeList(s string) []string {
+	return hostlist.Expand(s)
 }

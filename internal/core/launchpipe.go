@@ -48,12 +48,44 @@ func (m SeedMode) String() string {
 // envValue renders the mode for the daemon bootstrap environment.
 func (m SeedMode) envValue() string { return m.String() }
 
-// seedItem is one unit of the FE→master relay: an RPDTAB chunk or the
-// end marker carrying the table's entry count.
+// TableMode selects how much of the RPDTAB each daemon retains under the
+// cut-through seed pipeline.
+type TableMode int
+
+const (
+	// TableSliced (the default) keeps only each daemon's own rank slice:
+	// interior daemons decode incoming seed chunks, retain the entries
+	// whose host they own, and re-pack the rest into per-subtree streams
+	// (iccl.SeedRouter), while the full table lives once per session in a
+	// shared immutable index (sessionShared). Per-daemon table memory is
+	// O(K/daemons) instead of O(K) — O(K) total across the fabric instead
+	// of O(K²)-ish K x daemons.
+	TableSliced TableMode = iota
+	// TableFull retains the complete table at every daemon — the ablation
+	// baseline for the memory model, and the only shape the store-forward
+	// seed pipeline supports (store-forward ignores TableMode).
+	TableFull
+)
+
+// String names the mode for diagnostics and bench output.
+func (m TableMode) String() string {
+	if m == TableFull {
+		return "full"
+	}
+	return "sliced"
+}
+
+// envValue renders the mode for the daemon bootstrap environment.
+func (m TableMode) envValue() string { return m.String() }
+
+// seedItem is one unit of the FE→master relay: an RPDTAB chunk, or the
+// end marker carrying the table's entry count and the rolling digest of
+// the chunk checksums (sum).
 type seedItem struct {
 	chunk []byte
 	end   bool
 	total uint64
+	sum   uint64
 }
 
 // relayResult is what the seed-relay goroutine hands back to the launch
@@ -142,7 +174,7 @@ func (r *seedRelay) relay() relayResult {
 			err = conn.Send(&lmonp.Msg{
 				Class:   r.fab.class,
 				Type:    lmonp.TypeProctabEnd,
-				Payload: lmonp.AppendUint64(nil, it.total),
+				Payload: proctab.EncodeEndMarker(it.total, it.sum),
 			})
 		} else {
 			err = conn.Send(&lmonp.Msg{
@@ -220,17 +252,30 @@ func (s *Session) launchCutThrough(opts Options) error {
 			if tabDone {
 				return fail(fmt.Errorf("core: duplicate RPDTAB end marker"))
 			}
-			rd := lmonp.NewReader(msg.Payload)
-			total, err := rd.Uint64()
+			total, digest, err := proctab.DecodeEndMarker(msg.Payload)
 			if err != nil {
 				return fail(fmt.Errorf("core: RPDTAB end marker: %w", err))
+			}
+			if digest != asm.Digest() {
+				return fail(fmt.Errorf("core: RPDTAB stream digest mismatch at FE"))
 			}
 			tab, err := asm.Finish(int(total))
 			if err != nil {
 				return fail(err)
 			}
 			s.tab = tab
-			relay.items.Send(seedItem{end: true, total: total})
+			if s.tableMode == TableSliced {
+				// Publish the shared index before relaying the end marker:
+				// every daemon's seed drain completes only after this marker
+				// flows through the tree, so the index is visible by the
+				// time any daemon (or the tool code above it) consults it.
+				idx, err := proctab.BuildIndex(tab)
+				if err != nil {
+					return fail(fmt.Errorf("core: building shared RPDTAB index: %w", err))
+				}
+				sharedSegFor(s.ID).publishIndex(idx)
+			}
+			relay.items.Send(seedItem{end: true, total: total, sum: digest})
 			tabDone = true
 		case lmonp.TypeStatus:
 			status, tl, err := engine.DecodeStatus(msg.Payload)

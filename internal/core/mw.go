@@ -73,10 +73,13 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvCollChunk] = fmt.Sprint(s.collChunk)
 	env[EnvSeedMode] = opts.SeedMode.envValue()
+	env[EnvTableMode] = s.tableMode.envValue()
+	env[EnvProctabChunk] = fmt.Sprint(s.chunkBytes)
 	env[EnvKind] = "mw"
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
 		env[EnvHealthMiss] = fmt.Sprint(opts.Health.Miss)
+		env[EnvHealthLinks] = healthLinksEnv(opts.Health)
 	}
 	daemon.Env = env
 
@@ -113,12 +116,24 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 		relay := newSeedRelay(s, mwFabric, opts.FEData,
 			engine.MarkMW7, engine.MarkMWSeedFwd, engine.MarkMW10)
 		sim.Go(fmt.Sprintf("fe-sess-%d-mw-seed-relay", s.ID), relay.run)
-		// The FE already holds the assembled table; re-chunk it into the
-		// relay so the MW stream is bounded exactly like the BE stream.
-		for _, chunk := range s.tab.EncodeChunks(s.chunkBytes) {
-			relay.items.Send(seedItem{chunk: chunk})
+		if s.tableMode == TableSliced {
+			// Rank-sliced retention: MW daemons own no application tasks,
+			// so their slice is empty — the stream is just the FEData
+			// preamble plus an empty-table end marker, and MW daemons read
+			// the full table (when a tool asks) from the session-shared
+			// index. The seed transfer drops from O(K) to O(1) per MW link.
+			relay.items.Send(seedItem{end: true, total: 0, sum: lmonp.SumInit})
+		} else {
+			// The FE already holds the assembled table; re-chunk it into
+			// the relay so the MW stream is bounded exactly like the BE
+			// stream, folding the per-chunk sums into the end digest.
+			digest := lmonp.SumInit
+			for _, chunk := range s.tab.EncodeChunks(s.chunkBytes) {
+				digest = lmonp.FoldSum(digest, lmonp.Sum64(chunk))
+				relay.items.Send(seedItem{chunk: chunk})
+			}
+			relay.items.Send(seedItem{end: true, total: uint64(len(s.tab)), sum: digest})
 		}
-		relay.items.Send(seedItem{end: true, total: uint64(len(s.tab))})
 
 		var err error
 		if nodes, err = s.mwSpawn(opts.Nodes, daemon); err != nil {

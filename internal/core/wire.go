@@ -6,14 +6,19 @@ import (
 
 // DaemonInfo is the per-daemon record gathered to the master during
 // handshake and reported to the front end in the ready message: where each
-// daemon landed and how many application tasks it watches. Its size is
-// linear in the daemon count, which is the Region C scaling term of the
-// performance model.
+// daemon landed, how many application tasks it watches, and its modeled
+// peak private RPDTAB memory (the full table under TableFull; just the
+// daemon's rank slice under TableSliced — the session-shared index is
+// owned once per session, not per daemon, so charging it here would
+// recreate on paper the O(K x daemons) footprint slicing removes). Its
+// size is linear in the daemon count, which is the Region C scaling term
+// of the performance model.
 type DaemonInfo struct {
-	Rank  int
-	Host  string
-	Pid   int
-	Tasks int
+	Rank      int
+	Host      string
+	Pid       int
+	Tasks     int
+	PeakBytes int
 }
 
 func encodeDaemonInfo(d DaemonInfo) []byte {
@@ -21,6 +26,7 @@ func encodeDaemonInfo(d DaemonInfo) []byte {
 	b = lmonp.AppendString(b, d.Host)
 	b = lmonp.AppendUint32(b, uint32(d.Pid))
 	b = lmonp.AppendUint32(b, uint32(d.Tasks))
+	b = lmonp.AppendUint64(b, uint64(d.PeakBytes))
 	return b
 }
 
@@ -43,7 +49,11 @@ func decodeDaemonInfo(b []byte) (DaemonInfo, error) {
 	if err != nil {
 		return d, err
 	}
-	return DaemonInfo{Rank: int(r), Host: h, Pid: int(p), Tasks: int(t)}, nil
+	pk, err := rd.Uint64()
+	if err != nil {
+		return d, err
+	}
+	return DaemonInfo{Rank: int(r), Host: h, Pid: int(p), Tasks: int(t), PeakBytes: int(pk)}, nil
 }
 
 func encodeDaemonInfos(ds []DaemonInfo) []byte {

@@ -131,12 +131,12 @@ func (s *Service) handle(p *cluster.Proc, node *cluster.Node, conn *simnet.Conn)
 		// binary in full before touching any symbol.
 		p.Compute(s.cfg.AttachCost)
 		p.Compute(s.cfg.BinaryParseCost)
-		raw, err := tr.ReadSymbol(rm.SymProctab)
+		tab, err := rm.ProctabFromLauncher(tr)
 		if err != nil {
 			lmonp.WriteFrame(conn, lmonp.AppendString(nil, err.Error()))
 			return
 		}
-		enc, _ := raw.([]byte)
+		enc := tab.Encode()
 		out := lmonp.AppendString(nil, "")
 		out = lmonp.AppendBytes(out, enc)
 		lmonp.WriteFrame(conn, out)

@@ -249,25 +249,45 @@ func (e *Engine) serveAttach(req *lmonp.Msg) error {
 // has the RM co-locate the tool daemons (e5..e6).
 func (e *Engine) harvestAndSpawn(spec rm.DaemonSpec, tr *cluster.Tracer) error {
 	fetchStart := e.proc.Sim().Now()
-	tab, err := rm.ProctabFromLauncher(tr)
+	// Stream the harvest: each launcher-published chunk symbol is read,
+	// decoded, and immediately re-chunked onto the engine→FE stream at the
+	// session chunk size — the engine's transient is O(chunk), it never
+	// materializes the table (let alone a second full copy, which the old
+	// read-then-encode path held). Under the cut-through pipeline the FE
+	// relays each chunk onward to the master daemon as it arrives (and the
+	// master into the forming ICCL tree), so chunks flow end to end
+	// without a full-table stop anywhere. All symbol reads complete before
+	// the launcher is resumed, per the APAI contract.
+	total := 0
+	w := proctab.NewChunkWriter(e.chunkBytes, func(chunk []byte, _ uint64) error {
+		return e.fe.Send(&lmonp.Msg{Class: lmonp.ClassFEEngine, Type: lmonp.TypeProctabChunk, Payload: chunk})
+	})
+	err := rm.ReadProctabChunks(tr, func(chunk []byte, _, _ int) error {
+		entries, err := proctab.Decode(chunk)
+		if err != nil {
+			return err
+		}
+		total += len(entries)
+		return w.AddTable(entries)
+	})
 	if err != nil {
 		return err
 	}
 	e.tl.Mark(MarkE4, e.proc.Sim().Now())
 	e.tl.Mark(MarkFetch, e.proc.Sim().Now()-fetchStart)
-
-	// Resume the launcher; it must be servicing commands for SpawnDaemons.
-	if err := tr.Continue(); err != nil && !errors.Is(err, cluster.ErrNotStopped) {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := e.fe.Send(&lmonp.Msg{
+		Class:   lmonp.ClassFEEngine,
+		Type:    lmonp.TypeProctabEnd,
+		Payload: proctab.EncodeEndMarker(uint64(total), w.Digest()),
+	}); err != nil {
 		return err
 	}
 
-	// Ship the RPDTAB to the front end as a bounded-chunk stream: no
-	// single LMONP payload exceeds the configured chunk size, and the
-	// transfer overlaps with the daemon spawn below. Under the cut-through
-	// pipeline the FE relays each chunk onward to the master daemon as it
-	// arrives (and the master into the forming ICCL tree), so these chunks
-	// flow end to end without a full-table stop anywhere.
-	if err := proctab.SendStream(e.fe, lmonp.ClassFEEngine, tab, e.chunkBytes); err != nil {
+	// Resume the launcher; it must be servicing commands for SpawnDaemons.
+	if err := tr.Continue(); err != nil && !errors.Is(err, cluster.ErrNotStopped) {
 		return err
 	}
 

@@ -112,6 +112,8 @@ type Monitor struct {
 
 	failures *vtime.Chan[Report] // root only; nil elsewhere
 
+	plink *iccl.Link // links mode: shared parent link (nil at root / dial mode)
+
 	// mu guards the fields below and serializes parent writes (simnet
 	// writes return immediately; virtual time is charged on delivery).
 	mu       sync.Mutex
@@ -188,6 +190,92 @@ func Start(p *cluster.Proc, cfg Config) (*Monitor, error) {
 		p.Sim().Go(fmt.Sprintf("health-parent-%d", cfg.Rank), m.parentWatch)
 	}
 	return m, nil
+}
+
+// StartOnLinks starts the monitor in link-reuse mode: instead of
+// listening and dialing a second tree (one extra connection pair per
+// daemon), heartbeats piggyback on the established ICCL tree links
+// (iccl.Comm.ShareLinks), halving per-session connection count. parent
+// must be nil exactly at rank 0; children are the shared links of this
+// daemon's connected ICCL children. Both detection paths survive the
+// move: a severed node closes the mux queues (fast path), and silent
+// failures still surface via heartbeat misses. Stop in this mode leaves
+// the shared connections alone — they belong to the collective plane —
+// so teardown is per-daemon (core stops each monitor at session close)
+// rather than a root-initiated close cascade.
+func StartOnLinks(p *cluster.Proc, cfg Config, parent *iccl.Link, children []*iccl.Link) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("%w: bad rank/size %d/%d", ErrMonitor, cfg.Rank, cfg.Size)
+	}
+	if (cfg.Rank == 0) != (parent == nil) {
+		return nil, fmt.Errorf("%w: parent link must be nil at rank 0 only (rank %d)", ErrMonitor, cfg.Rank)
+	}
+	m := &Monitor{
+		p:        p,
+		cfg:      cfg,
+		plink:    parent,
+		children: make(map[int]*simnet.Conn),
+		lastBeat: make(map[int]time.Duration),
+		reported: make(map[int]bool),
+	}
+	if cfg.Rank == 0 {
+		m.failures = vtime.NewChan[Report](p.Sim())
+	}
+	if len(children) > 0 {
+		now := p.Sim().Now()
+		for _, lk := range children {
+			m.lastBeat[lk.Rank] = now
+		}
+		for _, lk := range children {
+			lk := lk
+			p.Sim().Go(fmt.Sprintf("health-link-reader-%d-%d", cfg.Rank, lk.Rank), func() { m.linkReader(lk) })
+		}
+		p.Sim().Go(fmt.Sprintf("health-check-%d", cfg.Rank), m.checkLoop)
+	}
+	if parent != nil {
+		p.Sim().Go(fmt.Sprintf("health-beat-%d", cfg.Rank), m.beatLoop)
+		p.Sim().Go(fmt.Sprintf("health-parent-%d", cfg.Rank), func() {
+			// Parents never send heartbeats downward; the queue closing
+			// means the parent's node (or the session) went away.
+			_, _ = parent.Recv.Recv()
+			m.Stop()
+		})
+	}
+	return m, nil
+}
+
+// linkReader consumes one shared child link's heartbeat queue. The queue
+// closing means the ICCL mux saw the connection fail — the child's whole
+// subtree is unreachable, exactly like a severed dial-mode conn.
+func (m *Monitor) linkReader(lk *iccl.Link) {
+	for {
+		payload, ok := lk.Recv.Recv()
+		if !ok {
+			if !m.halted() {
+				m.declareSubtreeDead(lk.Rank, "connection severed")
+			}
+			return
+		}
+		if m.halted() {
+			// Can't close a shared conn (the collective plane owns it);
+			// just stop consuming.
+			return
+		}
+		m.p.Compute(m.cfg.PerMsgCost)
+		rd := lmonp.NewReader(payload)
+		op, _ := rd.Uint32()
+		switch op {
+		case hbBeat:
+			m.mu.Lock()
+			m.lastBeat[lk.Rank] = m.p.Sim().Now()
+			m.mu.Unlock()
+		case hbDead:
+			if reports, err := decodeReports(rd); err == nil {
+				m.propagate(reports)
+			}
+		}
+	}
 }
 
 // Failures returns the root's failure-report stream (nil off-root). The
@@ -407,16 +495,20 @@ func (m *Monitor) propagate(reports []Report) {
 	_ = m.sendUp(frame)
 }
 
-// sendUp writes one frame to the parent, serialized across the beat,
-// reader and checker goroutines.
+// sendUp writes one frame to the parent — the dialed conn, or the shared
+// ICCL link in link-reuse mode — serialized across the beat, reader and
+// checker goroutines.
 func (m *Monitor) sendUp(frame []byte) error {
-	if m.parent == nil {
+	if m.parent == nil && m.plink == nil {
 		return nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.stopped {
 		return errors.New("health: monitor stopped")
+	}
+	if m.plink != nil {
+		return m.plink.Send(frame)
 	}
 	return lmonp.WriteFrame(m.parent, frame)
 }

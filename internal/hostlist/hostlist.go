@@ -1,0 +1,150 @@
+// Package hostlist provides SLURM-style compressed host-list notation
+// ("node[0-1023]") plus a process-global expansion cache. Node lists are
+// the one piece of bootstrap state whose naive encoding is quadratic at
+// scale: a comma-joined list of a million hosts is ~7 MB, and it is
+// embedded in every tree-launch request and every daemon's environment —
+// O(K) copies of an O(K) string. Compressing runs of numerically
+// consecutive names keeps the wire form O(runs), and interning the
+// expansion means every daemon process on a simulated node shares one
+// backing []string instead of materializing its own.
+package hostlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Compress renders nodes in compact range notation. Runs of names that
+// share a prefix and carry consecutive, non-zero-padded numeric suffixes
+// collapse to "prefix[lo-hi]"; everything else passes through verbatim.
+// Compress(Expand(s)) round-trips any list Expand accepts.
+func Compress(nodes []string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(nodes) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		prefix, num, ok := splitNumeric(nodes[i])
+		if !ok {
+			b.WriteString(nodes[i])
+			i++
+			continue
+		}
+		j := i + 1
+		next := num + 1
+		for j < len(nodes) {
+			p2, n2, ok2 := splitNumeric(nodes[j])
+			if !ok2 || p2 != prefix || n2 != next {
+				break
+			}
+			next++
+			j++
+		}
+		if j-i >= 2 {
+			fmt.Fprintf(&b, "%s[%d-%d]", prefix, num, next-1)
+		} else {
+			b.WriteString(nodes[i])
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// splitNumeric splits "node123" into ("node", 123). Names without a
+// numeric suffix, or with a zero-padded one (ambiguous to re-render), are
+// not compressible.
+func splitNumeric(name string) (prefix string, num int, ok bool) {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) || strings.ContainsAny(name, "[],-") {
+		return "", 0, false
+	}
+	digits := name[i:]
+	if len(digits) > 1 && digits[0] == '0' {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+// expandCache interns expansions: one shared, immutable []string per
+// distinct compact string. Every daemon of a session expands the same
+// LMON_NODELIST value, so the cache turns K private O(K) slices into one
+// — the simulated analogue of a node-local shared segment, and the
+// difference between O(K) and O(K²) session memory at million scale.
+var expandCache sync.Map // string -> []string
+
+// Expand parses a compact host list into node names, resolving
+// "prefix[lo-hi]" ranges. The returned slice is shared across callers and
+// MUST NOT be modified. Malformed ranges pass through verbatim (they are
+// then just unresolvable host names, surfaced by the dialer).
+func Expand(s string) []string {
+	if s == "" {
+		return nil
+	}
+	if cached, ok := expandCache.Load(s); ok {
+		return cached.([]string)
+	}
+	out := expand(s)
+	actual, _ := expandCache.LoadOrStore(s, out)
+	return actual.([]string)
+}
+
+func expand(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		// One item ends at the first comma outside brackets.
+		end, depth := len(s), 0
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case ',':
+				if depth == 0 {
+					end = i
+					goto found
+				}
+			}
+		}
+	found:
+		item := s[:end]
+		if end < len(s) {
+			s = s[end+1:]
+		} else {
+			s = ""
+		}
+		out = appendItem(out, item)
+	}
+	return out
+}
+
+func appendItem(out []string, item string) []string {
+	open := strings.IndexByte(item, '[')
+	if open < 0 || !strings.HasSuffix(item, "]") {
+		return append(out, item)
+	}
+	prefix, rng := item[:open], item[open+1:len(item)-1]
+	dash := strings.IndexByte(rng, '-')
+	if dash < 0 {
+		return append(out, item)
+	}
+	lo, err1 := strconv.Atoi(rng[:dash])
+	hi, err2 := strconv.Atoi(rng[dash+1:])
+	if err1 != nil || err2 != nil || hi < lo {
+		return append(out, item)
+	}
+	for n := lo; n <= hi; n++ {
+		out = append(out, prefix+strconv.Itoa(n))
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package hostlist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestCompressExpandRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"fe0"},
+		{"node0"},
+		{"node0", "node1", "node2", "node3"},
+		{"node5", "node7", "node8", "node9", "alpha"},
+		{"node0", "node1", "fe0", "node3", "node4", "node5"},
+		{"a1", "a2", "b1", "b2"},
+		{"zero-pad01", "zero-pad02"}, // not compressible, must pass through
+	}
+	for _, nodes := range cases {
+		s := Compress(nodes)
+		got := Expand(s)
+		if len(nodes) == 0 {
+			if len(got) != 0 {
+				t.Errorf("Expand(Compress(%v)) = %v", nodes, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, nodes) {
+			t.Errorf("Expand(Compress(%v)) = %v (compact %q)", nodes, got, s)
+		}
+	}
+}
+
+func TestCompressLargeRunIsCompact(t *testing.T) {
+	nodes := make([]string, 100000)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	s := Compress(nodes)
+	if s != "node[0-99999]" {
+		t.Fatalf("Compress = %q, want node[0-99999]", s)
+	}
+	got := Expand(s)
+	if len(got) != len(nodes) || got[0] != "node0" || got[99999] != "node99999" {
+		t.Fatalf("Expand round-trip broken: len %d, first %q, last %q", len(got), got[0], got[len(got)-1])
+	}
+}
+
+func TestExpandInterned(t *testing.T) {
+	a := Expand("node[0-63]")
+	b := Expand("node[0-63]")
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("bad expansion lengths %d/%d", len(a), len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("Expand did not intern: same input returned distinct backing arrays")
+	}
+}
+
+func TestExpandPlainList(t *testing.T) {
+	got := Expand("node3,node4,other")
+	want := []string{"node3", "node4", "other"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+}

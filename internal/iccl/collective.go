@@ -71,13 +71,19 @@ func (pl *Plane) nextTag() uint32 {
 
 // writeFrameOp renders f as a tree-link frame under the given chunk/end
 // opcode pair and writes it — the single coll.Frame↔link-frame mapping,
-// shared by the collective plane and the session-seed stream.
+// shared by the collective plane and the session-seed stream. Only the
+// End frame carries a checksum on the wire: the rolling digest of the
+// stream's per-chunk sums. Receivers recompute each chunk's sum from the
+// body as it arrives and fold it (coll.SeqCheck), so streaming validation
+// covers every chunk at O(chunk) memory without an 8-byte per-frame wire
+// tax — on a deep tree those bytes ride every hop of every link.
 func writeFrameOp(conn *simnet.Conn, chunkOp, endOp uint32, f coll.Frame) error {
 	var b []byte
 	if f.End {
 		b = lmonp.AppendUint32(nil, endOp)
 		b = lmonp.AppendBytes(b, f.H.Encode())
 		b = lmonp.AppendUint64(b, f.Total)
+		b = lmonp.AppendUint64(b, f.Sum)
 	} else {
 		b = lmonp.AppendUint32(nil, chunkOp)
 		b = lmonp.AppendBytes(b, f.H.Encode())
@@ -86,14 +92,21 @@ func writeFrameOp(conn *simnet.Conn, chunkOp, endOp uint32, f coll.Frame) error 
 	return lmonp.WriteFrame(conn, b)
 }
 
-// readFrameOp reads one frame written by writeFrameOp, charging the
-// per-message handling cost.
+// readFrameOp reads one frame written by writeFrameOp directly off the
+// conn, charging the per-message handling cost. It is only safe before
+// ShareLinks (the seed stream flows during bootstrap, well before links
+// are shared); afterwards reads must go through Comm.recvRaw.
 func readFrameOp(p *cluster.Proc, cost time.Duration, conn *simnet.Conn, chunkOp, endOp uint32) (coll.Frame, error) {
 	raw, err := lmonp.ReadFrame(conn)
 	if err != nil {
 		return coll.Frame{}, err
 	}
 	p.Compute(cost)
+	return parseFrameOp(raw, chunkOp, endOp)
+}
+
+// parseFrameOp decodes one raw tree frame produced by writeFrameOp.
+func parseFrameOp(raw []byte, chunkOp, endOp uint32) (coll.Frame, error) {
 	rd := lmonp.NewReader(raw)
 	op, err := rd.Uint32()
 	if err != nil {
@@ -115,12 +128,19 @@ func readFrameOp(p *cluster.Proc, cost time.Duration, conn *simnet.Conn, chunkOp
 		if f.Total, err = rd.Uint64(); err != nil {
 			return coll.Frame{}, err
 		}
+		if f.Sum, err = rd.Uint64(); err != nil {
+			return coll.Frame{}, err
+		}
 		f.End = true
 		return f, nil
 	}
 	if f.Body, err = rd.Bytes(); err != nil {
 		return coll.Frame{}, err
 	}
+	// No on-wire sum for chunks: compute it here so the receiver's rolling
+	// digest (checked against the end marker) still covers every chunk it
+	// admitted.
+	f.Sum = lmonp.Sum64(f.Body)
 	return f, nil
 }
 
@@ -129,9 +149,14 @@ func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
 	return writeFrameOp(conn, opCollChunk, opCollEnd, f)
 }
 
-// recvFrame reads one collective frame from a tree link.
+// recvFrame reads one collective frame from a tree link (demuxed when
+// the link is shared with the health plane).
 func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
-	return readFrameOp(pl.c.p, pl.c.cfg.PerMsgCost, conn, opCollChunk, opCollEnd)
+	raw, err := pl.c.recvRaw(conn)
+	if err != nil {
+		return coll.Frame{}, err
+	}
+	return parseFrameOp(raw, opCollChunk, opCollEnd)
 }
 
 // emitUp ships one FE-bound frame: through the up hook at the root,

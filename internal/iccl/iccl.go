@@ -13,24 +13,28 @@
 package iccl
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/simnet"
+	"launchmon/internal/vtime"
 )
 
 // Collective opcodes on tree links.
 const (
-	opJoin    = 1 // child → parent: rank announcement at bootstrap
-	opReady   = 2 // child → parent: subtree fully connected (count)
-	opBarrier = 3
-	opRelease = 4
-	opBcast   = 5
-	opGather  = 6
-	opScatter = 7
+	opJoin      = 1 // child → parent: rank announcement at bootstrap
+	opReady     = 2 // child → parent: subtree fully connected (count)
+	opBarrier   = 3
+	opRelease   = 4
+	opBcast     = 5
+	opGather    = 6
+	opScatter   = 7
+	opHeartbeat = 12 // child → parent: health beat piggybacked on the tree link
 )
 
 // Config describes one daemon's place in the ICCL tree.
@@ -78,13 +82,119 @@ type Comm struct {
 	parent   *simnet.Conn   // nil at root
 	children []*simnet.Conn // indexed by child slot
 	childRk  []int          // rank of each child slot
+
+	muxMu sync.Mutex
+	mux   map[*simnet.Conn]*linkMux // set by ShareLinks, nil before
 }
 
 // Errors from the collective layer.
 var (
 	ErrBootstrap = errors.New("iccl: bootstrap failed")
 	ErrProtocol  = errors.New("iccl: protocol violation")
+	// ErrSevered reports a shared tree link whose peer died: the mux
+	// reader saw the connection fail and closed both demux queues.
+	ErrSevered = errors.New("iccl: link severed")
 )
+
+// linkMux demultiplexes one shared tree connection: a single reader
+// goroutine owns the conn and sorts incoming frames into the collective
+// queue (charged the ICCL per-message cost at arrival) and the heartbeat
+// queue (left for the health layer to charge). Both queues close when
+// the connection dies, which is how links-mode health detects peer death.
+type linkMux struct {
+	frames *vtime.Chan[[]byte]
+	hb     *vtime.Chan[[]byte]
+}
+
+// Link is one shared tree connection exposed for heartbeat piggybacking
+// (health link reuse): Send ships one heartbeat payload to the peer, and
+// Recv yields heartbeat payloads from the peer, closing when the
+// connection dies. Collective traffic keeps flowing on the same conn.
+type Link struct {
+	Rank int                        // peer daemon rank
+	Send func(payload []byte) error // ship one heartbeat to the peer
+	Recv *vtime.Chan[[]byte]        // heartbeats from the peer
+}
+
+// ShareLinks switches every tree connection to multiplexed mode and
+// returns heartbeat handles: the parent link (nil at the root) and one
+// link per connected child. Call it only after all one-shot bootstrap
+// traffic (the session seed in particular) has drained; from then on the
+// mux readers own the connections and all collective receives go through
+// the demux queues. Close still tears the connections down.
+func (c *Comm) ShareLinks() (parent *Link, children []*Link) {
+	c.muxMu.Lock()
+	defer c.muxMu.Unlock()
+	if c.mux != nil {
+		panic("iccl: ShareLinks called twice")
+	}
+	c.mux = make(map[*simnet.Conn]*linkMux, len(c.children)+1)
+	mklink := func(conn *simnet.Conn, rank int) *Link {
+		m := &linkMux{
+			frames: vtime.NewChan[[]byte](c.p.Sim()),
+			hb:     vtime.NewChan[[]byte](c.p.Sim()),
+		}
+		c.mux[conn] = m
+		c.p.Sim().Go(fmt.Sprintf("iccl-mux-%d-%d", c.rank, rank), func() {
+			for {
+				raw, err := lmonp.ReadFrame(conn)
+				if err != nil {
+					m.frames.Close()
+					m.hb.Close()
+					return
+				}
+				if len(raw) >= 4 && binary.BigEndian.Uint32(raw) == opHeartbeat {
+					// Heartbeats are charged by the health layer when it
+					// consumes them, at its own (cheaper) per-message cost.
+					m.hb.Send(raw[4:])
+					continue
+				}
+				c.p.Compute(c.cfg.PerMsgCost)
+				m.frames.Send(raw)
+			}
+		})
+		return &Link{
+			Rank: rank,
+			Send: func(payload []byte) error {
+				b := lmonp.AppendUint32(make([]byte, 0, 4+len(payload)), opHeartbeat)
+				b = append(b, payload...)
+				return lmonp.WriteFrame(conn, b)
+			},
+			Recv: m.hb,
+		}
+	}
+	if c.parent != nil {
+		parent = mklink(c.parent, Parent(c.rank, c.cfg.Fanout))
+	}
+	children = make([]*Link, len(c.children))
+	for slot, conn := range c.children {
+		children[slot] = mklink(conn, c.childRk[slot])
+	}
+	return parent, children
+}
+
+// recvRaw reads one raw frame from a tree connection, going through the
+// demux queue when the link is shared (ShareLinks) and reading directly
+// otherwise. The ICCL per-message cost is charged exactly once either
+// way: here on the direct path, by the mux reader on the shared path.
+func (c *Comm) recvRaw(conn *simnet.Conn) ([]byte, error) {
+	c.muxMu.Lock()
+	m := c.mux[conn]
+	c.muxMu.Unlock()
+	if m != nil {
+		raw, ok := m.frames.Recv()
+		if !ok {
+			return nil, ErrSevered
+		}
+		return raw, nil
+	}
+	raw, err := lmonp.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	c.p.Compute(c.cfg.PerMsgCost)
+	return raw, nil
+}
 
 // Parent returns the parent rank of r in a k-ary tree (r>0).
 func Parent(r, fanout int) int { return (r - 1) / fanout }
@@ -273,11 +383,10 @@ func (c *Comm) Close() {
 }
 
 func (c *Comm) recvOp(conn *simnet.Conn, want uint32) (*lmonp.Reader, error) {
-	frame, err := lmonp.ReadFrame(conn)
+	frame, err := c.recvRaw(conn)
 	if err != nil {
 		return nil, err
 	}
-	c.p.Compute(c.cfg.PerMsgCost)
 	rd := lmonp.NewReader(frame)
 	op, err := rd.Uint32()
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/coll"
+	"launchmon/internal/proctab"
 	"launchmon/internal/simnet"
 	"launchmon/internal/vtime"
 )
@@ -31,8 +32,162 @@ const (
 // SeedSource yields successive seed frames at the tree root (the master
 // daemon pulls them off its front-end connection as they arrive). Frames
 // must carry coll.OpSeed with a contiguous Index sequence, closed by an
-// End frame.
+// End frame; every chunk carries Sum64 of its body and the End frame
+// carries the rolling digest of the RPDTAB chunk sums (frames from
+// index 1 — index 0 is the FEData preamble, excluded from the digest).
 type SeedSource func() (coll.Frame, error)
+
+// SeedRouter enables rank-sliced seed delivery: instead of relaying every
+// RPDTAB chunk to every child (each daemon ending up with the full K-entry
+// table), every node decodes the chunks it receives, keeps only the
+// entries whose host maps to its own daemon rank, and re-packs the rest
+// into fresh bounded chunk streams — one per child subtree, each with its
+// own index sequence, per-chunk sums, and digest-bearing end marker. No
+// daemon ever materializes more than O(chunk + own slice) table bytes.
+type SeedRouter struct {
+	// RankOf maps an RPDTAB host name to the daemon rank that owns it.
+	// The map behind it is shared across the session (modeling a
+	// node-local shared segment), so routing costs no per-daemon memory.
+	RankOf func(host string) (int, bool)
+	// ChunkBytes bounds re-packed chunk bodies per link (<= 0 selects
+	// coll.DefaultChunkBytes).
+	ChunkBytes int
+}
+
+// seedSplitter is the per-node routing state: one ChunkWriter per child
+// slot plus one for the locally retained slice, each emitting coll.Frames
+// with a fresh contiguous index sequence (FEData stays frame 0 on every
+// link, chunks start at 1).
+type seedSplitter struct {
+	rt     *SeedRouter
+	rank   int
+	fanout int
+	local  *vtime.Chan[coll.Frame]
+	outs   []*vtime.Chan[coll.Frame]
+	slotOf map[int]int // direct child rank → slot
+
+	locW   *proctab.ChunkWriter
+	locIx  uint32
+	slotW  []*proctab.ChunkWriter
+	slotIx []uint32
+}
+
+func newSeedSplitter(rt *SeedRouter, cfg Config, kids []int, local *vtime.Chan[coll.Frame], outs []*vtime.Chan[coll.Frame]) *seedSplitter {
+	cb := rt.ChunkBytes
+	if cb <= 0 {
+		cb = coll.DefaultChunkBytes
+	}
+	s := &seedSplitter{
+		rt: rt, rank: cfg.Rank, fanout: cfg.Fanout,
+		local: local, outs: outs,
+		slotOf: make(map[int]int, len(kids)),
+		slotW:  make([]*proctab.ChunkWriter, len(kids)),
+		slotIx: make([]uint32, len(kids)),
+	}
+	for slot, rk := range kids {
+		s.slotOf[rk] = slot
+		slot := slot
+		s.slotW[slot] = proctab.NewChunkWriter(cb, func(chunk []byte, sum uint64) error {
+			s.slotIx[slot]++
+			s.outs[slot].Send(coll.Frame{
+				H: coll.Header{Op: coll.OpSeed, Index: s.slotIx[slot]}, Body: chunk, Sum: sum,
+			})
+			return nil
+		})
+	}
+	s.locW = proctab.NewChunkWriter(cb, func(chunk []byte, sum uint64) error {
+		s.locIx++
+		s.local.Send(coll.Frame{
+			H: coll.Header{Op: coll.OpSeed, Index: s.locIx}, Body: chunk, Sum: sum,
+		})
+		return nil
+	})
+	return s
+}
+
+// slotFor walks rk's ancestor chain up to this node and returns the child
+// slot whose subtree holds rk, or -1 when rk is outside the subtree.
+func (s *seedSplitter) slotFor(rk int) int {
+	for rk > 0 {
+		p := Parent(rk, s.fanout)
+		if p == s.rank {
+			if slot, ok := s.slotOf[rk]; ok {
+				return slot
+			}
+			return -1
+		}
+		rk = p
+	}
+	return -1
+}
+
+// chunk routes one admitted seed frame. FEData (frame 0) is forwarded
+// verbatim everywhere; RPDTAB chunks are decoded and their entries split
+// between the local slice and the owning child subtrees.
+func (s *seedSplitter) chunk(f coll.Frame) error {
+	if f.H.Index == 0 {
+		s.local.Send(f)
+		for i := range s.outs {
+			s.outs[i].Send(f)
+		}
+		return nil
+	}
+	entries, err := proctab.Decode(f.Body)
+	if err != nil {
+		return err
+	}
+	for _, d := range entries {
+		rk, ok := s.rt.RankOf(d.Host)
+		if !ok {
+			return fmt.Errorf("%w: no daemon rank for host %q in seed route", ErrProtocol, d.Host)
+		}
+		if rk == s.rank {
+			if err := s.locW.Add(d); err != nil {
+				return err
+			}
+			continue
+		}
+		slot := s.slotFor(rk)
+		if slot < 0 {
+			return fmt.Errorf("%w: seed entry for rank %d outside rank %d's subtree", ErrProtocol, rk, s.rank)
+		}
+		if err := s.slotW[slot].Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish flushes every stream on the incoming End frame, verifies the
+// routed entry count against the end marker's claimed total, and closes
+// each outgoing stream with its own per-subtree total and digest.
+func (s *seedSplitter) finish(f coll.Frame) error {
+	if err := s.locW.Flush(); err != nil {
+		return err
+	}
+	routed := uint64(s.locW.Count())
+	for i := range s.slotW {
+		if err := s.slotW[i].Flush(); err != nil {
+			return err
+		}
+		routed += uint64(s.slotW[i].Count())
+	}
+	if routed != f.Total {
+		return fmt.Errorf("%w: routed %d seed entries at rank %d, end marker says %d",
+			ErrProtocol, routed, s.rank, f.Total)
+	}
+	for i := range s.outs {
+		s.outs[i].Send(coll.Frame{
+			H:   coll.Header{Op: coll.OpSeed, Index: s.slotIx[i] + 1},
+			End: true, Total: uint64(s.slotW[i].Count()), Sum: s.slotW[i].Digest(),
+		})
+	}
+	s.local.Send(coll.Frame{
+		H:   coll.Header{Op: coll.OpSeed, Index: s.locIx + 1},
+		End: true, Total: uint64(s.locW.Count()), Sum: s.locW.Digest(),
+	})
+	return nil
+}
 
 // Seed is one daemon's handle on an in-flight session-seed stream. Next
 // yields the locally delivered frames (forwarding to children happens
@@ -94,6 +249,16 @@ func (s *Seed) Wait() error {
 // are in flight — the affected forwarder records the error for Wait while
 // bootstrap itself surfaces the broken tree.
 func BootstrapSeed(p *cluster.Proc, cfg Config, src SeedSource) (*Comm, *Seed, error) {
+	return BootstrapSeedRouted(p, cfg, src, nil)
+}
+
+// BootstrapSeedRouted is BootstrapSeed with optional rank-slice routing:
+// with a non-nil router the locally delivered stream carries only this
+// daemon's slice of the RPDTAB (plus the FEData preamble), and children
+// receive freshly packed streams covering exactly their subtrees. With a
+// nil router every frame is relayed verbatim everywhere (full-table
+// mode, the ablation baseline).
+func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRouter) (*Comm, *Seed, error) {
 	cfg = cfg.withDefaults()
 	if (cfg.Rank == 0) != (src != nil) {
 		return nil, nil, fmt.Errorf("%w: seed source must be set at rank 0 only (rank %d)", ErrBootstrap, cfg.Rank)
@@ -152,6 +317,10 @@ func BootstrapSeed(p *cluster.Proc, cfg Config, src SeedSource) (*Comm, *Seed, e
 		seed.wg.Add(1)
 		sim.Go(fmt.Sprintf("iccl-seed-pump-%d", cfg.Rank), func() {
 			defer seed.wg.Done()
+			var split *seedSplitter
+			if rt != nil {
+				split = newSeedSplitter(rt, cfg, kids, seed.local, outs)
+			}
 			var chk coll.SeqCheck
 			for {
 				f, err := next()
@@ -165,10 +334,29 @@ func BootstrapSeed(p *cluster.Proc, cfg Config, src SeedSource) (*Comm, *Seed, e
 					abort()
 					return
 				}
-				if err := chk.Admit(f.H); err != nil {
+				// Streaming validation: per-chunk sums and, at End, the
+				// rolling digest — every rank verifies the stream it saw
+				// without retaining it.
+				if err := chk.AdmitFrame(f); err != nil {
 					seed.fail(err)
 					abort()
 					return
+				}
+				if split != nil {
+					if f.End {
+						err = split.finish(f)
+					} else {
+						err = split.chunk(f)
+					}
+					if err != nil {
+						seed.fail(err)
+						abort()
+						return
+					}
+					if f.End {
+						return
+					}
+					continue
 				}
 				seed.local.Send(f)
 				for i := range outs {

@@ -7,6 +7,7 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/coll"
+	"launchmon/internal/lmonp"
 	"launchmon/internal/vtime"
 )
 
@@ -31,10 +32,20 @@ func seedRig(t *testing.T, n, fanout int, bodies [][]byte, fn func(c *Comm, got 
 			if _, err := cl.Node(i).SpawnProc(cluster.Spec{Exe: "d", Main: func(p *cluster.Proc) {
 				var src SeedSource
 				if i == 0 {
+					// The stream digest covers the chunk frames (from index
+					// 1); frame 0 is the FEData preamble.
+					digest := lmonp.SumInit
+					for _, b := range bodies[1:] {
+						digest = lmonp.FoldSum(digest, lmonp.Sum64(b))
+					}
 					idx := 0
 					src = func() (coll.Frame, error) {
 						if idx < len(bodies) {
-							f := coll.Frame{H: coll.Header{Op: coll.OpSeed, Index: uint32(idx)}, Body: bodies[idx]}
+							f := coll.Frame{
+								H:    coll.Header{Op: coll.OpSeed, Index: uint32(idx)},
+								Body: bodies[idx],
+								Sum:  lmonp.Sum64(bodies[idx]),
+							}
 							idx++
 							return f, nil
 						}
@@ -42,6 +53,7 @@ func seedRig(t *testing.T, n, fanout int, bodies [][]byte, fn func(c *Comm, got 
 							H:     coll.Header{Op: coll.OpSeed, Index: uint32(idx)},
 							End:   true,
 							Total: uint64(len(bodies)),
+							Sum:   digest,
 						}, nil
 					}
 				}

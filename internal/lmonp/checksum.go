@@ -1,0 +1,35 @@
+package lmonp
+
+// Streaming payload checksums (FNV-1a). Chunked streams — the RPDTAB
+// harvest, the ICCL seed — validate without retaining: each chunk carries
+// Sum64 of its body, and the stream's end marker carries the rolling
+// digest of the per-chunk sums in order, built with FoldSum from SumInit.
+// A receiver verifies every chunk at O(chunk) memory and compares the
+// folded digest at the end, replacing the old retain-and-compare check
+// that kept a second full table per rank.
+
+const (
+	// SumInit is the initial rolling-digest state (FNV-1a offset basis).
+	SumInit  uint64 = 14695981039346656037
+	fnvPrime uint64 = 1099511628211
+)
+
+// Sum64 returns the FNV-1a hash of b.
+func Sum64(b []byte) uint64 {
+	h := SumInit
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// FoldSum folds one chunk sum into a rolling stream digest, byte by byte
+// (big-endian), continuing the FNV-1a state in acc.
+func FoldSum(acc, sum uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		acc ^= (sum >> uint(shift)) & 0xff
+		acc *= fnvPrime
+	}
+	return acc
+}

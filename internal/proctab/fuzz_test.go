@@ -1,8 +1,11 @@
 package proctab
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
+
+	"launchmon/internal/lmonp"
 )
 
 // FuzzProctabDecode hardens the RPDTAB decoder against truncated and
@@ -41,6 +44,112 @@ func FuzzProctabDecode(f *testing.F) {
 		}
 		if !reflect.DeepEqual(back, tab) {
 			t.Fatal("re-encode roundtrip mismatch")
+		}
+	})
+}
+
+// FuzzSeedStreamValidate exercises the streaming seed-validation path end
+// to end: a rank slice goes through ChunkWriter (the sender side of every
+// hop — engine, FE relay, interior seed router) and back through
+// Assembler/FinishSlice (the receiver side), with the rolling digest
+// standing in for the end marker. An uncorrupted stream must reassemble
+// to the exact slice with matching digests; a stream with any single bit
+// flipped in any chunk must never pass silently — decode failure, digest
+// mismatch, or slice validation must catch it. The digest carries the
+// whole burden when the flipped chunk still decodes (FNV-1a over the raw
+// chunk bytes changes on any byte change), so this is the property that
+// lets every rank validate its slice before the ready gather without a
+// second table copy.
+func FuzzSeedStreamValidate(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(0), uint32(0), false)
+	f.Add(uint16(1), uint16(64), uint16(0), uint32(0), true)
+	f.Add(uint16(200), uint16(128), uint16(3), uint32(9999), true)
+	f.Add(uint16(300), uint16(97), uint16(1), uint32(17), true)
+
+	f.Fuzz(func(t *testing.T, n, chunkBytes, stride uint16, flipAt uint32, flip bool) {
+		// A rank slice of a larger table: strided global ranks, like the
+		// slice a daemon hosting every stride-th rank would receive.
+		entries := int(n) % 512
+		step := int(stride)%7 + 1
+		slice := make(Table, 0, entries)
+		for i := 0; i < entries; i++ {
+			slice = append(slice, ProcDesc{
+				Host: fmt.Sprintf("n%d", i/4),
+				Exe:  "app",
+				Pid:  100 + i,
+				Rank: i * step,
+			})
+		}
+
+		var chunks [][]byte
+		w := NewChunkWriter(int(chunkBytes), func(chunk []byte, sum uint64) error {
+			if sum != lmonp.Sum64(chunk) {
+				t.Fatalf("writer emitted sum %#x != Sum64(chunk)", sum)
+			}
+			chunks = append(chunks, chunk)
+			return nil
+		})
+		if err := w.AddTable(slice); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Optionally flip one bit somewhere in the stream.
+		corrupted := false
+		if flip {
+			var total int
+			for _, c := range chunks {
+				total += len(c)
+			}
+			if total > 0 {
+				off := int(flipAt % uint32(total))
+				for ci := range chunks {
+					if off < len(chunks[ci]) {
+						mut := append([]byte(nil), chunks[ci]...)
+						mut[off] ^= 1 << (flipAt % 8)
+						chunks[ci] = mut
+						corrupted = true
+						break
+					}
+					off -= len(chunks[ci])
+				}
+			}
+		}
+
+		var asm Assembler
+		var addErr error
+		for _, c := range chunks {
+			if addErr = asm.Add(c); addErr != nil {
+				break
+			}
+		}
+		digestOK := addErr == nil && asm.Digest() == w.Digest()
+		var tab Table
+		var finErr error
+		if addErr == nil {
+			tab, finErr = asm.FinishSlice(entries)
+		}
+
+		if !corrupted {
+			if addErr != nil {
+				t.Fatalf("clean stream rejected by Add: %v", addErr)
+			}
+			if !digestOK {
+				t.Fatalf("clean stream digest mismatch: writer %#x, assembler %#x", w.Digest(), asm.Digest())
+			}
+			if finErr != nil {
+				t.Fatalf("clean stream rejected by FinishSlice: %v", finErr)
+			}
+			if entries > 0 && !reflect.DeepEqual(tab, slice) {
+				t.Fatal("clean stream reassembled to a different slice")
+			}
+			return
+		}
+		// Corruption must be caught by at least one of the three layers.
+		if addErr == nil && digestOK && finErr == nil {
+			t.Fatal("single-bit corruption passed decode, digest and slice validation silently")
 		}
 	})
 }

@@ -174,3 +174,29 @@ func (t Table) Validate() error {
 	}
 	return nil
 }
+
+// ValidateSlice checks the invariants of a rank slice of a larger table
+// (rank-sliced seed delivery): the entries keep their global ranks, so
+// instead of Validate's dense-rank requirement it demands strictly
+// increasing non-negative ranks — which a stream routed in global rank
+// order preserves, and which still rules out duplicates — plus non-empty
+// host and executable names.
+func (t Table) ValidateSlice() error {
+	prev := -1
+	for i, d := range t {
+		if d.Rank < 0 {
+			return fmt.Errorf("proctab: entry %d: negative rank %d", i, d.Rank)
+		}
+		if d.Rank <= prev {
+			return fmt.Errorf("proctab: entry %d: rank %d not increasing (prev %d)", i, d.Rank, prev)
+		}
+		prev = d.Rank
+		if d.Host == "" {
+			return fmt.Errorf("proctab: entry %d: empty host", i)
+		}
+		if d.Exe == "" {
+			return fmt.Errorf("proctab: entry %d: empty exe", i)
+		}
+	}
+	return nil
+}

@@ -10,64 +10,165 @@ import (
 // the whole table as one monolithic LMONP payload (16 MB+ at million-task
 // scale), the sender splits it into independently decodable chunks of
 // bounded encoded size, closed by an end marker carrying the total entry
-// count. Receivers reassemble and validate. Chunks on a connection are
-// FIFO, so reassembly is a straight append; because each chunk is a
-// complete mini-table (its own string pool), a receiver's peak
-// per-message memory is bounded by the chunk size regardless of job
-// scale, and early chunks overlap the tail of the transfer (and, on the
-// engine→FE path, the daemon-spawn window) on the wire.
+// count and the rolling digest of the chunk stream. Receivers reassemble
+// and validate. Chunks on a connection are FIFO, so reassembly is a
+// straight append; because each chunk is a complete mini-table (its own
+// string pool), a receiver's peak per-message memory is bounded by the
+// chunk size regardless of job scale, and early chunks overlap the tail
+// of the transfer (and, on the engine→FE path, the daemon-spawn window)
+// on the wire.
 
 // DefaultChunkBytes bounds one encoded RPDTAB chunk when the caller does
 // not configure a size. 64 KiB keeps paper-scale tables (≤8192 tasks) in
 // a handful of chunks while capping million-task payloads.
 const DefaultChunkBytes = 64 << 10
 
-// EncodeChunks splits the table into encoded chunks of at most maxBytes
-// each (maxBytes <= 0 selects DefaultChunkBytes). Every chunk is a
-// complete Encode output for a contiguous slice of the table, so Decode
-// applies to each chunk on its own. A chunk always carries at least one
-// entry; a single entry whose pooled strings alone exceed maxBytes yields
-// one oversized chunk rather than an error. An empty table encodes to one
-// empty chunk.
-func (t Table) EncodeChunks(maxBytes int) [][]byte {
+// Fixed per-chunk framing: pool count (4) + entry count (4).
+const chunkOverhead, entryBytes = 8, 16
+
+// ChunkWriter streams entries into encoded chunks of at most maxBytes
+// each, handing every finished chunk (and its FNV-1a sum) to emit. It
+// produces exactly the chunk boundaries EncodeChunks produces for the
+// same input, so a sender that never materializes the full table — the
+// engine re-chunking the launcher's harvest, an interior seed router
+// re-packing a rank slice — stays byte-compatible with one that does.
+type ChunkWriter struct {
+	maxBytes int
+	emit     func(chunk []byte, sum uint64) error
+
+	pend   Table
+	size   int
+	pooled map[string]bool
+	count  int
+	chunks int
+	digest uint64
+}
+
+// NewChunkWriter returns a writer emitting chunks of at most maxBytes
+// (maxBytes <= 0 selects DefaultChunkBytes).
+func NewChunkWriter(maxBytes int, emit func(chunk []byte, sum uint64) error) *ChunkWriter {
 	if maxBytes <= 0 {
 		maxBytes = DefaultChunkBytes
 	}
-	// Fixed per-chunk framing: pool count (4) + entry count (4).
-	const chunkOverhead, entryBytes = 8, 16
-	var chunks [][]byte
-	start := 0
-	size := chunkOverhead
-	pooled := make(map[string]bool)
-	for i, d := range t {
-		add := entryBytes
-		if !pooled[d.Host] {
-			add += 4 + len(d.Host)
-		}
-		if !pooled[d.Exe] && d.Exe != d.Host {
-			add += 4 + len(d.Exe)
-		}
-		if i > start && size+add > maxBytes {
-			chunks = append(chunks, t[start:i].Encode())
-			start = i
-			size = chunkOverhead
-			clear(pooled)
-			add = entryBytes + 4 + len(d.Host)
-			if d.Exe != d.Host {
-				add += 4 + len(d.Exe)
-			}
-		}
-		pooled[d.Host] = true
-		pooled[d.Exe] = true
-		size += add
+	return &ChunkWriter{
+		maxBytes: maxBytes,
+		emit:     emit,
+		size:     chunkOverhead,
+		pooled:   make(map[string]bool),
+		digest:   lmonp.SumInit,
 	}
-	return append(chunks, t[start:].Encode())
 }
 
-// Assembler reassembles a chunk stream back into a Table.
+// Add appends one entry, emitting the pending chunk first when the entry
+// would push its encoded size past maxBytes. A chunk always carries at
+// least one entry; a single entry whose pooled strings alone exceed
+// maxBytes yields one oversized chunk rather than an error.
+func (w *ChunkWriter) Add(d ProcDesc) error {
+	add := entryBytes
+	if !w.pooled[d.Host] {
+		add += 4 + len(d.Host)
+	}
+	if !w.pooled[d.Exe] && d.Exe != d.Host {
+		add += 4 + len(d.Exe)
+	}
+	if len(w.pend) > 0 && w.size+add > w.maxBytes {
+		if err := w.flush(); err != nil {
+			return err
+		}
+		add = entryBytes + 4 + len(d.Host)
+		if d.Exe != d.Host {
+			add += 4 + len(d.Exe)
+		}
+	}
+	w.pooled[d.Host] = true
+	w.pooled[d.Exe] = true
+	w.size += add
+	w.pend = append(w.pend, d)
+	w.count++
+	return nil
+}
+
+// AddTable appends every entry of t.
+func (w *ChunkWriter) AddTable(t Table) error {
+	for _, d := range t {
+		if err := w.Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *ChunkWriter) flush() error {
+	chunk := w.pend.Encode()
+	sum := lmonp.Sum64(chunk)
+	w.digest = lmonp.FoldSum(w.digest, sum)
+	w.chunks++
+	w.pend = w.pend[:0]
+	w.size = chunkOverhead
+	clear(w.pooled)
+	return w.emit(chunk, sum)
+}
+
+// Flush emits the pending tail chunk. An empty stream still emits one
+// empty chunk, mirroring EncodeChunks on an empty table.
+func (w *ChunkWriter) Flush() error {
+	if len(w.pend) > 0 || w.chunks == 0 {
+		return w.flush()
+	}
+	return nil
+}
+
+// Count returns the number of entries added so far.
+func (w *ChunkWriter) Count() int { return w.count }
+
+// Chunks returns the number of chunks emitted so far.
+func (w *ChunkWriter) Chunks() int { return w.chunks }
+
+// Digest returns the rolling digest of the emitted chunk sums, the value
+// the stream's end marker carries.
+func (w *ChunkWriter) Digest() uint64 { return w.digest }
+
+// EncodeChunks splits the table into encoded chunks of at most maxBytes
+// each (maxBytes <= 0 selects DefaultChunkBytes). Every chunk is a
+// complete Encode output for a contiguous slice of the table, so Decode
+// applies to each chunk on its own. An empty table encodes to one empty
+// chunk.
+func (t Table) EncodeChunks(maxBytes int) [][]byte {
+	var chunks [][]byte
+	w := NewChunkWriter(maxBytes, func(chunk []byte, _ uint64) error {
+		chunks = append(chunks, chunk)
+		return nil
+	})
+	w.AddTable(t)
+	w.Flush()
+	return chunks
+}
+
+// EncodeEndMarker renders a stream end-marker payload: total entry count
+// plus the rolling digest of the chunk stream it closes.
+func EncodeEndMarker(total uint64, digest uint64) []byte {
+	payload := lmonp.AppendUint64(nil, total)
+	return lmonp.AppendUint64(payload, digest)
+}
+
+// DecodeEndMarker parses an end-marker payload.
+func DecodeEndMarker(payload []byte) (total uint64, digest uint64, err error) {
+	rd := lmonp.NewReader(payload)
+	if total, err = rd.Uint64(); err != nil {
+		return 0, 0, fmt.Errorf("proctab: end marker: %w", err)
+	}
+	if digest, err = rd.Uint64(); err != nil {
+		return 0, 0, fmt.Errorf("proctab: end marker digest: %w", err)
+	}
+	return total, digest, nil
+}
+
+// Assembler reassembles a chunk stream back into a Table, folding the
+// rolling digest as chunks arrive so validation needs no second copy.
 type Assembler struct {
 	tab    Table
 	chunks int
+	digest uint64
 }
 
 // Add decodes one chunk and appends its entries.
@@ -76,13 +177,25 @@ func (a *Assembler) Add(chunk []byte) error {
 	if err != nil {
 		return fmt.Errorf("proctab: chunk %d: %w", a.chunks, err)
 	}
+	a.digest = lmonp.FoldSum(a.startDigest(), lmonp.Sum64(chunk))
 	a.chunks++
 	a.tab = append(a.tab, t...)
 	return nil
 }
 
+func (a *Assembler) startDigest() uint64 {
+	if a.chunks == 0 {
+		return lmonp.SumInit
+	}
+	return a.digest
+}
+
 // Chunks returns the number of chunks added so far.
 func (a *Assembler) Chunks() int { return a.chunks }
+
+// Digest returns the rolling digest over the chunks added so far, for
+// comparison against the sender's end marker.
+func (a *Assembler) Digest() uint64 { return a.startDigest() }
 
 // Finish checks the reassembled table against the end marker's total and
 // the structural invariants (Table.Validate: every rank exactly once,
@@ -97,19 +210,37 @@ func (a *Assembler) Finish(total int) (Table, error) {
 	return a.tab, nil
 }
 
+// FinishSlice is Finish for a rank slice of a larger table (rank-sliced
+// seed routing): the entries keep their global ranks, so instead of
+// Validate's dense-rank check it requires strictly increasing ranks —
+// the order the routed stream preserves — and non-empty names.
+func (a *Assembler) FinishSlice(total int) (Table, error) {
+	if total < 0 || len(a.tab) != total {
+		return nil, fmt.Errorf("proctab: reassembled %d entries, end marker says %d", len(a.tab), total)
+	}
+	if err := a.tab.ValidateSlice(); err != nil {
+		return nil, fmt.Errorf("proctab: reassembled slice: %w", err)
+	}
+	return a.tab, nil
+}
+
 // SendStream writes the table to c as TypeProctabChunk messages of at
 // most maxBytes payload each, closed by a TypeProctabEnd marker carrying
-// the total entry count.
+// the total entry count and stream digest.
 func SendStream(c *lmonp.Conn, class lmonp.MsgClass, t Table, maxBytes int) error {
-	for _, chunk := range t.EncodeChunks(maxBytes) {
-		if err := c.Send(&lmonp.Msg{Class: class, Type: lmonp.TypeProctabChunk, Payload: chunk}); err != nil {
-			return err
-		}
+	w := NewChunkWriter(maxBytes, func(chunk []byte, _ uint64) error {
+		return c.Send(&lmonp.Msg{Class: class, Type: lmonp.TypeProctabChunk, Payload: chunk})
+	})
+	if err := w.AddTable(t); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
 	}
 	return c.Send(&lmonp.Msg{
 		Class:   class,
 		Type:    lmonp.TypeProctabEnd,
-		Payload: lmonp.AppendUint64(nil, uint64(len(t))),
+		Payload: EncodeEndMarker(uint64(len(t)), w.Digest()),
 	})
 }
 
@@ -134,13 +265,15 @@ func RecvStream(c *lmonp.Conn, class lmonp.MsgClass, onOther func(*lmonp.Msg) er
 				return nil, err
 			}
 		case lmonp.TypeProctabEnd:
-			rd := lmonp.NewReader(msg.Payload)
-			total, err := rd.Uint64()
+			total, digest, err := DecodeEndMarker(msg.Payload)
 			if err != nil {
-				return nil, fmt.Errorf("proctab: end marker: %w", err)
+				return nil, err
 			}
 			if total > uint64(len(asm.tab)) {
 				return nil, fmt.Errorf("proctab: end marker claims %d entries, received %d", total, len(asm.tab))
+			}
+			if digest != asm.Digest() {
+				return nil, fmt.Errorf("proctab: stream digest mismatch: sender %#x, received %#x", digest, asm.Digest())
 			}
 			return asm.Finish(int(total))
 		default:

@@ -16,11 +16,11 @@ package alps
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
 	"launchmon/internal/cluster"
+	"launchmon/internal/hostlist"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/rm"
 	"launchmon/internal/simnet"
@@ -231,4 +231,7 @@ func (m *Manager) allocate(from *simnet.Host, n int, exclude []string) ([]string
 	return rd.StringList()
 }
 
-func joinNIDs(nodes []string) string { return strings.Join(nodes, ",") }
+// joinNIDs carries the placement node list in compressed hostlist form
+// (ALPS NID lists are naturally dense ranges, "nid[0-9999]"), keeping
+// the apinit spawn environment O(1) in job scale.
+func joinNIDs(nodes []string) string { return hostlist.Compress(nodes) }

@@ -121,9 +121,7 @@ func (j *job) launcherMain(p *cluster.Proc) {
 	}
 	p.Compute(time.Duration(len(tab)) * cfg.PerTaskRootCost)
 
-	enc := tab.Encode()
-	p.SetSymbol(rm.SymProctab, cluster.Symbol{Value: enc, Size: len(enc)})
-	p.SetSymbol(rm.SymProctabLen, cluster.Symbol{Value: len(tab), Size: 4})
+	rm.PublishProctab(p, tab)
 	p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "spawned", Size: 4})
 	p.DebugEvent(rm.BPName)
 

@@ -11,6 +11,7 @@ package rm
 
 import (
 	"errors"
+	"fmt"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/proctab"
@@ -33,11 +34,21 @@ const (
 
 // MPIR symbol names exposed by launcher processes (the APAI contract).
 const (
-	SymProctab    = "MPIR_proctable"      // encoded proctab.Table
-	SymProctabLen = "MPIR_proctable_size" // entry count
-	SymDebugState = "MPIR_debug_state"    // launch progress indicator
-	BPName        = "MPIR_Breakpoint"     // debug-event reason at launch-done
+	SymProctab       = "MPIR_proctable"        // encoded proctab.Table (monolithic, legacy)
+	SymProctabLen    = "MPIR_proctable_size"   // entry count
+	SymProctabChunks = "MPIR_proctable_chunks" // chunk count (chunked publication)
+	SymDebugState    = "MPIR_debug_state"      // launch progress indicator
+	BPName           = "MPIR_Breakpoint"       // debug-event reason at launch-done
 )
+
+// SymProctabChunk names the i-th chunk symbol of a chunked RPDTAB
+// publication (rank-sorted bounded chunks, see PublishProctab).
+func SymProctabChunk(i int) string { return fmt.Sprintf("MPIR_proctable_chunk_%d", i) }
+
+// ProctabChunkBytes bounds one published proctab chunk. It mirrors the
+// chunk granularity of the rest of the launch pipeline, so the engine's
+// per-read transient stays O(chunk) no matter the job scale.
+const ProctabChunkBytes = proctab.DefaultChunkBytes
 
 // JobSpec describes a parallel application launch.
 type JobSpec struct {
@@ -110,17 +121,84 @@ type Manager interface {
 	DebugEventCount(spec JobSpec) int
 }
 
+// PublishProctab publishes a launcher's RPDTAB through the APAI symbols
+// in chunked form: the rank-sorted table is split into bounded chunks
+// (SymProctabChunk(i), ProctabChunkBytes each) with SymProctabChunks
+// carrying the count, alongside SymProctabLen. The engine reads one
+// chunk symbol at a time, so neither side ever materializes a second
+// full encoded table — the launcher-side half of the chunked harvest.
+func PublishProctab(p *cluster.Proc, tab proctab.Table) {
+	n := 0
+	w := proctab.NewChunkWriter(ProctabChunkBytes, func(chunk []byte, sum uint64) error {
+		// SetSymbol keeps a reference, not a copy; each chunk is freshly
+		// allocated by the writer's encoder.
+		p.SetSymbol(SymProctabChunk(n), cluster.Symbol{Value: append([]byte(nil), chunk...), Size: len(chunk)})
+		n++
+		return nil
+	})
+	if err := w.AddTable(tab); err == nil {
+		_ = w.Flush()
+	}
+	p.SetSymbol(SymProctabChunks, cluster.Symbol{Value: n, Size: 4})
+	p.SetSymbol(SymProctabLen, cluster.Symbol{Value: len(tab), Size: 4})
+}
+
 // ProctabFromLauncher reads and decodes the RPDTAB from a launcher process
-// through an attached tracer — the engine's Region B operation. The cost
-// charged by ReadSymbol is proportional to the encoded table size.
+// through an attached tracer — the engine's Region B operation, in its
+// whole-table form (tools and the DPCL daemon use it; the engine's launch
+// path streams via ReadProctabChunks instead). Chunked publication is
+// preferred; launchers publishing only the legacy monolithic SymProctab
+// still work. The cost charged by ReadSymbol is proportional to the
+// bytes read either way.
 func ProctabFromLauncher(tr *cluster.Tracer) (proctab.Table, error) {
-	raw, err := tr.ReadSymbol(SymProctab)
+	var tab proctab.Table
+	err := ReadProctabChunks(tr, func(chunk []byte, i, total int) error {
+		entries, err := proctab.Decode(chunk)
+		if err != nil {
+			return err
+		}
+		tab = append(tab, entries...)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return tab, nil
+}
+
+// ReadProctabChunks streams the launcher's published RPDTAB chunk by
+// chunk: fn receives each encoded chunk (with its index and the chunk
+// count) right after its symbol read, so a caller re-streaming the table
+// holds O(chunk) bytes at a time. Launchers that only publish the legacy
+// monolithic SymProctab yield a single chunk.
+func ReadProctabChunks(tr *cluster.Tracer, fn func(chunk []byte, i, total int) error) error {
+	if raw, err := tr.ReadSymbol(SymProctabChunks); err == nil {
+		n, ok := raw.(int)
+		if !ok {
+			return errors.New("rm: MPIR_proctable_chunks symbol has unexpected type")
+		}
+		for i := 0; i < n; i++ {
+			craw, err := tr.ReadSymbol(SymProctabChunk(i))
+			if err != nil {
+				return err
+			}
+			chunk, ok := craw.([]byte)
+			if !ok {
+				return fmt.Errorf("rm: %s symbol has unexpected type", SymProctabChunk(i))
+			}
+			if err := fn(chunk, i, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	raw, err := tr.ReadSymbol(SymProctab)
+	if err != nil {
+		return err
+	}
 	enc, ok := raw.([]byte)
 	if !ok {
-		return nil, errors.New("rm: MPIR_proctable symbol has unexpected type")
+		return errors.New("rm: MPIR_proctable symbol has unexpected type")
 	}
-	return proctab.Decode(enc)
+	return fn(enc, 0, 1)
 }

@@ -209,9 +209,10 @@ func (j *job) launcherMain(p *cluster.Proc) {
 	j.ptab = tab
 	j.mu.Unlock()
 
-	enc := tab.Encode()
-	p.SetSymbol(rm.SymProctab, cluster.Symbol{Value: enc, Size: len(enc)})
-	p.SetSymbol(rm.SymProctabLen, cluster.Symbol{Value: len(tab), Size: 4})
+	// The tree merge delivers tasks grouped by the spawn tree's traversal
+	// order; the APAI contract (and chunked publication) wants rank order.
+	tab.SortByRank()
+	rm.PublishProctab(p, tab)
 	p.SetSymbol(rm.SymDebugState, cluster.Symbol{Value: "spawned", Size: 4})
 
 	// The APAI rendezvous: a traced launcher stops here and the debugger

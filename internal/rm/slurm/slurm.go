@@ -16,11 +16,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"launchmon/internal/cluster"
+	"launchmon/internal/hostlist"
 	"launchmon/internal/lmonp"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
@@ -284,8 +284,13 @@ var (
 	readFrame  = lmonp.ReadFrame
 )
 
-func joinNodes(nodes []string) string { return strings.Join(nodes, ",") }
-func splitNodes(s string) []string    { return strings.Split(s, ",") }
+// joinNodes and splitNodes carry node lists on the wire and in the
+// daemon environment in SLURM's compressed hostlist form
+// ("node[0-99999]"): at 10^6 nodes a comma-joined list is ~7 MB per
+// message and per environment, a compressed run is a few bytes.
+// splitNodes returns a shared interned slice — callers must not mutate.
+func joinNodes(nodes []string) string { return hostlist.Compress(nodes) }
+func splitNodes(s string) []string    { return hostlist.Expand(s) }
 func sortedEnv(env map[string]string) [][2]string {
 	keys := make([]string, 0, len(env))
 	for k := range env {

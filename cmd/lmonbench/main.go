@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-million] [-mem] [-mw] [-maxk N] [-smoke] [-json] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-million] [-mem] [-mw] [-obs] [-trace FILE] [-maxk N] [-smoke] [-json] [-all]
 //
 // With -json, each experiment additionally writes its rows as
 // BENCH_<name>.json in the working directory (machine-readable results
@@ -12,6 +12,13 @@
 // counts of the -failure/-collective/-launch/-mw sweeps (every simulated
 // daemon holds the full RPDTAB, so the 16384-point needs tens of GB of
 // host memory; CI runs -launch and -mw with -maxk 1024).
+//
+// -obs adds the observability rider to the -launch sweep (a second
+// obs-on pass per row, checked against the wire-byte and drift
+// invariants). -trace FILE runs one obs-on launch at K=1024 (capped by
+// -maxk) and writes its Chrome/Perfetto trace-event JSON to FILE plus
+// the harvested metrics snapshot to FILE.metrics.json; load the trace in
+// ui.perfetto.dev or chrome://tracing.
 package main
 
 import (
@@ -53,13 +60,15 @@ func main() {
 	million := flag.Bool("million", false, "run the million-daemon launch sweep (rank-sliced cut-through on a lean rig, K=2^20)")
 	mem := flag.Bool("mem", false, "with -launch/-million/-smoke, also print the per-role peak RPDTAB memory table")
 	mwpipe := flag.Bool("mw", false, "run the middleware launch-pipeline ablation (store-and-forward vs cut-through MW seed, K up to 16384)")
+	obsRider := flag.Bool("obs", false, "with -launch/-smoke, add the observability rider (obs-on second pass + invariant checks)")
+	tracePath := flag.String("trace", "", "run one obs-on launch at K=1024 (capped by -maxk) and write its Perfetto trace JSON to this file (+ .metrics.json)")
 	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/launch/mw sweeps (0 = full scale)")
 	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && !*failure && !*collective && !*launch && !*million && !*mwpipe && !*smoke && *fig == 0 && *table == 0 {
+	if !*ablations && !*failure && !*collective && !*launch && !*million && !*mwpipe && !*smoke && *fig == 0 && *table == 0 && *tracePath == "" {
 		*all = true
 	}
 	// capScales filters a sweep's daemon counts under -maxk.
@@ -84,8 +93,18 @@ func main() {
 		fmt.Println()
 	}
 
+	if *tracePath != "" {
+		run("trace export", func() error {
+			k := 1024
+			if *maxk > 0 && *maxk < k {
+				k = *maxk
+			}
+			return runTrace(*tracePath, k)
+		})
+	}
+
 	if *smoke {
-		run("smoke", func() error { return runSmoke(*mem) })
+		run("smoke", func() error { return runSmoke(*mem, *obsRider) })
 		return
 	}
 
@@ -199,7 +218,7 @@ func main() {
 	}
 	if *all || *launch {
 		run("launch pipeline", func() error {
-			rows, err := bench.LaunchPipeline(bench.LaunchPipeOpts{}, capScales(bench.LaunchScales))
+			rows, err := bench.LaunchPipeline(bench.LaunchPipeOpts{Obs: *obsRider}, capScales(bench.LaunchScales))
 			if err != nil {
 				return err
 			}
@@ -207,6 +226,13 @@ func main() {
 			if *mem {
 				fmt.Println()
 				bench.PrintLaunchMem(os.Stdout, rows)
+			}
+			if *obsRider {
+				fmt.Println()
+				bench.PrintLaunchObs(os.Stdout, rows)
+				if err := bench.CheckObsInvariants(rows, 0); err != nil {
+					return err
+				}
 			}
 			return emit("launchpipe", rows)
 		})
@@ -263,10 +289,37 @@ func main() {
 	}
 }
 
+// runTrace exports one obs-on launch as a Perfetto trace (verified to
+// reproduce the monotone launch mark chains before it is written) plus
+// the session's harvested metrics snapshot.
+func runTrace(path string, k int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	res, err := bench.TraceLaunch(k, 0, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	metrics, err := json.MarshalIndent(res.Metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path+".metrics.json", append(metrics, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (K=%d, %d spans, %d instants, %d B) and %s.metrics.json\n",
+		path, res.Daemons, res.Spans, res.Instants, res.TraceBytes, path)
+	return nil
+}
+
 // runSmoke exercises the bench rig end to end at reduced scale: a
 // concurrent-session sweep and a failure-detection sweep small enough for
 // a CI step, so bench-rig regressions fail the build.
-func runSmoke(mem bool) error {
+func runSmoke(mem, obsRider bool) error {
 	cc, err := bench.ConcurrentSessions(bench.ConcurrentSessionOpts{NodesEach: 4, TasksPerNode: 2}, []int{1, 4})
 	if err != nil {
 		return err
@@ -304,7 +357,7 @@ func runSmoke(mem bool) error {
 	if err := emit("smoke_collective", cr); err != nil {
 		return err
 	}
-	lp, err := bench.LaunchPipeline(bench.LaunchPipeOpts{Fanout: 4}, []int{8, 32})
+	lp, err := bench.LaunchPipeline(bench.LaunchPipeOpts{Fanout: 4, Obs: obsRider}, []int{8, 32})
 	if err != nil {
 		return err
 	}
@@ -313,6 +366,13 @@ func runSmoke(mem bool) error {
 	if mem {
 		fmt.Println()
 		bench.PrintLaunchMem(os.Stdout, lp)
+	}
+	if obsRider {
+		fmt.Println()
+		bench.PrintLaunchObs(os.Stdout, lp)
+		if err := bench.CheckObsInvariants(lp, 4); err != nil {
+			return err
+		}
 	}
 	if err := emit("smoke_launchpipe", lp); err != nil {
 		return err

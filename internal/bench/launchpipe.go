@@ -45,6 +45,15 @@ type LaunchPipeRow struct {
 	MemMaster   int // rank 0
 	MemInterior int // max over daemons with ICCL children (0 when the tree is flat)
 	MemLeaf     int // max over childless daemons
+
+	// Observability rider (LaunchPipeOpts.Obs): a second identical launch
+	// with Options.Obs = ObsOn, plus one sum reduction as the
+	// K-independence probe. Zero when the rider is off.
+	ObsReady     time.Duration `json:",omitempty"` // obs-on time-to-ready
+	ObsDriftPct  float64       `json:",omitempty"` // |obs-on − obs-off| / obs-off, percent
+	SeedSrcB     uint64        `json:",omitempty"` // seed.src.bytes: seed body bytes injected at the root
+	SeedLinkMaxB uint64        `json:",omitempty"` // seed.link.bytes.max: busiest seed link, fabric-wide
+	ReduceFEB    uint64        `json:",omitempty"` // coll.reduce.fe.rx.bytes: reduce bytes landing on the FE link
 }
 
 // LaunchScales are the daemon counts of the pipeline sweep.
@@ -56,6 +65,10 @@ type LaunchPipeOpts struct {
 	// sweeps: table memory at the FE bounds task count, not virtual time).
 	TasksPerNode int
 	Fanout       int // ICCL tree fanout (default 32)
+	// Obs adds the observability rider: every row is measured a second
+	// time with Options.Obs = ObsOn, populating the Obs*/Seed*/Reduce*
+	// columns (checked by CheckObsInvariants).
+	Obs bool
 }
 
 func (o LaunchPipeOpts) withDefaults() LaunchPipeOpts {
@@ -230,6 +243,9 @@ func measureLaunchPipe(k int, cfg launchPipeConfig, o LaunchPipeOpts) (LaunchPip
 		roleMem(&row, sess.Daemons(), o.Fanout)
 		return nil
 	})
+	if err == nil && o.Obs {
+		err = measureLaunchPipeObs(&row, k, cfg, o)
+	}
 	return row, err
 }
 

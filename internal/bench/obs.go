@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/core"
+	"launchmon/internal/engine"
+	"launchmon/internal/obs"
+	"launchmon/internal/rm"
+)
+
+// Observability ablation riders of the launch-pipeline sweep
+// (LaunchPipeOpts.Obs): every pipeline/retention row gets a second
+// identical launch with Options.Obs = ObsOn, and the harvested metrics
+// feed two wire-byte invariants plus the virtual-time drift bound —
+// enabling the plane must never change what flows over the seed links,
+// and its only time cost (the harvest folds) must stay within 2% of the
+// obs-off time-to-ready.
+
+// launchPipeObsBE is the obs pass's back-end daemon: after init it
+// contributes one 8-byte word to a sum reduction (the K-independence
+// probe — the tree-combined result reaching the FE stays 8 bytes no
+// matter how many daemons contributed) and finalizes, which pushes the
+// end-of-session metrics harvest.
+func launchPipeObsBE(p *cluster.Proc) {
+	be, err := core.BEInit(p)
+	if err != nil {
+		return
+	}
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], 1)
+	be.Collective().Reduce(word[:], "sum")
+	be.Finalize()
+}
+
+// measureLaunchPipeObs reruns one sweep row with observability on and
+// fills the row's Obs* fields from the session's harvested metrics.
+func measureLaunchPipeObs(row *LaunchPipeRow, k int, cfg launchPipeConfig, o LaunchPipeOpts) error {
+	r, err := NewRig(RigOptions{Nodes: k})
+	if err != nil {
+		return err
+	}
+	r.Cl.Register("lp_obs_be", launchPipeObsBE)
+	return r.RunFE(func(p *cluster.Proc) error {
+		t0 := p.Sim().Now()
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: o.TasksPerNode},
+			Daemon:     rm.DaemonSpec{Exe: "lp_obs_be"},
+			ICCLFanout: o.Fanout,
+			SeedMode:   cfg.seed,
+			TableMode:  cfg.table,
+			Obs:        core.ObsOn,
+		})
+		if err != nil {
+			return err
+		}
+		row.ObsReady = p.Sim().Now() - t0
+		if _, err := sess.Reduce(); err != nil {
+			return err
+		}
+		snap, err := sess.MetricsSnapshot()
+		if err != nil {
+			return err
+		}
+		row.SeedSrcB = snap.Gauges["seed.src.bytes"]
+		row.SeedLinkMaxB = snap.Gauges["seed.link.bytes.max"]
+		row.ReduceFEB = snap.Counters["coll.reduce.fe.rx.bytes"]
+		if row.Ready > 0 {
+			row.ObsDriftPct = 100 * math.Abs(row.ObsReady.Seconds()-row.Ready.Seconds()) / row.Ready.Seconds()
+		}
+		return nil
+	})
+}
+
+// CheckObsInvariants enforces the observability acceptance bounds over an
+// obs-enabled launch-pipeline sweep (LaunchPipeOpts.Obs):
+//
+//  1. Per-link seed bytes under rank-sliced routing: the busiest seed
+//     link carries O(table/K · subtree) — at most the root slice divided
+//     by the fanout, within framing slack. Full-copy retention must show
+//     the contrast (every link carries the whole table).
+//  2. Filtered-reduce FE bytes are K-independent: the bytes landing on
+//     the FE link for a sum reduction are identical at every scale.
+//  3. Virtual-time drift: enabling the plane moves time-to-ready by at
+//     most 2% (the harvest folds are its only virtual-time cost).
+func CheckObsInvariants(rows []LaunchPipeRow, fanout int) error {
+	if fanout <= 0 {
+		fanout = 32
+	}
+	var reduceSeen bool
+	var reduceFEB uint64
+	for _, r := range rows {
+		if r.ObsReady == 0 {
+			return fmt.Errorf("obs invariants: row %s/%s K=%d has no obs pass", r.Mode, r.Table, r.Daemons)
+		}
+		if r.ObsDriftPct > 2.0 {
+			return fmt.Errorf("obs invariants: %s/%s K=%d: obs-on time-to-ready drifts %.2f%% (> 2%%) from obs-off (%v vs %v)",
+				r.Mode, r.Table, r.Daemons, r.ObsDriftPct, r.ObsReady, r.Ready)
+		}
+		if r.Mode == core.SeedCutThrough.String() {
+			if r.SeedSrcB == 0 || r.SeedLinkMaxB == 0 {
+				return fmt.Errorf("obs invariants: %s/%s K=%d: seed wire metrics missing (src=%d link-max=%d)",
+					r.Mode, r.Table, r.Daemons, r.SeedSrcB, r.SeedLinkMaxB)
+			}
+			if r.Table == core.TableSliced.String() {
+				// Slack covers per-chunk framing, the FEData frame and the
+				// end marker, all forwarded on every link regardless of slice.
+				bound := 2*r.SeedSrcB/uint64(fanout) + 4096
+				if r.SeedLinkMaxB > bound {
+					return fmt.Errorf("obs invariants: sliced K=%d: busiest seed link carried %d B > bound %d B (src %d B / fanout %d)",
+						r.Daemons, r.SeedLinkMaxB, bound, r.SeedSrcB, fanout)
+				}
+			} else if r.SeedLinkMaxB < r.SeedSrcB {
+				return fmt.Errorf("obs invariants: full-copy K=%d: busiest seed link carried %d B < table %d B (full retention must relay everything everywhere)",
+					r.Daemons, r.SeedLinkMaxB, r.SeedSrcB)
+			}
+		}
+		if !reduceSeen {
+			reduceSeen, reduceFEB = true, r.ReduceFEB
+		} else if r.ReduceFEB != reduceFEB {
+			return fmt.Errorf("obs invariants: reduce FE bytes not K-independent: %d B vs %d B (%s/%s K=%d)",
+				r.ReduceFEB, reduceFEB, r.Mode, r.Table, r.Daemons)
+		}
+	}
+	if reduceSeen && reduceFEB == 0 {
+		return fmt.Errorf("obs invariants: reduce FE byte counter never fired")
+	}
+	return nil
+}
+
+// PrintLaunchObs renders the observability rider columns of an
+// obs-enabled launch-pipeline sweep.
+func PrintLaunchObs(w io.Writer, rows []LaunchPipeRow) {
+	fmt.Fprintln(w, "Observability rider (obs-on second pass per row; wire-byte invariants + drift bound)")
+	fmt.Fprintln(w, "mode           table   daemons  ready-obs  drift%%  seed-src-B  link-max-B  reduce-fe-B")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-7s %7d %9.3fs %6.2f %11d %11d %12d\n",
+			r.Mode, r.Table, r.Daemons, r.ObsReady.Seconds(), r.ObsDriftPct, r.SeedSrcB, r.SeedLinkMaxB, r.ReduceFEB)
+	}
+}
+
+// TraceResult summarizes one traced launch (lmonbench -trace).
+type TraceResult struct {
+	Daemons    int
+	Spans      int
+	Instants   int
+	TraceBytes int
+	Metrics    obs.Snapshot
+}
+
+// TraceLaunch runs one obs-on launch at K daemons on a lean rig, writes
+// the session's Chrome/Perfetto trace-event JSON to w, and verifies —
+// before writing — that the exported spans reproduce the monotone launch
+// mark chains (engine chain e0…e6,e11 and handshake chain e5,e7…e11).
+func TraceLaunch(k, fanout int, w io.Writer) (TraceResult, error) {
+	res := TraceResult{Daemons: k}
+	if fanout <= 0 {
+		fanout = 32
+	}
+	r, err := NewRig(RigOptions{Nodes: k, Lean: true})
+	if err != nil {
+		return res, err
+	}
+	registerNoopBE(r.Cl, "trace_be")
+	err = r.RunFE(func(p *cluster.Proc) error {
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: 1},
+			Daemon:     rm.DaemonSpec{Exe: "trace_be"},
+			ICCLFanout: fanout,
+			Obs:        core.ObsOn,
+		})
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := sess.WriteTrace(&buf); err != nil {
+			return err
+		}
+		spans, instants, err := verifyTrace(buf.Bytes())
+		if err != nil {
+			return err
+		}
+		snap, err := sess.MetricsSnapshot()
+		if err != nil {
+			return err
+		}
+		res.Spans, res.Instants, res.TraceBytes, res.Metrics = spans, instants, buf.Len(), snap
+		_, err = w.Write(buf.Bytes())
+		return err
+	})
+	return res, err
+}
+
+// traceEvent is the subset of the Chrome trace-event schema the verifier
+// reads back.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+// launchChains are the monotone mark chains a BE-only launch must
+// reproduce as spans ("a..b" per adjacent pair) in the exported trace.
+var launchChains = [][]string{
+	{engine.MarkE0, engine.MarkE1, engine.MarkE2, engine.MarkE3, engine.MarkE4,
+		engine.MarkE5, engine.MarkE6, engine.MarkE11},
+	{engine.MarkE5, engine.MarkE7, engine.MarkE8, engine.MarkE9, engine.MarkE10, engine.MarkE11},
+}
+
+// verifyTrace parses an exported trace and checks it is a loadable
+// trace-event array whose chain spans exist, never run backward, and
+// tile: each span of a chain ends exactly where the next one begins.
+func verifyTrace(data []byte) (spans, instants int, err error) {
+	var events []traceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, 0, fmt.Errorf("trace is not a JSON event array: %w", err)
+	}
+	if len(events) == 0 || events[0].Ph != "M" {
+		return 0, 0, fmt.Errorf("trace must open with metadata events, got %+v", events[:min(1, len(events))])
+	}
+	byName := map[string]traceEvent{}
+	for _, ev := range events {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur < 0 {
+				return 0, 0, fmt.Errorf("span %q has negative duration %f", ev.Name, ev.Dur)
+			}
+			byName[ev.Name] = ev
+		case "i":
+			instants++
+		}
+	}
+	const eps = 1e-6 // µs; timestamps are exact virtual-time divisions
+	for _, chain := range launchChains {
+		var prev *traceEvent
+		for i := 0; i+1 < len(chain); i++ {
+			name := chain[i] + ".." + chain[i+1]
+			ev, ok := byName[name]
+			if !ok {
+				return 0, 0, fmt.Errorf("trace is missing chain span %q", name)
+			}
+			if prev != nil && math.Abs(prev.Ts+prev.Dur-ev.Ts) > eps {
+				return 0, 0, fmt.Errorf("chain spans %q and %q do not tile (%f+%f vs %f)",
+					prev.Name, name, prev.Ts, prev.Dur, ev.Ts)
+			}
+			cp := ev
+			prev = &cp
+		}
+	}
+	return spans, instants, nil
+}

@@ -195,6 +195,21 @@ func (n *Node) Proc(pid int) (*Proc, bool) {
 	return p, ok
 }
 
+// FindProcByExe returns the live process with the named executable and
+// the lowest pid (nil when none runs) — how tests and tools locate a
+// system process, e.g. the LaunchMON engine, for fault injection.
+func (n *Node) FindProcByExe(exe string) *Proc {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var found *Proc
+	for _, p := range n.procs {
+		if p.exe == exe && (found == nil || p.pid < found.pid) {
+			found = p
+		}
+	}
+	return found
+}
+
 // ErrProcLimit is returned by Spawn when the node's process table is full
 // (the simulated analogue of fork failing with EAGAIN).
 var ErrProcLimit = errors.New("cluster: fork: resource temporarily unavailable")

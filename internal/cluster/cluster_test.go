@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"launchmon/internal/simnet"
 	"launchmon/internal/vtime"
 )
 
@@ -383,4 +384,58 @@ func TestPropertyPidUniqueness(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestExitSeversAdoptedConns(t *testing.T) {
+	sim := vtime.New()
+	c := newCluster(t, sim, 2, Options{})
+	sim.Go("boot", func() {
+		ln, err := c.Node(0).Host().Listen(7000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p, err := c.Node(1).SpawnProc(Spec{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn, err := c.Node(1).Host().Dial(ln.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.AdoptConn(conn)
+		peer, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Killing the process — not its node — severs the adopted
+		// connection: the peer's read surfaces ErrPeerDead, not EOF.
+		p.Kill()
+		if _, err := peer.Read(make([]byte, 1)); !errors.Is(err, simnet.ErrPeerDead) {
+			t.Errorf("peer read after proc kill: %v, want ErrPeerDead", err)
+		}
+		if code, ok := p.Wait(); !ok || code != 137 {
+			t.Errorf("Wait = %d, %v after Kill", code, ok)
+		}
+
+		// Adopting into an already-exited process severs immediately.
+		conn2, err := c.Node(1).Host().Dial(ln.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		peer2, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.AdoptConn(conn2)
+		if _, err := peer2.Read(make([]byte, 1)); !errors.Is(err, simnet.ErrPeerDead) {
+			t.Errorf("peer read after adopt-into-dead: %v, want ErrPeerDead", err)
+		}
+	})
+	sim.Run()
 }

@@ -60,6 +60,11 @@ type Proc struct {
 	exited *vtime.Chan[int]      // closed-with-value on exit
 	resume *vtime.Chan[struct{}] // tracer Continue tokens
 
+	// conns are network connections adopted via AdoptConn; Exit severs
+	// them so a killed process's peers observe ErrPeerDead rather than
+	// hanging on a conn whose owner no longer runs.
+	conns []interface{ Sever() }
+
 	// Synthetic activity counters backing /proc snapshots; tools may bump
 	// them, and Snapshot derives the rest deterministically.
 	majFlt  int64
@@ -107,8 +112,29 @@ func (p *Proc) Spawn(spec Spec) (*Proc, error) {
 	return p.node.SpawnProc(spec)
 }
 
+// AdoptConn hands a network connection to the process for lifecycle
+// management: when the process exits (or is killed), the connection is
+// severed so remote peers observe ErrPeerDead — the same signal a node
+// loss produces — instead of blocking forever on a conn nobody reads.
+// Long-lived components (the engine, master daemons) adopt their FE
+// connections right after dialing. Adopting on an already-exited process
+// severs immediately.
+func (p *Proc) AdoptConn(c interface{ Sever() }) {
+	n := p.node
+	n.mu.Lock()
+	if p.state == StateExited {
+		n.mu.Unlock()
+		c.Sever()
+		return
+	}
+	p.conns = append(p.conns, c)
+	n.mu.Unlock()
+}
+
 // Exit terminates the process. Safe to call more than once; only the first
-// call takes effect.
+// call takes effect. Adopted connections (AdoptConn) are severed: the
+// process's protocol peers see the loss as ErrPeerDead, which is what
+// drives failure detection for killed-process (vs killed-node) faults.
 func (p *Proc) Exit(code int) {
 	n := p.node
 	n.mu.Lock()
@@ -121,7 +147,12 @@ func (p *Proc) Exit(code int) {
 	delete(n.procs, p.pid)
 	tr := p.tracer
 	p.tracer = nil
+	conns := p.conns
+	p.conns = nil
 	n.mu.Unlock()
+	for _, c := range conns {
+		c.Sever()
+	}
 	if tr != nil {
 		tr.events.Send(TraceEvent{Type: EventExit, Code: code})
 		tr.events.Close()

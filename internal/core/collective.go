@@ -107,10 +107,14 @@ func (s *Session) MWBroadcast(data []byte) error {
 }
 
 func (s *Session) collBroadcast(fab feFabric, tag uint32, data []byte) error {
+	sp := s.obsRec.Start("fe-broadcast", -1)
+	defer sp.End()
 	for _, f := range coll.RawFrames(coll.OpBroadcast, tag, "", data, s.collChunk) {
 		if err := sendFrameOn(fab.conn, fab.class, f); err != nil {
 			return err
 		}
+		s.obsCounter("coll.fe.tx.frames").Inc()
+		s.obsCounter("coll.fe.tx.bytes").Add(uint64(len(f.Body)))
 	}
 	return nil
 }
@@ -141,6 +145,8 @@ func (s *Session) collScatter(fab feFabric, tag uint32, parts [][]byte) error {
 	if len(parts) != fab.size {
 		return fmt.Errorf("core: scatter needs %d parts (one per daemon), got %d", fab.size, len(parts))
 	}
+	sp := s.obsRec.Start("fe-scatter", -1)
+	defer sp.End()
 	entries := make([]coll.Entry, len(parts))
 	for rk, p := range parts {
 		entries[rk] = coll.Entry{Rank: rk, Blob: p}
@@ -149,6 +155,8 @@ func (s *Session) collScatter(fab feFabric, tag uint32, parts [][]byte) error {
 		if err := sendFrameOn(fab.conn, fab.class, f); err != nil {
 			return err
 		}
+		s.obsCounter("coll.fe.tx.frames").Inc()
+		s.obsCounter("coll.fe.tx.bytes").Add(uint64(len(f.Body)))
 	}
 	return nil
 }
@@ -164,6 +172,8 @@ func (s *Session) recvCollFrame(fab feFabric) (coll.Frame, error) {
 	if ev.err != nil {
 		return coll.Frame{}, fmt.Errorf("core: malformed collective frame from %smaster daemon: %w", fab.kind, ev.err)
 	}
+	s.obsCounter("coll.fe.rx.frames").Inc()
+	s.obsCounter("coll.fe.rx.bytes").Add(uint64(len(ev.f.Body)))
 	return ev.f, nil
 }
 
@@ -190,6 +200,8 @@ func (s *Session) MWGather() ([][]byte, error) {
 }
 
 func (s *Session) collGather(fab feFabric, tag uint32) ([][]byte, error) {
+	sp := s.obsRec.Start("fe-gather", -1)
+	defer sp.End()
 	var asm coll.RankAssembler
 	for {
 		f, err := s.recvCollFrame(fab)
@@ -233,12 +245,17 @@ func (s *Session) MWReduce() ([]byte, error) {
 }
 
 func (s *Session) collReduce(fab feFabric, tag uint32) ([]byte, error) {
+	sp := s.obsRec.Start("fe-reduce", -1)
+	defer sp.End()
 	var asm coll.RawAssembler
 	for {
 		f, err := s.recvCollFrame(fab)
 		if err != nil {
 			return nil, err
 		}
+		// The K-independence invariant of filtered reduction: bytes landing
+		// on the FE link are bounded by the combined result, not the fabric.
+		s.obsCounter("coll.reduce.fe.rx.bytes").Add(uint64(len(f.Body)))
 		if f.H.Op != coll.OpReduce || f.H.Tag != tag {
 			return nil, fmt.Errorf("core: %v frame tag %d during reduce tag %d (collective order diverged)",
 				f.H.Op, f.H.Tag, tag)

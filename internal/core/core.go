@@ -76,6 +76,10 @@ const (
 	// EnvProctabChunk bounds re-packed RPDTAB chunk bodies on routed
 	// (rank-sliced) seed links (0 or unset selects the proctab default).
 	EnvProctabChunk = "LMON_PROCTAB_CHUNK"
+	// EnvObs enables the session observability plane at every daemon
+	// ("on" = per-link metrics registries + tree-harvested snapshots;
+	// unset or any other value = off). Planted from Options.Obs.
+	EnvObs = "LMON_OBS"
 )
 
 // Cost model constants for the FE-local bookkeeping; together with the

@@ -11,6 +11,7 @@ import (
 	"launchmon/internal/health"
 	"launchmon/internal/iccl"
 	"launchmon/internal/lmonp"
+	"launchmon/internal/obs"
 	"launchmon/internal/proctab"
 	"launchmon/internal/transport"
 )
@@ -67,6 +68,12 @@ type daemonSession struct {
 	seg    *sessionShared // session-shared segment (set under TableSliced)
 	feData []byte
 	tl     engine.Timeline
+
+	// obsReg is the daemon's observability registry (nil when LMON_OBS is
+	// off). Its snapshot is tree-folded to the master and rides the ready
+	// message; Finalize harvests once more, best-effort, for counters that
+	// only move after launch (collectives, health).
+	obsReg *obs.Registry
 }
 
 // initDaemon joins the calling daemon process into its session over the
@@ -83,6 +90,9 @@ func initDaemon(p *cluster.Proc, fab fabricProfile) (*daemonSession, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Env(EnvObs) == ObsOn.envValue() {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	if p.Env(EnvSeedMode) == SeedStoreForward.envValue() {
 		return initStoreForward(p, cfg, fab)
 	}
@@ -95,7 +105,7 @@ func initDaemon(p *cluster.Proc, fab fabricProfile) (*daemonSession, error) {
 // to the ready gather, so the ready message at the front end implies a
 // validated, byte-identical table at every daemon of the fabric.
 func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
-	d := &daemonSession{p: p, fab: fab}
+	d := &daemonSession{p: p, fab: fab, obsReg: cfg.Metrics}
 
 	// Rank-sliced retention (TableSliced): BE daemons route the seed so
 	// each keeps only its own slice, consulting the session-shared
@@ -250,7 +260,7 @@ func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
 // full chunk-streamed RPDTAB from the FE, the tree bootstraps, and the
 // seed goes out as one monolithic ICCL broadcast.
 func initStoreForward(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
-	d := &daemonSession{p: p, fab: fab}
+	d := &daemonSession{p: p, fab: fab, obsReg: cfg.Metrics}
 
 	var masterTab proctab.Table
 	var feData []byte
@@ -324,6 +334,15 @@ func (d *daemonSession) completeInit(cfg iccl.Config) error {
 	if err != nil {
 		return err
 	}
+	// Fold every daemon's metrics snapshot up the same tree links the
+	// gather just used (per-link FIFO keeps the two in order): O(chunk)
+	// per link, merged pairwise on the way up. The aggregate rides the
+	// ready message so the FE has a fabric-wide launch-time snapshot
+	// without any extra round trip.
+	obsBlob, err := d.harvestObs()
+	if err != nil {
+		return err
+	}
 	if d.comm.IsMaster() {
 		infos := make([]DaemonInfo, 0, len(all))
 		for _, raw := range all {
@@ -336,7 +355,7 @@ func (d *daemonSession) completeInit(cfg iccl.Config) error {
 		if err := d.fe.Send(&lmonp.Msg{
 			Class:   d.fab.class,
 			Type:    lmonp.TypeReady,
-			Payload: encodeReady(infos, d.tl),
+			Payload: encodeReady(infos, d.tl, obsBlob),
 		}); err != nil {
 			return err
 		}
@@ -347,6 +366,20 @@ func (d *daemonSession) completeInit(cfg iccl.Config) error {
 	// status events. Started after the ready message so the launch critical
 	// path is not charged for it.
 	return d.startHealth(cfg)
+}
+
+// harvestObs folds this fabric's per-daemon metrics snapshots up the
+// ICCL tree: every rank contributes its registry's encoded snapshot, the
+// fold merges pairwise (counters sum, gauges max), and the master gets
+// the fabric-wide aggregate — O(chunk) bytes per link regardless of K.
+// Nil registry (obs off) short-circuits to no traffic at all. Every rank
+// must call it at the same point in the collective sequence.
+func (d *daemonSession) harvestObs() ([]byte, error) {
+	if d.obsReg == nil {
+		return nil, nil
+	}
+	d.obsReg.Gauge("daemon.table.bytes.max").SetMax(uint64(d.peakTableBytes()))
+	return d.comm.FoldUp(d.obsReg.Snapshot().Encode(), obs.MergeEncoded)
 }
 
 // peakTableBytes models the daemon's peak private RPDTAB memory for the
@@ -394,13 +427,13 @@ func (d *daemonSession) startHealth(cfg iccl.Config) error {
 		parent, children := d.comm.ShareLinks()
 		mon, err = health.StartOnLinks(d.p, health.Config{
 			Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
-			Period: period, Miss: miss,
+			Period: period, Miss: miss, Metrics: d.obsReg,
 		}, parent, children)
 	case "dial":
 		mon, err = health.Start(d.p, health.Config{
 			Rank: cfg.Rank, Size: cfg.Size, Fanout: cfg.Fanout,
 			Nodelist: cfg.Nodelist, Port: healthPortFor(session, d.fab.mw),
-			Period: period, Miss: miss,
+			Period: period, Miss: miss, Metrics: d.obsReg,
 		})
 	default:
 		return fmt.Errorf("core: bad %s %q", EnvHealthLinks, mode)
@@ -515,6 +548,16 @@ func (d *daemonSession) RecvFromFE() ([]byte, error) {
 // reported as failures.
 func (d *daemonSession) Finalize() error {
 	err := d.comm.Barrier()
+	// Final metrics harvest: counters that only move after launch
+	// (collectives, heartbeats) fold up the still-connected tree, and the
+	// master pushes the aggregate to the FE. Best-effort — a fabric
+	// finalizing after a fault skips it — and gated identically at every
+	// rank so the collective sequence stays aligned.
+	if err == nil && d.obsReg != nil {
+		if agg, ferr := d.harvestObs(); ferr == nil && d.comm.IsMaster() {
+			d.fe.Send(&lmonp.Msg{Class: d.fab.class, Type: lmonp.TypeObsMetrics, Payload: agg})
+		}
+	}
 	if d.mon != nil {
 		d.mon.Stop()
 	}

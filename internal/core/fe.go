@@ -12,6 +12,7 @@ import (
 	"launchmon/internal/health"
 	"launchmon/internal/hostlist"
 	"launchmon/internal/lmonp"
+	"launchmon/internal/obs"
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 	"launchmon/internal/simnet"
@@ -71,6 +72,12 @@ type Options struct {
 	// (internal/health). The zero value disables it: daemon loss then
 	// surfaces only through connection errors at the master.
 	Health HealthOptions
+	// Obs enables the session observability plane (internal/obs): FE
+	// spans + instants (Session.WriteTrace), per-link metrics at every
+	// daemon (planted via LMON_OBS), and tree-harvested metric snapshots
+	// (Session.MetricsSnapshot). Off by default; LaunchMW inherits the
+	// session's setting.
+	Obs ObsMode
 }
 
 // HealthOptions parameterize per-session failure detection: the back-end
@@ -179,6 +186,15 @@ type Session struct {
 	// session (paper Figure 2); consumed by the performance model.
 	Timeline engine.Timeline
 
+	// Observability plane (nil = Options.Obs off). obsReg is the FE-local
+	// metrics registry; obsRec records FE spans and instants; obsHarvest
+	// stashes the latest tree-harvested snapshot per fabric.
+	obsMode    ObsMode
+	obsReg     *obs.Registry
+	obsRec     *obs.Recorder
+	obsMu      sync.Mutex
+	obsHarvest map[string]obs.Snapshot
+
 	// mu guards the lifecycle flags and middleware state below against
 	// concurrent session operations.
 	mu          sync.Mutex
@@ -269,7 +285,17 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 		chunkBytes: opts.ProctabChunkBytes,
 		collChunk:  opts.CollChunkBytes,
 		tableMode:  opts.TableMode,
+		obsMode:    opts.Obs,
 	}
+	if opts.Obs.enabled() {
+		s.obsReg = obs.NewRegistry()
+		s.obsRec = obs.NewRecorder(sim.Now)
+		// The mux is process-wide; with several concurrent obs-on sessions
+		// the accept/reject counters land in whichever registry attached
+		// last (they are process-level admission counts either way).
+		fe.mux.SetMetrics(s.obsReg)
+	}
+	launchSpan := s.obsRec.Start("launch-and-spawn", -1)
 	s.Timeline.Mark(engine.MarkE0, sim.Now())
 	p.Compute(feStartCost)
 
@@ -313,6 +339,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	env[EnvSeedMode] = opts.SeedMode.envValue()
 	env[EnvTableMode] = opts.TableMode.envValue()
 	env[EnvProctabChunk] = fmt.Sprint(opts.ProctabChunkBytes)
+	env[EnvObs] = opts.Obs.envValue()
 	env[EnvKind] = "be"
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
@@ -358,6 +385,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 
 	p.Compute(feFinishCost)
 	s.Timeline.Mark(engine.MarkE11, sim.Now())
+	launchSpan.End()
 
 	// The session is up: hand ownership of both connections' read sides to
 	// watcher goroutines (they demux async status events from synchronous
@@ -401,6 +429,7 @@ func (s *Session) launchStoreForward(opts Options) error {
 		return err
 	}
 	s.tab = tab
+	s.obsGauge("fe.table.bytes").SetMax(uint64(tab.MemBytes()))
 
 	status, engTL, err := s.recvStatus()
 	if err != nil {
@@ -427,12 +456,13 @@ func (s *Session) launchStoreForward(opts Options) error {
 		return err
 	}
 	s.Timeline.Mark(engine.MarkE10, sim.Now())
-	infos, beTL, err := decodeReady(ready.Payload)
+	infos, beTL, obsBlob, err := decodeReady(ready.Payload)
 	if err != nil {
 		return err
 	}
 	s.daemons = infos
 	s.Timeline.Merge(beTL)
+	s.stashObsHarvest("BE", obsBlob)
 	return nil
 }
 
@@ -517,6 +547,7 @@ func (s *Session) engineReader() {
 			if err != nil {
 				continue
 			}
+			s.obsInstant("event:" + ev.Kind.String())
 			s.fire(ev)
 			if ev.Kind == health.EvJobExited {
 				s.noteFault("job exited")
@@ -584,6 +615,14 @@ func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ
 		case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
 			f, err := coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
 			collQ.Send(collEvent{f: f, err: err})
+		case lmonp.TypeObsMetrics:
+			// The finalize-time harvest: a cumulative fabric-wide snapshot
+			// folded up the tree and pushed by the master before it closes.
+			fabric := "BE"
+			if kind != "" {
+				fabric = "MW"
+			}
+			s.stashObsHarvest(fabric, msg.Payload)
 		case lmonp.TypeStatusEvent:
 			ev, err := health.DecodeEvent(msg.Payload)
 			if err != nil {
@@ -592,6 +631,7 @@ func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ
 			if kind != "" {
 				ev.Detail = kind + "fabric: " + ev.Detail
 			}
+			s.obsInstant(kind + "event:" + ev.Kind.String())
 			s.fire(ev)
 			if ev.Kind == health.EvDaemonExited {
 				detail := fmt.Sprintf("%sdaemon rank %d lost", kind, ev.Rank)
@@ -818,28 +858,44 @@ func (s *Session) close() {
 	}
 }
 
-// decodeReady parses a ready payload: daemon infos + component timeline.
-func decodeReady(b []byte) ([]DaemonInfo, engine.Timeline, error) {
+// decodeReady parses a ready payload: daemon infos + component timeline +
+// the fabric's harvested metrics snapshot (empty when observability is
+// off).
+func decodeReady(b []byte) ([]DaemonInfo, engine.Timeline, []byte, error) {
 	rd := lmonp.NewReader(b)
 	infosRaw, err := rd.Bytes()
 	if err != nil {
-		return nil, engine.Timeline{}, err
+		return nil, engine.Timeline{}, nil, err
 	}
 	infos, err := decodeDaemonInfos(infosRaw)
 	if err != nil {
-		return nil, engine.Timeline{}, err
+		return nil, engine.Timeline{}, nil, err
 	}
 	tlRaw, err := rd.Bytes()
 	if err != nil {
-		return nil, engine.Timeline{}, err
+		return nil, engine.Timeline{}, nil, err
 	}
 	tl, err := engine.DecodeTimeline(tlRaw)
-	return infos, tl, err
+	if err != nil {
+		return nil, engine.Timeline{}, nil, err
+	}
+	// The harvested-metrics field is optional: an obs-off fabric omits it
+	// entirely, keeping the obs-off ready message byte-identical to the
+	// pre-observability wire format (zero cost when the plane is off).
+	if rd.Remaining() == 0 {
+		return infos, tl, nil, nil
+	}
+	obsBlob, err := rd.Bytes()
+	return infos, tl, obsBlob, err
 }
 
-func encodeReady(infos []DaemonInfo, tl engine.Timeline) []byte {
+func encodeReady(infos []DaemonInfo, tl engine.Timeline, obsBlob []byte) []byte {
 	b := lmonp.AppendBytes(nil, encodeDaemonInfos(infos))
-	return lmonp.AppendBytes(b, tl.Encode())
+	b = lmonp.AppendBytes(b, tl.Encode())
+	if len(obsBlob) == 0 {
+		return b
+	}
+	return lmonp.AppendBytes(b, obsBlob)
 }
 
 // healthLinksEnv renders the heartbeat-transport knob for the daemon

@@ -92,10 +92,11 @@ type seedItem struct {
 // path: the established master connection, the decoded ready message, and
 // the relay's share of the timeline (e7, e10, overlap marks).
 type relayResult struct {
-	conn  *lmonp.Conn
-	infos []DaemonInfo
-	tl    engine.Timeline
-	err   error
+	conn    *lmonp.Conn
+	infos   []DaemonInfo
+	tl      engine.Timeline
+	obsBlob []byte // harvested metrics snapshot off the ready message
+	err     error
 }
 
 // seedRelay accepts a fabric's master-daemon connection and forwards the
@@ -146,6 +147,10 @@ func (r *seedRelay) run() {
 func (r *seedRelay) relay() relayResult {
 	s := r.s
 	sim := s.p.Sim()
+	sp := s.obsRec.Start("seed-relay-"+r.fab.kind, -1)
+	defer sp.End()
+	relayChunks := s.obsCounter("fe.relay.chunks")
+	relayBytes := s.obsCounter("fe.relay.bytes")
 	conn, err := s.ep.Accept(r.fab.role, s.timeout)
 	if err != nil {
 		return relayResult{err: fmt.Errorf("core: %s master daemon did not connect: %w", r.fab.kind, err)}
@@ -182,6 +187,8 @@ func (r *seedRelay) relay() relayResult {
 				Type:    lmonp.TypeProctabChunk,
 				Payload: it.chunk,
 			})
+			relayChunks.Inc()
+			relayBytes.Add(uint64(len(it.chunk)))
 		}
 		if err != nil {
 			return relayResult{conn: conn, err: fmt.Errorf("core: relaying session seed to %s master: %w", r.fab.kind, err)}
@@ -195,12 +202,12 @@ func (r *seedRelay) relay() relayResult {
 		return relayResult{conn: conn, err: fmt.Errorf("core: awaiting %s master ready: %w", r.fab.kind, err)}
 	}
 	tl.Mark(r.markReady, sim.Now())
-	infos, masterTL, err := decodeReady(ready.Payload)
+	infos, masterTL, obsBlob, err := decodeReady(ready.Payload)
 	if err != nil {
 		return relayResult{conn: conn, err: err}
 	}
 	tl.Merge(masterTL)
-	return relayResult{conn: conn, infos: infos, tl: tl}
+	return relayResult{conn: conn, infos: infos, tl: tl, obsBlob: obsBlob}
 }
 
 // launchCutThrough drains the engine's chunk stream and status while the
@@ -264,6 +271,7 @@ func (s *Session) launchCutThrough(opts Options) error {
 				return fail(err)
 			}
 			s.tab = tab
+			s.obsGauge("fe.table.bytes").SetMax(uint64(tab.MemBytes()))
 			if s.tableMode == TableSliced {
 				// Publish the shared index before relaying the end marker:
 				// every daemon's seed drain completes only after this marker
@@ -303,5 +311,6 @@ func (s *Session) launchCutThrough(opts Options) error {
 	s.beMaster = res.conn
 	s.daemons = res.infos
 	s.Timeline.Merge(res.tl)
+	s.stashObsHarvest("BE", res.obsBlob)
 	return nil
 }

@@ -61,6 +61,9 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	s.mwLaunching = true
 	s.mu.Unlock()
 
+	sp := s.obsRec.Start("launch-mw", -1)
+	defer sp.End()
+
 	sim := s.p.Sim()
 	daemon := opts.Daemon
 	env := make(map[string]string, len(daemon.Env)+8)
@@ -75,6 +78,7 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	env[EnvSeedMode] = opts.SeedMode.envValue()
 	env[EnvTableMode] = s.tableMode.envValue()
 	env[EnvProctabChunk] = fmt.Sprint(s.chunkBytes)
+	env[EnvObs] = s.obsMode.envValue()
 	env[EnvKind] = "mw"
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
@@ -163,6 +167,7 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	}
 
 	s.Timeline.Merge(res.tl)
+	s.stashObsHarvest("MW", res.obsBlob)
 	s.mu.Lock()
 	s.mwMaster = res.conn
 	s.mwNodes = nodes
@@ -221,13 +226,13 @@ func (s *Session) mwSeedStoreForward(opts MWOptions) (relayResult, error) {
 		return relayResult{}, err
 	}
 	tl.Mark(engine.MarkMW10, sim.Now())
-	infos, masterTL, err := decodeReady(ready.Payload)
+	infos, masterTL, obsBlob, err := decodeReady(ready.Payload)
 	if err != nil {
 		conn.Close()
 		return relayResult{}, err
 	}
 	tl.Merge(masterTL)
-	return relayResult{conn: conn, infos: infos, tl: tl}, nil
+	return relayResult{conn: conn, infos: infos, tl: tl, obsBlob: obsBlob}, nil
 }
 
 // MWNodes returns the middleware allocation (after LaunchMW).

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+
+	"launchmon/internal/coll"
+	"launchmon/internal/engine"
+	"launchmon/internal/obs"
+)
+
+// This file is the front-end surface of the session observability plane
+// (internal/obs): the Options.Obs knob, the FE-side registry and span
+// recorder, the per-fabric metrics harvest stash, and the exported
+// Session.MetricsSnapshot / Session.WriteTrace accessors. The plane runs
+// entirely in virtual time but charges none itself — its only wire cost
+// is the harvest fold (iccl.Comm.FoldUp) riding the ready gather and the
+// finalize barrier, which the launch-pipeline bench bounds at ≤2% drift.
+
+// ObsMode selects per-session observability: spans and instants recorded
+// at the front end, per-link metrics counted at every daemon, and
+// tree-harvested metric snapshots delivered with the ready message and at
+// session finalize.
+type ObsMode int
+
+const (
+	// ObsDefault leaves observability off — instrumented paths cost one
+	// nil-check branch and no wire bytes.
+	ObsDefault ObsMode = iota
+	// ObsOn enables the full plane: FE recorder + registry, daemon
+	// registries (planted via LMON_OBS), and the harvest folds.
+	ObsOn
+	// ObsOff is the explicit off value (same behavior as ObsDefault; kept
+	// distinct so rigs can override an inherited default).
+	ObsOff
+)
+
+// String names the mode for diagnostics and the bootstrap environment.
+func (m ObsMode) String() string {
+	if m == ObsOn {
+		return "on"
+	}
+	return "off"
+}
+
+// envValue renders the mode for the daemon bootstrap environment
+// (EnvObs / LMON_OBS).
+func (m ObsMode) envValue() string { return m.String() }
+
+// enabled reports whether the mode turns the plane on.
+func (m ObsMode) enabled() bool { return m == ObsOn }
+
+// ErrObsDisabled is returned by observability accessors on a session
+// launched without Options.Obs = ObsOn.
+var ErrObsDisabled = errors.New("core: session observability disabled (set Options.Obs)")
+
+func init() {
+	// obs/merge folds encoded metric snapshots at every tree node
+	// (counters sum, gauges max) — the filter behind live, tool-driven
+	// metric harvests over the collective plane: every daemon contributes
+	// Collective().Reduce(snapshot, "obs/merge") and the FE's Reduce
+	// returns one fabric-wide snapshot at a K-independent size.
+	coll.RegisterFilter("obs/merge", func(arg string) (coll.Combine, error) {
+		return obs.MergeEncoded, nil
+	})
+}
+
+// obsCounter returns the named FE-side counter (nil/no-op when obs off).
+func (s *Session) obsCounter(name string) *obs.Counter { return s.obsReg.Counter(name) }
+
+// obsGauge returns the named FE-side gauge (nil/no-op when obs off).
+func (s *Session) obsGauge(name string) *obs.Gauge { return s.obsReg.Gauge(name) }
+
+// obsInstant records a point event on the front-end track at the current
+// virtual time (no-op when obs off).
+func (s *Session) obsInstant(name string) {
+	s.obsRec.Instant(name, -1, s.p.Sim().Now())
+}
+
+// stashObsHarvest installs one fabric's harvested snapshot. Each harvest
+// is a cumulative fold over the fabric's whole life, so a newer harvest
+// replaces the previous one for the same fabric instead of merging into
+// it (merging would double-count the ready-time harvest inside the
+// finalize-time one); distinct fabrics (BE, MW) stay separate and are
+// summed only at read time.
+func (s *Session) stashObsHarvest(fabric string, blob []byte) {
+	if s.obsReg == nil || len(blob) == 0 {
+		return
+	}
+	snap, err := obs.DecodeSnapshot(blob)
+	if err != nil {
+		s.obsCounter("obs.harvest.decode.errors").Inc()
+		return
+	}
+	s.obsMu.Lock()
+	if s.obsHarvest == nil {
+		s.obsHarvest = make(map[string]obs.Snapshot)
+	}
+	s.obsHarvest[fabric] = snap
+	s.obsMu.Unlock()
+	s.obsCounter("obs.harvests").Inc()
+}
+
+// MetricsSnapshot returns the session's merged metrics: the FE-local
+// registry plus the most recent tree-harvested snapshot of each fabric
+// (delivered with the ready message, refreshed at daemon finalize, or
+// pulled live by tools reducing with the "obs/merge" filter). Counters
+// sum across daemons; gauges keep the fabric-wide maximum. On a session
+// the watchdog tore down it returns the wrapped terminal fault instead.
+func (s *Session) MetricsSnapshot() (obs.Snapshot, error) {
+	if s.obsReg == nil {
+		return obs.Snapshot{}, ErrObsDisabled
+	}
+	s.mu.Lock()
+	fault := s.faultDetail
+	s.mu.Unlock()
+	if fault != "" {
+		return obs.Snapshot{}, s.closedErr()
+	}
+	// The goroutine gauge is simulator-process-wide (all sessions share
+	// the Go runtime), so it is informational, not per-session.
+	s.obsGauge("fe.goroutines").SetMax(uint64(runtime.NumGoroutine()))
+	snap := s.obsReg.Snapshot()
+	s.obsMu.Lock()
+	for _, h := range s.obsHarvest {
+		snap.Merge(h)
+	}
+	s.obsMu.Unlock()
+	return snap, nil
+}
+
+// traceChains are the monotone mark chains of the launch pipeline
+// (engine chain, handshake chain, MW chain — see internal/engine's mark
+// docs); WriteTrace synthesizes one span per adjacent mark pair, so the
+// exported trace reproduces the chains' partial order visually.
+var traceChains = [][]string{
+	{engine.MarkE0, engine.MarkE1, engine.MarkE2, engine.MarkE3, engine.MarkE4,
+		engine.MarkE5, engine.MarkE6, engine.MarkE11},
+	{engine.MarkE5, engine.MarkE7, engine.MarkE8, engine.MarkE9, engine.MarkE10, engine.MarkE11},
+	{engine.MarkMW7, engine.MarkMW8, engine.MarkMW9, engine.MarkMW10},
+}
+
+// durationMarks are duration-valued timeline entries (not timestamps);
+// they make no sense as trace instants and are skipped.
+var durationMarks = map[string]bool{
+	engine.MarkTracing: true,
+	engine.MarkFetch:   true,
+}
+
+// WriteTrace exports the session as a Chrome/Perfetto trace-event JSON
+// array: the live FE spans (seed relay, collective operations), one
+// synthesized span per adjacent pair of each monotone mark chain, and
+// every timestamp mark of the merged Timeline as an instant event. Load
+// the output in ui.perfetto.dev or chrome://tracing.
+func (s *Session) WriteTrace(w io.Writer) error {
+	if s.obsRec == nil {
+		return ErrObsDisabled
+	}
+	rec := obs.NewRecorder(s.p.Sim().Now)
+	for _, sp := range s.obsRec.Spans() {
+		rec.AddSpan(sp.Name, sp.Rank, sp.Begin, sp.Dur)
+	}
+	for _, in := range s.obsRec.Instants() {
+		rec.Instant(in.Name, in.Rank, in.At)
+	}
+	for _, e := range s.Timeline.Entries {
+		if !durationMarks[e.Name] {
+			rec.Instant(e.Name, -1, e.At)
+		}
+	}
+	for _, chain := range traceChains {
+		for i := 0; i+1 < len(chain); i++ {
+			a, okA := s.Timeline.Get(chain[i])
+			b, okB := s.Timeline.Get(chain[i+1])
+			if okA && okB && b >= a {
+				rec.AddSpan(chain[i]+".."+chain[i+1], -1, a, b-a)
+			}
+		}
+	}
+	return rec.WriteChromeTrace(w, s.ID, fmt.Sprintf("lmon-session-%d", s.ID))
+}

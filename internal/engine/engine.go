@@ -112,6 +112,10 @@ func (e *Engine) main() {
 	}
 	e.fe = conn
 	defer e.fe.Close()
+	// If this engine process is killed mid-protocol (fault injection), the
+	// adopted conn severs and the front end observes ErrPeerDead instead of
+	// waiting forever on a corpse.
+	e.proc.AdoptConn(conn)
 
 	req, err := e.fe.Recv()
 	if err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
 	"launchmon/internal/lmonp"
@@ -102,9 +103,19 @@ func (t *Timeline) Between(from, to string) time.Duration {
 	return b - a
 }
 
-// Merge appends all entries of other.
+// Merge folds in all entries of other and re-sorts the merged list by
+// (time, name). The sort makes the merged order a pure function of the
+// mark set: BE and MW fabrics report their chains concurrently, and
+// without it the merged order depended on which watcher ran first —
+// nondeterministic output from deterministic virtual-time inputs.
 func (t *Timeline) Merge(other Timeline) {
 	t.Entries = append(t.Entries, other.Entries...)
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		if t.Entries[i].At != t.Entries[j].At {
+			return t.Entries[i].At < t.Entries[j].At
+		}
+		return t.Entries[i].Name < t.Entries[j].Name
+	})
 }
 
 // Encode renders the timeline for an LMONP payload.

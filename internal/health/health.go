@@ -29,6 +29,7 @@ import (
 	"launchmon/internal/cluster"
 	"launchmon/internal/iccl"
 	"launchmon/internal/lmonp"
+	"launchmon/internal/obs"
 	"launchmon/internal/simnet"
 	"launchmon/internal/vtime"
 )
@@ -61,6 +62,11 @@ type Config struct {
 	// DialRetry and DialAttempts bound the child→parent connect loop.
 	DialRetry    time.Duration
 	DialAttempts int
+
+	// Metrics receives heartbeat-plane counters (health.beats.sent,
+	// health.timeouts, health.reports) when set; nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +127,17 @@ type Monitor struct {
 	lastBeat map[int]time.Duration // direct child rank → last heard (virtual)
 	reported map[int]bool          // ranks already declared dead
 	stopped  bool
+
+	// Metric handles (nil = obs off; methods on nil handles no-op).
+	beatsSent, timeouts, reportsUp *obs.Counter
+}
+
+// bindMetrics interns the monitor's counter handles from cfg.Metrics.
+func (m *Monitor) bindMetrics() {
+	reg := m.cfg.Metrics
+	m.beatsSent = reg.Counter("health.beats.sent")
+	m.timeouts = reg.Counter("health.timeouts")
+	m.reportsUp = reg.Counter("health.reports")
 }
 
 // Start joins the calling daemon into the session's heartbeat tree and
@@ -144,6 +161,7 @@ func Start(p *cluster.Proc, cfg Config) (*Monitor, error) {
 		lastBeat: make(map[int]time.Duration),
 		reported: make(map[int]bool),
 	}
+	m.bindMetrics()
 	if cfg.Rank == 0 {
 		m.failures = vtime.NewChan[Report](p.Sim())
 	}
@@ -219,6 +237,7 @@ func StartOnLinks(p *cluster.Proc, cfg Config, parent *iccl.Link, children []*ic
 		lastBeat: make(map[int]time.Duration),
 		reported: make(map[int]bool),
 	}
+	m.bindMetrics()
 	if cfg.Rank == 0 {
 		m.failures = vtime.NewChan[Report](p.Sim())
 	}
@@ -410,6 +429,7 @@ func (m *Monitor) beatLoop() {
 	if err := m.sendUp(beat); err != nil {
 		return
 	}
+	m.beatsSent.Inc()
 	for {
 		m.p.Sim().Sleep(m.cfg.Period)
 		if m.halted() {
@@ -418,6 +438,7 @@ func (m *Monitor) beatLoop() {
 		if err := m.sendUp(beat); err != nil {
 			return
 		}
+		m.beatsSent.Inc()
 	}
 }
 
@@ -447,6 +468,7 @@ func (m *Monitor) checkLoop() {
 		}
 		m.mu.Unlock()
 		for _, rank := range late {
+			m.timeouts.Inc()
 			m.declareSubtreeDead(rank, "heartbeat timeout")
 		}
 	}
@@ -484,6 +506,7 @@ func (m *Monitor) propagate(reports []Report) {
 	if len(fresh) == 0 || stopped {
 		return
 	}
+	m.reportsUp.Add(uint64(len(fresh)))
 	if m.failures != nil {
 		for _, r := range fresh {
 			m.failures.Send(r)

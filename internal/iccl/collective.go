@@ -77,7 +77,9 @@ func (pl *Plane) nextTag() uint32 {
 // body as it arrives and fold it (coll.SeqCheck), so streaming validation
 // covers every chunk at O(chunk) memory without an 8-byte per-frame wire
 // tax — on a deep tree those bytes ride every hop of every link.
-func writeFrameOp(conn *simnet.Conn, chunkOp, endOp uint32, f coll.Frame) error {
+// It returns the encoded frame size so callers can maintain per-link
+// wire-byte metrics.
+func writeFrameOp(conn *simnet.Conn, chunkOp, endOp uint32, f coll.Frame) (int, error) {
 	var b []byte
 	if f.End {
 		b = lmonp.AppendUint32(nil, endOp)
@@ -89,7 +91,10 @@ func writeFrameOp(conn *simnet.Conn, chunkOp, endOp uint32, f coll.Frame) error 
 		b = lmonp.AppendBytes(b, f.H.Encode())
 		b = lmonp.AppendBytes(b, f.Body)
 	}
-	return lmonp.WriteFrame(conn, b)
+	if err := lmonp.WriteFrame(conn, b); err != nil {
+		return 0, err
+	}
+	return len(b), nil
 }
 
 // readFrameOp reads one frame written by writeFrameOp directly off the
@@ -146,7 +151,15 @@ func parseFrameOp(raw []byte, chunkOp, endOp uint32) (coll.Frame, error) {
 
 // sendFrame writes one collective frame to a tree link.
 func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
-	return writeFrameOp(conn, opCollChunk, opCollEnd, f)
+	n, err := writeFrameOp(conn, opCollChunk, opCollEnd, f)
+	if err != nil {
+		return err
+	}
+	pl.c.txFrames.Inc()
+	pl.c.txBytes.Add(uint64(n))
+	pl.c.collTxFrames.Inc()
+	pl.c.collTxBytes.Add(uint64(n))
+	return nil
 }
 
 // recvFrame reads one collective frame from a tree link (demuxed when

@@ -21,6 +21,7 @@ import (
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/lmonp"
+	"launchmon/internal/obs"
 	"launchmon/internal/simnet"
 	"launchmon/internal/vtime"
 )
@@ -35,6 +36,7 @@ const (
 	opGather    = 6
 	opScatter   = 7
 	opHeartbeat = 12 // child → parent: health beat piggybacked on the tree link
+	opFold      = 13 // child → parent: combined blob of a FoldUp tree reduction
 )
 
 // Config describes one daemon's place in the ICCL tree.
@@ -52,6 +54,10 @@ type Config struct {
 	// (parents may not be listening yet when a child daemon starts).
 	DialRetry    time.Duration
 	DialAttempts int
+
+	// Metrics receives link-level counters (iccl.tx/rx frames and bytes,
+	// dial retries) when set; nil disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +91,31 @@ type Comm struct {
 
 	muxMu sync.Mutex
 	mux   map[*simnet.Conn]*linkMux // set by ShareLinks, nil before
+
+	// Metric handles, interned once at bootstrap (nil = obs off; all
+	// methods on nil handles no-op).
+	txFrames, txBytes, rxFrames, rxBytes *obs.Counter
+	collTxFrames, collTxBytes            *obs.Counter
+}
+
+// bindMetrics interns the communicator's counter handles from cfg.Metrics.
+func (c *Comm) bindMetrics() {
+	reg := c.cfg.Metrics
+	c.txFrames = reg.Counter("iccl.tx.frames")
+	c.txBytes = reg.Counter("iccl.tx.bytes")
+	c.rxFrames = reg.Counter("iccl.rx.frames")
+	c.rxBytes = reg.Counter("iccl.rx.bytes")
+	c.collTxFrames = reg.Counter("coll.tx.frames")
+	c.collTxBytes = reg.Counter("coll.tx.bytes")
+}
+
+// send writes one tree frame, counting it when metrics are bound. All
+// collective sends go through here so wire-byte invariants (bench
+// assertions on O(K) claims) observe every frame.
+func (c *Comm) send(conn *simnet.Conn, frame []byte) error {
+	c.txFrames.Inc()
+	c.txBytes.Add(uint64(len(frame)))
+	return lmonp.WriteFrame(conn, frame)
 }
 
 // Errors from the collective layer.
@@ -186,6 +217,7 @@ func (c *Comm) recvRaw(conn *simnet.Conn) ([]byte, error) {
 		if !ok {
 			return nil, ErrSevered
 		}
+		c.countRx(raw)
 		return raw, nil
 	}
 	raw, err := lmonp.ReadFrame(conn)
@@ -193,7 +225,14 @@ func (c *Comm) recvRaw(conn *simnet.Conn) ([]byte, error) {
 		return nil, err
 	}
 	c.p.Compute(c.cfg.PerMsgCost)
+	c.countRx(raw)
 	return raw, nil
+}
+
+// countRx tallies one received tree frame (both recvRaw paths).
+func (c *Comm) countRx(raw []byte) {
+	c.rxFrames.Inc()
+	c.rxBytes.Add(uint64(len(raw)))
 }
 
 // Parent returns the parent rank of r in a k-ary tree (r>0).
@@ -249,6 +288,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 		return nil, fmt.Errorf("%w: nodelist has %d entries for size %d", ErrBootstrap, len(cfg.Nodelist), cfg.Size)
 	}
 	c := &Comm{p: p, cfg: cfg, rank: cfg.Rank, size: cfg.Size}
+	c.bindMetrics()
 	kids := Children(cfg.Rank, cfg.Size, cfg.Fanout)
 
 	var l *simnet.Listener
@@ -277,6 +317,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 			p.Sim().Sleep(time.Duration(slot))
 		}
 		addr := simnet.Addr{Host: cfg.Nodelist[parentRank], Port: cfg.Port}
+		retries := cfg.Metrics.Counter("iccl.dial.retries")
 		var conn *simnet.Conn
 		var err error
 		for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
@@ -284,6 +325,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 			if err == nil {
 				break
 			}
+			retries.Inc()
 			p.Sim().Sleep(cfg.DialRetry)
 		}
 		if err != nil {
@@ -292,7 +334,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 		c.parent = conn
 		join := lmonp.AppendUint32(nil, opJoin)
 		join = lmonp.AppendUint32(join, uint32(cfg.Rank))
-		if err := lmonp.WriteFrame(conn, join); err != nil {
+		if err := c.send(conn, join); err != nil {
 			return nil, fmt.Errorf("%w: join: %v", ErrBootstrap, err)
 		}
 		if onParent != nil {
@@ -313,6 +355,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 			return nil, fmt.Errorf("%w: join frame: %v", ErrBootstrap, err)
 		}
 		p.Compute(cfg.PerMsgCost)
+		c.countRx(frame)
 		rd := lmonp.NewReader(frame)
 		op, _ := rd.Uint32()
 		rk32, err := rd.Uint32()
@@ -343,6 +386,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 			return nil, fmt.Errorf("%w: ready: %v", ErrBootstrap, err)
 		}
 		p.Compute(cfg.PerMsgCost)
+		c.countRx(frame)
 		rd := lmonp.NewReader(frame)
 		op, _ := rd.Uint32()
 		n32, err := rd.Uint32()
@@ -354,7 +398,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 	if c.parent != nil {
 		rdy := lmonp.AppendUint32(nil, opReady)
 		rdy = lmonp.AppendUint32(rdy, uint32(total))
-		if err := lmonp.WriteFrame(c.parent, rdy); err != nil {
+		if err := c.send(c.parent, rdy); err != nil {
 			return nil, fmt.Errorf("%w: ready up: %v", ErrBootstrap, err)
 		}
 	} else if total != cfg.Size {
@@ -406,7 +450,7 @@ func (c *Comm) Barrier() error {
 		}
 	}
 	if c.parent != nil {
-		if err := lmonp.WriteFrame(c.parent, lmonp.AppendUint32(nil, opBarrier)); err != nil {
+		if err := c.send(c.parent, lmonp.AppendUint32(nil, opBarrier)); err != nil {
 			return err
 		}
 		if _, err := c.recvOp(c.parent, opRelease); err != nil {
@@ -415,7 +459,7 @@ func (c *Comm) Barrier() error {
 	}
 	rel := lmonp.AppendUint32(nil, opRelease)
 	for _, conn := range c.children {
-		if err := lmonp.WriteFrame(conn, rel); err != nil {
+		if err := c.send(conn, rel); err != nil {
 			return err
 		}
 	}
@@ -439,7 +483,7 @@ func (c *Comm) Broadcast(buf []byte) ([]byte, error) {
 	frame := lmonp.AppendUint32(nil, opBcast)
 	frame = lmonp.AppendBytes(frame, buf)
 	for _, conn := range c.children {
-		if err := lmonp.WriteFrame(conn, frame); err != nil {
+		if err := c.send(conn, frame); err != nil {
 			return nil, err
 		}
 	}
@@ -483,7 +527,7 @@ func (c *Comm) Gather(mine []byte) ([][]byte, error) {
 			frame = lmonp.AppendUint32(frame, uint32(rk))
 			frame = lmonp.AppendBytes(frame, collected[rk])
 		}
-		if err := lmonp.WriteFrame(c.parent, frame); err != nil {
+		if err := c.send(c.parent, frame); err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -496,6 +540,44 @@ func (c *Comm) Gather(mine []byte) ([][]byte, error) {
 		out[rk] = blob
 	}
 	return out, nil
+}
+
+// FoldUp reduces one byte blob per daemon toward the root with the given
+// combine function (acc is nil on the first call; combine must be
+// associative and commutative — children fold in connection order, which
+// is not rank order). Unlike Gather, interior daemons forward one
+// combined blob per link, so the reduction stays O(blob) per link at any
+// tree size — this is how the observability plane harvests per-daemon
+// metric snapshots without building an O(K) concatenation anywhere. The
+// root returns the full fold; every other daemon returns nil. Works both
+// before and after ShareLinks (recvRaw demuxes accordingly).
+func (c *Comm) FoldUp(mine []byte, combine func(acc, next []byte) ([]byte, error)) ([]byte, error) {
+	acc, err := combine(nil, mine)
+	if err != nil {
+		return nil, err
+	}
+	for _, conn := range c.children {
+		rd, err := c.recvOp(conn, opFold)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := rd.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if acc, err = combine(acc, blob); err != nil {
+			return nil, err
+		}
+	}
+	if c.parent != nil {
+		frame := lmonp.AppendUint32(nil, opFold)
+		frame = lmonp.AppendBytes(frame, acc)
+		if err := c.send(c.parent, frame); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return acc, nil
 }
 
 // Scatter delivers parts[rank] to each daemon; only the master's parts
@@ -538,7 +620,7 @@ func (c *Comm) Scatter(parts [][]byte) ([]byte, error) {
 			frame = lmonp.AppendUint32(frame, uint32(rk))
 			frame = lmonp.AppendBytes(frame, byRank[rk])
 		}
-		if err := lmonp.WriteFrame(conn, frame); err != nil {
+		if err := c.send(conn, frame); err != nil {
 			return nil, err
 		}
 	}

@@ -280,6 +280,16 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 		}
 	}
 
+	// Observability handles (nil registry → all no-ops). seed.link.bytes.max
+	// is the peak per-link forwarded byte count across the whole tree once
+	// harvested — the measured quantity behind the O(table/K · subtree)
+	// per-link claim of rank-sliced routing.
+	fwdChunks := cfg.Metrics.Counter("seed.fwd.chunks")
+	fwdBytes := cfg.Metrics.Counter("seed.fwd.bytes")
+	linkMax := cfg.Metrics.Gauge("seed.link.bytes.max")
+	queueMax := cfg.Metrics.Gauge("seed.queue.depth.max")
+	srcBytes := cfg.Metrics.Gauge("seed.src.bytes")
+
 	// One forwarder per child slot: parked until the child joins, then
 	// relaying frames in arrival order. It ends after forwarding the End
 	// frame — or when the stream aborts (outbox closed) or the child link
@@ -289,6 +299,8 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 		seed.wg.Add(1)
 		sim.Go(fmt.Sprintf("iccl-seed-fwd-%d-%d", cfg.Rank, kids[i]), func() {
 			defer seed.wg.Done()
+			var linkBytes uint64
+			defer func() { linkMax.SetMax(linkBytes) }()
 			conn, ok := conns[i].Recv()
 			if !ok {
 				return // bootstrap failed before this child joined
@@ -298,10 +310,15 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 				if !ok {
 					return
 				}
-				if err := writeFrameOp(conn, opSeedChunk, opSeedEnd, f); err != nil {
+				queueMax.SetMax(uint64(outs[i].Len()))
+				n, err := writeFrameOp(conn, opSeedChunk, opSeedEnd, f)
+				if err != nil {
 					seed.fail(fmt.Errorf("iccl: seed forward to rank %d: %w", kids[i], err))
 					return
 				}
+				fwdChunks.Inc()
+				fwdBytes.Add(uint64(n))
+				linkBytes += uint64(n)
 				if f.End {
 					return
 				}
@@ -322,12 +339,21 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 				split = newSeedSplitter(rt, cfg, kids, seed.local, outs)
 			}
 			var chk coll.SeqCheck
+			var pumped uint64
 			for {
 				f, err := next()
 				if err != nil {
 					seed.fail(fmt.Errorf("iccl: seed stream at rank %d: %w", cfg.Rank, err))
 					abort()
 					return
+				}
+				if cfg.Rank == 0 {
+					// Total seed bytes entering the tree at the root: the
+					// denominator of the per-link wire-byte invariants.
+					pumped += uint64(len(f.Body))
+					if f.End {
+						srcBytes.SetMax(pumped)
+					}
 				}
 				if f.H.Op != coll.OpSeed {
 					seed.fail(fmt.Errorf("%w: %v frame in seed stream", ErrProtocol, f.H.Op))

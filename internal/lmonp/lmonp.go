@@ -105,6 +105,12 @@ const (
 	// carries the stream total for reassembly validation.
 	TypeCollChunk // either direction: one collective chunk
 	TypeCollEnd   // either direction: stream end; payload = header + uint64 total
+
+	// Observability plane (fe-be / fe-mw): a merged obs.Snapshot blob the
+	// master daemon pushes to the front end — once at session finalize,
+	// covering the whole daemon set via the tree fold (codec in
+	// internal/obs).
+	TypeObsMetrics // BE/MW master→FE: harvested metrics snapshot
 )
 
 // String names the type for diagnostics.
@@ -118,6 +124,7 @@ func (t MsgType) String() string {
 		TypeProctabBE: "proctab-be", TypeProctabChunk: "proctab-chunk",
 		TypeProctabEnd: "proctab-end", TypeStatusEvent: "status-event",
 		TypeCollChunk: "coll-chunk", TypeCollEnd: "coll-end",
+		TypeObsMetrics: "obs-metrics",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -263,4 +270,15 @@ func (c *Conn) Close() error {
 		return cl.Close()
 	}
 	return nil
+}
+
+// Sever force-severs the underlying stream when it supports it (simnet
+// connections do): the peer observes ErrPeerDead instead of a clean EOF.
+// This is how cluster.Proc.Kill tears down a killed process's open
+// connections — the conn is adopted by the owning proc, and teardown
+// must look like a node loss, not a graceful close.
+func (c *Conn) Sever() {
+	if s, ok := c.rw.(interface{ Sever() }); ok {
+		s.Sever()
+	}
 }

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects virtual-time spans and instant events for one trace
+// (one session). It is safe for concurrent use — the FE relay, collective
+// helpers and watcher goroutines all record into the session's recorder.
+// A nil recorder no-ops everywhere, so instrumentation points need no
+// obs-on conditionals.
+type Recorder struct {
+	now func() time.Duration
+
+	mu       sync.Mutex
+	spans    []SpanEvent
+	instants []InstantEvent
+}
+
+// NewRecorder builds a recorder reading timestamps from now (the
+// simulation clock). now must be safe for concurrent use.
+func NewRecorder(now func() time.Duration) *Recorder {
+	return &Recorder{now: now}
+}
+
+// SpanEvent is one completed span: a named interval on a rank's track.
+type SpanEvent struct {
+	Name  string
+	Rank  int // -1 = the front end / no specific rank
+	Begin time.Duration
+	Dur   time.Duration
+}
+
+// InstantEvent is one point event (Timeline marks fold in as these).
+type InstantEvent struct {
+	Name string
+	Rank int
+	At   time.Duration
+}
+
+// Span is an open interval returned by Start; End closes it and commits
+// it to the recorder.
+type Span struct {
+	rec   *Recorder
+	name  string
+	rank  int
+	begin time.Duration
+}
+
+// Start opens a span on the given rank's track (rank -1 for the front
+// end). Nil-safe: a nil recorder returns a nil span whose End no-ops.
+func (r *Recorder) Start(name string, rank int) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{rec: r, name: name, rank: rank, begin: r.now()}
+}
+
+// End closes the span at the current virtual time and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	end := r.now()
+	r.mu.Lock()
+	r.spans = append(r.spans, SpanEvent{Name: s.name, Rank: s.rank, Begin: s.begin, Dur: end - s.begin})
+	r.mu.Unlock()
+}
+
+// AddSpan records a pre-computed complete span (how Timeline mark chains
+// become spans at export time).
+func (r *Recorder) AddSpan(name string, rank int, begin, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, SpanEvent{Name: name, Rank: rank, Begin: begin, Dur: dur})
+	r.mu.Unlock()
+}
+
+// Instant records a point event.
+func (r *Recorder) Instant(name string, rank int, at time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.instants = append(r.instants, InstantEvent{Name: name, Rank: rank, At: at})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *Recorder) Spans() []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanEvent(nil), r.spans...)
+}
+
+// Instants returns a copy of the recorded instant events.
+func (r *Recorder) Instants() []InstantEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]InstantEvent(nil), r.instants...)
+}
+
+// chromeEvent is one entry of the Chrome/Perfetto trace-event JSON array
+// (the "JSON Array Format" every trace viewer loads).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // metadata payload
+}
+
+// WriteChromeTrace renders the recorder's spans and instants as a
+// Chrome/Perfetto trace-event JSON array: one process (pid = the session
+// ID, named process), one thread track per rank (tid = rank+2, so the
+// front-end track rank -1 lands on tid 1). Events are emitted sorted by
+// (ts, name) so equal traces produce equal bytes.
+func (r *Recorder) WriteChromeTrace(w io.Writer, pid int, process string) error {
+	spans := r.Spans()
+	instants := r.Instants()
+
+	tid := func(rank int) int { return rank + 2 }
+	events := make([]chromeEvent, 0, len(spans)+len(instants)+8)
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts: float64(s.Begin) / 1e3, Dur: float64(s.Dur) / 1e3,
+			Pid: pid, Tid: tid(s.Rank),
+		})
+	}
+	for _, i := range instants {
+		events = append(events, chromeEvent{
+			Name: i.Name, Ph: "i", S: "t",
+			Ts:  float64(i.At) / 1e3,
+			Pid: pid, Tid: tid(i.Rank),
+		})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].Ts != events[b].Ts {
+			return events[a].Ts < events[b].Ts
+		}
+		return events[a].Name < events[b].Name
+	})
+
+	// Track-naming metadata first, then the sorted payload events.
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+	}
+	for _, i := range instants {
+		ranks[i.Rank] = true
+	}
+	sortedRanks := make([]int, 0, len(ranks))
+	for rk := range ranks {
+		sortedRanks = append(sortedRanks, rk)
+	}
+	sort.Ints(sortedRanks)
+	meta := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": process},
+	}}
+	for _, rk := range sortedRanks {
+		name := "front-end"
+		if rk >= 0 {
+			name = trackName(rk)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid(rk),
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	all := append(meta, events...)
+	return enc.Encode(all)
+}
+
+// trackName names a daemon rank's thread track.
+func trackName(rank int) string {
+	// Staying allocation-light is pointless at export time; plain Sprintf
+	// would be fine, but strconv avoids the fmt import here.
+	return "rank-" + itoa(rank)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

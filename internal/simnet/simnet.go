@@ -496,6 +496,15 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// Sever force-severs the connection as if this endpoint's host died:
+// local reads/writes fail at once with ErrPeerDead, and the remote peer
+// observes ErrPeerDead after in-flight data (and one link latency)
+// drains. It is the per-connection slice of KillHost, used by process
+// (rather than node) fault injection: a killed process's adopted
+// connections sever without taking the whole host down. Idempotent; safe
+// on closed connections.
+func (c *Conn) Sever() { c.sever() }
+
 // sever marks this endpoint's host dead: local reads/writes fail at once,
 // and the remote peer observes ErrPeerDead after the in-flight data (and
 // one link latency) drains. Idempotent; safe on closed connections.

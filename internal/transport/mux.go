@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"launchmon/internal/lmonp"
+	"launchmon/internal/obs"
 	"launchmon/internal/simnet"
 	"launchmon/internal/vtime"
 )
@@ -22,6 +23,23 @@ type Mux struct {
 	mu       sync.Mutex
 	sessions map[int]*Endpoint
 	closed   bool
+	metrics  *obs.Registry // nil = observability off
+}
+
+// SetMetrics attaches an observability registry: the accept path then
+// counts admitted and rejected hellos (mux.accept / mux.reject). Safe to
+// call concurrently with the accept loop; a nil registry detaches.
+func (m *Mux) SetMetrics(reg *obs.Registry) {
+	m.mu.Lock()
+	m.metrics = reg
+	m.mu.Unlock()
+}
+
+// metric returns the named counter under the registry lock (nil-safe).
+func (m *Mux) metric(name string) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics.Counter(name)
 }
 
 // ListenMux opens the process-wide mux on an ephemeral port of host and
@@ -59,16 +77,19 @@ func (m *Mux) serve() {
 func (m *Mux) admit(conn *simnet.Conn) {
 	h, err := ReadHello(conn)
 	if err != nil {
+		m.metric("mux.reject").Inc()
 		conn.Close()
 		return
 	}
 	m.mu.Lock()
 	ep := m.sessions[h.Session]
 	if ep == nil || ep.closed {
+		m.metrics.Counter("mux.reject").Inc()
 		m.mu.Unlock()
 		conn.Close()
 		return
 	}
+	m.metrics.Counter("mux.accept").Inc()
 	// Enqueue while still holding the registry lock so a concurrent
 	// Endpoint.Close cannot slip between the lookup and the send (Close
 	// drains the queues after deregistering, so the connection is either

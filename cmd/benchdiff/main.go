@@ -128,8 +128,9 @@ func main() {
 			Comment: "virtual-time bench pins for the CI smoke sweep plus the full-scale launch_million point; " +
 				"-write replaces only the stems of the files it is given, so regenerate the smoke pins with: " +
 				"go run ./cmd/lmonbench -smoke -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_smoke_*.json " +
-				"and the million pin (needs ~40 GB host memory) with: " +
-				"go run ./cmd/lmonbench -million -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_launch_million.json",
+				"and the million pin (fits a 16 GB host, ~30 min on one core) with: " +
+				"GODEBUG=madvdontneed=1 go run ./cmd/lmonbench -million -mem -json && go run ./cmd/benchdiff -baseline ci/bench_baseline.json -write BENCH_launch_million.json; " +
+				"goroutine counts are virtual-time-deterministic and pinned, RSS is host-dependent and never pinned",
 			Metrics: merged,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")

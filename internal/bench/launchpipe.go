@@ -54,6 +54,17 @@ type LaunchPipeRow struct {
 	SeedSrcB     uint64        `json:",omitempty"` // seed.src.bytes: seed body bytes injected at the root
 	SeedLinkMaxB uint64        `json:",omitempty"` // seed.link.bytes.max: busiest seed link, fabric-wide
 	ReduceFEB    uint64        `json:",omitempty"` // coll.reduce.fe.rx.bytes: reduce bytes landing on the FE link
+
+	// Simulator host-cost columns (LaunchMillion only): the event-driven
+	// simnet budget that lets K=2^20 fit a 16 GB runner. GoroutinesPeak is
+	// vtime.Sim.PeakLive over the whole run — every simulated process main
+	// plus every transient helper the fabric ever parked at once;
+	// GoroutinesPerNode normalizes by K (the ≤1.25 acceptance bound).
+	// RSSPeakB is the host process's peak resident set (VmHWM), a
+	// machine-dependent observable: report it, never pin it.
+	GoroutinesPeak    int     `json:",omitempty"`
+	GoroutinesPerNode float64 `json:",omitempty"`
+	RSSPeakB          uint64  `json:",omitempty"`
 }
 
 // LaunchScales are the daemon counts of the pipeline sweep.

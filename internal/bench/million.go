@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"os"
+	"strconv"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/core"
@@ -94,5 +98,46 @@ func measureLaunchMillion(k int, o MillionOpts) (LaunchPipeRow, error) {
 		roleMem(&row, sess.Daemons(), o.Fanout)
 		return nil
 	})
+	// Host-cost columns: the sweep's acceptance bound is ≤1.25 parked
+	// goroutines per simulated node (DESIGN.md "Simulator cost model").
+	row.GoroutinesPeak = r.Sim.PeakLive()
+	row.GoroutinesPerNode = float64(row.GoroutinesPeak) / float64(k)
+	row.RSSPeakB = hostRSSPeak()
 	return row, err
+}
+
+// hostRSSPeak reads this process's peak resident set (VmHWM) in bytes.
+// Returns 0 where /proc is unavailable; the column is then omitted.
+func hostRSSPeak() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		f := bytes.Fields(line[len("VmHWM:"):])
+		if len(f) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(f[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// PrintMillionCost renders the simulator host-cost columns of a million
+// sweep: the per-node goroutine budget is the deterministic, pinnable
+// figure; peak RSS depends on the host Go runtime and is informational.
+func PrintMillionCost(w io.Writer, rows []LaunchPipeRow) {
+	fmt.Fprintln(w, "Simulator host cost (goroutines are virtual-time-deterministic; RSS is host-dependent)")
+	fmt.Fprintln(w, "daemons   goroutines-peak  goroutines/node  rss-peak-MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d %17d %16.3f %12.1f\n",
+			r.Daemons, r.GoroutinesPeak, r.GoroutinesPerNode, float64(r.RSSPeakB)/(1<<20))
+	}
 }

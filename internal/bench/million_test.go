@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// Host-cost regressions for the event-driven simulator: the budgets that
+// let the K=2^20 million sweep fit a 16 GB runner, checked here at small
+// scale so `go test` catches a goroutine-per-node regression without a
+// bench run (DESIGN.md "Simulator cost model").
+
+// TestIdleRigParksConstantGoroutines boots a lean rig and checks that
+// once the boot wave drains, the idle cluster parks a constant number of
+// goroutines regardless of node count: resident slurmds return their
+// mains (cluster.Spec.Resident) and serve connections from listener
+// callbacks, so an idle node holds zero parked goroutines — well under
+// the ≤1-per-idle-node budget.
+func TestIdleRigParksConstantGoroutines(t *testing.T) {
+	const nodes = 256
+	r, err := NewRig(RigOptions{Nodes: nodes, Lean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live int
+	r.Sim.After(2*time.Second, func() { live = r.Sim.Live() })
+	r.Sim.Run()
+	// The sampled count includes the sampler's own timer context at most;
+	// 4 leaves headroom for RM housekeeping, not for per-node parking.
+	if live > 4 {
+		t.Errorf("idle %d-node rig parks %d goroutines, want a node-count-independent handful (≤4)", nodes, live)
+	}
+}
+
+// TestMillionGoroutineBudgetAtSmallScale runs the million-sweep
+// measurement at K=256 and checks the acceptance bound the full sweep is
+// pinned to: at most 1.25 peak goroutines per simulated node. The peak is
+// virtual-time-deterministic (vtime.Sim.PeakLive), so a regression here
+// reproduces exactly.
+func TestMillionGoroutineBudgetAtSmallScale(t *testing.T) {
+	const k = 256
+	rows, err := LaunchMillion(MillionOpts{Fanout: 8}, []int{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Ready <= 0 {
+		t.Fatalf("no ready time measured: %+v", row)
+	}
+	if row.GoroutinesPeak <= 0 {
+		t.Fatalf("no goroutine peak measured: %+v", row)
+	}
+	if row.GoroutinesPerNode > 1.25 {
+		t.Errorf("peak %d goroutines for %d nodes = %.3f per node, budget 1.25",
+			row.GoroutinesPeak, k, row.GoroutinesPerNode)
+	}
+}

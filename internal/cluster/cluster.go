@@ -294,8 +294,20 @@ type Spec struct {
 	// Hold prevents the entry point from running until Proc.Start is
 	// called, so a debugger can attach first (launch mode of the engine).
 	Hold bool
-	Args []string
-	Env  map[string]string
+	// Resident marks a process that stays alive after its entry point
+	// returns: Main sets up event handlers (listener callbacks, timers)
+	// and returns, but the process keeps its table slot until Exit/Kill —
+	// the shape of an event-driven system daemon. Without Resident, Main
+	// returning implies Exit(0).
+	Resident bool
+	Args     []string
+	Env      map[string]string
+	// EnvBase is a shared immutable environment layer under Env: the
+	// process keeps the map pointer itself (no copy), so spawners that
+	// start many processes with a common environment — an RM daemon
+	// spawning one tool daemon per node — pay for one map, not K. Entries
+	// in Env shadow EnvBase; callers must never mutate EnvBase afterwards.
+	EnvBase map[string]string
 }
 
 // SpawnProc forks a process on the node, charging the fork cost to the
@@ -312,6 +324,28 @@ func (n *Node) SpawnProc(spec Spec) (*Proc, error) {
 // be called from outside the simulation, before Run.
 func (n *Node) SpawnSystemProc(spec Spec) (*Proc, error) {
 	return n.spawn(spec)
+}
+
+// SpawnProcAsync is SpawnProc for callers that must not block (event
+// handlers running on the scheduler): the node's fork window is reserved
+// immediately — so concurrent forks serialize exactly as with SpawnProc —
+// and cb fires at the instant the fork completes, with the process
+// spawned at that same instant.
+func (n *Node) SpawnProcAsync(spec Spec, cb func(*Proc, error)) {
+	d := n.cl.opts.ForkCost
+	now := n.cl.sim.Now()
+	n.mu.Lock()
+	start := now
+	if n.cpuFree > start {
+		start = n.cpuFree
+	}
+	n.cpuFree = start + d
+	wait := n.cpuFree - now
+	n.mu.Unlock()
+	n.cl.sim.After(wait, func() {
+		p, err := n.spawn(spec)
+		cb(p, err)
+	})
 }
 
 func (n *Node) spawn(spec Spec) (*Proc, error) {
@@ -334,16 +368,15 @@ func (n *Node) spawn(spec Spec) (*Proc, error) {
 	}
 	n.pid++
 	p := &Proc{
-		node:    n,
-		pid:     n.pid,
-		exe:     spec.Exe,
-		args:    append([]string(nil), spec.Args...),
-		env:     copyEnv(spec.Env),
-		state:   StateRunning,
-		started: n.cl.sim.Now(),
-		symbols: make(map[string]Symbol),
-		exited:  vtime.NewChan[int](n.cl.sim),
-		resume:  vtime.NewChan[struct{}](n.cl.sim),
+		node:     n,
+		pid:      n.pid,
+		exe:      spec.Exe,
+		args:     append([]string(nil), spec.Args...),
+		env:      copyEnv(spec.Env),
+		envBase:  spec.EnvBase,
+		state:    StateRunning,
+		started:  n.cl.sim.Now(),
+		resident: spec.Resident,
 	}
 	if spec.Exe == "" && spec.Main == nil {
 		p.exe = "task"
@@ -364,7 +397,9 @@ func (n *Node) spawn(spec Spec) (*Proc, error) {
 func (p *Proc) run(main ProcMain) {
 	p.node.cl.sim.Go(fmt.Sprintf("%s/%s[%d]", p.node.name, p.exe, p.pid), func() {
 		main(p)
-		p.Exit(0)
+		if !p.resident {
+			p.Exit(0)
+		}
 	})
 }
 
@@ -396,6 +431,9 @@ func (n *Node) chargeFork() {
 }
 
 func copyEnv(env map[string]string) map[string]string {
+	if len(env) == 0 {
+		return nil
+	}
 	out := make(map[string]string, len(env))
 	for k, v := range env {
 		out[k] = v

@@ -42,23 +42,28 @@ type Symbol struct {
 
 // Proc is a simulated process.
 type Proc struct {
-	node    *Node
-	pid     int
-	exe     string
-	args    []string
-	env     map[string]string
-	started time.Duration
+	node     *Node
+	pid      int
+	exe      string
+	args     []string
+	env      map[string]string // per-process overlay; wins over envBase
+	envBase  map[string]string // shared immutable base (Spec.EnvBase), never copied
+	started  time.Duration
+	resident bool // Main returning does not imply exit (Spec.Resident)
 
 	// All mutable state below is guarded by node.mu.
 	state       State
 	exitCode    int
-	symbols     map[string]Symbol
+	symbols     map[string]Symbol // lazy: nil until the first SetSymbol
 	tracer      *Tracer
 	heldMain    ProcMain // entry point pending Start (Spec.Hold)
 	inDebugStop bool     // blocked inside DebugEvent awaiting Continue
 
-	exited *vtime.Chan[int]      // closed-with-value on exit
-	resume *vtime.Chan[struct{}] // tracer Continue tokens
+	// Both chans are lazy: at a million nodes two eager allocations per
+	// process dominate heap, and almost no process is ever waited on or
+	// debug-stopped. Guarded by node.mu.
+	exited *vtime.Chan[int]      // closed-with-value on exit; created by the first Wait
+	resume *vtime.Chan[struct{}] // tracer Continue tokens; created by DebugEvent
 
 	// conns are network connections adopted via AdoptConn; Exit severs
 	// them so a killed process's peers observe ErrPeerDead rather than
@@ -91,10 +96,24 @@ func (p *Proc) Host() *simnet.Host { return p.node.host }
 func (p *Proc) Sim() *vtime.Sim { return p.node.cl.sim }
 
 // Env returns the value of an environment variable ("" when unset).
-func (p *Proc) Env(key string) string { return p.env[key] }
+func (p *Proc) Env(key string) string {
+	if v, ok := p.env[key]; ok {
+		return v
+	}
+	return p.envBase[key]
+}
 
 // Environ returns a copy of the whole environment.
-func (p *Proc) Environ() map[string]string { return copyEnv(p.env) }
+func (p *Proc) Environ() map[string]string {
+	out := make(map[string]string, len(p.envBase)+len(p.env))
+	for k, v := range p.envBase {
+		out[k] = v
+	}
+	for k, v := range p.env {
+		out[k] = v
+	}
+	return out
+}
 
 // State returns the current lifecycle state.
 func (p *Proc) State() State {
@@ -149,6 +168,7 @@ func (p *Proc) Exit(code int) {
 	p.tracer = nil
 	conns := p.conns
 	p.conns = nil
+	exited, resume := p.exited, p.resume
 	n.mu.Unlock()
 	for _, c := range conns {
 		c.Sever()
@@ -157,9 +177,13 @@ func (p *Proc) Exit(code int) {
 		tr.events.Send(TraceEvent{Type: EventExit, Code: code})
 		tr.events.Close()
 	}
-	p.exited.Send(code)
-	p.exited.Close()
-	p.resume.Close()
+	if exited != nil {
+		exited.Send(code)
+		exited.Close()
+	}
+	if resume != nil {
+		resume.Close()
+	}
 }
 
 // Kill force-terminates the process with exit code 137 (SIGKILL-like).
@@ -168,7 +192,19 @@ func (p *Proc) Kill() { p.Exit(137) }
 // Wait blocks until the process exits and returns its exit code; ok is
 // false when the simulation tore down first.
 func (p *Proc) Wait() (code int, ok bool) {
-	return p.exited.Recv()
+	n := p.node
+	n.mu.Lock()
+	if p.state == StateExited {
+		code := p.exitCode
+		n.mu.Unlock()
+		return code, true
+	}
+	if p.exited == nil {
+		p.exited = vtime.NewChan[int](n.cl.sim)
+	}
+	ch := p.exited
+	n.mu.Unlock()
+	return ch.Recv()
 }
 
 // SetSymbol publishes (or updates) a named symbol in the process's address
@@ -176,6 +212,9 @@ func (p *Proc) Wait() (code int, ok bool) {
 func (p *Proc) SetSymbol(name string, sym Symbol) {
 	p.node.mu.Lock()
 	defer p.node.mu.Unlock()
+	if p.symbols == nil {
+		p.symbols = make(map[string]Symbol)
+	}
 	p.symbols[name] = sym
 }
 
@@ -283,9 +322,10 @@ func (t *Tracer) Continue() error {
 	}
 	p.state = StateRunning
 	blocked := p.inDebugStop
+	resume := p.resume
 	n.mu.Unlock()
 	if blocked {
-		p.resume.Send(struct{}{})
+		resume.Send(struct{}{})
 	}
 	return nil
 }
@@ -318,6 +358,7 @@ func (t *Tracer) Detach() {
 	n.mu.Lock()
 	stopped := p.state == StateStopped
 	blocked := p.inDebugStop
+	resume := p.resume
 	if p.tracer == t {
 		p.tracer = nil
 	}
@@ -326,7 +367,7 @@ func (t *Tracer) Detach() {
 	}
 	n.mu.Unlock()
 	if stopped && blocked {
-		p.resume.Send(struct{}{})
+		resume.Send(struct{}{})
 	}
 	t.events.Close()
 }
@@ -345,9 +386,13 @@ func (p *Proc) DebugEvent(reason string) {
 	}
 	p.state = StateStopped
 	p.inDebugStop = true
+	if p.resume == nil {
+		p.resume = vtime.NewChan[struct{}](n.cl.sim)
+	}
+	resume := p.resume
 	n.mu.Unlock()
 	t.events.Send(TraceEvent{Type: EventStop, Reason: reason})
-	p.resume.Recv() // parked until Continue/Detach (or teardown)
+	resume.Recv() // parked until Continue/Detach (or teardown)
 	n.mu.Lock()
 	p.inDebugStop = false
 	n.mu.Unlock()

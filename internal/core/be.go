@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"time"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/iccl"
@@ -72,6 +73,11 @@ func icclConfigFromEnv(p *cluster.Proc, mw bool) (iccl.Config, error) {
 	nodelist := splitNodeList(p.Env(rm.EnvNodeList))
 	if len(nodelist) != size {
 		return cfg, fmt.Errorf("core: nodelist has %d entries, NNODES=%d", len(nodelist), size)
+	}
+	if jt := p.Env(EnvJoinTimeout); jt != "" {
+		if cfg.JoinTimeout, err = time.ParseDuration(jt); err != nil {
+			return cfg, fmt.Errorf("core: bad %s: %w", EnvJoinTimeout, err)
+		}
 	}
 	cfg.Rank, cfg.Size, cfg.Fanout, cfg.Port, cfg.Nodelist = rank, size, fanout, port, nodelist
 	_ = mw

@@ -94,9 +94,9 @@ func initDaemon(p *cluster.Proc, fab fabricProfile) (*daemonSession, error) {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	if p.Env(EnvSeedMode) == SeedStoreForward.envValue() {
-		return initStoreForward(p, cfg, fab)
+		return initStoreForward(p, &cfg, fab)
 	}
-	return initCutThrough(p, cfg, fab)
+	return initCutThrough(p, &cfg, fab)
 }
 
 // initCutThrough receives the session seed as a chunk stream flowing
@@ -104,61 +104,27 @@ func initDaemon(p *cluster.Proc, fab fabricProfile) (*daemonSession, error) {
 // with a proctab.Assembler and validates it (Finish) before contributing
 // to the ready gather, so the ready message at the front end implies a
 // validated, byte-identical table at every daemon of the fabric.
-func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
+//
+// Setup (seedRouterFromEnv, masterSeedSource) and the drain loop
+// (drainSeed) each run in their own frame: this function's frame is the
+// one resident under the whole launch — every daemon goroutine parks
+// somewhere below it — so the router closures, handshake buffers, and
+// assembler state must not widen it (see iccl.bootstrap's stack note).
+func initCutThrough(p *cluster.Proc, cfg *iccl.Config, fab fabricProfile) (*daemonSession, error) {
 	d := &daemonSession{p: p, fab: fab, obsReg: cfg.Metrics}
 
-	// Rank-sliced retention (TableSliced): BE daemons route the seed so
-	// each keeps only its own slice, consulting the session-shared
-	// host→rank map; MW daemons receive an empty stream (their slice is
-	// empty by construction) and read the table, when they need it, from
-	// the same shared index. Unset EnvTableMode means full retention so
-	// hand-rolled rigs that bypass the FE keep the legacy shape.
-	var rt *iccl.SeedRouter
-	if p.Env(EnvTableMode) == TableSliced.envValue() {
-		session, err := strconv.Atoi(p.Env(EnvSession))
-		if err != nil {
-			return nil, fmt.Errorf("core: bad %s: %w", EnvSession, err)
-		}
-		d.sliced = true
-		d.seg = sharedSegFor(session)
-		if !fab.mw {
-			ranks := d.seg.hostRanks(cfg.Nodelist)
-			chunkBytes := 0
-			if cb := p.Env(EnvProctabChunk); cb != "" {
-				if chunkBytes, err = strconv.Atoi(cb); err != nil {
-					return nil, fmt.Errorf("core: bad %s: %w", EnvProctabChunk, err)
-				}
-			}
-			rt = &iccl.SeedRouter{
-				RankOf: func(host string) (int, bool) {
-					r, ok := ranks[host]
-					return r, ok
-				},
-				ChunkBytes: chunkBytes,
-			}
-		}
+	rt, err := d.seedRouterFromEnv(cfg)
+	if err != nil {
+		return nil, err
 	}
-
 	var src iccl.SeedSource
 	if cfg.Rank == 0 {
-		// Master: connect to the FE through the session mux and consume
-		// the handshake (the piggybacked tool data arrives ahead of the
-		// table stream), then feed each relayed RPDTAB chunk straight into
-		// the tree's seed stream as it arrives.
-		fe, err := dialFE(p, fab.role)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s master dialing FE: %w", fab.kind, err)
-		}
-		d.fe = fe
-		handshake, err := d.fe.Expect(fab.class, lmonp.TypeHandshake)
-		if err != nil {
+		if src, err = d.masterSeedSource(); err != nil {
 			return nil, err
 		}
-		d.tl.Mark(fab.markNetStart, p.Sim().Now())
-		src = seedSourceFromFE(d.fe, handshake.UsrData)
 	}
 
-	comm, seed, err := iccl.BootstrapSeedRouted(p, cfg, src, rt)
+	comm, seed, err := iccl.BootstrapSeedRouted(p, *cfg, src, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -169,17 +135,85 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 	if err := d.setupCollective(); err != nil {
 		return nil, err
 	}
+	if err := d.drainSeed(seed); err != nil {
+		return nil, err
+	}
+	// All child forwards must drain before any other down-flowing traffic
+	// may use the tree links.
+	if err := seed.Wait(); err != nil {
+		return nil, err
+	}
+	return d, d.completeInit(cfg)
+}
 
-	// Drain the seed: frame 0 carries the piggybacked FEData, later frames
-	// the RPDTAB chunks; the end marker's total validates the reassembly
-	// (under TableSliced the stream — and so the assembled table — is just
-	// this daemon's rank slice, already validated chunk by chunk).
+// seedRouterFromEnv builds the rank-sliced retention router
+// (TableSliced): BE daemons route the seed so each keeps only its own
+// slice, consulting the session-shared host→rank map; MW daemons receive
+// an empty stream (their slice is empty by construction) and read the
+// table, when they need it, from the same shared index. Unset
+// EnvTableMode means full retention (nil router) so hand-rolled rigs
+// that bypass the FE keep the legacy shape.
+func (d *daemonSession) seedRouterFromEnv(cfg *iccl.Config) (*iccl.SeedRouter, error) {
+	p := d.p
+	if p.Env(EnvTableMode) != TableSliced.envValue() {
+		return nil, nil
+	}
+	session, err := strconv.Atoi(p.Env(EnvSession))
+	if err != nil {
+		return nil, fmt.Errorf("core: bad %s: %w", EnvSession, err)
+	}
+	d.sliced = true
+	d.seg = sharedSegFor(session)
+	if d.fab.mw {
+		return nil, nil
+	}
+	ranks := d.seg.hostRanks(cfg.Nodelist)
+	chunkBytes := 0
+	if cb := p.Env(EnvProctabChunk); cb != "" {
+		if chunkBytes, err = strconv.Atoi(cb); err != nil {
+			return nil, fmt.Errorf("core: bad %s: %w", EnvProctabChunk, err)
+		}
+	}
+	return &iccl.SeedRouter{
+		RankOf: func(host string) (int, bool) {
+			r, ok := ranks[host]
+			return r, ok
+		},
+		ChunkBytes: chunkBytes,
+	}, nil
+}
+
+// masterSeedSource connects the master to the FE through the session mux
+// and consumes the handshake (the piggybacked tool data arrives ahead of
+// the table stream), then adapts the connection so each relayed RPDTAB
+// chunk feeds straight into the tree's seed stream as it arrives.
+func (d *daemonSession) masterSeedSource() (iccl.SeedSource, error) {
+	p := d.p
+	fe, err := dialFE(p, d.fab.role)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s master dialing FE: %w", d.fab.kind, err)
+	}
+	d.fe = fe
+	handshake, err := d.fe.Expect(d.fab.class, lmonp.TypeHandshake)
+	if err != nil {
+		return nil, err
+	}
+	d.tl.Mark(d.fab.markNetStart, p.Sim().Now())
+	return seedSourceFromFE(d.fe, handshake.UsrData), nil
+}
+
+// drainSeed consumes the locally delivered stream: frame 0 carries the
+// piggybacked FEData, later frames the RPDTAB chunks; the end marker's
+// total validates the reassembly (under TableSliced the stream — and so
+// the assembled table — is just this daemon's rank slice, already
+// validated chunk by chunk).
+func (d *daemonSession) drainSeed(seed *iccl.Seed) error {
 	var asm proctab.Assembler
 	var tab proctab.Table
 	for {
 		f, err := seed.Next()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if f.End {
 			if d.sliced {
@@ -188,7 +222,7 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 				tab, err = asm.Finish(int(f.Total))
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 			break
 		}
@@ -197,23 +231,18 @@ func initCutThrough(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemo
 			continue
 		}
 		if err := asm.Add(f.Body); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	d.tl.Mark(fab.markSeedValid, p.Sim().Now())
+	d.tl.Mark(d.fab.markSeedValid, d.p.Sim().Now())
 	if d.sliced {
 		// The routed stream carried exactly the entries this daemon owns.
 		d.myTab = tab
 	} else {
 		d.tab = tab
-		d.myTab = d.tab.OnHost(p.Node().Name())
+		d.myTab = d.tab.OnHost(d.p.Node().Name())
 	}
-	// All child forwards must drain before any other down-flowing traffic
-	// may use the tree links.
-	if err := seed.Wait(); err != nil {
-		return nil, err
-	}
-	return d, d.completeInit(cfg)
+	return nil
 }
 
 // seedSourceFromFE adapts the master's FE connection into the tree's
@@ -259,7 +288,7 @@ func seedSourceFromFE(fe *lmonp.Conn, feData []byte) iccl.SeedSource {
 // initStoreForward is the serialized baseline: the master buffers the
 // full chunk-streamed RPDTAB from the FE, the tree bootstraps, and the
 // seed goes out as one monolithic ICCL broadcast.
-func initStoreForward(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*daemonSession, error) {
+func initStoreForward(p *cluster.Proc, cfg *iccl.Config, fab fabricProfile) (*daemonSession, error) {
 	d := &daemonSession{p: p, fab: fab, obsReg: cfg.Metrics}
 
 	var masterTab proctab.Table
@@ -282,7 +311,7 @@ func initStoreForward(p *cluster.Proc, cfg iccl.Config, fab fabricProfile) (*dae
 		}
 	}
 
-	comm, err := iccl.Bootstrap(p, cfg)
+	comm, err := iccl.Bootstrap(p, *cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +350,7 @@ func (d *daemonSession) setupCollective() error {
 
 // completeInit is the shared tail of both seed pipelines: gather
 // per-daemon info for the ready message, then join the heartbeat tree.
-func (d *daemonSession) completeInit(cfg iccl.Config) error {
+func (d *daemonSession) completeInit(cfg *iccl.Config) error {
 	// Gather per-daemon info to the master; it rides the ready message.
 	mine := encodeDaemonInfo(DaemonInfo{
 		Rank:      d.comm.Rank(),
@@ -402,7 +431,7 @@ func (d *daemonSession) peakTableBytes() int {
 // health.StartOnLinks) — no extra connections; HealthOptions.Dial
 // ("dial" in EnvHealthLinks) selects the dedicated dialed tree over the
 // fabric's own port band, kept as the pre-link-reuse baseline.
-func (d *daemonSession) startHealth(cfg iccl.Config) error {
+func (d *daemonSession) startHealth(cfg *iccl.Config) error {
 	periodStr := d.p.Env(EnvHealthPeriod)
 	if periodStr == "" {
 		return nil
@@ -443,23 +472,21 @@ func (d *daemonSession) startHealth(cfg iccl.Config) error {
 	}
 	d.mon = mon
 	if d.comm.IsMaster() {
-		// Forward failure reports to the front end as status events. The
-		// goroutine ends when the monitor stops (Finalize or node death).
-		kind := d.fab.kind
-		d.p.Sim().Go(fmt.Sprintf("%s-health-forward", kind), func() {
-			for {
-				r, ok := mon.Failures().Recv()
-				if !ok {
-					return
-				}
-				d.fe.Send(&lmonp.Msg{
-					Class: d.fab.class,
-					Type:  lmonp.TypeStatusEvent,
-					Payload: health.EncodeEvent(health.Event{
-						Kind: health.EvDaemonExited, Rank: r.Rank, Detail: r.Detail,
-					}),
-				})
+		// Forward failure reports to the front end as status events. Each
+		// report is delivered as a scheduler callback (lmonp sends do not
+		// block), so the master parks no forwarding goroutine for the
+		// lifetime of the session.
+		mon.Failures().Handle(func(r health.Report, ok bool) {
+			if !ok {
+				return
 			}
+			d.fe.Send(&lmonp.Msg{
+				Class: d.fab.class,
+				Type:  lmonp.TypeStatusEvent,
+				Payload: health.EncodeEvent(health.Event{
+					Kind: health.EvDaemonExited, Rank: r.Rank, Detail: r.Detail,
+				}),
+			})
 		})
 	}
 	return nil

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/engine"
+	"launchmon/internal/rm"
+)
+
+// TestLaunchTimelineDeterministicAtTiedInstants runs the same launch
+// twice at K = fanout+1 — every child of the master forks, boots and
+// dials at virtual instants that collide — and requires the merged
+// session timelines to be identical. Delivery order at tied virtual
+// times is pinned by scheduler (time, seq) tie-break and the fabrics'
+// in-rank-order forwarding; nothing may leak host-runtime scheduling
+// (goroutine wakeup order, map iteration) into the virtual clock.
+func TestLaunchTimelineDeterministicAtTiedInstants(t *testing.T) {
+	const fanout = 4
+	const nodes = fanout + 1
+	launch := func() []engine.MarkEntry {
+		sim, cl, _ := rig(t, nodes)
+		cl.Register("det_be", func(p *cluster.Proc) {
+			if be, err := BEInit(p); err == nil {
+				be.Finalize()
+			}
+		})
+		var entries []engine.MarkEntry
+		runFE(t, sim, cl, func(p *cluster.Proc) {
+			s, err := LaunchAndSpawn(p, Options{
+				Job:        rm.JobSpec{Exe: "app", Nodes: nodes, TasksPerNode: 2},
+				Daemon:     rm.DaemonSpec{Exe: "det_be"},
+				ICCLFanout: fanout,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries = append(entries, s.Timeline.Entries...)
+			if err := s.Kill(); err != nil {
+				t.Error(err)
+			}
+		})
+		return entries
+	}
+	first, second := launch(), launch()
+	if len(first) == 0 {
+		t.Fatal("launch produced an empty timeline")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("two identical launches produced different timelines:\n  first:  %v\n  second: %v", first, second)
+	}
+}

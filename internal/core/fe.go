@@ -68,6 +68,15 @@ type Options struct {
 	// before dialing in surface as an error instead of a hang. Zero means
 	// the default of 10 minutes.
 	Timeout time.Duration
+	// JoinTimeout bounds (in virtual time) how long each bootstrapping
+	// daemon waits for any one child to join the ICCL tree and for its
+	// subtree's ready report: a daemon that dies before dialing its parent
+	// then surfaces as a subtree-failure error cascading to the front end
+	// instead of a hang. Zero (the default) disables the deadline — joins
+	// legitimately take a long wall of virtual time at large K, so the
+	// bound is opt-in and should comfortably exceed the expected spawn
+	// wave (Health.Period x Miss is a reasonable floor, not a default).
+	JoinTimeout time.Duration
 	// Health configures the session's failure-detection subsystem
 	// (internal/health). The zero value disables it: daemon loss then
 	// surfaces only through connection errors at the master.
@@ -341,6 +350,9 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	env[EnvProctabChunk] = fmt.Sprint(opts.ProctabChunkBytes)
 	env[EnvObs] = opts.Obs.envValue()
 	env[EnvKind] = "be"
+	if opts.JoinTimeout > 0 {
+		env[EnvJoinTimeout] = opts.JoinTimeout.String()
+	}
 	if opts.Health.Period > 0 {
 		env[EnvHealthPeriod] = opts.Health.Period.String()
 		env[EnvHealthMiss] = fmt.Sprint(opts.Health.Miss)

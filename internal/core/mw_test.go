@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -133,6 +134,9 @@ func TestMWSeedByteIdenticalBothModes(t *testing.T) {
 // seed is in flight: LaunchMW must return an error wrapping the
 // severed-link fault (not hang), the simulation must quiesce, and the
 // launch slot must be released for a retry once the relay is reaped.
+// The seed payload is sized so the relay occupies the links well past the
+// kill delay — the kill must land mid-seed by construction, not by
+// accident of the MW fabric's bring-up pace.
 func TestMWKillMidSeedSurfacesFault(t *testing.T) {
 	const jobNodes, mwNodes = 4, 8
 	sim, cl, _ := rig(t, jobNodes+mwNodes)
@@ -173,8 +177,11 @@ func TestMWKillMidSeedSurfacesFault(t *testing.T) {
 			}
 		})
 		_, err = s.LaunchMW(MWOptions{
-			Nodes:      mwNodes,
-			Daemon:     rm.DaemonSpec{Exe: "mwmf_mw"},
+			Nodes:  mwNodes,
+			Daemon: rm.DaemonSpec{Exe: "mwmf_mw"},
+			// ~6.7 ms of link time per hop at the default 1.2 GB/s: the
+			// 3 ms kill is guaranteed to sever the seed stream in flight.
+			FEData:     bytes.Repeat([]byte("mw-seed-bulk"), 1<<20/2),
 			ICCLFanout: 2,
 		})
 		if err == nil {

@@ -55,6 +55,17 @@ type Config struct {
 	DialRetry    time.Duration
 	DialAttempts int
 
+	// JoinTimeout bounds how long bootstrap waits for each successive
+	// child join (and subtree-ready report) once this daemon is accepting.
+	// Zero disables the deadline — the default, because under a healthy RM
+	// children may legitimately join minutes of virtual time apart while a
+	// large spawn wave sweeps the machine. Sessions running the failure
+	// detector plumb its Period×(Miss+1) bound here, so a child that dies
+	// before ever dialing its parent surfaces as a wrapped ErrBootstrap
+	// subtree error within the detector's own bound instead of hanging the
+	// forming tree.
+	JoinTimeout time.Duration
+
 	// Metrics receives link-level counters (iccl.tx/rx frames and bytes,
 	// dial retries) when set; nil disables instrumentation at zero cost.
 	Metrics *obs.Registry
@@ -127,11 +138,15 @@ var (
 	ErrSevered = errors.New("iccl: link severed")
 )
 
-// linkMux demultiplexes one shared tree connection: a single reader
-// goroutine owns the conn and sorts incoming frames into the collective
-// queue (charged the ICCL per-message cost at arrival) and the heartbeat
-// queue (left for the health layer to charge). Both queues close when
-// the connection dies, which is how links-mode health detects peer death.
+// linkMux demultiplexes one shared tree connection: an event-driven framer
+// registered on the conn (simnet.Conn.Handle via lmonp.HandleFrames) owns
+// it and sorts incoming frames into the collective queue (charged the ICCL
+// per-message cost at arrival) and the heartbeat queue (left for the health
+// layer to charge). Both queues close when the connection dies, which is
+// how links-mode health detects peer death. No goroutine is parked per
+// link: the framer is a state machine on the vtime scheduler whose
+// busy-until horizon reproduces the serial charging of the reader loop it
+// replaced — frame i is delivered at max(arrival_i, done_{i-1}) + cost.
 type linkMux struct {
 	frames *vtime.Chan[[]byte]
 	hb     *vtime.Chan[[]byte]
@@ -166,23 +181,48 @@ func (c *Comm) ShareLinks() (parent *Link, children []*Link) {
 			hb:     vtime.NewChan[[]byte](c.p.Sim()),
 		}
 		c.mux[conn] = m
-		c.p.Sim().Go(fmt.Sprintf("iccl-mux-%d-%d", c.rank, rank), func() {
-			for {
-				raw, err := lmonp.ReadFrame(conn)
-				if err != nil {
+		sim := c.p.Sim()
+		// busyUntil is the serial reader's virtual-time horizon: the instant
+		// the previous collective frame's per-message charge finishes. It is
+		// only touched from scheduler callbacks, which never overlap.
+		var busyUntil time.Duration
+		lmonp.HandleFrames(conn, func(raw []byte, err error) {
+			now := sim.Now()
+			if err != nil {
+				// The serial reader only observed the failure after charging
+				// every frame before it; close behind the same horizon so
+				// in-flight deliveries are not dropped.
+				if busyUntil <= now {
 					m.frames.Close()
 					m.hb.Close()
 					return
 				}
-				if len(raw) >= 4 && binary.BigEndian.Uint32(raw) == opHeartbeat {
-					// Heartbeats are charged by the health layer when it
-					// consumes them, at its own (cheaper) per-message cost.
-					m.hb.Send(raw[4:])
-					continue
-				}
-				c.p.Compute(c.cfg.PerMsgCost)
-				m.frames.Send(raw)
+				sim.After(busyUntil-now, func() {
+					m.frames.Close()
+					m.hb.Close()
+				})
+				return
 			}
+			if len(raw) >= 4 && binary.BigEndian.Uint32(raw) == opHeartbeat {
+				// Heartbeats are charged by the health layer when it
+				// consumes them, at its own (cheaper) per-message cost —
+				// but one queued behind a still-cooking collective frame
+				// waits for it, exactly like the serial reader it replaced.
+				hb := raw[4:]
+				if busyUntil <= now {
+					m.hb.Send(hb)
+					return
+				}
+				sim.After(busyUntil-now, func() { m.hb.Send(hb) })
+				return
+			}
+			readAt := now
+			if busyUntil > readAt {
+				readAt = busyUntil
+			}
+			deliverAt := readAt + c.cfg.PerMsgCost
+			busyUntil = deliverAt
+			sim.After(deliverAt-now, func() { m.frames.Send(raw) })
 		})
 		return &Link{
 			Rank: rank,
@@ -272,7 +312,8 @@ func sortInts(xs []int) {
 // The root's return therefore marks the fabric-setup completion (event e9
 // of the paper's critical path).
 func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
-	return bootstrap(p, cfg.withDefaults(), nil, nil)
+	cfg = cfg.withDefaults()
+	return bootstrap(p, &cfg, nil, nil)
 }
 
 // bootstrap is the shared tree-formation engine. The hooks expose links as
@@ -280,14 +321,23 @@ func Bootstrap(p *cluster.Proc, cfg Config) (*Comm, error) {
 // onChild right after a child's join is validated — so BootstrapSeed can
 // stream the session seed through the still-forming tree. Both may be nil.
 // cfg must already have its defaults applied.
-func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild func(slot int, conn *simnet.Conn)) (*Comm, error) {
+//
+// The phases live in separate methods (dialJoin, acceptChildren,
+// readyWave) on purpose: every daemon goroutine parks through this path,
+// and each phase's working set — dial address, join/ready frames, reader
+// state — dies with its frame instead of widening one long-lived frame
+// under which the whole launch then runs. Keeping the resident chain
+// shallow here is what holds a parked daemon inside the runtime's initial
+// stack segments; at a million daemons each extra segment doubling is
+// gigabytes of simulator RSS.
+func bootstrap(p *cluster.Proc, cfg *Config, onParent func(*simnet.Conn), onChild func(slot int, conn *simnet.Conn)) (*Comm, error) {
 	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
 		return nil, fmt.Errorf("%w: bad rank/size %d/%d", ErrBootstrap, cfg.Rank, cfg.Size)
 	}
 	if len(cfg.Nodelist) != cfg.Size {
 		return nil, fmt.Errorf("%w: nodelist has %d entries for size %d", ErrBootstrap, len(cfg.Nodelist), cfg.Size)
 	}
-	c := &Comm{p: p, cfg: cfg, rank: cfg.Rank, size: cfg.Size}
+	c := &Comm{p: p, cfg: *cfg, rank: cfg.Rank, size: cfg.Size}
 	c.bindMetrics()
 	kids := Children(cfg.Rank, cfg.Size, cfg.Fanout)
 
@@ -301,58 +351,81 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 		defer l.Close()
 	}
 
-	// Connect upward (children race their parents coming up; retry).
 	if cfg.Rank > 0 {
-		parentRank := Parent(cfg.Rank, cfg.Fanout)
-		// Deterministic sub-microsecond dial skew: siblings spawned at the
-		// same virtual instant would otherwise tie their joins at the
-		// parent's listener, and the accept order of tied joins is a host
-		// race. Since the parent's per-join handling cost ladders whatever
-		// follows a join (the seed catch-up of BootstrapSeed in particular),
-		// that race would leak host scheduling into virtual time. One
-		// nanosecond per sibling slot breaks ties in rank order at no
-		// measurable cost (≤ fanout ns).
-		slot := cfg.Rank - (parentRank*cfg.Fanout + 1)
-		if slot > 0 {
-			p.Sim().Sleep(time.Duration(slot))
-		}
-		addr := simnet.Addr{Host: cfg.Nodelist[parentRank], Port: cfg.Port}
-		retries := cfg.Metrics.Counter("iccl.dial.retries")
-		var conn *simnet.Conn
-		var err error
-		for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
-			conn, err = p.Host().Dial(addr)
-			if err == nil {
-				break
-			}
-			retries.Inc()
-			p.Sim().Sleep(cfg.DialRetry)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: dialing parent %d: %v", ErrBootstrap, parentRank, err)
-		}
-		c.parent = conn
-		join := lmonp.AppendUint32(nil, opJoin)
-		join = lmonp.AppendUint32(join, uint32(cfg.Rank))
-		if err := c.send(conn, join); err != nil {
-			return nil, fmt.Errorf("%w: join: %v", ErrBootstrap, err)
-		}
-		if onParent != nil {
-			onParent(conn)
+		if err := c.dialJoin(p, cfg, onParent); err != nil {
+			return nil, err
 		}
 	}
+	if err := c.acceptChildren(p, cfg, l, kids, onChild); err != nil {
+		return nil, err
+	}
+	if err := c.readyWave(p, cfg); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
 
-	// Accept children.
+// dialJoin connects upward and announces this rank to its parent
+// (children race their parents coming up; retry).
+func (c *Comm) dialJoin(p *cluster.Proc, cfg *Config, onParent func(*simnet.Conn)) error {
+	parentRank := Parent(cfg.Rank, cfg.Fanout)
+	// Deterministic sub-microsecond dial skew: siblings spawned at the
+	// same virtual instant would otherwise tie their joins at the
+	// parent's listener, and the accept order of tied joins is a host
+	// race. Since the parent's per-join handling cost ladders whatever
+	// follows a join (the seed catch-up of BootstrapSeed in particular),
+	// that race would leak host scheduling into virtual time. One
+	// nanosecond per sibling slot breaks ties in rank order at no
+	// measurable cost (≤ fanout ns).
+	slot := cfg.Rank - (parentRank*cfg.Fanout + 1)
+	if slot > 0 {
+		p.Sim().Sleep(time.Duration(slot))
+	}
+	addr := simnet.Addr{Host: cfg.Nodelist[parentRank], Port: cfg.Port}
+	retries := cfg.Metrics.Counter("iccl.dial.retries")
+	var conn *simnet.Conn
+	var err error
+	for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+		conn, err = p.Host().Dial(addr)
+		if err == nil {
+			break
+		}
+		retries.Inc()
+		p.Sim().Sleep(cfg.DialRetry)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: dialing parent %d: %v", ErrBootstrap, parentRank, err)
+	}
+	c.parent = conn
+	join := lmonp.AppendUint32(nil, opJoin)
+	join = lmonp.AppendUint32(join, uint32(cfg.Rank))
+	if err := c.send(conn, join); err != nil {
+		return fmt.Errorf("%w: join: %v", ErrBootstrap, err)
+	}
+	if onParent != nil {
+		onParent(conn)
+	}
+	return nil
+}
+
+// acceptChildren accepts and validates one join per expected child.
+func (c *Comm) acceptChildren(p *cluster.Proc, cfg *Config, l *simnet.Listener, kids []int, onChild func(slot int, conn *simnet.Conn)) error {
 	c.children = make([]*simnet.Conn, len(kids))
 	c.childRk = append([]int(nil), kids...)
 	for range kids {
-		conn, err := l.Accept()
+		var conn *simnet.Conn
+		var err error
+		if cfg.JoinTimeout > 0 {
+			conn, err = l.AcceptTimeout(cfg.JoinTimeout)
+		} else {
+			conn, err = l.Accept()
+		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: accept: %v", ErrBootstrap, err)
+			return c.failBootstrap(fmt.Errorf("%w: accept: %v", ErrBootstrap, err))
 		}
 		frame, err := lmonp.ReadFrame(conn)
 		if err != nil {
-			return nil, fmt.Errorf("%w: join frame: %v", ErrBootstrap, err)
+			return c.failBootstrap(fmt.Errorf("%w: join frame: %v", ErrBootstrap, err))
 		}
 		p.Compute(cfg.PerMsgCost)
 		c.countRx(frame)
@@ -360,7 +433,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 		op, _ := rd.Uint32()
 		rk32, err := rd.Uint32()
 		if err != nil || op != opJoin {
-			return nil, fmt.Errorf("%w: bad join", ErrBootstrap)
+			return c.failBootstrap(fmt.Errorf("%w: bad join", ErrBootstrap))
 		}
 		slot := -1
 		for i, k := range kids {
@@ -369,21 +442,30 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 			}
 		}
 		if slot < 0 || c.children[slot] != nil {
-			return nil, fmt.Errorf("%w: unexpected child rank %d", ErrBootstrap, rk32)
+			return c.failBootstrap(fmt.Errorf("%w: unexpected child rank %d", ErrBootstrap, rk32))
 		}
 		c.children[slot] = conn
 		if onChild != nil {
 			onChild(slot, conn)
 		}
 	}
+	return nil
+}
 
-	// Subtree-ready wave: wait for all children to report their subtree
-	// connected, then report upward.
+// readyWave waits for all children to report their subtree connected,
+// then reports upward (the root instead checks the full count).
+func (c *Comm) readyWave(p *cluster.Proc, cfg *Config) error {
 	total := 1
 	for _, conn := range c.children {
-		frame, err := lmonp.ReadFrame(conn)
+		var frame []byte
+		var err error
+		if cfg.JoinTimeout > 0 {
+			frame, err = readFrameTimeout(conn, cfg.JoinTimeout)
+		} else {
+			frame, err = lmonp.ReadFrame(conn)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: ready: %v", ErrBootstrap, err)
+			return c.failBootstrap(fmt.Errorf("%w: ready: %v", ErrBootstrap, err))
 		}
 		p.Compute(cfg.PerMsgCost)
 		c.countRx(frame)
@@ -391,7 +473,7 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 		op, _ := rd.Uint32()
 		n32, err := rd.Uint32()
 		if err != nil || op != opReady {
-			return nil, fmt.Errorf("%w: bad ready", ErrBootstrap)
+			return c.failBootstrap(fmt.Errorf("%w: bad ready", ErrBootstrap))
 		}
 		total += int(n32)
 	}
@@ -399,12 +481,41 @@ func bootstrap(p *cluster.Proc, cfg Config, onParent func(*simnet.Conn), onChild
 		rdy := lmonp.AppendUint32(nil, opReady)
 		rdy = lmonp.AppendUint32(rdy, uint32(total))
 		if err := c.send(c.parent, rdy); err != nil {
-			return nil, fmt.Errorf("%w: ready up: %v", ErrBootstrap, err)
+			return c.failBootstrap(fmt.Errorf("%w: ready up: %v", ErrBootstrap, err))
 		}
 	} else if total != cfg.Size {
-		return nil, fmt.Errorf("%w: connected %d of %d daemons", ErrBootstrap, total, cfg.Size)
+		return c.failBootstrap(fmt.Errorf("%w: connected %d of %d daemons", ErrBootstrap, total, cfg.Size))
 	}
-	return c, nil
+	return nil
+}
+
+// readFrameTimeout reads one length-prefixed tree frame with a
+// virtual-time deadline. Tree frames are written one per network message
+// (lmonp.WriteFrame is a single Write call), so a whole-message timed
+// receive unwraps to exactly one frame.
+func readFrameTimeout(conn *simnet.Conn, d time.Duration) ([]byte, error) {
+	msg, err := conn.RecvMessageTimeout(d)
+	if err != nil {
+		return nil, err
+	}
+	return lmonp.FrameFromMessage(msg)
+}
+
+// failBootstrap tears down whatever part of the tree this daemon already
+// formed — the parent link and any accepted children — so ranks blocked on
+// this subtree observe the failure (their reads end) instead of waiting
+// forever on a silently absent branch. It returns err unchanged for use in
+// bootstrap's error returns.
+func (c *Comm) failBootstrap(err error) error {
+	if c.parent != nil {
+		c.parent.Close()
+	}
+	for _, conn := range c.children {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	return err
 }
 
 // Rank returns this daemon's rank (0 is the master).
@@ -491,43 +602,17 @@ func (c *Comm) Broadcast(buf []byte) ([]byte, error) {
 }
 
 // Gather collects one byte slice from every daemon; the master receives
-// them indexed by rank, other daemons receive nil.
+// them indexed by rank, other daemons receive nil. The receive and send
+// phases sit in their own frames (gatherChildren, gatherUp) so their
+// decode/pack state is gone from the stack while the daemon parks under
+// the collective — the same shallow-resident-frame rule bootstrap follows.
 func (c *Comm) Gather(mine []byte) ([][]byte, error) {
 	collected := map[int][]byte{c.rank: mine}
-	for _, conn := range c.children {
-		rd, err := c.recvOp(conn, opGather)
-		if err != nil {
-			return nil, err
-		}
-		n, err := rd.Uint32()
-		if err != nil {
-			return nil, err
-		}
-		for i := uint32(0); i < n; i++ {
-			rk, err := rd.Uint32()
-			if err != nil {
-				return nil, err
-			}
-			blob, err := rd.Bytes()
-			if err != nil {
-				return nil, err
-			}
-			collected[int(rk)] = append([]byte(nil), blob...)
-		}
+	if err := c.gatherChildren(collected); err != nil {
+		return nil, err
 	}
 	if c.parent != nil {
-		frame := lmonp.AppendUint32(nil, opGather)
-		frame = lmonp.AppendUint32(frame, uint32(len(collected)))
-		ranks := make([]int, 0, len(collected))
-		for rk := range collected {
-			ranks = append(ranks, rk)
-		}
-		sortInts(ranks)
-		for _, rk := range ranks {
-			frame = lmonp.AppendUint32(frame, uint32(rk))
-			frame = lmonp.AppendBytes(frame, collected[rk])
-		}
-		if err := c.send(c.parent, frame); err != nil {
+		if err := c.gatherUp(collected); err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -540,6 +625,49 @@ func (c *Comm) Gather(mine []byte) ([][]byte, error) {
 		out[rk] = blob
 	}
 	return out, nil
+}
+
+// gatherChildren merges each child subtree's gather contribution into
+// collected.
+func (c *Comm) gatherChildren(collected map[int][]byte) error {
+	for _, conn := range c.children {
+		rd, err := c.recvOp(conn, opGather)
+		if err != nil {
+			return err
+		}
+		n, err := rd.Uint32()
+		if err != nil {
+			return err
+		}
+		for i := uint32(0); i < n; i++ {
+			rk, err := rd.Uint32()
+			if err != nil {
+				return err
+			}
+			blob, err := rd.Bytes()
+			if err != nil {
+				return err
+			}
+			collected[int(rk)] = append([]byte(nil), blob...)
+		}
+	}
+	return nil
+}
+
+// gatherUp packs this subtree's contributions and sends them to the parent.
+func (c *Comm) gatherUp(collected map[int][]byte) error {
+	frame := lmonp.AppendUint32(nil, opGather)
+	frame = lmonp.AppendUint32(frame, uint32(len(collected)))
+	ranks := make([]int, 0, len(collected))
+	for rk := range collected {
+		ranks = append(ranks, rk)
+	}
+	sortInts(ranks)
+	for _, rk := range ranks {
+		frame = lmonp.AppendUint32(frame, uint32(rk))
+		frame = lmonp.AppendBytes(frame, collected[rk])
+	}
+	return c.send(c.parent, frame)
 }
 
 // FoldUp reduces one byte blob per daemon toward the root with the given

@@ -1,11 +1,15 @@
 package iccl
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"launchmon/internal/cluster"
 	"launchmon/internal/coll"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/obs"
 	"launchmon/internal/proctab"
 	"launchmon/internal/simnet"
 	"launchmon/internal/vtime"
@@ -21,6 +25,14 @@ import (
 // a child the moment that child's join is accepted — so at no point does
 // any node store-and-forward the full table, and the transfer overlaps
 // the join/ready waves of the subtree below it.
+//
+// Goroutine budget: only ranks that must forward concurrently with their
+// own bootstrap — the root and interior nodes, whose accept loop blocks
+// while upstream chunks keep arriving — run a pump goroutine, and child
+// forwarders are spawned lazily when the child joins and exit once its
+// End frame is on the wire. Leaves (the overwhelming majority of a k-ary
+// tree) spawn nothing: their consumer pulls frames straight off the
+// parent link inside Seed.Next, with identical virtual-time charging.
 
 // Seed-stream opcodes on tree links (the frame layout is the shared
 // coll.Frame codec, see writeFrameOp).
@@ -189,6 +201,68 @@ func (s *seedSplitter) finish(f coll.Frame) error {
 	return nil
 }
 
+// seedEngine is one rank's seed-stream state machine: streaming sequence
+// validation plus routing (or verbatim fanout) of each admitted frame. The
+// root and interior ranks drive it from a pump goroutine — they must keep
+// forwarding while their own bootstrap blocks in the accept loop — while
+// leaves drive it inline from Seed.Next, so a leaf spawns no seed
+// goroutine at all.
+type seedEngine struct {
+	cfg      Config
+	seed     *Seed
+	abort    func()
+	split    *seedSplitter
+	outs     []*vtime.Chan[coll.Frame]
+	chk      coll.SeqCheck
+	pumped   uint64
+	srcBytes *obs.Gauge
+}
+
+// step admits one incoming frame, fanning it out locally and to the child
+// outboxes. It returns true when the stream is finished — the End frame
+// was processed, or a validation failure aborted it.
+func (e *seedEngine) step(f coll.Frame) bool {
+	if e.cfg.Rank == 0 {
+		// Total seed bytes entering the tree at the root: the
+		// denominator of the per-link wire-byte invariants.
+		e.pumped += uint64(len(f.Body))
+		if f.End {
+			e.srcBytes.SetMax(e.pumped)
+		}
+	}
+	if f.H.Op != coll.OpSeed {
+		e.seed.fail(fmt.Errorf("%w: %v frame in seed stream", ErrProtocol, f.H.Op))
+		e.abort()
+		return true
+	}
+	// Streaming validation: per-chunk sums and, at End, the rolling
+	// digest — every rank verifies the stream it saw without retaining it.
+	if err := e.chk.AdmitFrame(f); err != nil {
+		e.seed.fail(err)
+		e.abort()
+		return true
+	}
+	if e.split != nil {
+		var err error
+		if f.End {
+			err = e.split.finish(f)
+		} else {
+			err = e.split.chunk(f)
+		}
+		if err != nil {
+			e.seed.fail(err)
+			e.abort()
+			return true
+		}
+		return f.End
+	}
+	e.seed.local.Send(f)
+	for i := range e.outs {
+		e.outs[i].Send(f)
+	}
+	return f.End
+}
+
 // Seed is one daemon's handle on an in-flight session-seed stream. Next
 // yields the locally delivered frames (forwarding to children happens
 // independently, as frames arrive); Wait blocks until every child
@@ -218,7 +292,11 @@ func (s *Seed) firstErr() error {
 }
 
 // Next returns the next locally delivered seed frame, blocking in virtual
-// time. The frame whose End is set is the last one.
+// time. The frame whose End is set is the last one. The park under Next is
+// the one stack a quiescent daemon holds while its seed is in flight —
+// deliberately shallow (a plain queue receive, no read/decode frames
+// below it), because at a million daemons every KB of parked stack is a
+// GB of simulator RSS.
 func (s *Seed) Next() (coll.Frame, error) {
 	f, ok := s.local.Recv()
 	if !ok {
@@ -263,20 +341,43 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 	if (cfg.Rank == 0) != (src != nil) {
 		return nil, nil, fmt.Errorf("%w: seed source must be set at rank 0 only (rank %d)", ErrBootstrap, cfg.Rank)
 	}
+	pl := newSeedPlumbing(p, &cfg, src, rt)
+	c, err := bootstrap(p, &cfg, pl.onParent, pl.onChild)
+	if err != nil {
+		pl.seed.fail(err)
+		pl.abort()
+		return nil, nil, err
+	}
+	return c, pl.seed, nil
+}
+
+// seedPlumbing is one rank's seed-stream wiring, built before the tree
+// forms: the local delivery channel, the per-child outboxes with their
+// forwarder callbacks, and the bootstrap hooks that arm them as links
+// appear. Construction lives in its own function — not inline in
+// BootstrapSeedRouted — so the frame holding the engine, splitter, metric
+// handles, and closure records pops before bootstrap's dial/accept
+// machinery runs below it; the daemon's parked stack keeps only the thin
+// caller chain (see bootstrap's stack note).
+type seedPlumbing struct {
+	seed     *Seed
+	abort    func()
+	onParent func(*simnet.Conn)
+	onChild  func(slot int, conn *simnet.Conn)
+}
+
+func newSeedPlumbing(p *cluster.Proc, cfg *Config, src SeedSource, rt *SeedRouter) *seedPlumbing {
 	sim := p.Sim()
 	seed := &Seed{local: vtime.NewChan[coll.Frame](sim), wg: vtime.NewWaitGroup(sim)}
 	kids := Children(cfg.Rank, cfg.Size, cfg.Fanout)
 	outs := make([]*vtime.Chan[coll.Frame], len(kids))
-	conns := make([]*vtime.Chan[*simnet.Conn], len(kids))
 	for i := range kids {
 		outs[i] = vtime.NewChan[coll.Frame](sim)
-		conns[i] = vtime.NewChan[*simnet.Conn](sim)
 	}
 	abort := func() {
 		seed.local.Close()
 		for i := range kids {
 			outs[i].Close()
-			conns[i].Close()
 		}
 	}
 
@@ -288,58 +389,63 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 	fwdBytes := cfg.Metrics.Counter("seed.fwd.bytes")
 	linkMax := cfg.Metrics.Gauge("seed.link.bytes.max")
 	queueMax := cfg.Metrics.Gauge("seed.queue.depth.max")
-	srcBytes := cfg.Metrics.Gauge("seed.src.bytes")
 
-	// One forwarder per child slot: parked until the child joins, then
-	// relaying frames in arrival order. It ends after forwarding the End
-	// frame — or when the stream aborts (outbox closed) or the child link
-	// dies mid-stream.
-	for i := range kids {
-		i := i
+	eng := &seedEngine{
+		cfg: *cfg, seed: seed, abort: abort, outs: outs,
+		srcBytes: cfg.Metrics.Gauge("seed.src.bytes"),
+	}
+	if rt != nil {
+		eng.split = newSeedSplitter(rt, *cfg, kids, seed.local, outs)
+	}
+
+	// One forwarder per *joined* child, armed lazily from onChild and
+	// finished after relaying the subtree's End frame (or when the stream
+	// aborts / the child link dies mid-stream). A forwarder is not a
+	// goroutine: link writes never block in virtual time, so relaying is a
+	// per-frame outbox callback — a million-daemon tree forwards its whole
+	// seed without parking a single stack on a child link.
+	startForwarder := func(i int, conn *simnet.Conn) {
 		seed.wg.Add(1)
-		sim.Go(fmt.Sprintf("iccl-seed-fwd-%d-%d", cfg.Rank, kids[i]), func() {
-			defer seed.wg.Done()
-			var linkBytes uint64
-			defer func() { linkMax.SetMax(linkBytes) }()
-			conn, ok := conns[i].Recv()
-			if !ok {
-				return // bootstrap failed before this child joined
+		var linkBytes uint64
+		done := false
+		finish := func() {
+			done = true
+			linkMax.SetMax(linkBytes)
+			seed.wg.Done()
+		}
+		outs[i].Handle(func(f coll.Frame, ok bool) {
+			if done {
+				return // stream already finished or failed; drop stragglers
 			}
-			for {
-				f, ok := outs[i].Recv()
-				if !ok {
-					return
-				}
-				queueMax.SetMax(uint64(outs[i].Len()))
-				n, err := writeFrameOp(conn, opSeedChunk, opSeedEnd, f)
-				if err != nil {
-					seed.fail(fmt.Errorf("iccl: seed forward to rank %d: %w", kids[i], err))
-					return
-				}
-				fwdChunks.Inc()
-				fwdBytes.Add(uint64(n))
-				linkBytes += uint64(n)
-				if f.End {
-					return
-				}
+			if !ok {
+				finish()
+				return
+			}
+			queueMax.SetMax(uint64(outs[i].Len()))
+			n, err := writeFrameOp(conn, opSeedChunk, opSeedEnd, f)
+			if err != nil {
+				seed.fail(fmt.Errorf("iccl: seed forward to rank %d: %w", kids[i], err))
+				finish()
+				return
+			}
+			fwdChunks.Inc()
+			fwdBytes.Add(uint64(n))
+			linkBytes += uint64(n)
+			if f.End {
+				finish()
 			}
 		})
 	}
 
-	// The pump owns the incoming stream — the source callback at the root,
-	// the parent link elsewhere — validating the chunk sequence at every
-	// rank and fanning each frame out to the local consumer and the child
-	// forwarders the moment it arrives.
-	pump := func(next func() (coll.Frame, error)) {
+	// The pump owns the incoming stream at ranks that must forward while
+	// their own bootstrap still blocks accepting children — the source
+	// callback at the root, the parent link at interior ranks. Leaves skip
+	// it: with no children to feed and a consumer that starts the moment
+	// bootstrap returns, Seed.Next pulls the parent link directly.
+	startPump := func(next func() (coll.Frame, error)) {
 		seed.wg.Add(1)
 		sim.Go(fmt.Sprintf("iccl-seed-pump-%d", cfg.Rank), func() {
 			defer seed.wg.Done()
-			var split *seedSplitter
-			if rt != nil {
-				split = newSeedSplitter(rt, cfg, kids, seed.local, outs)
-			}
-			var chk coll.SeqCheck
-			var pumped uint64
 			for {
 				f, err := next()
 				if err != nil {
@@ -347,75 +453,68 @@ func BootstrapSeedRouted(p *cluster.Proc, cfg Config, src SeedSource, rt *SeedRo
 					abort()
 					return
 				}
-				if cfg.Rank == 0 {
-					// Total seed bytes entering the tree at the root: the
-					// denominator of the per-link wire-byte invariants.
-					pumped += uint64(len(f.Body))
-					if f.End {
-						srcBytes.SetMax(pumped)
-					}
-				}
-				if f.H.Op != coll.OpSeed {
-					seed.fail(fmt.Errorf("%w: %v frame in seed stream", ErrProtocol, f.H.Op))
-					abort()
-					return
-				}
-				// Streaming validation: per-chunk sums and, at End, the
-				// rolling digest — every rank verifies the stream it saw
-				// without retaining it.
-				if err := chk.AdmitFrame(f); err != nil {
-					seed.fail(err)
-					abort()
-					return
-				}
-				if split != nil {
-					if f.End {
-						err = split.finish(f)
-					} else {
-						err = split.chunk(f)
-					}
-					if err != nil {
-						seed.fail(err)
-						abort()
-						return
-					}
-					if f.End {
-						return
-					}
-					continue
-				}
-				seed.local.Send(f)
-				for i := range outs {
-					outs[i].Send(f)
-				}
-				if f.End {
+				if eng.step(f) {
 					return
 				}
 			}
 		})
 	}
 	if cfg.Rank == 0 {
-		pump(src)
+		startPump(src)
 	}
 
 	onParent := func(conn *simnet.Conn) {
-		pump(func() (coll.Frame, error) {
+		if len(kids) == 0 {
+			// Leaf: no pump either — an event-driven framer owns the
+			// parent link while the seed is in flight, reproducing the
+			// serial reader's charging on a busy-until horizon (frame i
+			// lands at max(arrival_i, done_{i-1}) + PerMsgCost) and
+			// detaching at the End frame's arrival so pre-ShareLinks
+			// collective traffic block-reads the same conn as before.
+			// Decoding and engine admission run behind the horizon, like
+			// the reader they replace.
+			var busyUntil time.Duration
+			lmonp.HandleFrames(conn, func(raw []byte, err error) {
+				now := sim.Now()
+				if err != nil {
+					// The serial reader would only observe the failure
+					// after charging every frame before it.
+					seed.fail(fmt.Errorf("iccl: seed stream at rank %d: %w", cfg.Rank, err))
+					if busyUntil <= now {
+						abort()
+					} else {
+						sim.After(busyUntil-now, abort)
+					}
+					return
+				}
+				// Peek the opcode at arrival: the End frame (or a
+				// protocol-violating opcode, which the deferred parse
+				// will turn into an error) is the framer's last — detach
+				// so later arrivals queue for blocking readers.
+				if len(raw) < 4 || binary.BigEndian.Uint32(raw) != opSeedChunk {
+					conn.Unhandle()
+				}
+				readAt := now
+				if busyUntil > readAt {
+					readAt = busyUntil
+				}
+				deliverAt := readAt + cfg.PerMsgCost
+				busyUntil = deliverAt
+				sim.After(deliverAt-now, func() {
+					f, perr := parseFrameOp(raw, opSeedChunk, opSeedEnd)
+					if perr != nil {
+						seed.fail(fmt.Errorf("iccl: seed stream at rank %d: %w", cfg.Rank, perr))
+						abort()
+						return
+					}
+					eng.step(f)
+				})
+			})
+			return
+		}
+		startPump(func() (coll.Frame, error) {
 			return readFrameOp(p, cfg.PerMsgCost, conn, opSeedChunk, opSeedEnd)
 		})
 	}
-	onChild := func(slot int, conn *simnet.Conn) {
-		conns[slot].Send(conn)
-	}
-	c, err := bootstrap(p, cfg, onParent, onChild)
-	if err != nil {
-		seed.fail(err)
-		abort()
-		return nil, nil, err
-	}
-	// Late Close is harmless (queued conns stay receivable); it only
-	// unparks forwarders whose child never joined on a failure path above.
-	for i := range kids {
-		conns[i].Close()
-	}
-	return c, seed, nil
+	return &seedPlumbing{seed: seed, abort: abort, onParent: onParent, onChild: startForwarder}
 }

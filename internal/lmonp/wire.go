@@ -28,6 +28,48 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// MessageConn is the event-driven face of a message-preserving transport
+// (simnet.Conn implements it): fn is invoked once per delivered message and
+// once more with a terminal error. It is what lets frame consumers become
+// scheduler-driven state machines instead of goroutines parked in Read.
+type MessageConn interface {
+	Handle(fn func(msg []byte, err error))
+}
+
+// HandleFrames registers a frame-level callback on a message connection
+// whose peer writes one WriteFrame per message (the invariant all LMONP and
+// ICCL traffic keeps: a frame is a single Write call). Each delivery is
+// unwrapped to its payload; a malformed message surfaces as an error and no
+// further callbacks fire for it. fn runs on the vtime scheduler and must
+// not block.
+func HandleFrames(c MessageConn, fn func(frame []byte, err error)) {
+	c.Handle(func(msg []byte, err error) {
+		if err != nil {
+			fn(nil, err)
+			return
+		}
+		frame, err := FrameFromMessage(msg)
+		fn(frame, err)
+	})
+}
+
+// FrameFromMessage unwraps one delivered network message into the frame
+// payload WriteFrame produced, enforcing that the message carries exactly
+// one complete frame.
+func FrameFromMessage(msg []byte) ([]byte, error) {
+	if len(msg) < 4 {
+		return nil, fmt.Errorf("lmonp: short frame message (%d bytes)", len(msg))
+	}
+	n := binary.BigEndian.Uint32(msg[:4])
+	if n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	if uint32(len(msg)-4) != n {
+		return nil, fmt.Errorf("lmonp: frame message length %d does not match prefix %d", len(msg)-4, n)
+	}
+	return msg[4:], nil
+}
+
 // ReadFrame reads one length-prefixed payload written by WriteFrame.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte

@@ -111,7 +111,9 @@ func Install(cl *cluster.Cluster, cfg Config) (*Manager, error) {
 	for i := 0; i < cl.NumNodes(); i++ {
 		node := cl.Node(i)
 		d := &slurmd{m: m, node: node, jobProcs: make(map[int][]*cluster.Proc)}
-		if _, err := node.SpawnSystemProc(cluster.Spec{Exe: m.cfg.Name + "d", Main: d.main}); err != nil {
+		if _, err := node.SpawnSystemProc(cluster.Spec{
+			Exe: m.cfg.Name + "d", Main: d.main, Resident: true,
+		}); err != nil {
 			return nil, err
 		}
 	}

@@ -9,7 +9,6 @@ import (
 	"launchmon/internal/proctab"
 	"launchmon/internal/rm"
 	"launchmon/internal/simnet"
-	"launchmon/internal/vtime"
 )
 
 // slurmd opcodes.
@@ -22,6 +21,15 @@ const (
 // slurmd is the per-node RM daemon. It receives tree requests, forwards
 // them to its children in the launch node list (k-ary heap layout), acts
 // locally, and aggregates replies.
+//
+// It is fully event-driven: the listener, per-request processing, child
+// forwards and local forks all run as vtime scheduler callbacks, so an
+// idle slurmd parks no goroutine at all — at a million nodes the resident
+// RM fabric costs table slots, not stacks. Virtual-time behaviour is
+// identical to the previous goroutine-per-connection shape: the same
+// per-request PerMsgCost charge, the same dial/fork instants, and a reply
+// written at the same completion time (max of local work and the last
+// child reply).
 type slurmd struct {
 	m    *Manager
 	node *cluster.Node
@@ -35,41 +43,57 @@ func (d *slurmd) main(p *cluster.Proc) {
 	if err != nil {
 		return
 	}
-	for {
-		conn, err := l.Accept()
+	l.Handle(func(conn *simnet.Conn, err error) {
 		if err != nil {
 			return
 		}
-		p.Sim().Go("slurmd-conn", func() {
-			defer conn.Close()
-			d.handle(p, conn)
-		})
-	}
+		d.serve(p, conn)
+	})
+	// The process stays alive through Spec.Resident; there is no accept
+	// loop to park in.
 }
 
-func (d *slurmd) handle(p *cluster.Proc, conn *simnet.Conn) {
-	req, err := readFrame(conn)
-	if err != nil {
-		return
-	}
-	p.Compute(d.m.cfg.PerMsgCost)
+// serve arms one accepted connection: the first frame is the request,
+// charged PerMsgCost of handling CPU and then dispatched. Anything after
+// it (stray frames, the requester's EOF) is ignored.
+func (d *slurmd) serve(p *cluster.Proc, conn *simnet.Conn) {
+	got := false
+	lmonp.HandleFrames(conn, func(req []byte, err error) {
+		if got {
+			return
+		}
+		got = true
+		if err != nil {
+			conn.Close()
+			return
+		}
+		p.Sim().After(d.m.cfg.PerMsgCost, func() {
+			d.dispatch(p, conn, req)
+		})
+	})
+}
+
+func (d *slurmd) dispatch(p *cluster.Proc, conn *simnet.Conn, req []byte) {
 	rd := lmonp.NewReader(req)
 	op, err := rd.Uint32()
 	if err != nil {
+		conn.Close()
 		return
 	}
-	var resp []byte
+	reply := func(resp []byte) {
+		writeFrame(conn, resp)
+		conn.Close()
+	}
 	switch op {
 	case opLaunch:
-		resp = d.handleLaunch(p, req, rd)
+		d.handleLaunch(p, req, rd, reply)
 	case opSpawn:
-		resp = d.handleSpawn(p, req, rd)
+		d.handleSpawn(p, req, rd, reply)
 	case opKill:
-		resp = d.handleKill(p, req, rd)
+		d.handleKill(p, req, rd, reply)
 	default:
-		resp = lmonp.AppendString(nil, fmt.Sprintf("slurmd: bad op %d", op))
+		reply(lmonp.AppendString(nil, fmt.Sprintf("slurmd: bad op %d", op)))
 	}
-	writeFrame(conn, resp)
 }
 
 // children returns the k-ary heap children indices of self within a node
@@ -82,50 +106,98 @@ func children(self, n, fanout int) []int {
 	return out
 }
 
-// forward fans the raw request out to the children of self in nodelist,
-// rewriting the self-index field, and collects one reply payload each.
-// The self index is encoded as the uint32 immediately after the opcode by
-// all tree requests, letting forwarding work generically. With tolerant
-// set, unreachable children are skipped (their reply slot stays nil)
-// instead of failing the whole request — the kill path uses this, since a
-// dead child's processes died with its node.
-func (d *slurmd) forward(p *cluster.Proc, raw []byte, nodelist []string, self int, tolerant bool) ([][]byte, error) {
-	kids := children(self, len(nodelist), d.m.cfg.Fanout)
-	replies := make([][]byte, len(kids))
-	errs := make([]error, len(kids))
-	wg := vtime.NewWaitGroup(p.Sim())
-	wg.Add(len(kids))
-	for i, k := range kids {
-		i, k := i, k
-		p.Sim().Go("slurmd-fwd", func() {
-			defer wg.Done()
-			req := make([]byte, len(raw))
-			copy(req, raw)
-			// Rewrite the self index (bytes 4..8, right after the opcode).
-			req[4] = byte(uint32(k) >> 24)
-			req[5] = byte(uint32(k) >> 16)
-			req[6] = byte(uint32(k) >> 8)
-			req[7] = byte(uint32(k))
-			conn, err := p.Host().Dial(simnet.Addr{Host: nodelist[k], Port: SlurmdPort})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer conn.Close()
-			if err := writeFrame(conn, req); err != nil {
-				errs[i] = err
-				return
-			}
-			replies[i], errs[i] = readFrame(conn)
-		})
+// treeCall tracks one in-flight tree request: every child forward plus
+// the node's local work counts toward pending, and when the last of them
+// completes the finish callback assembles and writes the reply — at
+// max(local done, slowest child reply), exactly when the old blocking
+// shape (serial local work, then wait for the forward fan-out) replied.
+// abort ends the call early with an error reply (the old "return on local
+// fork failure" path); late completions after an abort are dropped. All
+// state transitions happen on scheduler callbacks, so no lock is needed.
+type treeCall struct {
+	pending int
+	done    bool
+	replies [][]byte
+	errs    []error
+	reply   func([]byte)
+	finish  func()
+}
+
+func newTreeCall(kids int, reply func([]byte)) *treeCall {
+	return &treeCall{
+		pending: kids + 1, // +1 for the local work unit
+		replies: make([][]byte, kids),
+		errs:    make([]error, kids),
+		reply:   reply,
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil && !tolerant {
-			return nil, err
+}
+
+func (t *treeCall) complete() {
+	t.pending--
+	if t.pending == 0 && !t.done {
+		t.done = true
+		t.finish()
+	}
+}
+
+func (t *treeCall) abort(resp []byte) {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.reply(resp)
+}
+
+// firstErr returns the first forward error in child order (the error the
+// old sequential check surfaced).
+func (t *treeCall) firstErr() error {
+	for _, err := range t.errs {
+		if err != nil {
+			return err
 		}
 	}
-	return replies, nil
+	return nil
+}
+
+// forwardKids fans the raw request out to the children of self in
+// nodelist, rewriting the self-index field (the uint32 right after the
+// opcode, letting forwarding work generically), and records one reply
+// payload or error per child in st. Each child costs a dial callback and
+// a frame handler — no forwarding goroutine — and its connection is
+// closed as soon as its reply lands. Replies are uncharged, as before.
+func (d *slurmd) forwardKids(p *cluster.Proc, raw []byte, nodelist []string, kids []int, st *treeCall) {
+	for i, k := range kids {
+		i, k := i, k
+		req := make([]byte, len(raw))
+		copy(req, raw)
+		req[4] = byte(uint32(k) >> 24)
+		req[5] = byte(uint32(k) >> 16)
+		req[6] = byte(uint32(k) >> 8)
+		req[7] = byte(uint32(k))
+		p.Host().DialAsync(simnet.Addr{Host: nodelist[k], Port: SlurmdPort}, func(conn *simnet.Conn, err error) {
+			if err != nil {
+				st.errs[i] = err
+				st.complete()
+				return
+			}
+			if err := writeFrame(conn, req); err != nil {
+				conn.Close()
+				st.errs[i] = err
+				st.complete()
+				return
+			}
+			answered := false
+			lmonp.HandleFrames(conn, func(rep []byte, err error) {
+				if answered {
+					return
+				}
+				answered = true
+				conn.Close()
+				st.replies[i], st.errs[i] = rep, err
+				st.complete()
+			})
+		})
+	}
 }
 
 // launch request layout: op, self, jobid, tasksPerNode, exe, nodelist.
@@ -139,66 +211,76 @@ func encodeLaunch(jobid, tasksPerNode int, exe string, nodelist []string) []byte
 	return b
 }
 
-func (d *slurmd) handleLaunch(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byte {
+func (d *slurmd) handleLaunch(p *cluster.Proc, raw []byte, rd *lmonp.Reader, reply func([]byte)) {
 	self32, _ := rd.Uint32()
 	jobid32, _ := rd.Uint32()
 	tpn32, _ := rd.Uint32()
 	exe, _ := rd.String()
 	nl, err := rd.String()
 	if err != nil {
-		return lmonp.AppendString(nil, "slurmd: bad launch request")
+		reply(lmonp.AppendString(nil, "slurmd: bad launch request"))
+		return
 	}
 	self, jobid, tpn := int(self32), int(jobid32), int(tpn32)
 	nodelist := splitNodes(nl)
 
-	// Forward first so subtrees overlap with local forking.
-	type fwdResult struct {
-		replies [][]byte
-		err     error
+	kids := children(self, len(nodelist), d.m.cfg.Fanout)
+	st := newTreeCall(len(kids), reply)
+	local := make(proctab.Table, 0, tpn)
+	st.finish = func() {
+		if err := st.firstErr(); err != nil {
+			st.reply(lmonp.AppendString(nil, err.Error()))
+			return
+		}
+		merged := local
+		for _, rep := range st.replies {
+			rrd := lmonp.NewReader(rep)
+			emsg, err := rrd.String()
+			if err != nil || emsg != "" {
+				st.reply(lmonp.AppendString(nil, "slurmd: child launch failed: "+emsg))
+				return
+			}
+			enc, err := rrd.Bytes()
+			if err != nil {
+				st.reply(lmonp.AppendString(nil, err.Error()))
+				return
+			}
+			sub, err := proctab.Decode(enc)
+			if err != nil {
+				st.reply(lmonp.AppendString(nil, err.Error()))
+				return
+			}
+			merged = append(merged, sub...)
+		}
+		out := lmonp.AppendString(nil, "")
+		st.reply(lmonp.AppendBytes(out, merged.Encode()))
 	}
-	fwdCh := vtime.NewChan[fwdResult](p.Sim())
-	p.Sim().Go("slurmd-launch-fwd", func() {
-		r, err := d.forward(p, raw, nodelist, self, false)
-		fwdCh.Send(fwdResult{r, err})
-	})
+
+	// Forward first so subtrees overlap with local forking.
+	d.forwardKids(p, raw, nodelist, kids, st)
 
 	// Fork the local tasks (block rank distribution: node i owns ranks
-	// i*tpn .. i*tpn+tpn-1).
-	local := make(proctab.Table, 0, tpn)
-	for i := 0; i < tpn; i++ {
-		proc, err := d.node.SpawnProc(cluster.Spec{Exe: exe, Passive: true})
-		if err != nil {
-			return lmonp.AppendString(nil, fmt.Sprintf("slurmd %s: %v", d.node.Name(), err))
+	// i*tpn .. i*tpn+tpn-1), chained so they serialize on this node's fork
+	// window in request order, as the old blocking loop did.
+	var forkNext func(i int)
+	forkNext = func(i int) {
+		if i == tpn {
+			st.complete()
+			return
 		}
-		d.track(jobid, proc)
-		local = append(local, proctab.ProcDesc{
-			Host: d.node.Name(), Exe: exe, Pid: proc.Pid(), Rank: self*tpn + i,
+		d.node.SpawnProcAsync(cluster.Spec{Exe: exe, Passive: true}, func(proc *cluster.Proc, err error) {
+			if err != nil {
+				st.abort(lmonp.AppendString(nil, fmt.Sprintf("slurmd %s: %v", d.node.Name(), err)))
+				return
+			}
+			d.track(jobid, proc)
+			local = append(local, proctab.ProcDesc{
+				Host: d.node.Name(), Exe: exe, Pid: proc.Pid(), Rank: self*tpn + i,
+			})
+			forkNext(i + 1)
 		})
 	}
-
-	fr, _ := fwdCh.Recv()
-	if fr.err != nil {
-		return lmonp.AppendString(nil, fr.err.Error())
-	}
-	merged := local
-	for _, rep := range fr.replies {
-		rrd := lmonp.NewReader(rep)
-		emsg, err := rrd.String()
-		if err != nil || emsg != "" {
-			return lmonp.AppendString(nil, "slurmd: child launch failed: "+emsg)
-		}
-		enc, err := rrd.Bytes()
-		if err != nil {
-			return lmonp.AppendString(nil, err.Error())
-		}
-		sub, err := proctab.Decode(enc)
-		if err != nil {
-			return lmonp.AppendString(nil, err.Error())
-		}
-		merged = append(merged, sub...)
-	}
-	out := lmonp.AppendString(nil, "")
-	return lmonp.AppendBytes(out, merged.Encode())
+	forkNext(0)
 }
 
 // spawn request layout: op, self, jobid, exe, args, env, nodelist.
@@ -213,7 +295,7 @@ func encodeSpawn(jobid int, spec rm.DaemonSpec, nodelist []string) []byte {
 	return b
 }
 
-func (d *slurmd) handleSpawn(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byte {
+func (d *slurmd) handleSpawn(p *cluster.Proc, raw []byte, rd *lmonp.Reader, reply func([]byte)) {
 	self32, _ := rd.Uint32()
 	jobid32, _ := rd.Uint32()
 	exe, _ := rd.String()
@@ -221,54 +303,63 @@ func (d *slurmd) handleSpawn(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []by
 	kv, _ := rd.StringMap()
 	nl, err := rd.String()
 	if err != nil {
-		return lmonp.AppendString(nil, "slurmd: bad spawn request")
+		reply(lmonp.AppendString(nil, "slurmd: bad spawn request"))
+		return
 	}
 	self, jobid := int(self32), int(jobid32)
 	nodelist := splitNodes(nl)
 
-	type fwdResult struct {
-		replies [][]byte
-		err     error
+	kids := children(self, len(nodelist), d.m.cfg.Fanout)
+	st := newTreeCall(len(kids), reply)
+	st.finish = func() {
+		if err := st.firstErr(); err != nil {
+			st.reply(lmonp.AppendString(nil, err.Error()))
+			return
+		}
+		count := uint32(1)
+		for _, rep := range st.replies {
+			rrd := lmonp.NewReader(rep)
+			emsg, err := rrd.String()
+			if err != nil || emsg != "" {
+				st.reply(lmonp.AppendString(nil, "slurmd: child spawn failed: "+emsg))
+				return
+			}
+			c, err := rrd.Uint32()
+			if err != nil {
+				st.reply(lmonp.AppendString(nil, err.Error()))
+				return
+			}
+			count += c
+		}
+		out := lmonp.AppendString(nil, "")
+		st.reply(lmonp.AppendUint32(out, count))
 	}
-	fwdCh := vtime.NewChan[fwdResult](p.Sim())
-	p.Sim().Go("slurmd-spawn-fwd", func() {
-		r, err := d.forward(p, raw, nodelist, self, false)
-		fwdCh.Send(fwdResult{r, err})
+
+	d.forwardKids(p, raw, nodelist, kids, st)
+
+	// Only the node index differs across the K spawned daemons; the rest
+	// of the environment is interned once per request body and shared as
+	// the processes' base layer — one map for the whole fabric instead of
+	// one ~16-entry map per node.
+	base := internSpawnEnv(raw[8:], func() map[string]string {
+		env := make(map[string]string, len(kv)+3)
+		for _, e := range kv {
+			env[e[0]] = e[1]
+		}
+		env[rm.EnvNNodes] = fmt.Sprint(len(nodelist))
+		env[rm.EnvNodeList] = nl
+		env[rm.EnvJobID] = fmt.Sprint(jobid)
+		return env
 	})
-
-	env := make(map[string]string, len(kv)+4)
-	for _, e := range kv {
-		env[e[0]] = e[1]
-	}
-	env[rm.EnvNodeID] = fmt.Sprint(self)
-	env[rm.EnvNNodes] = fmt.Sprint(len(nodelist))
-	env[rm.EnvNodeList] = nl
-	env[rm.EnvJobID] = fmt.Sprint(jobid)
-	proc, err := d.node.SpawnProc(cluster.Spec{Exe: exe, Args: args, Env: env})
-	if err != nil {
-		return lmonp.AppendString(nil, fmt.Sprintf("slurmd %s: %v", d.node.Name(), err))
-	}
-	d.track(jobid, proc)
-
-	fr, _ := fwdCh.Recv()
-	if fr.err != nil {
-		return lmonp.AppendString(nil, fr.err.Error())
-	}
-	count := uint32(1)
-	for _, rep := range fr.replies {
-		rrd := lmonp.NewReader(rep)
-		emsg, err := rrd.String()
-		if err != nil || emsg != "" {
-			return lmonp.AppendString(nil, "slurmd: child spawn failed: "+emsg)
-		}
-		c, err := rrd.Uint32()
+	overlay := map[string]string{rm.EnvNodeID: fmt.Sprint(self)}
+	d.node.SpawnProcAsync(cluster.Spec{Exe: exe, Args: args, Env: overlay, EnvBase: base}, func(proc *cluster.Proc, err error) {
 		if err != nil {
-			return lmonp.AppendString(nil, err.Error())
+			st.abort(lmonp.AppendString(nil, fmt.Sprintf("slurmd %s: %v", d.node.Name(), err)))
+			return
 		}
-		count += c
-	}
-	out := lmonp.AppendString(nil, "")
-	return lmonp.AppendUint32(out, count)
+		d.track(jobid, proc)
+		st.complete()
+	})
 }
 
 // kill request layout: op, self, jobid, nodelist.
@@ -280,24 +371,26 @@ func encodeKill(jobid int, nodelist []string) []byte {
 	return b
 }
 
-func (d *slurmd) handleKill(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byte {
+func (d *slurmd) handleKill(p *cluster.Proc, raw []byte, rd *lmonp.Reader, reply func([]byte)) {
 	self32, _ := rd.Uint32()
 	jobid32, _ := rd.Uint32()
 	nl, err := rd.String()
 	if err != nil {
-		return lmonp.AppendString(nil, "slurmd: bad kill request")
+		reply(lmonp.AppendString(nil, "slurmd: bad kill request"))
+		return
 	}
 	self, jobid := int(self32), int(jobid32)
 	nodelist := splitNodes(nl)
 
-	type fwdResult struct {
-		err error
+	kids := children(self, len(nodelist), d.m.cfg.Fanout)
+	st := newTreeCall(len(kids), reply)
+	st.finish = func() {
+		// Kill is tolerant: an unreachable child's processes died with its
+		// node, so forward errors are not failures.
+		st.reply(lmonp.AppendString(nil, ""))
 	}
-	fwdCh := vtime.NewChan[fwdResult](p.Sim())
-	p.Sim().Go("slurmd-kill-fwd", func() {
-		_, err := d.forward(p, raw, nodelist, self, true)
-		fwdCh.Send(fwdResult{err})
-	})
+
+	d.forwardKids(p, raw, nodelist, kids, st)
 
 	d.mu.Lock()
 	procs := d.jobProcs[jobid]
@@ -306,12 +399,22 @@ func (d *slurmd) handleKill(p *cluster.Proc, raw []byte, rd *lmonp.Reader) []byt
 	for _, proc := range procs {
 		proc.Kill()
 	}
+	st.complete()
+}
 
-	fr, _ := fwdCh.Recv()
-	if fr.err != nil {
-		return lmonp.AppendString(nil, fr.err.Error())
+// spawnEnvCache interns the shared daemon-environment layer by the spawn
+// request body (identical at every node: the self-index field is excluded
+// by the caller). Like the hostlist expansion cache, it is the simulated
+// analogue of K nodes parsing the same request: one decoded value, shared.
+var spawnEnvCache sync.Map // string(request body) -> map[string]string
+
+func internSpawnEnv(body []byte, build func() map[string]string) map[string]string {
+	key := string(body)
+	if cached, ok := spawnEnvCache.Load(key); ok {
+		return cached.(map[string]string)
 	}
-	return lmonp.AppendString(nil, "")
+	actual, _ := spawnEnvCache.LoadOrStore(key, build())
+	return actual.(map[string]string)
 }
 
 func (d *slurmd) track(jobid int, p *cluster.Proc) {

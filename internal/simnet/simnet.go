@@ -284,6 +284,9 @@ var (
 	ErrPeerDead = errors.New("simnet: peer host is dead")
 	// ErrLinkDown is returned when dialing across a dropped link.
 	ErrLinkDown = errors.New("simnet: link is down")
+	// ErrReadTimeout is returned by RecvMessageTimeout when the deadline
+	// passes before a message arrives.
+	ErrReadTimeout = errors.New("simnet: read timeout")
 )
 
 // Listen opens a listener on the given port; port 0 selects an ephemeral
@@ -346,6 +349,21 @@ func (l *Listener) AcceptTimeout(d time.Duration) (*Conn, error) {
 	return c, nil
 }
 
+// Handle switches the listener to event-driven accept: fn runs on the
+// vtime scheduler for every incoming connection (queued ones first, in
+// arrival order), and once with ErrListenerClose after Close. It replaces a
+// parked accept-loop goroutine; fn must not block. Handle may not be mixed
+// with Accept and may be installed once.
+func (l *Listener) Handle(fn func(*Conn, error)) {
+	l.incoming.Handle(func(c *Conn, ok bool) {
+		if !ok {
+			fn(nil, ErrListenerClose)
+			return
+		}
+		fn(c, nil)
+	})
+}
+
 // Close stops the listener; blocked Accept calls return ErrListenerClose.
 func (l *Listener) Close() {
 	l.host.net.mu.Lock()
@@ -361,27 +379,57 @@ func (l *Listener) Close() {
 // (one round trip). It fails immediately when no listener exists, when
 // either host is dead, or when the link between them is down.
 func (h *Host) Dial(addr Addr) (*Conn, error) {
+	a, b, incoming, lat, err := h.dialSetup(addr)
+	if err != nil {
+		return nil, err
+	}
+	// SYN reaches the listener after one latency; the dialer's connect
+	// completes after a full round trip.
+	h.net.sim.After(lat, func() { incoming.Send(b) })
+	h.net.sim.Sleep(2 * lat)
+	return a, nil
+}
+
+// DialAsync is Dial without a blocked goroutine: cb fires on the vtime
+// scheduler with the established connection after the same one-round-trip
+// handshake (or with Dial's error, still as a scheduled event so callers
+// get a uniform asynchronous contract). cb must not block.
+func (h *Host) DialAsync(addr Addr, cb func(*Conn, error)) {
+	a, b, incoming, lat, err := h.dialSetup(addr)
+	if err != nil {
+		h.net.sim.After(0, func() { cb(nil, err) })
+		return
+	}
+	h.net.sim.After(lat, func() { incoming.Send(b) })
+	h.net.sim.After(2*lat, func() { cb(a, nil) })
+}
+
+// dialSetup performs the synchronous half of a dial — error checks, conn
+// pair creation, registration — and returns the pieces both Dial flavors
+// schedule from.
+func (h *Host) dialSetup(addr Addr) (a, b *Conn, incoming *vtime.Chan[*Conn], lat time.Duration, err error) {
 	n := h.net
 	n.mu.Lock()
 	if n.dead[h.name] || n.dead[addr.Host] {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrPeerDead, addr)
+		return nil, nil, nil, 0, fmt.Errorf("%w: %s", ErrPeerDead, addr)
 	}
 	if n.downLinks[linkKey(h.name, addr.Host)] {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s <-> %s", ErrLinkDown, h.name, addr.Host)
+		return nil, nil, nil, 0, fmt.Errorf("%w: %s <-> %s", ErrLinkDown, h.name, addr.Host)
 	}
 	dst := n.hosts[addr.Host]
 	if dst == nil {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: no host %q", ErrConnRefused, addr.Host)
+		return nil, nil, nil, 0, fmt.Errorf("%w: no host %q", ErrConnRefused, addr.Host)
 	}
 	l := dst.listeners[addr.Port]
 	if l == nil || l.closed {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+		return nil, nil, nil, 0, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
-	lat, bw := n.opts.Latency, n.opts.Bandwidth
+	lat = n.opts.Latency
+	bw := n.opts.Bandwidth
 	if addr.Host == h.name {
 		lat, bw = n.opts.LoopbackLatency, n.opts.LoopbackBandwidth
 	}
@@ -390,20 +438,14 @@ func (h *Host) Dial(addr Addr) (*Conn, error) {
 		bw /= f
 	}
 	local := Addr{Host: h.name, Port: -1} // anonymous client port
-	a := &Conn{net: n, local: local, remote: addr, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
-	b := &Conn{net: n, local: addr, remote: local, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
+	a = &Conn{net: n, local: local, remote: addr, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
+	b = &Conn{net: n, local: addr, remote: local, lat: lat, bw: bw, in: vtime.NewChan[[]byte](n.sim)}
 	a.peer, b.peer = b, a
 	n.registerLocked(h.name, a)
 	n.registerLocked(addr.Host, b)
 	n.stats.Dials++
-	incoming := l.incoming
 	n.mu.Unlock()
-
-	// SYN reaches the listener after one latency; the dialer's connect
-	// completes after a full round trip.
-	n.sim.After(lat, func() { incoming.Send(b) })
-	n.sim.Sleep(2 * lat)
-	return a, nil
+	return a, b, l.incoming, lat, nil
 }
 
 // Conn is one direction-pair stream connection endpoint.
@@ -495,6 +537,70 @@ func (c *Conn) Read(p []byte) (int, error) {
 	c.rbuf = c.rbuf[n:]
 	return n, nil
 }
+
+// RecvMessageTimeout returns the next delivered message (one peer Write)
+// whole, with a virtual-time deadline: ErrReadTimeout when it passes with
+// nothing delivered, io.EOF/ErrPeerDead per Read's contract otherwise. It
+// must be called on a message boundary (no partially consumed arrival) —
+// the caller is reading a message-per-frame protocol.
+func (c *Conn) RecvMessageTimeout(d time.Duration) ([]byte, error) {
+	if len(c.rbuf) != 0 {
+		panic("simnet: RecvMessageTimeout with a partially read message")
+	}
+	buf, ok, timedOut := c.in.RecvTimeout(d)
+	if timedOut {
+		return nil, fmt.Errorf("%w: no message from %s within %v", ErrReadTimeout, c.remote, d)
+	}
+	if !ok {
+		c.mu.Lock()
+		dead := c.peerDead
+		c.mu.Unlock()
+		if dead {
+			return nil, ErrPeerDead
+		}
+		return nil, io.EOF
+	}
+	return buf, nil
+}
+
+// Handle switches the connection's receive side to event-driven delivery:
+// fn runs on the vtime scheduler once per delivered message (one Write call
+// on the peer = one callback, so framed protocols that write one frame per
+// Write receive exactly one complete frame per event), in arrival order
+// under the scheduler's deterministic (time, seq) tie-break. After the peer
+// closes (or the link severs) and queued messages drain, fn fires once with
+// err — io.EOF for a clean close, ErrPeerDead for a severed connection.
+// It replaces a goroutine parked in Read; fn must not block. Handle may not
+// be mixed with Read while installed and must be installed on a message
+// boundary (no partially consumed arrival). Unhandle hands the receive side
+// back to blocking Read — a framer that owns only one phase of the
+// connection's life (e.g. a bootstrap-time stream) detaches at its final
+// frame, leaving later arrivals queued for whoever reads next.
+func (c *Conn) Handle(fn func(msg []byte, err error)) {
+	if len(c.rbuf) != 0 {
+		panic("simnet: Conn.Handle with a partially read message")
+	}
+	c.in.Handle(func(buf []byte, ok bool) {
+		if !ok {
+			c.mu.Lock()
+			dead := c.peerDead
+			c.mu.Unlock()
+			if dead {
+				fn(nil, ErrPeerDead)
+			} else {
+				fn(nil, io.EOF)
+			}
+			return
+		}
+		fn(buf, nil)
+	})
+}
+
+// Unhandle detaches the message handler installed by Handle and returns
+// the connection to blocking-Read delivery. Messages that arrived but were
+// not yet delivered to the handler stay queued for Read. Call it from the
+// handler itself (on the scheduler goroutine) at a message boundary.
+func (c *Conn) Unhandle() { c.in.Unhandle() }
 
 // Sever force-severs the connection as if this endpoint's host died:
 // local reads/writes fail at once with ErrPeerDead, and the remote peer

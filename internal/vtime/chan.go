@@ -11,6 +11,12 @@ type Chan[T any] struct {
 	q      []T
 	wakers []*parker // parked receivers, FIFO (stale fired entries skipped)
 	closed bool
+
+	// Handler-mode state (see Handle): instead of parking a receiver
+	// goroutine, deliveries run as zero-delay scheduler events.
+	handler  func(T, bool)
+	hPending bool // a delivery event is scheduled and has not run yet
+	hDone    bool // the terminal ok=false callback has been delivered
 }
 
 // NewChan returns an empty open channel bound to s.
@@ -28,7 +34,90 @@ func (c *Chan[T]) Send(v T) {
 		return
 	}
 	c.q = append(c.q, v)
+	if c.handler != nil {
+		c.pumpLocked()
+		return
+	}
 	c.wakeOneLocked()
+}
+
+// Handle switches the channel to event-driven delivery: each queued and
+// future value is delivered by calling fn(v, true) on the vtime scheduler
+// goroutine, one value per zero-delay timer, so deliveries keep the
+// scheduler's deterministic (time, seq) order without a parked receiver
+// goroutine. After Close, once the queue drains, fn is called exactly once
+// with ok=false. fn must not block (no Sleep/Recv/Compute): it may inspect
+// state, Send on other channels, call Sim.After, or start goroutines.
+// Handle may not be mixed with blocking Recv while installed; Unhandle
+// returns the channel to blocking mode (and permits a later re-install).
+func (c *Chan[T]) Handle(fn func(v T, ok bool)) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.handler != nil {
+		panic("vtime: Chan.Handle installed twice")
+	}
+	if len(c.wakers) > 0 {
+		panic("vtime: Chan.Handle with receivers parked on the channel")
+	}
+	c.handler = fn
+	c.pumpLocked()
+}
+
+// Unhandle detaches the handler installed by Handle and returns the
+// channel to blocking-receive mode. Values not yet delivered stay queued
+// for Recv. The natural call site is the handler itself, recognizing the
+// last message of the traffic it owns and handing the stream back — a
+// framing layer that multiplexes a phase of a connection's life.
+// Re-installing a handler later is allowed.
+func (c *Chan[T]) Unhandle() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.handler = nil
+}
+
+// pumpLocked schedules the next handler delivery if one is due and none is
+// in flight. Caller must hold s.mu.
+func (c *Chan[T]) pumpLocked() {
+	if c.handler == nil || c.hPending || c.hDone {
+		return
+	}
+	if len(c.q) == 0 && !c.closed {
+		return
+	}
+	c.hPending = true
+	c.s.afterLocked(0, c.deliverOne)
+}
+
+// deliverOne runs on the scheduler goroutine: it pops one value (or the
+// terminal close) and invokes the handler outside the scheduler lock.
+func (c *Chan[T]) deliverOne() {
+	c.s.mu.Lock()
+	fn := c.handler
+	if fn == nil { // Unhandled between scheduling and delivery
+		c.hPending = false
+		c.s.mu.Unlock()
+		return
+	}
+	if len(c.q) > 0 {
+		v := c.q[0]
+		c.q = c.q[1:]
+		c.s.mu.Unlock()
+		fn(v, true)
+		c.s.mu.Lock()
+		c.hPending = false
+		c.pumpLocked()
+		c.s.mu.Unlock()
+		return
+	}
+	c.hPending = false
+	if c.closed && !c.hDone {
+		c.hDone = true
+		c.s.mu.Unlock()
+		var zero T
+		fn(zero, false)
+		return
+	}
+	c.s.mu.Unlock()
 }
 
 func (c *Chan[T]) wakeOneLocked() {
@@ -55,6 +144,7 @@ func (c *Chan[T]) Close() {
 		w.wake()
 	}
 	c.wakers = nil
+	c.pumpLocked()
 }
 
 // Recv blocks in virtual time until a value is available or the channel is
@@ -63,6 +153,9 @@ func (c *Chan[T]) Close() {
 func (c *Chan[T]) Recv() (v T, ok bool) {
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
+	if c.handler != nil {
+		panic("vtime: Recv on a handled Chan")
+	}
 	for {
 		if len(c.q) > 0 {
 			v = c.q[0]
@@ -87,6 +180,9 @@ func (c *Chan[T]) Recv() (v T, ok bool) {
 func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok, timedOut bool) {
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
+	if c.handler != nil {
+		panic("vtime: RecvTimeout on a handled Chan")
+	}
 	deadline := c.s.now + d
 	for {
 		if len(c.q) > 0 {

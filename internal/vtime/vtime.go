@@ -38,9 +38,11 @@ type Sim struct {
 	seq      uint64            // tie-break for deterministic ordering of equal timestamps
 	stopped  bool              // Run has returned; subsequent blocking ops abort
 	live     int               // simulated goroutines that have started and not finished
+	peakLive int               // high-water mark of live
 	parked   map[uint64]func() // wake funcs of blocked goroutines, for teardown
 	parkSeq  uint64
 	panicked any
+	spawnObs func(name string) // test hook: observes every Go() by name
 }
 
 // New returns a fresh simulation with the clock at zero.
@@ -55,6 +57,32 @@ func (s *Sim) Now() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.now
+}
+
+// Live returns the number of simulated goroutines currently alive (started
+// via Go and not yet finished). It is the simulator's real footprint: each
+// live goroutine costs a host stack whether running or parked.
+func (s *Sim) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// PeakLive returns the high-water mark of Live over the simulation so far —
+// the number that sizes the host RSS a run needs.
+func (s *Sim) PeakLive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakLive
+}
+
+// SetSpawnObserver installs a test hook invoked (with s.mu held, so it must
+// not call back into the Sim) for every Sim.Go with the goroutine's name.
+// Pass nil to remove it.
+func (s *Sim) SetSpawnObserver(fn func(name string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spawnObs = fn
 }
 
 // timer is a scheduled callback.
@@ -121,6 +149,12 @@ func (s *Sim) Go(name string, fn func()) {
 	s.mu.Lock()
 	s.runnable++
 	s.live++
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
+	if s.spawnObs != nil {
+		s.spawnObs(name)
+	}
 	s.mu.Unlock()
 	go func() {
 		defer func() {

@@ -3,13 +3,13 @@
 //
 // Usage:
 //
-//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-launch] [-million] [-mem] [-mw] [-obs] [-trace FILE] [-maxk N] [-smoke] [-json] [-all]
+//	lmonbench [-fig 3|5|6] [-table 1] [-ablations] [-failure] [-collective] [-contention] [-launch] [-million] [-mem] [-mw] [-obs] [-trace FILE] [-maxk N] [-smoke] [-json] [-all]
 //
 // With -json, each experiment additionally writes its rows as
 // BENCH_<name>.json in the working directory (machine-readable results
 // for CI and regression tracking). -smoke runs a fast reduced-scale
 // subset that exercises the bench rig end to end. -maxk caps the daemon
-// counts of the -failure/-collective/-launch/-mw sweeps (every simulated
+// counts of the -failure/-collective/-contention/-launch/-mw sweeps (every simulated
 // daemon holds the full RPDTAB, so the 16384-point needs tens of GB of
 // host memory; CI runs -launch and -mw with -maxk 1024).
 //
@@ -57,19 +57,20 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation benches")
 	failure := flag.Bool("failure", false, "run the failure-detection ablation (K up to 16384)")
 	collective := flag.Bool("collective", false, "run the collective tool-data-plane ablation (flat vs tree, K up to 16384)")
+	contention := flag.Bool("contention", false, "run the collective contention ablation (lockstep serialization vs concurrent tagged streams, K up to 16384)")
 	launch := flag.Bool("launch", false, "run the launch-pipeline ablation (store-and-forward vs cut-through seed, full vs sliced retention, K up to 16384)")
 	million := flag.Bool("million", false, "run the million-daemon launch sweep (rank-sliced cut-through on a lean rig, K=2^20)")
 	mem := flag.Bool("mem", false, "with -launch/-million/-smoke, also print the per-role peak RPDTAB memory table")
 	mwpipe := flag.Bool("mw", false, "run the middleware launch-pipeline ablation (store-and-forward vs cut-through MW seed, K up to 16384)")
 	obsRider := flag.Bool("obs", false, "with -launch/-smoke, add the observability rider (obs-on second pass + invariant checks)")
 	tracePath := flag.String("trace", "", "run one obs-on launch at K=1024 (capped by -maxk) and write its Perfetto trace JSON to this file (+ .metrics.json)")
-	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/launch/mw sweeps (0 = full scale)")
+	maxk := flag.Int("maxk", 0, "cap the daemon counts of the failure/collective/contention/launch/mw sweeps (0 = full scale)")
 	smoke := flag.Bool("smoke", false, "run a fast reduced-scale subset (CI)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.BoolVar(&writeJSON, "json", false, "also write results as BENCH_<name>.json")
 	flag.Parse()
 
-	if !*ablations && !*failure && !*collective && !*launch && !*million && !*mwpipe && !*smoke && *fig == 0 && *table == 0 && *tracePath == "" {
+	if !*ablations && !*failure && !*collective && !*contention && !*launch && !*million && !*mwpipe && !*smoke && *fig == 0 && *table == 0 && *tracePath == "" {
 		*all = true
 	}
 	// capScales filters a sweep's daemon counts under -maxk.
@@ -215,6 +216,16 @@ func main() {
 			}
 			bench.PrintCollective(os.Stdout, rows)
 			return emit("collective", rows)
+		})
+	}
+	if *all || *contention {
+		run("contention", func() error {
+			rows, err := bench.ContentionAblation(bench.ContentionOpts{}, capScales(bench.ContentionScales))
+			if err != nil {
+				return err
+			}
+			bench.PrintContention(os.Stdout, rows)
+			return emit("contention", rows)
 		})
 	}
 	if *all || *launch {
@@ -380,6 +391,15 @@ func runSmoke(mem, obsRider bool) error {
 	fmt.Println()
 	bench.PrintCollective(os.Stdout, cr)
 	if err := emit("smoke_collective", cr); err != nil {
+		return err
+	}
+	ct, err := bench.ContentionAblation(bench.ContentionOpts{PayloadB: 128, Fanout: 4}, []int{8, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	bench.PrintContention(os.Stdout, ct)
+	if err := emit("smoke_contention", ct); err != nil {
 		return err
 	}
 	lp, err := bench.LaunchPipeline(bench.LaunchPipeOpts{Fanout: 4, Obs: obsRider}, []int{8, 32})

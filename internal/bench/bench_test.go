@@ -249,6 +249,33 @@ func TestConcurrentSessionsShape(t *testing.T) {
 	}
 }
 
+func TestContentionShapeSmall(t *testing.T) {
+	rows, err := ContentionAblation(ContentionOpts{PayloadB: 128, Fanout: 4}, []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Serialized <= 0 || r.Concurrent <= 0 {
+			t.Errorf("K=%d: non-positive times %v / %v", r.Daemons, r.Serialized, r.Concurrent)
+		}
+		// The same collectives interleaved on tagged streams must beat
+		// running them back to back on the lockstep plane — that is the
+		// point of concurrent streams.
+		if r.Concurrent >= r.Serialized {
+			t.Errorf("K=%d: concurrent %v not faster than serialized %v", r.Daemons, r.Concurrent, r.Serialized)
+		}
+		// Both phases move the same payloads; tagging adds per-stream
+		// headers and credit frames, not data, so bytes stay comparable
+		// (within 25%).
+		if r.ConcurrentBytes > r.SerializedBytes*5/4 || r.ConcurrentBytes < r.SerializedBytes*3/4 {
+			t.Errorf("K=%d: concurrent bytes %d vs serialized %d — not comparable", r.Daemons, r.ConcurrentBytes, r.SerializedBytes)
+		}
+	}
+}
+
 func TestDebugEventsAblationShape(t *testing.T) {
 	rows, err := AblationDebugEvents()
 	if err != nil {

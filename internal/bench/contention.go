@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"launchmon/internal/cluster"
+	"launchmon/internal/coll"
+	"launchmon/internal/core"
+	"launchmon/internal/rm"
+	"launchmon/internal/vtime"
+)
+
+// Contention ablation: N tool components multiplexing collectives on one
+// session. Before concurrent tagged streams, a session's collective plane
+// was lockstep — every component's request/response serialized behind
+// every other's. With per-tag streams the same operations interleave on
+// the shared links under the credit window. The workload is the
+// query/response shape real tools have: each tool broadcasts a query and
+// gathers the per-daemon responses (PayloadB bytes each), so a tool's
+// round trip cannot start until its query goes down — which is exactly
+// what the lockstep plane cannot overlap, while one-directional streams
+// (a bare sequence of gathers) pipeline even without tags because
+// daemons race ahead of the FE. Both phases run the identical set of
+// collectives on a fresh rig per measurement, timed from the first query
+// to the last tool's completed response at the FE:
+//
+//   - serialized: the lockstep plane — Session.Broadcast then
+//     Session.Gather per tool, back to back, the pre-tag baseline;
+//   - concurrent: Tools FE goroutines each driving its own tagged
+//     BroadcastTag/GatherTag round trip, daemons running the mirror
+//     goroutines.
+
+// ContentionRow is one scale's measurements.
+type ContentionRow struct {
+	Daemons  int
+	Tools    int // concurrent tool components on the one session
+	PayloadB int // per-daemon gather contribution bytes
+	Fanout   int // ICCL tree fanout
+	Window   int // credit window (0 = coll.DefaultWindow)
+
+	Serialized time.Duration // go-signal → last result, lockstep plane
+	Concurrent time.Duration // go-signal → last result, tagged streams
+
+	SerializedBytes int64 // network bytes of the serialized phase
+	ConcurrentBytes int64 // network bytes of the concurrent phase
+
+	Speedup float64 // Serialized / Concurrent
+}
+
+// ContentionScales are the daemon counts of the sweep.
+var ContentionScales = []int{64, 1024, 16384}
+
+// ContentionOpts parameterize the ablation.
+type ContentionOpts struct {
+	Tools    int // concurrent tool components (default 4)
+	PayloadB int // per-daemon gather contribution (default 256)
+	Fanout   int // tree fanout (default 32)
+	Window   int // credit window (default 0 → coll.DefaultWindow)
+}
+
+func (o ContentionOpts) withDefaults() ContentionOpts {
+	if o.Tools == 0 {
+		o.Tools = 4
+	}
+	if o.PayloadB == 0 {
+		o.PayloadB = 256
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 32
+	}
+	return o
+}
+
+// ContentionAblation measures both phases at each scale.
+func ContentionAblation(opts ContentionOpts, scales []int) ([]ContentionRow, error) {
+	o := opts.withDefaults()
+	rows := make([]ContentionRow, 0, len(scales))
+	for _, k := range scales {
+		row := ContentionRow{
+			Daemons: k, Tools: o.Tools, PayloadB: o.PayloadB,
+			Fanout: o.Fanout, Window: o.Window,
+		}
+		var err error
+		if row.Serialized, row.SerializedBytes, err = measureContention(k, o, false); err != nil {
+			return nil, fmt.Errorf("serialized at K=%d: %w", k, err)
+		}
+		if row.Concurrent, row.ConcurrentBytes, err = measureContention(k, o, true); err != nil {
+			return nil, fmt.Errorf("concurrent at K=%d: %w", k, err)
+		}
+		if row.Concurrent > 0 {
+			row.Speedup = float64(row.Serialized) / float64(row.Concurrent)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// contentionTags returns tool i's (broadcast, gather) tag pair. Both
+// sides derive the pair independently — tags are just agreed stream
+// names, so a fixed scheme needs no coordination round.
+func contentionTags(i int) (uint32, uint32) {
+	base := coll.MinUserTag + uint32(2*i)
+	return base, base + 1
+}
+
+// contentionQuery is the fixed query a tool broadcasts to its daemons.
+var contentionQuery = []byte("query: report status")
+
+// measureContention runs one phase: every tool performs one
+// query-broadcast / response-gather round trip, serialized over the
+// lockstep plane or concurrently over tagged streams.
+func measureContention(k int, o ContentionOpts, tagged bool) (time.Duration, int64, error) {
+	r, err := NewRig(RigOptions{Nodes: k})
+	if err != nil {
+		return 0, 0, err
+	}
+	exe := "cont_serial_be"
+	if tagged {
+		exe = "cont_tagged_be"
+	}
+	r.Cl.Register(exe, func(p *cluster.Proc) {
+		be, err := core.BEInit(p)
+		if err != nil {
+			return
+		}
+		dc := be.Collective()
+		contrib := payloadFor(be.Rank(), o.PayloadB)
+		if !tagged {
+			for i := 0; i < o.Tools; i++ {
+				if _, err := dc.Broadcast(); err != nil {
+					return
+				}
+				if err := dc.Gather(contrib); err != nil {
+					return
+				}
+			}
+		} else {
+			done := vtime.NewChan[error](p.Sim())
+			for i := 0; i < o.Tools; i++ {
+				bTag, gTag := contentionTags(i)
+				p.Sim().Go(fmt.Sprintf("cont-be-tool-%d", i), func() {
+					if _, err := dc.BroadcastTag(bTag); err != nil {
+						done.Send(err)
+						return
+					}
+					done.Send(dc.GatherTag(gTag, contrib))
+				})
+			}
+			for i := 0; i < o.Tools; i++ {
+				if err, _ := done.Recv(); err != nil {
+					return
+				}
+			}
+		}
+		be.Finalize()
+	})
+	var elapsed time.Duration
+	var bytes int64
+	err = r.RunFE(func(p *cluster.Proc) error {
+		sess, err := core.LaunchAndSpawn(p, core.Options{
+			Job:        rm.JobSpec{Exe: "app", Nodes: k, TasksPerNode: 1},
+			Daemon:     rm.DaemonSpec{Exe: exe},
+			ICCLFanout: o.Fanout,
+			CollWindow: o.Window,
+		})
+		if err != nil {
+			return err
+		}
+		// One tool's round trip: the gathered responses must hold every
+		// daemon's contribution.
+		check := func(all [][]byte, gerr error) error {
+			if gerr != nil {
+				return gerr
+			}
+			if len(all) != k {
+				return fmt.Errorf("gather returned %d of %d contributions", len(all), k)
+			}
+			return nil
+		}
+		start := p.Sim().Now()
+		before := r.Cl.Net().Stats()
+		if !tagged {
+			for i := 0; i < o.Tools; i++ {
+				if err := sess.Broadcast(contentionQuery); err != nil {
+					return err
+				}
+				all, gerr := sess.Gather()
+				if err := check(all, gerr); err != nil {
+					return fmt.Errorf("tool %d: %w", i, err)
+				}
+			}
+		} else {
+			done := vtime.NewChan[error](p.Sim())
+			for i := 0; i < o.Tools; i++ {
+				i := i
+				bTag, gTag := contentionTags(i)
+				p.Sim().Go(fmt.Sprintf("cont-fe-tool-%d", i), func() {
+					if err := sess.BroadcastTag(bTag, contentionQuery); err != nil {
+						done.Send(fmt.Errorf("tool %d: %w", i, err))
+						return
+					}
+					all, gerr := sess.GatherTag(gTag)
+					if err := check(all, gerr); err != nil {
+						done.Send(fmt.Errorf("tool %d: %w", i, err))
+						return
+					}
+					done.Send(nil)
+				})
+			}
+			for i := 0; i < o.Tools; i++ {
+				if err, _ := done.Recv(); err != nil {
+					return err
+				}
+			}
+		}
+		elapsed = p.Sim().Now() - start
+		bytes = r.Cl.Net().Stats().Bytes - before.Bytes
+		return nil
+	})
+	return elapsed, bytes, err
+}
+
+// PrintContention renders the rows.
+func PrintContention(w io.Writer, rows []ContentionRow) {
+	fmt.Fprintln(w, "Ablation — collective contention (lockstep serialization vs concurrent tagged streams)")
+	fmt.Fprintln(w, "daemons  tools payload fanout window  serialized concurrent speedup")
+	for _, r := range rows {
+		win := r.Window
+		if win == 0 {
+			win = coll.DefaultWindow
+		}
+		fmt.Fprintf(w, "%7d %6d %6dB %6d %6d %10.3fs %9.3fs %6.2fx\n",
+			r.Daemons, r.Tools, r.PayloadB, r.Fanout, win,
+			r.Serialized.Seconds(), r.Concurrent.Seconds(), r.Speedup)
+	}
+}

@@ -37,6 +37,24 @@ const (
 	// collectives — the seed completes before the plane is usable — so it
 	// needs no tag discipline; Tag is always 0.
 	OpSeed
+
+	// OpBarrier is the two-phase tree barrier (DAOS crt_barrier model):
+	// an up-phase of End markers gathering at the root, then a release
+	// wave of End markers back down. Barrier streams carry no chunks.
+	OpBarrier
+	// OpAllGather is a gather whose reassembled rank table is then
+	// redistributed down the tree, so every daemon ends with all K
+	// contributions.
+	OpAllGather
+	// OpAllReduce is a reduce whose up-phase combine is redistributed down
+	// the tree, so every daemon ends with the combined result.
+	OpAllReduce
+
+	// OpCredit is the flow-control frame of the credit window: a receiver
+	// returns Index credits for the (link, tag) stream as it consumes
+	// chunks, releasing the sender to put more chunks in flight. Credit
+	// frames never carry a body and never consume credit themselves.
+	OpCredit
 )
 
 // String names the op for diagnostics.
@@ -52,6 +70,14 @@ func (o Op) String() string {
 		return "reduce"
 	case OpSeed:
 		return "seed"
+	case OpBarrier:
+		return "barrier"
+	case OpAllGather:
+		return "allgather"
+	case OpAllReduce:
+		return "allreduce"
+	case OpCredit:
+		return "credit"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -60,6 +86,34 @@ func (o Op) String() string {
 // DefaultChunkBytes bounds one collective chunk body when the session does
 // not configure a size (core.Options.CollChunkBytes).
 const DefaultChunkBytes = 64 << 10
+
+// DefaultWindow is the per-(link, tag) outstanding-chunk credit budget
+// when the session does not configure one (core.Options.CollWindow):
+// a sender may have at most this many un-credited chunks in flight on
+// one link for one tagged stream, bounding interior queue depth at
+// window × chunk bytes regardless of tree size or subtree skew.
+const DefaultWindow = 32
+
+// Tag spaces of the collective plane. Lockstep (SPMD-ordered) session
+// collectives use tags below MinUserTag; concurrent tagged streams
+// allocated by Session.AllocTag live in [MinUserTag, MaxUserTag); tags
+// at or above MaxUserTag are reserved for tree-internal lockstep
+// sequences. The split lets readers route tagged frames to per-tag
+// queues while lockstep traffic keeps its legacy single-queue path.
+const (
+	MinUserTag uint32 = 1 << 16
+	MaxUserTag uint32 = 1 << 31
+)
+
+// CreditFrame builds an OpCredit frame returning n credits for the
+// tagged stream. Credits ride in the header's Index field: the frame
+// has no body, no end marker and no checksum.
+func CreditFrame(tag uint32, n uint32) Frame {
+	return Frame{H: Header{Op: OpCredit, Tag: tag, Index: n}}
+}
+
+// Credits returns the credit count of an OpCredit frame.
+func (f Frame) Credits() uint32 { return f.H.Index }
 
 // Header precedes every collective chunk and end marker.
 type Header struct {
@@ -92,7 +146,7 @@ func DecodeHeader(rd *lmonp.Reader) (Header, error) {
 		return h, err
 	}
 	h.Op = Op(op)
-	if h.Op < OpBroadcast || h.Op > OpSeed {
+	if h.Op < OpBroadcast || h.Op > OpCredit {
 		return h, fmt.Errorf("%w: op %d", ErrBadHeader, op)
 	}
 	if h.Tag, err = rd.Uint32(); err != nil {

@@ -2,6 +2,7 @@ package coll
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -22,6 +23,23 @@ func FuzzCollChunkDecode(f *testing.F) {
 	p, u = end.EncodeMsg()
 	f.Add(p, u, true)
 	f.Add(AppendEntries(nil, []Entry{{Rank: 1, Blob: []byte("x")}}), []byte{0, 0, 0, 1}, false)
+	// The v2 plane's frames: flow-control credits (count rides Index),
+	// the body-less two-phase barrier markers, and the all-variants whose
+	// down-phase reuses the entry/raw stream layouts.
+	cr := CreditFrame(MinUserTag+2, 5)
+	p, u = cr.EncodeMsg()
+	f.Add(p, u, false)
+	bar := Frame{H: Header{Op: OpBarrier, Tag: MaxUserTag + 1}, End: true, Total: 0, Sum: lmonp.SumInit}
+	p, u = bar.EncodeMsg()
+	f.Add(p, u, true)
+	ag := EntryFrames(OpAllGather, MinUserTag, []Entry{{Rank: 0, Blob: []byte("a")}, {Rank: 2, Blob: []byte("bb")}}, 64)
+	p, u = ag[0].EncodeMsg()
+	f.Add(p, u, false)
+	ar := RawFrames(OpAllReduce, 9, "sum", []byte{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	p, u = ar[0].EncodeMsg()
+	f.Add(p, u, false)
+	p, u = ar[len(ar)-1].EncodeMsg()
+	f.Add(p, u, true)
 
 	f.Fuzz(func(t *testing.T, payload, usr []byte, isEnd bool) {
 		fr, err := DecodeMsg(isEnd, payload, usr)
@@ -156,6 +174,157 @@ func FuzzSeedStreamValidate(f *testing.F) {
 		}
 		if !failed {
 			t.Fatal("corrupted seed stream validated")
+		}
+	})
+}
+
+// FuzzMultiTagSeqCheck exercises the per-tag stream discipline that the
+// concurrent tagged collectives rely on: frames of several tagged streams
+// interleaved arbitrarily on one link must validate when demultiplexed
+// into per-tag SeqChecks, and a duplicated delivery, a dropped chunk, or
+// a frame misrouted into another tag's checker must each be rejected by
+// exactly the tag it corrupts — never by an unrelated one.
+func FuzzMultiTagSeqCheck(f *testing.F) {
+	f.Add(2, 300, 64, byte(0), uint16(0))
+	f.Add(3, 1000, 48, byte(1), uint16(5))
+	f.Add(4, 256, 32, byte(2), uint16(2))
+	f.Add(4, 2048, 96, byte(3), uint16(11))
+	f.Add(1, 0, 64, byte(1), uint16(0))
+
+	f.Fuzz(func(t *testing.T, tags, payloadLen, chunkBytes int, mutate byte, at uint16) {
+		if tags < 0 {
+			tags = -tags
+		}
+		tags = 1 + tags%4
+		if payloadLen < 0 {
+			payloadLen = -payloadLen
+		}
+		payloadLen %= 4096
+		if chunkBytes < 0 {
+			chunkBytes = -chunkBytes
+		}
+		chunkBytes = 16 + chunkBytes%512
+
+		// One chunked stream per tag, cycling through the raw-stream ops
+		// (reduce carries a filter, which SeqCheck pins per stream).
+		ops := []Op{OpReduce, OpAllReduce, OpBroadcast, OpGather}
+		streams := make([][]Frame, tags)
+		for i := range streams {
+			op := ops[i%len(ops)]
+			var filter string
+			if op == OpReduce || op == OpAllReduce {
+				filter = "concat"
+			}
+			body := bytes.Repeat([]byte{byte(0x30 + i)}, payloadLen)
+			streams[i] = RawFrames(op, MinUserTag+uint32(i), filter, body, chunkBytes)
+		}
+		// Round-robin the streams into one link delivery order.
+		var link []Frame
+		cursor := make([]int, tags)
+		for {
+			advanced := false
+			for i := range streams {
+				if cursor[i] < len(streams[i]) {
+					link = append(link, streams[i][cursor[i]])
+					cursor[i]++
+					advanced = true
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+
+		admit := func(chk map[uint32]*SeqCheck, fr Frame) error {
+			c := chk[fr.H.Tag]
+			if c == nil {
+				c = new(SeqCheck)
+				chk[fr.H.Tag] = c
+			}
+			return c.AdmitFrame(fr)
+		}
+
+		// The pristine interleaving must validate on every tag.
+		pristine := make(map[uint32]*SeqCheck, tags)
+		for _, fr := range link {
+			if err := admit(pristine, fr); err != nil {
+				t.Fatalf("pristine interleaved stream rejected (tag %d): %v", fr.H.Tag, err)
+			}
+		}
+
+		target := int(at) % len(link)
+		victim := link[target]
+		switch mutate % 4 {
+		case 0:
+			// No corruption round for this input.
+		case 1:
+			// Duplicate delivery of one frame: the victim tag must reject
+			// the replay as a duplicate; other tags stay clean.
+			bad := make(map[uint32]*SeqCheck, tags)
+			for i, fr := range link {
+				if err := admit(bad, fr); err != nil {
+					t.Fatalf("clean frame rejected before replay (tag %d): %v", fr.H.Tag, err)
+				}
+				if i == target {
+					err := admit(bad, fr)
+					if !errors.Is(err, ErrChunkDup) {
+						t.Fatalf("replayed frame (tag %d index %d): got %v, want ErrChunkDup", fr.H.Tag, fr.H.Index, err)
+					}
+					return
+				}
+			}
+		case 2:
+			// Drop one chunk: the victim tag's next frame must report a
+			// gap. Dropping the end marker is undetectable by sequencing
+			// alone (the stream simply never completes), so skip that case.
+			if victim.End {
+				return
+			}
+			bad := make(map[uint32]*SeqCheck, tags)
+			for i, fr := range link {
+				if i == target {
+					continue
+				}
+				err := admit(bad, fr)
+				if fr.H.Tag == victim.H.Tag && fr.H.Index > victim.H.Index {
+					if !errors.Is(err, ErrChunkGap) {
+						t.Fatalf("frame after dropped chunk (tag %d): got %v, want ErrChunkGap", fr.H.Tag, err)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("unrelated tag %d rejected after drop on tag %d: %v", fr.H.Tag, victim.H.Tag, err)
+				}
+			}
+			t.Fatalf("dropped chunk (tag %d index %d) never detected", victim.H.Tag, victim.H.Index)
+		case 3:
+			// Misroute one frame into another tag's checker: the tag pin
+			// must reject the foreign frame as a mixed stream. The target
+			// must land after the first round-robin cycle so every tag's
+			// checker has started (an unstarted checker pins whatever tag
+			// it sees first — that is the demultiplexer's job to prevent,
+			// not SeqCheck's).
+			if tags < 2 {
+				return
+			}
+			if target < tags {
+				target += tags
+				victim = link[target]
+			}
+			other := (victim.H.Tag-MinUserTag+1)%uint32(tags) + MinUserTag
+			bad := make(map[uint32]*SeqCheck, tags)
+			for i, fr := range link {
+				if err := admit(bad, fr); err != nil {
+					t.Fatalf("clean frame rejected before misroute (tag %d): %v", fr.H.Tag, err)
+				}
+				if i == target {
+					err := bad[other].AdmitFrame(victim)
+					if !errors.Is(err, ErrStreamMix) {
+						t.Fatalf("misrouted frame (tag %d into %d): got %v, want ErrStreamMix", victim.H.Tag, other, err)
+					}
+					return
+				}
+			}
 		}
 	})
 }

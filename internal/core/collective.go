@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"launchmon/internal/coll"
 	"launchmon/internal/iccl"
@@ -29,12 +30,14 @@ import (
 // rank order — tools needing rank order gather instead.
 
 // feFabric is a snapshot of one fabric's FE-side plane state: the master
-// connection the FE sends on, the queue its reader demuxes collective
-// frames into, and the daemon count the operations are sized against.
+// connection the FE sends on, the queues its reader demuxes collective
+// frames into (lockstep and user-tagged), and the daemon count the
+// operations are sized against.
 type feFabric struct {
 	class lmonp.MsgClass
 	conn  *lmonp.Conn
 	collQ *vtime.Chan[collEvent]
+	tags  *tagRouter
 	size  int
 	kind  string // "" for BE, "MW " for diagnostics
 }
@@ -44,14 +47,14 @@ func (s *Session) beFab() (feFabric, error) {
 	if s.beMaster == nil || s.closed() {
 		return feFabric{}, s.closedErr()
 	}
-	return feFabric{class: lmonp.ClassFEBE, conn: s.beMaster, collQ: s.beColl, size: len(s.daemons)}, nil
+	return feFabric{class: lmonp.ClassFEBE, conn: s.beMaster, collQ: s.beColl, tags: s.beTags, size: len(s.daemons)}, nil
 }
 
 // mwFab snapshots the MW fabric: an error when the session has no
 // middleware daemons, the terminal error when the session is over.
 func (s *Session) mwFab() (feFabric, error) {
 	s.mu.Lock()
-	conn, collQ, size := s.mwMaster, s.mwColl, len(s.mwInfos)
+	conn, collQ, tags, size := s.mwMaster, s.mwColl, s.mwTags, len(s.mwInfos)
 	s.mu.Unlock()
 	if conn == nil {
 		return feFabric{}, fmt.Errorf("core: session %d has no middleware daemons", s.ID)
@@ -59,7 +62,137 @@ func (s *Session) mwFab() (feFabric, error) {
 	if s.closed() {
 		return feFabric{}, s.closedErr()
 	}
-	return feFabric{class: lmonp.ClassFEMW, conn: conn, collQ: collQ, size: size, kind: "MW "}, nil
+	return feFabric{class: lmonp.ClassFEMW, conn: conn, collQ: collQ, tags: tags, size: size, kind: "MW "}, nil
+}
+
+// tagRouter demultiplexes one master connection's user-tagged collective
+// streams into per-tag queues, so N tool goroutines can run M concurrent
+// tagged collectives over one session without head-of-line blocking each
+// other. All methods are nil-receiver-safe: hand-rolled Sessions (tests)
+// that never use tagged operations carry a nil router.
+type tagRouter struct {
+	sim    *vtime.Sim
+	mu     sync.Mutex
+	closed bool
+	bad    error // poison: fails current and future tagged streams
+	tags   map[uint32]*vtime.Chan[collEvent]
+}
+
+func newTagRouter(sim *vtime.Sim) *tagRouter { return &tagRouter{sim: sim} }
+
+// q returns (creating on demand) the queue of one tagged stream. Queues
+// created after the router closed come pre-closed; queues created after a
+// poison event come pre-poisoned — either way a late subscriber observes
+// the failure instead of parking forever.
+func (tr *tagRouter) q(tag uint32) *vtime.Chan[collEvent] {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.tags == nil {
+		tr.tags = make(map[uint32]*vtime.Chan[collEvent])
+	}
+	q := tr.tags[tag]
+	if q == nil {
+		q = vtime.NewChan[collEvent](tr.sim)
+		if tr.bad != nil {
+			q.Send(collEvent{err: tr.bad})
+		}
+		if tr.closed {
+			q.Close()
+		}
+		tr.tags[tag] = q
+	}
+	return q
+}
+
+// send routes one decoded frame to its tag's stream.
+func (tr *tagRouter) send(tag uint32, ev collEvent) {
+	if tr == nil {
+		return
+	}
+	tr.q(tag).Send(ev)
+}
+
+// poison fails every tagged stream — current and future — with err (an
+// undecodable frame names no trustworthy tag, so no stream may keep
+// waiting).
+func (tr *tagRouter) poison(err error) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.bad == nil {
+		tr.bad = err
+	}
+	qs := make([]*vtime.Chan[collEvent], 0, len(tr.tags))
+	for _, q := range tr.tags {
+		qs = append(qs, q)
+	}
+	tr.mu.Unlock()
+	for _, q := range qs {
+		q.Send(collEvent{err: err})
+	}
+}
+
+// close wakes every tagged receiver with stream end (the session died or
+// the master finalized); the caller's closedErr explains why.
+func (tr *tagRouter) close() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.closed = true
+	qs := make([]*vtime.Chan[collEvent], 0, len(tr.tags))
+	for _, q := range tr.tags {
+		qs = append(qs, q)
+	}
+	tr.mu.Unlock()
+	for _, q := range qs {
+		q.Close()
+	}
+}
+
+// drop retires a completed stream's queue so tag state does not
+// accumulate across collectives.
+func (tr *tagRouter) drop(tag uint32) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	delete(tr.tags, tag)
+	tr.mu.Unlock()
+}
+
+// AllocTag allocates a session-unique user stream tag from
+// [coll.MinUserTag, coll.MaxUserTag) for the tagged collective operations
+// (BroadcastTag/ScatterTag/GatherTag/ReduceTag and the MW mirrors, paired
+// with the daemon-side *Tag operations under the same tag). Safe to call
+// from any goroutine.
+func (s *Session) AllocTag() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tag := coll.MinUserTag + s.userTags
+	s.userTags++
+	return tag
+}
+
+// checkUserTag validates an explicitly allocated stream tag.
+func checkUserTag(tag uint32) error {
+	if tag < coll.MinUserTag || tag >= coll.MaxUserTag {
+		return fmt.Errorf("core: user tag %d outside [%d, %d)", tag, coll.MinUserTag, coll.MaxUserTag)
+	}
+	return nil
+}
+
+// tagFab validates a tagged operation's inputs against the fabric
+// snapshot (tag range plus a usable tag router).
+func tagFab(fab feFabric, tag uint32) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	if fab.tags == nil {
+		return fmt.Errorf("core: session has no tagged-collective router")
+	}
+	return nil
 }
 
 // nextCollTag advances the FE side of the BE fabric's collective sequence.
@@ -106,6 +239,31 @@ func (s *Session) MWBroadcast(data []byte) error {
 	return s.collBroadcast(fab, s.nextMWCollTag(), data)
 }
 
+// BroadcastTag is Broadcast on an explicitly tagged concurrent stream
+// (daemons receive with Collective().BroadcastTag under the same tag).
+func (s *Session) BroadcastTag(tag uint32, data []byte) error {
+	fab, err := s.beFab()
+	if err != nil {
+		return err
+	}
+	if err := tagFab(fab, tag); err != nil {
+		return err
+	}
+	return s.collBroadcast(fab, tag, data)
+}
+
+// MWBroadcastTag is BroadcastTag over the MW fabric.
+func (s *Session) MWBroadcastTag(tag uint32, data []byte) error {
+	fab, err := s.mwFab()
+	if err != nil {
+		return err
+	}
+	if err := tagFab(fab, tag); err != nil {
+		return err
+	}
+	return s.collBroadcast(fab, tag, data)
+}
+
 func (s *Session) collBroadcast(fab feFabric, tag uint32, data []byte) error {
 	sp := s.obsRec.Start("fe-broadcast", -1)
 	defer sp.End()
@@ -141,6 +299,31 @@ func (s *Session) MWScatter(parts [][]byte) error {
 	return s.collScatter(fab, s.nextMWCollTag(), parts)
 }
 
+// ScatterTag is Scatter on an explicitly tagged concurrent stream
+// (daemons receive with Collective().ScatterTag under the same tag).
+func (s *Session) ScatterTag(tag uint32, parts [][]byte) error {
+	fab, err := s.beFab()
+	if err != nil {
+		return err
+	}
+	if err := tagFab(fab, tag); err != nil {
+		return err
+	}
+	return s.collScatter(fab, tag, parts)
+}
+
+// MWScatterTag is ScatterTag over the MW fabric.
+func (s *Session) MWScatterTag(tag uint32, parts [][]byte) error {
+	fab, err := s.mwFab()
+	if err != nil {
+		return err
+	}
+	if err := tagFab(fab, tag); err != nil {
+		return err
+	}
+	return s.collScatter(fab, tag, parts)
+}
+
 func (s *Session) collScatter(fab feFabric, tag uint32, parts [][]byte) error {
 	if len(parts) != fab.size {
 		return fmt.Errorf("core: scatter needs %d parts (one per daemon), got %d", fab.size, len(parts))
@@ -162,10 +345,11 @@ func (s *Session) collScatter(fab feFabric, tag uint32, parts [][]byte) error {
 }
 
 // recvCollFrame waits for the next collective frame routed by the
-// fabric's watcher, surfacing a malformed frame's decode error or — if
-// the session dies mid-collective — the terminal fault detail.
-func (s *Session) recvCollFrame(fab feFabric) (coll.Frame, error) {
-	ev, ok := fab.collQ.Recv()
+// fabric's watcher into q (the lockstep queue or one tagged stream),
+// surfacing a malformed frame's decode error or — if the session dies
+// mid-collective — the terminal fault detail.
+func (s *Session) recvCollFrame(fab feFabric, q *vtime.Chan[collEvent]) (coll.Frame, error) {
+	ev, ok := q.Recv()
 	if !ok {
 		return coll.Frame{}, s.closedErr()
 	}
@@ -186,7 +370,7 @@ func (s *Session) Gather() ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.collGather(fab, s.nextCollTag())
+	return s.collGather(fab, fab.collQ, s.nextCollTag())
 }
 
 // MWGather collects one byte slice from every middleware daemon over the
@@ -196,15 +380,44 @@ func (s *Session) MWGather() ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.collGather(fab, s.nextMWCollTag())
+	return s.collGather(fab, fab.collQ, s.nextMWCollTag())
 }
 
-func (s *Session) collGather(fab feFabric, tag uint32) ([][]byte, error) {
+// GatherTag is Gather on an explicitly tagged concurrent stream: daemons
+// contribute with Collective().GatherTag under the same tag (from
+// AllocTag), and any number of tagged collectives may be in flight on the
+// session at once, each driven by its own goroutine.
+func (s *Session) GatherTag(tag uint32) ([][]byte, error) {
+	fab, err := s.beFab()
+	if err != nil {
+		return nil, err
+	}
+	return s.tagGather(fab, tag)
+}
+
+// MWGatherTag is GatherTag over the MW fabric.
+func (s *Session) MWGatherTag(tag uint32) ([][]byte, error) {
+	fab, err := s.mwFab()
+	if err != nil {
+		return nil, err
+	}
+	return s.tagGather(fab, tag)
+}
+
+func (s *Session) tagGather(fab feFabric, tag uint32) ([][]byte, error) {
+	if err := tagFab(fab, tag); err != nil {
+		return nil, err
+	}
+	defer fab.tags.drop(tag)
+	return s.collGather(fab, fab.tags.q(tag), tag)
+}
+
+func (s *Session) collGather(fab feFabric, q *vtime.Chan[collEvent], tag uint32) ([][]byte, error) {
 	sp := s.obsRec.Start("fe-gather", -1)
 	defer sp.End()
 	var asm coll.RankAssembler
 	for {
-		f, err := s.recvCollFrame(fab)
+		f, err := s.recvCollFrame(fab, q)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +444,7 @@ func (s *Session) Reduce() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.collReduce(fab, s.nextCollTag())
+	return s.collReduce(fab, fab.collQ, s.nextCollTag())
 }
 
 // MWReduce receives the tree-combined reduction of every middleware
@@ -241,15 +454,42 @@ func (s *Session) MWReduce() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.collReduce(fab, s.nextMWCollTag())
+	return s.collReduce(fab, fab.collQ, s.nextMWCollTag())
 }
 
-func (s *Session) collReduce(fab feFabric, tag uint32) ([]byte, error) {
+// ReduceTag is Reduce on an explicitly tagged concurrent stream (daemons
+// contribute with Collective().ReduceTag under the same tag).
+func (s *Session) ReduceTag(tag uint32) ([]byte, error) {
+	fab, err := s.beFab()
+	if err != nil {
+		return nil, err
+	}
+	return s.tagReduce(fab, tag)
+}
+
+// MWReduceTag is ReduceTag over the MW fabric.
+func (s *Session) MWReduceTag(tag uint32) ([]byte, error) {
+	fab, err := s.mwFab()
+	if err != nil {
+		return nil, err
+	}
+	return s.tagReduce(fab, tag)
+}
+
+func (s *Session) tagReduce(fab feFabric, tag uint32) ([]byte, error) {
+	if err := tagFab(fab, tag); err != nil {
+		return nil, err
+	}
+	defer fab.tags.drop(tag)
+	return s.collReduce(fab, fab.tags.q(tag), tag)
+}
+
+func (s *Session) collReduce(fab feFabric, q *vtime.Chan[collEvent], tag uint32) ([]byte, error) {
 	sp := s.obsRec.Start("fe-reduce", -1)
 	defer sp.End()
 	var asm coll.RawAssembler
 	for {
-		f, err := s.recvCollFrame(fab)
+		f, err := s.recvCollFrame(fab, q)
 		if err != nil {
 			return nil, err
 		}
@@ -287,37 +527,43 @@ type BECollective = DaemonCollective
 
 // newDaemonCollective wires the plane: at the master, gather/reduce
 // frames bridge onto the FE connection as TypeCollChunk/TypeCollEnd
-// messages and broadcast/scatter frames are pulled from it.
-func newDaemonCollective(d *daemonSession, chunkBytes int) *DaemonCollective {
+// messages and broadcast/scatter frames are pulled from the master's FE
+// router, which demuxes the connection by stream tag so concurrent
+// tagged collectives share it. window is the per-(link, tag) credit
+// budget of the tree links' flow control (0 = coll.DefaultWindow,
+// negative = off); the FE hop itself carries no credits — it has exactly
+// one consumer draining into per-tag queues and no fan-in skew.
+func newDaemonCollective(d *daemonSession, chunkBytes, window int) *DaemonCollective {
 	var up iccl.UpFn
 	var down iccl.DownFn
 	if d.comm.IsMaster() {
 		up = func(f coll.Frame) error { return sendFrameOn(d.fe, d.fab.class, f) }
-		down = func() (coll.Frame, error) {
-			msg, err := d.fe.Recv()
-			if err != nil {
-				return coll.Frame{}, err
-			}
-			switch msg.Type {
-			case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
-				return coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
-			default:
-				return coll.Frame{}, fmt.Errorf("core: %v message while awaiting a collective frame", msg.Type)
-			}
-		}
+		down = func(tag uint32) (coll.Frame, error) { return d.feRouter().nextColl(tag) }
 	}
-	return &DaemonCollective{d: d, pl: d.comm.NewPlane(chunkBytes, up, down)}
+	return &DaemonCollective{d: d, pl: d.comm.NewPlane(chunkBytes, window, up, down)}
 }
 
 // Broadcast receives the front end's next broadcast payload for this
 // fabric (every daemon gets the full data).
 func (dc *DaemonCollective) Broadcast() ([]byte, error) { return dc.pl.Broadcast() }
 
+// BroadcastTag is Broadcast on an explicitly tagged concurrent stream
+// (paired with Session.BroadcastTag under the same tag).
+func (dc *DaemonCollective) BroadcastTag(tag uint32) ([]byte, error) { return dc.pl.BroadcastTag(tag) }
+
 // Scatter receives this daemon's part of the front end's next scatter.
 func (dc *DaemonCollective) Scatter() ([]byte, error) { return dc.pl.Scatter() }
 
+// ScatterTag is Scatter on an explicitly tagged concurrent stream.
+func (dc *DaemonCollective) ScatterTag(tag uint32) ([]byte, error) { return dc.pl.ScatterTag(tag) }
+
 // Gather contributes mine to the front end's next gather on this fabric.
 func (dc *DaemonCollective) Gather(mine []byte) error { return dc.pl.Gather(mine) }
+
+// GatherTag is Gather on an explicitly tagged concurrent stream.
+func (dc *DaemonCollective) GatherTag(tag uint32, mine []byte) error {
+	return dc.pl.GatherTag(tag, mine)
+}
 
 // Reduce contributes mine to the front end's next reduce, folded at
 // every tree node with the named filter ("concat", "sum", "topk:N", or
@@ -325,4 +571,40 @@ func (dc *DaemonCollective) Gather(mine []byte) error { return dc.pl.Gather(mine
 // filter.
 func (dc *DaemonCollective) Reduce(mine []byte, filter string) error {
 	return dc.pl.Reduce(mine, filter)
+}
+
+// ReduceTag is Reduce on an explicitly tagged concurrent stream.
+func (dc *DaemonCollective) ReduceTag(tag uint32, mine []byte, filter string) error {
+	return dc.pl.ReduceTag(tag, mine, filter)
+}
+
+// Barrier blocks until every daemon of the fabric has entered it: an
+// up-phase of end markers gathers at the tree root, then a release wave
+// flows back down (the two-phase crt_barrier shape). The front end is not
+// involved.
+func (dc *DaemonCollective) Barrier() error { return dc.pl.Barrier() }
+
+// BarrierTag is Barrier on an explicitly tagged concurrent stream.
+func (dc *DaemonCollective) BarrierTag(tag uint32) error { return dc.pl.BarrierTag(tag) }
+
+// AllGather contributes mine and returns every daemon's contribution
+// indexed by rank: a gather up-phase into the tree root, then the
+// assembled rank table redistributed down in bounded chunks.
+func (dc *DaemonCollective) AllGather(mine []byte) ([][]byte, error) { return dc.pl.AllGather(mine) }
+
+// AllGatherTag is AllGather on an explicitly tagged concurrent stream.
+func (dc *DaemonCollective) AllGatherTag(tag uint32, mine []byte) ([][]byte, error) {
+	return dc.pl.AllGatherTag(tag, mine)
+}
+
+// AllReduce contributes mine to a reduction with the named filter and
+// returns the combined result on every daemon: the Reduce up-phase folds
+// into the root, whose final accumulator is redistributed down the tree.
+func (dc *DaemonCollective) AllReduce(mine []byte, filter string) ([]byte, error) {
+	return dc.pl.AllReduce(mine, filter)
+}
+
+// AllReduceTag is AllReduce on an explicitly tagged concurrent stream.
+func (dc *DaemonCollective) AllReduceTag(tag uint32, mine []byte, filter string) ([]byte, error) {
+	return dc.pl.AllReduceTag(tag, mine, filter)
 }

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,11 @@ const (
 	// EnvCollChunk bounds one collective-plane chunk body in bytes
 	// (0 or unset selects coll.DefaultChunkBytes).
 	EnvCollChunk = "LMON_COLL_CHUNK"
+	// EnvCollWindow is the per-(link, tag) outstanding-chunk credit
+	// window of the collective plane's flow control (0 or unset selects
+	// coll.DefaultWindow; negative disables flow control — the unbounded
+	// ablation baseline). Planted from Options.CollWindow.
+	EnvCollWindow = "LMON_COLL_WINDOW"
 	// EnvSeedMode selects the session-seed (RPDTAB + FEData) distribution
 	// pipeline the fabric's daemons must match: "cut-through" (or unset)
 	// streams chunks through the forming ICCL tree, "store-forward" is the
@@ -100,6 +106,15 @@ const (
 var sessionCounter atomic.Int64
 
 func nextSessionID() int { return int(sessionCounter.Add(1)) }
+
+// encodeSessionID renders a session id for an environment variable at a
+// fixed width, so the id's digit count never changes the byte count a
+// launch ships over the simulated wire: two sessions with identical
+// options must produce identical virtual-time behavior regardless of how
+// many sessions ran before them (the don't-let-ties-decide invariant of
+// DESIGN.md applied to id allocation). Parsers use strconv.Atoi, which
+// accepts the leading zeros.
+func encodeSessionID(id int) string { return fmt.Sprintf("%06d", id) }
 
 // icclBasePort is the first port used for ICCL trees; each session uses
 // two ports (BE tree, MW tree).

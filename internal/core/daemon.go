@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"launchmon/internal/cluster"
@@ -68,6 +69,13 @@ type daemonSession struct {
 	seg    *sessionShared // session-shared segment (set under TableSliced)
 	feData []byte
 	tl     engine.Timeline
+
+	// The master's FE-connection demultiplexer (feroute.go), started
+	// lazily by the first read-side use — RecvFromFE or a plane down hook
+	// — so the seed pipeline's direct reads during init are undisturbed
+	// and non-master daemons never pay for it.
+	feRtOnce sync.Once
+	feRt     *feRouter
 
 	// obsReg is the daemon's observability registry (nil when LMON_OBS is
 	// off). Its snapshot is tree-folded to the master and rides the ready
@@ -344,7 +352,14 @@ func (d *daemonSession) setupCollective() error {
 			return fmt.Errorf("core: bad %s: %w", EnvCollChunk, err)
 		}
 	}
-	d.coll = newDaemonCollective(d, collChunk)
+	collWindow := 0
+	if cw := d.p.Env(EnvCollWindow); cw != "" {
+		var err error
+		if collWindow, err = strconv.Atoi(cw); err != nil {
+			return fmt.Errorf("core: bad %s: %w", EnvCollWindow, err)
+		}
+	}
+	d.coll = newDaemonCollective(d, collChunk, collWindow)
 	return nil
 }
 
@@ -556,16 +571,19 @@ func (d *daemonSession) SendToFE(data []byte) error {
 	return d.fe.Send(&lmonp.Msg{Class: d.fab.class, Type: lmonp.TypeUsrData, UsrData: data})
 }
 
-// RecvFromFE receives tool data from the front end (master only).
+// RecvFromFE receives tool data from the front end (master only). Reads
+// go through the master's FE router, so tool-data receives and
+// concurrent tagged collectives share the connection safely.
 func (d *daemonSession) RecvFromFE() ([]byte, error) {
 	if !d.AmIMaster() {
 		return nil, ErrNotMaster
 	}
-	msg, err := d.fe.Expect(d.fab.class, lmonp.TypeUsrData)
-	if err != nil {
-		return nil, err
+	rt := d.feRouter()
+	data, ok := rt.usr.Recv()
+	if !ok {
+		return nil, rt.takeErr()
 	}
-	return msg.UsrData, nil
+	return data, nil
 }
 
 // Finalize leaves the session: it synchronizes the fabric's daemons,

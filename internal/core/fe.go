@@ -53,6 +53,14 @@ type Options struct {
 	// collective tool-data plane (Session.Broadcast/Scatter/Gather/Reduce
 	// and the BE.Collective mirror); 0 selects coll.DefaultChunkBytes.
 	CollChunkBytes int
+	// CollWindow is the per-(link, tag) outstanding-chunk credit window of
+	// the collective plane's flow control: a sender holds at most CollWindow
+	// chunks of one tagged stream in flight per tree link, so interior
+	// queue depth is bounded by CollWindow x CollChunkBytes regardless of
+	// daemon count or subtree skew. 0 selects coll.DefaultWindow; negative
+	// disables flow control (the unbounded ablation baseline). Planted into
+	// daemon environments as LMON_COLL_WINDOW.
+	CollWindow int
 	// SeedMode selects the session-seed (RPDTAB + FEData) distribution
 	// pipeline: SeedCutThrough (the default) or the serialized
 	// SeedStoreForward baseline. See the SeedMode constants.
@@ -188,8 +196,10 @@ type Session struct {
 	chunkBytes int
 	tableMode  TableMode
 	collChunk  int    // collective-plane chunk bound (0 = coll default)
+	collWindow int    // collective-plane credit window (0 = coll default, <0 = off)
 	collTag    uint32 // BE-fabric collective sequence (FE side)
 	mwTag      uint32 // MW-fabric collective sequence (FE side)
+	userTags   uint32 // AllocTag counter (guarded by mu)
 
 	// Timeline holds the merged e0..e11 critical-path marks for this
 	// session (paper Figure 2); consumed by the performance model.
@@ -222,9 +232,11 @@ type Session struct {
 	engStatus *vtime.Chan[[]byte]      // engine TypeStatus payloads
 	engToken  *vtime.Chan[struct{}]    // serializes engine request/reply exchanges
 	beUsr     *vtime.Chan[[]byte]      // BE-master TypeUsrData payloads
-	beColl    *vtime.Chan[collEvent]   // BE-master collective chunk/end frames
+	beColl    *vtime.Chan[collEvent]   // BE-master collective chunk/end frames (lockstep tags)
+	beTags    *tagRouter               // BE-master user-tagged collective streams
 	mwUsr     *vtime.Chan[[]byte]      // MW-master TypeUsrData payloads (after LaunchMW)
-	mwColl    *vtime.Chan[collEvent]   // MW-master collective chunk/end frames
+	mwColl    *vtime.Chan[collEvent]   // MW-master collective chunk/end frames (lockstep tags)
+	mwTags    *tagRouter               // MW-master user-tagged collective streams
 	evQ       *vtime.Chan[sessionEvOp] // status-event dispatch queue
 }
 
@@ -293,6 +305,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 		timeout:    timeout,
 		chunkBytes: opts.ProctabChunkBytes,
 		collChunk:  opts.CollChunkBytes,
+		collWindow: opts.CollWindow,
 		tableMode:  opts.TableMode,
 		obsMode:    opts.Obs,
 	}
@@ -321,7 +334,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 		Exe: engine.ExeName,
 		Env: map[string]string{
 			engine.EnvFEAddr:  feAddr,
-			engine.EnvSession: fmt.Sprint(s.ID),
+			engine.EnvSession: encodeSessionID(s.ID),
 		},
 	}); err != nil {
 		s.close()
@@ -341,10 +354,11 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 		env[k] = v
 	}
 	env[EnvFEAddr] = feAddr
-	env[EnvSession] = fmt.Sprint(s.ID)
+	env[EnvSession] = encodeSessionID(s.ID)
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, false))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvCollChunk] = fmt.Sprint(opts.CollChunkBytes)
+	env[EnvCollWindow] = fmt.Sprint(opts.CollWindow)
 	env[EnvSeedMode] = opts.SeedMode.envValue()
 	env[EnvTableMode] = opts.TableMode.envValue()
 	env[EnvProctabChunk] = fmt.Sprint(opts.ProctabChunkBytes)
@@ -408,6 +422,7 @@ func startSession(fe *FrontEnd, opts Options, attach bool) (*Session, error) {
 	s.engToken.Send(struct{}{})
 	s.beUsr = vtime.NewChan[[]byte](sim)
 	s.beColl = vtime.NewChan[collEvent](sim)
+	s.beTags = newTagRouter(sim)
 	s.evQ = vtime.NewChan[sessionEvOp](sim)
 	s.mu.Lock()
 	s.established = true
@@ -577,7 +592,7 @@ func (s *Session) engineReader() {
 // unexpected connection loss means the master daemon itself (or its node)
 // died.
 func (s *Session) beReader() {
-	s.masterReader(s.beMaster, s.beUsr, s.beColl, "")
+	s.masterReader(s.beMaster, s.beUsr, s.beColl, s.beTags, "")
 }
 
 // mwReader is the MW-fabric mirror of beReader, started when LaunchMW
@@ -587,16 +602,16 @@ func (s *Session) beReader() {
 // BE-daemon loss — callbacks fire and the watchdog tears the session down.
 func (s *Session) mwReader() {
 	s.mu.Lock()
-	conn, usrQ, collQ := s.mwMaster, s.mwUsr, s.mwColl
+	conn, usrQ, collQ, tags := s.mwMaster, s.mwUsr, s.mwColl, s.mwTags
 	s.mu.Unlock()
-	s.masterReader(conn, usrQ, collQ, "mw ")
+	s.masterReader(conn, usrQ, collQ, tags, "mw ")
 }
 
 // masterReader is the shared demux loop for a fabric's master-daemon
 // connection. kind prefixes fault details ("" for the BE fabric, "mw "
 // for the MW fabric) so tools and fault errors can tell which fabric's
 // daemon was lost.
-func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ *vtime.Chan[collEvent], kind string) {
+func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ *vtime.Chan[collEvent], tags *tagRouter, kind string) {
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -610,6 +625,7 @@ func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ
 			}
 			usrQ.Close()
 			collQ.Close()
+			tags.close()
 			if errors.Is(err, simnet.ErrPeerDead) && !s.closed() {
 				s.fire(health.Event{
 					Kind: health.EvDaemonExited, Rank: 0,
@@ -626,7 +642,18 @@ func (s *Session) masterReader(conn *lmonp.Conn, usrQ *vtime.Chan[[]byte], collQ
 			usrQ.Send(msg.UsrData)
 		case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
 			f, err := coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
-			collQ.Send(collEvent{f: f, err: err})
+			switch {
+			case err != nil:
+				// An undecodable frame names no trustworthy tag: poison the
+				// lockstep queue and every tagged stream so no pending
+				// collective waits for an end marker that never comes.
+				collQ.Send(collEvent{err: err})
+				tags.poison(err)
+			case f.H.Tag >= coll.MinUserTag:
+				tags.send(f.H.Tag, collEvent{f: f})
+			default:
+				collQ.Send(collEvent{f: f})
+			}
 		case lmonp.TypeObsMetrics:
 			// The finalize-time harvest: a cumulative fabric-wide snapshot
 			// folded up the tree and pushed by the master before it closes.

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"launchmon/internal/coll"
+	"launchmon/internal/lmonp"
+	"launchmon/internal/vtime"
+)
+
+// This file is the master daemon's FE-connection demultiplexer: once the
+// master serves concurrent tagged collectives (or hands tool-data reads
+// to one goroutine while another drives a collective), a single router
+// goroutine must own the connection's read side — lmonp connections have
+// exactly one reader. It sorts messages into the tool-data queue
+// (RecvFromFE), the lockstep collective queue (untagged plane
+// operations), and per-tag queues for user-tagged streams. The router
+// starts lazily on the first read-side use — never during init, where
+// the seed pipeline (seedSourceFromFE) still reads the connection
+// directly, and never at all on daemons that only ever push data up.
+
+// feRouter demultiplexes the master daemon's FE connection.
+type feRouter struct {
+	d *daemonSession
+
+	usr    *vtime.Chan[[]byte]    // TypeUsrData payloads (RecvFromFE)
+	legacy *vtime.Chan[collEvent] // lockstep-tagged collective frames
+	tags   *tagRouter             // user-tagged collective streams
+
+	mu  sync.Mutex
+	err error // terminal router error (recorded by fail)
+}
+
+// feRouter returns the master's FE router, starting it on first use.
+func (d *daemonSession) feRouter() *feRouter {
+	d.feRtOnce.Do(func() {
+		sim := d.p.Sim()
+		rt := &feRouter{
+			d:      d,
+			usr:    vtime.NewChan[[]byte](sim),
+			legacy: vtime.NewChan[collEvent](sim),
+			tags:   newTagRouter(sim),
+		}
+		d.feRt = rt
+		sim.Go(fmt.Sprintf("%s-master-fe-router", d.fab.kind), rt.run)
+	})
+	return d.feRt
+}
+
+// run owns the FE connection's read side: tool data to the usr queue,
+// collective frames to their tag's stream (lockstep tags share one
+// ordered queue, preserving the eager divergence check of the plane's
+// down hook), anything else fails the router.
+func (rt *feRouter) run() {
+	for {
+		msg, err := rt.d.fe.Recv()
+		if err != nil {
+			rt.fail(err)
+			return
+		}
+		switch msg.Type {
+		case lmonp.TypeUsrData:
+			rt.usr.Send(msg.UsrData)
+		case lmonp.TypeCollChunk, lmonp.TypeCollEnd:
+			f, derr := coll.DecodeMsg(msg.Type == lmonp.TypeCollEnd, msg.Payload, msg.UsrData)
+			switch {
+			case derr != nil:
+				// An undecodable frame names no trustworthy tag: poison
+				// every stream so no pending collective waits forever.
+				rt.legacy.Send(collEvent{err: derr})
+				rt.tags.poison(derr)
+			case f.H.Tag >= coll.MinUserTag:
+				rt.tags.send(f.H.Tag, collEvent{f: f})
+			default:
+				rt.legacy.Send(collEvent{f: f})
+			}
+		default:
+			rt.fail(fmt.Errorf("core: %v message while awaiting tool data or a collective frame", msg.Type))
+			return
+		}
+	}
+}
+
+// fail records the terminal error and wakes every consumer: the FE link
+// died (or delivered an unroutable message), so tool-data reads, lockstep
+// collectives and every tagged stream must observe it.
+func (rt *feRouter) fail(err error) {
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+	rt.usr.Close()
+	rt.legacy.Close()
+	rt.tags.close()
+}
+
+// takeErr reports why the router stopped.
+func (rt *feRouter) takeErr() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.err != nil {
+		return rt.err
+	}
+	return fmt.Errorf("core: master FE connection lost")
+}
+
+// nextColl yields the tagged stream's next FE-originated collective frame
+// — the plane's down hook. Lockstep tags (below coll.MinUserTag) share
+// one ordered queue so an op/tag mismatch still errors eagerly in the
+// plane's checkStream; user tags each drain their own stream, retired at
+// its end marker.
+func (rt *feRouter) nextColl(tag uint32) (coll.Frame, error) {
+	user := tag >= coll.MinUserTag
+	q := rt.legacy
+	if user {
+		q = rt.tags.q(tag)
+	}
+	ev, ok := q.Recv()
+	if !ok {
+		return coll.Frame{}, rt.takeErr()
+	}
+	if ev.err != nil {
+		return coll.Frame{}, ev.err
+	}
+	if user && ev.f.End {
+		rt.tags.drop(tag)
+	}
+	return ev.f, nil
+}

@@ -71,10 +71,11 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 		env[k] = v
 	}
 	env[EnvFEAddr] = s.fe.mux.Addr().String()
-	env[EnvSession] = fmt.Sprint(s.ID)
+	env[EnvSession] = encodeSessionID(s.ID)
 	env[EnvICCLPort] = fmt.Sprint(icclPortFor(s.ID, true))
 	env[EnvICCLFanout] = fmt.Sprint(opts.ICCLFanout)
 	env[EnvCollChunk] = fmt.Sprint(s.collChunk)
+	env[EnvCollWindow] = fmt.Sprint(s.collWindow)
 	env[EnvSeedMode] = opts.SeedMode.envValue()
 	env[EnvTableMode] = s.tableMode.envValue()
 	env[EnvProctabChunk] = fmt.Sprint(s.chunkBytes)
@@ -174,6 +175,7 @@ func (s *Session) LaunchMW(opts MWOptions) ([]string, error) {
 	s.mwInfos = res.infos
 	s.mwUsr = vtime.NewChan[[]byte](sim)
 	s.mwColl = vtime.NewChan[collEvent](sim)
+	s.mwTags = newTagRouter(sim)
 	s.mwLaunching = false
 	s.mu.Unlock()
 	// Hand the MW master connection's read side to a watcher goroutine

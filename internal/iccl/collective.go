@@ -18,6 +18,35 @@ import (
 // front end through injected up/down frame hooks (internal/core wires
 // them to the FE's LMONP connection; tests wire them to in-memory
 // queues), so the routing logic is identical at every tree node.
+//
+// Plane v2 adds two orthogonal mechanisms:
+//
+//   - Flow control: each chunk on a tree link consumes one credit of the
+//     per-(link, tag) window; the receiver returns a credit as it
+//     dequeues the chunk (opCredit), so at most window chunks of one
+//     stream are ever queued at a receiver — interior depth is bounded
+//     by window × chunk bytes regardless of tree size or subtree skew.
+//     End markers and credits ride outside the window. Credits apply to
+//     tree links only: the FE↔master LMONP hop has exactly one consumer
+//     draining into per-tag queues and no fan-in skew, so a window there
+//     would serialize the FE against the slowest subtree for no bound
+//     it doesn't already have.
+//
+//   - Tagged streams: the per-connection router (router.go) demuxes
+//     frames by tag, so independent tagged collectives — each driven by
+//     its own goroutine — multiplex one session tree concurrently. The
+//     legacy untagged API keeps the lockstep SPMD discipline on a
+//     per-plane sequence; *Tag variants take explicit tags from
+//     [coll.MinUserTag, coll.MaxUserTag), and tree-wide lockstep ops
+//     (Barrier/AllGather/AllReduce) sequence above coll.MaxUserTag.
+//
+// One caveat follows from tag demux: a frame whose tag matches no
+// running operation parks silently in its tag queue instead of failing
+// the current operation, so a cross-tag SPMD divergence on a tree link
+// surfaces as the sender's own stream erroring (or a hang under fault-
+// free misuse), not as a mismatch error at the receiver. The root's
+// down hook is not demuxed by the plane, so FE-originated tag
+// divergence still errors eagerly (checkStream).
 
 // Tree link opcodes of the collective plane.
 const (
@@ -29,20 +58,22 @@ const (
 // streams, restamped per link).
 type UpFn func(coll.Frame) error
 
-// DownFn yields the next FE-originated frame at the tree root (broadcast
-// and scatter streams).
-type DownFn func() (coll.Frame, error)
+// DownFn yields the tagged stream's next FE-originated frame at the
+// tree root (broadcast and scatter streams).
+type DownFn func(tag uint32) (coll.Frame, error)
 
 // Plane is one daemon's handle on the session's collective tool-data
-// plane. All daemons of a session must invoke the same collective
-// operations in the same order (SPMD discipline, like the base ICCL
-// collectives); the per-operation tag, advanced in lockstep on every
-// participant, catches violations as protocol errors instead of silent
-// cross-talk.
+// plane. The untagged operations follow the lockstep SPMD discipline
+// (all daemons invoke the same collectives in the same order, from one
+// goroutine per daemon); the *Tag operations are safe to run
+// concurrently from multiple goroutines as long as every daemon runs
+// the same operation with the same tag.
 type Plane struct {
 	c          *Comm
 	chunkBytes int
+	window     int // per-(link, tag) chunk credits; 0 = unlimited
 	seq        uint32
+	treeSeq    uint32
 	up         UpFn
 	down       DownFn
 	slotOf     map[int]int // direct child rank → slot (flat roots have K-1 children)
@@ -50,23 +81,47 @@ type Plane struct {
 
 // NewPlane attaches a collective plane to the communicator. chunkBytes
 // bounds one chunk body per link (<= 0 selects coll.DefaultChunkBytes);
-// up and down bridge the root to the front end and must be non-nil at
-// the root only.
-func (c *Comm) NewPlane(chunkBytes int, up UpFn, down DownFn) *Plane {
+// window is the per-(link, tag) outstanding-chunk credit budget (0
+// selects coll.DefaultWindow, negative disables flow control — the
+// unbounded ablation baseline); up and down bridge the root to the
+// front end and must be non-nil at the root only.
+func (c *Comm) NewPlane(chunkBytes, window int, up UpFn, down DownFn) *Plane {
 	if chunkBytes <= 0 {
 		chunkBytes = coll.DefaultChunkBytes
+	}
+	switch {
+	case window == 0:
+		window = coll.DefaultWindow
+	case window < 0:
+		window = 0
 	}
 	slotOf := make(map[int]int, len(c.childRk))
 	for slot, rk := range c.childRk {
 		slotOf[rk] = slot
 	}
-	return &Plane{c: c, chunkBytes: chunkBytes, up: up, down: down, slotOf: slotOf}
+	return &Plane{c: c, chunkBytes: chunkBytes, window: window, up: up, down: down, slotOf: slotOf}
 }
 
-// nextTag advances the plane's collective sequence.
+// nextTag advances the plane's lockstep FE-collective sequence.
 func (pl *Plane) nextTag() uint32 {
 	pl.seq++
 	return pl.seq
+}
+
+// nextTreeTag advances the lockstep sequence of the tree-internal
+// collectives (Barrier/AllGather/AllReduce without explicit tags),
+// in the reserved space above the user tags.
+func (pl *Plane) nextTreeTag() uint32 {
+	pl.treeSeq++
+	return coll.MaxUserTag + pl.treeSeq
+}
+
+// checkUserTag validates an explicitly allocated stream tag.
+func checkUserTag(tag uint32) error {
+	if tag < coll.MinUserTag || tag >= coll.MaxUserTag {
+		return fmt.Errorf("%w: user tag %d outside [%d, %d)", ErrProtocol, tag, coll.MinUserTag, coll.MaxUserTag)
+	}
+	return nil
 }
 
 // writeFrameOp renders f as a tree-link frame under the given chunk/end
@@ -149,8 +204,16 @@ func parseFrameOp(raw []byte, chunkOp, endOp uint32) (coll.Frame, error) {
 	return f, nil
 }
 
-// sendFrame writes one collective frame to a tree link.
+// sendFrame writes one collective frame to a tree link, holding one
+// window credit per chunk (End markers ride outside the window and
+// retire the stream's gate).
 func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
+	rt := pl.c.routerFor(conn)
+	if rt != nil && pl.window > 0 && !f.End {
+		if err := rt.gate(f.H.Tag, pl.window).acquire(); err != nil {
+			return err
+		}
+	}
 	n, err := writeFrameOp(conn, opCollChunk, opCollEnd, f)
 	if err != nil {
 		return err
@@ -159,17 +222,32 @@ func (pl *Plane) sendFrame(conn *simnet.Conn, f coll.Frame) error {
 	pl.c.txBytes.Add(uint64(n))
 	pl.c.collTxFrames.Inc()
 	pl.c.collTxBytes.Add(uint64(n))
+	if rt != nil && f.End {
+		rt.dropGate(f.H.Tag)
+	}
 	return nil
 }
 
-// recvFrame reads one collective frame from a tree link (demuxed when
-// the link is shared with the health plane).
-func (pl *Plane) recvFrame(conn *simnet.Conn) (coll.Frame, error) {
-	raw, err := pl.c.recvRaw(conn)
-	if err != nil {
-		return coll.Frame{}, err
+// recvTagged dequeues the next frame of one tagged stream from a tree
+// link, returning a credit to the sender as the chunk leaves the queue
+// (so the sender's window tracks this node's consumption, not its
+// arrivals) and retiring the tag queue at the stream's end.
+func (pl *Plane) recvTagged(conn *simnet.Conn, tag uint32) (coll.Frame, error) {
+	rt := pl.c.routerFor(conn)
+	q := rt.tagQ(tag)
+	f, ok := q.Recv()
+	if !ok {
+		return coll.Frame{}, rt.takeErr()
 	}
-	return parseFrameOp(raw, opCollChunk, opCollEnd)
+	rt.dequeued(f)
+	if f.End {
+		rt.dropTag(tag)
+	} else if pl.window > 0 {
+		if err := pl.c.sendCredit(conn, tag, 1); err != nil {
+			return coll.Frame{}, err
+		}
+	}
+	return f, nil
 }
 
 // emitUp ships one FE-bound frame: through the up hook at the root,
@@ -184,23 +262,23 @@ func (pl *Plane) emitUp(f coll.Frame) error {
 	return pl.sendFrame(pl.c.parent, f)
 }
 
-// recvDown yields the next FE-originated frame: from the down hook at
-// the root, from the parent link elsewhere.
-func (pl *Plane) recvDown() (coll.Frame, error) {
+// recvDown yields the tagged stream's next FE-originated frame: from
+// the down hook at the root, from the parent link elsewhere.
+func (pl *Plane) recvDown(tag uint32) (coll.Frame, error) {
 	if pl.c.parent == nil {
 		if pl.down == nil {
 			return coll.Frame{}, fmt.Errorf("%w: root plane has no down hook", ErrProtocol)
 		}
-		return pl.down()
+		return pl.down(tag)
 	}
-	return pl.recvFrame(pl.c.parent)
+	return pl.recvTagged(pl.c.parent, tag)
 }
 
 // checkStream validates that a frame belongs to the current operation.
-func checkStream(f coll.Frame, op coll.Op, tag uint32) error {
+func (pl *Plane) checkStream(f coll.Frame, op coll.Op, tag uint32) error {
 	if f.H.Op != op || f.H.Tag != tag {
-		return fmt.Errorf("%w: %v frame tag %d during %v tag %d (collective order diverged)",
-			ErrProtocol, f.H.Op, f.H.Tag, op, tag)
+		return fmt.Errorf("%w: rank %d: %v frame tag %d during %v tag %d (collective order diverged)",
+			ErrProtocol, pl.c.rank, f.H.Op, f.H.Tag, op, tag)
 	}
 	return nil
 }
@@ -208,14 +286,27 @@ func checkStream(f coll.Frame, op coll.Op, tag uint32) error {
 // Broadcast receives one FE-originated broadcast, forwarding every chunk
 // to the children as it arrives, and returns the reassembled payload.
 func (pl *Plane) Broadcast() ([]byte, error) {
-	tag := pl.nextTag()
+	pl.c.startRouter()
+	return pl.broadcast(pl.nextTag())
+}
+
+// BroadcastTag is Broadcast on an explicitly tagged concurrent stream.
+func (pl *Plane) BroadcastTag(tag uint32) ([]byte, error) {
+	if err := checkUserTag(tag); err != nil {
+		return nil, err
+	}
+	pl.c.startRouter()
+	return pl.broadcast(tag)
+}
+
+func (pl *Plane) broadcast(tag uint32) ([]byte, error) {
 	var asm coll.RawAssembler
 	for {
-		f, err := pl.recvDown()
+		f, err := pl.recvDown(tag)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkStream(f, coll.OpBroadcast, tag); err != nil {
+		if err := pl.checkStream(f, coll.OpBroadcast, tag); err != nil {
 			return nil, err
 		}
 		for _, conn := range pl.c.children {
@@ -254,7 +345,20 @@ func (pl *Plane) childSlot(r int) int {
 // child subtree and stream them onward in bounded-size chunks
 // (coll.Packer — the shared coalescing implementation).
 func (pl *Plane) Scatter() ([]byte, error) {
-	tag := pl.nextTag()
+	pl.c.startRouter()
+	return pl.scatter(pl.nextTag())
+}
+
+// ScatterTag is Scatter on an explicitly tagged concurrent stream.
+func (pl *Plane) ScatterTag(tag uint32) ([]byte, error) {
+	if err := checkUserTag(tag); err != nil {
+		return nil, err
+	}
+	pl.c.startRouter()
+	return pl.scatter(tag)
+}
+
+func (pl *Plane) scatter(tag uint32) ([]byte, error) {
 	packers := make([]*coll.Packer, len(pl.c.children))
 	for slot, conn := range pl.c.children {
 		conn := conn
@@ -267,11 +371,11 @@ func (pl *Plane) Scatter() ([]byte, error) {
 	have := false
 	var in coll.SeqCheck // validates the incoming chunk index sequence
 	for {
-		f, err := pl.recvDown()
+		f, err := pl.recvDown(tag)
 		if err != nil {
 			return nil, err
 		}
-		if err := checkStream(f, coll.OpScatter, tag); err != nil {
+		if err := pl.checkStream(f, coll.OpScatter, tag); err != nil {
 			return nil, err
 		}
 		if err := in.Admit(f.H); err != nil {
@@ -321,20 +425,44 @@ func (pl *Plane) Scatter() ([]byte, error) {
 // by the subtree's daemon count, and no link ever carries a monolithic
 // K-entry payload.
 func (pl *Plane) Gather(mine []byte) error {
-	tag := pl.nextTag()
+	pl.c.startRouter()
+	return pl.gather(pl.nextTag(), mine)
+}
+
+// GatherTag is Gather on an explicitly tagged concurrent stream.
+func (pl *Plane) GatherTag(tag uint32, mine []byte) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	pl.c.startRouter()
+	return pl.gather(tag, mine)
+}
+
+func (pl *Plane) gather(tag uint32, mine []byte) error {
 	pk := &coll.Packer{Op: coll.OpGather, Tag: tag, ChunkBytes: pl.chunkBytes, Emit: pl.emitUp}
 	if err := pk.Add(coll.Entry{Rank: pl.c.rank, Blob: mine}); err != nil {
 		return err
 	}
+	if err := pl.gatherChildren(coll.OpGather, tag, pk.Add); err != nil {
+		return err
+	}
+	return pk.End()
+}
+
+// gatherChildren drains each child subtree's entry stream in slot
+// order, validating per-link sequencing and the entry sub-count, and
+// feeds every entry to sink — the shared up-phase of Gather and
+// AllGather.
+func (pl *Plane) gatherChildren(op coll.Op, tag uint32, sink func(coll.Entry) error) error {
 	for slot, conn := range pl.c.children {
 		var in coll.SeqCheck
 		var sub uint64
 		for {
-			f, err := pl.recvFrame(conn)
+			f, err := pl.recvTagged(conn, tag)
 			if err != nil {
 				return err
 			}
-			if err := checkStream(f, coll.OpGather, tag); err != nil {
+			if err := pl.checkStream(f, op, tag); err != nil {
 				return err
 			}
 			if err := in.Admit(f.H); err != nil {
@@ -342,8 +470,8 @@ func (pl *Plane) Gather(mine []byte) error {
 			}
 			if f.End {
 				if sub != f.Total {
-					return fmt.Errorf("%w: child %d forwarded %d gather entries, end marker says %d",
-						ErrProtocol, pl.c.childRk[slot], sub, f.Total)
+					return fmt.Errorf("%w: child %d forwarded %d %v entries, end marker says %d",
+						ErrProtocol, pl.c.childRk[slot], sub, op, f.Total)
 				}
 				break
 			}
@@ -353,13 +481,13 @@ func (pl *Plane) Gather(mine []byte) error {
 			}
 			sub += uint64(len(entries))
 			for _, e := range entries {
-				if err := pk.Add(e); err != nil {
+				if err := sink(e); err != nil {
 					return err
 				}
 			}
 		}
 	}
-	return pk.End()
+	return nil
 }
 
 // Reduce contributes mine to an FE-bound reduction: every node folds its
@@ -368,44 +496,23 @@ func (pl *Plane) Gather(mine []byte) error {
 // per-link bytes are bounded by the combined result, not the subtree
 // size.
 func (pl *Plane) Reduce(mine []byte, filter string) error {
-	tag := pl.nextTag()
-	fn, err := coll.LookupFilter(filter)
-	if err != nil {
+	pl.c.startRouter()
+	return pl.reduce(pl.nextTag(), mine, filter)
+}
+
+// ReduceTag is Reduce on an explicitly tagged concurrent stream.
+func (pl *Plane) ReduceTag(tag uint32, mine []byte, filter string) error {
+	if err := checkUserTag(tag); err != nil {
 		return err
 	}
-	acc, err := fn(nil, mine)
+	pl.c.startRouter()
+	return pl.reduce(tag, mine, filter)
+}
+
+func (pl *Plane) reduce(tag uint32, mine []byte, filter string) error {
+	acc, err := pl.combineChildren(coll.OpReduce, tag, mine, filter)
 	if err != nil {
 		return err
-	}
-	for slot, conn := range pl.c.children {
-		var asm coll.RawAssembler
-		for {
-			f, err := pl.recvFrame(conn)
-			if err != nil {
-				return err
-			}
-			if err := checkStream(f, coll.OpReduce, tag); err != nil {
-				return err
-			}
-			if f.H.Filter != filter {
-				return fmt.Errorf("%w: child %d reduces with filter %q, this node with %q",
-					ErrProtocol, pl.c.childRk[slot], f.H.Filter, filter)
-			}
-			if f.End {
-				blob, err := asm.Finish(f.H, f.Total)
-				if err != nil {
-					return err
-				}
-				pl.c.p.Compute(pl.c.cfg.PerMsgCost) // combine charge
-				if acc, err = fn(acc, blob); err != nil {
-					return err
-				}
-				break
-			}
-			if err := asm.Add(f.H, f.Body); err != nil {
-				return err
-			}
-		}
 	}
 	for _, f := range coll.RawFrames(coll.OpReduce, tag, filter, acc, pl.chunkBytes) {
 		if err := pl.emitUp(f); err != nil {
@@ -413,4 +520,269 @@ func (pl *Plane) Reduce(mine []byte, filter string) error {
 		}
 	}
 	return nil
+}
+
+// combineChildren folds every child subtree's combined stream into this
+// node's own contribution with the named filter — the shared up-phase
+// of Reduce and AllReduce.
+func (pl *Plane) combineChildren(op coll.Op, tag uint32, mine []byte, filter string) ([]byte, error) {
+	fn, err := coll.LookupFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := fn(nil, mine)
+	if err != nil {
+		return nil, err
+	}
+	for slot, conn := range pl.c.children {
+		var asm coll.RawAssembler
+		for {
+			f, err := pl.recvTagged(conn, tag)
+			if err != nil {
+				return nil, err
+			}
+			if err := pl.checkStream(f, op, tag); err != nil {
+				return nil, err
+			}
+			if f.H.Filter != filter {
+				return nil, fmt.Errorf("%w: child %d reduces with filter %q, this node with %q",
+					ErrProtocol, pl.c.childRk[slot], f.H.Filter, filter)
+			}
+			if f.End {
+				blob, err := asm.Finish(f.H, f.Total)
+				if err != nil {
+					return nil, err
+				}
+				pl.c.p.Compute(pl.c.cfg.PerMsgCost) // combine charge
+				if acc, err = fn(acc, blob); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if err := asm.Add(f.H, f.Body); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Barrier blocks until every daemon of the tree has entered it: an
+// up-phase of end markers gathers at the root, then a release wave
+// flows back down (the DAOS crt_barrier two-phase shape). The FE is not
+// involved — the root turns the barrier around. Barrier participates in
+// the tree-lockstep sequence shared with AllGather/AllReduce.
+func (pl *Plane) Barrier() error {
+	pl.c.startRouter()
+	return pl.barrier(pl.nextTreeTag())
+}
+
+// BarrierTag is Barrier on an explicitly tagged concurrent stream.
+func (pl *Plane) BarrierTag(tag uint32) error {
+	if err := checkUserTag(tag); err != nil {
+		return err
+	}
+	pl.c.startRouter()
+	return pl.barrier(tag)
+}
+
+func (pl *Plane) barrier(tag uint32) error {
+	end := coll.Frame{H: coll.Header{Op: coll.OpBarrier, Tag: tag}, End: true, Sum: lmonp.SumInit}
+	for _, conn := range pl.c.children {
+		f, err := pl.recvTagged(conn, tag)
+		if err != nil {
+			return err
+		}
+		if err := pl.checkBarrierFrame(f, tag); err != nil {
+			return err
+		}
+	}
+	if pl.c.parent != nil {
+		if err := pl.sendFrame(pl.c.parent, end); err != nil {
+			return err
+		}
+		f, err := pl.recvTagged(pl.c.parent, tag)
+		if err != nil {
+			return err
+		}
+		if err := pl.checkBarrierFrame(f, tag); err != nil {
+			return err
+		}
+	}
+	for _, conn := range pl.c.children {
+		if err := pl.sendFrame(conn, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pl *Plane) checkBarrierFrame(f coll.Frame, tag uint32) error {
+	if err := pl.checkStream(f, coll.OpBarrier, tag); err != nil {
+		return err
+	}
+	if !f.End {
+		return fmt.Errorf("%w: rank %d: barrier stream carries a chunk", ErrProtocol, pl.c.rank)
+	}
+	return nil
+}
+
+// AllGather contributes mine and returns every daemon's contribution
+// indexed by rank: a gather up-phase into the root, then the assembled
+// rank table redistributed down the tree in bounded chunks.
+func (pl *Plane) AllGather(mine []byte) ([][]byte, error) {
+	pl.c.startRouter()
+	return pl.allGather(pl.nextTreeTag(), mine)
+}
+
+// AllGatherTag is AllGather on an explicitly tagged concurrent stream.
+func (pl *Plane) AllGatherTag(tag uint32, mine []byte) ([][]byte, error) {
+	if err := checkUserTag(tag); err != nil {
+		return nil, err
+	}
+	pl.c.startRouter()
+	return pl.allGather(tag, mine)
+}
+
+func (pl *Plane) allGather(tag uint32, mine []byte) ([][]byte, error) {
+	if pl.c.parent == nil {
+		// Root: assemble the full rank table from the subtree streams...
+		byRank := map[int][]byte{pl.c.rank: append([]byte(nil), mine...)}
+		err := pl.gatherChildren(coll.OpAllGather, tag, func(e coll.Entry) error {
+			if _, dup := byRank[e.Rank]; dup {
+				return fmt.Errorf("%w: rank %d contributed twice to allgather", ErrProtocol, e.Rank)
+			}
+			byRank[e.Rank] = append([]byte(nil), e.Blob...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(byRank) != pl.c.size {
+			return nil, fmt.Errorf("%w: allgather assembled %d of %d contributions",
+				ErrProtocol, len(byRank), pl.c.size)
+		}
+		out := make([][]byte, pl.c.size)
+		entries := make([]coll.Entry, pl.c.size)
+		for rk := 0; rk < pl.c.size; rk++ {
+			out[rk] = byRank[rk]
+			entries[rk] = coll.Entry{Rank: rk, Blob: byRank[rk]}
+		}
+		// ...then redistribute it down every child link in bounded chunks.
+		for _, conn := range pl.c.children {
+			conn := conn
+			pk := &coll.Packer{Op: coll.OpAllGather, Tag: tag, ChunkBytes: pl.chunkBytes,
+				Emit: func(f coll.Frame) error { return pl.sendFrame(conn, f) }}
+			for _, e := range entries {
+				if err := pk.Add(e); err != nil {
+					return nil, err
+				}
+			}
+			if err := pk.End(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	// Non-root up-phase: own entry first, then each child subtree,
+	// re-coalesced upward (the Gather shape).
+	pk := &coll.Packer{Op: coll.OpAllGather, Tag: tag, ChunkBytes: pl.chunkBytes,
+		Emit: func(f coll.Frame) error { return pl.sendFrame(pl.c.parent, f) }}
+	if err := pk.Add(coll.Entry{Rank: pl.c.rank, Blob: mine}); err != nil {
+		return nil, err
+	}
+	if err := pl.gatherChildren(coll.OpAllGather, tag, pk.Add); err != nil {
+		return nil, err
+	}
+	if err := pk.End(); err != nil {
+		return nil, err
+	}
+	// Down-phase: forward the table stream to the children as it
+	// arrives and reassemble it locally (the Broadcast shape).
+	var in coll.SeqCheck
+	var asm coll.RankAssembler
+	for {
+		f, err := pl.recvTagged(pl.c.parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		if err := pl.checkStream(f, coll.OpAllGather, tag); err != nil {
+			return nil, err
+		}
+		if err := in.Admit(f.H); err != nil {
+			return nil, err
+		}
+		for _, conn := range pl.c.children {
+			if err := pl.sendFrame(conn, f); err != nil {
+				return nil, err
+			}
+		}
+		if f.End {
+			return asm.Finish(f.H, f.Total, pl.c.size)
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// AllReduce contributes mine to a reduction with the named filter and
+// returns the combined result on every daemon: the Reduce up-phase
+// folds into the root, whose final accumulator is redistributed down
+// the tree (down-phase reuse of the up-phase combine).
+func (pl *Plane) AllReduce(mine []byte, filter string) ([]byte, error) {
+	pl.c.startRouter()
+	return pl.allReduce(pl.nextTreeTag(), mine, filter)
+}
+
+// AllReduceTag is AllReduce on an explicitly tagged concurrent stream.
+func (pl *Plane) AllReduceTag(tag uint32, mine []byte, filter string) ([]byte, error) {
+	if err := checkUserTag(tag); err != nil {
+		return nil, err
+	}
+	pl.c.startRouter()
+	return pl.allReduce(tag, mine, filter)
+}
+
+func (pl *Plane) allReduce(tag uint32, mine []byte, filter string) ([]byte, error) {
+	acc, err := pl.combineChildren(coll.OpAllReduce, tag, mine, filter)
+	if err != nil {
+		return nil, err
+	}
+	if pl.c.parent == nil {
+		for _, conn := range pl.c.children {
+			for _, f := range coll.RawFrames(coll.OpAllReduce, tag, filter, acc, pl.chunkBytes) {
+				if err := pl.sendFrame(conn, f); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return acc, nil
+	}
+	for _, f := range coll.RawFrames(coll.OpAllReduce, tag, filter, acc, pl.chunkBytes) {
+		if err := pl.sendFrame(pl.c.parent, f); err != nil {
+			return nil, err
+		}
+	}
+	var asm coll.RawAssembler
+	for {
+		f, err := pl.recvTagged(pl.c.parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		if err := pl.checkStream(f, coll.OpAllReduce, tag); err != nil {
+			return nil, err
+		}
+		for _, conn := range pl.c.children {
+			if err := pl.sendFrame(conn, f); err != nil {
+				return nil, err
+			}
+		}
+		if f.End {
+			return asm.Finish(f.H, f.Total)
+		}
+		if err := asm.Add(f.H, f.Body); err != nil {
+			return nil, err
+		}
+	}
 }

@@ -21,7 +21,7 @@ type feDriver struct {
 	recv []coll.Frame // frames the root ships up
 }
 
-func (d *feDriver) down() (coll.Frame, error) {
+func (d *feDriver) down(uint32) (coll.Frame, error) {
 	if d.sent >= len(d.send) {
 		return coll.Frame{}, fmt.Errorf("fe driver: out of frames")
 	}
@@ -70,9 +70,9 @@ func planeRig(t *testing.T, n, fanout, chunkBytes int, driver *feDriver, fn func
 	rig(t, n, fanout, func(c *Comm, p *cluster.Proc) error {
 		var pl *Plane
 		if c.IsMaster() {
-			pl = c.NewPlane(chunkBytes, driver.up, driver.down)
+			pl = c.NewPlane(chunkBytes, 0, driver.up, driver.down)
 		} else {
-			pl = c.NewPlane(chunkBytes, nil, nil)
+			pl = c.NewPlane(chunkBytes, 0, nil, nil)
 		}
 		return fn(pl, c)
 	})
@@ -326,7 +326,7 @@ func TestPlaneGatherCoalescesSmallEntries(t *testing.T) {
 
 func TestPlaneUnknownReduceFilter(t *testing.T) {
 	rig(t, 1, 2, func(c *Comm, p *cluster.Proc) error {
-		pl := c.NewPlane(0, func(coll.Frame) error { return nil }, nil)
+		pl := c.NewPlane(0, 0, func(coll.Frame) error { return nil }, nil)
 		if err := pl.Reduce([]byte{1}, "definitely-not-registered"); err == nil {
 			return fmt.Errorf("unknown filter accepted")
 		}

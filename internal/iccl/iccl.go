@@ -37,6 +37,7 @@ const (
 	opScatter   = 7
 	opHeartbeat = 12 // child → parent: health beat piggybacked on the tree link
 	opFold      = 13 // child → parent: combined blob of a FoldUp tree reduction
+	opCredit    = 14 // receiver → sender: flow-control credits for a tagged stream
 )
 
 // Config describes one daemon's place in the ICCL tree.
@@ -103,10 +104,15 @@ type Comm struct {
 	muxMu sync.Mutex
 	mux   map[*simnet.Conn]*linkMux // set by ShareLinks, nil before
 
+	rtMu    sync.Mutex
+	routers map[*simnet.Conn]*connRouter // set by startRouter, nil before
+
 	// Metric handles, interned once at bootstrap (nil = obs off; all
 	// methods on nil handles no-op).
 	txFrames, txBytes, rxFrames, rxBytes *obs.Counter
 	collTxFrames, collTxBytes            *obs.Counter
+	creditTxFrames                       *obs.Counter
+	collDepthMax, collBytesMax           *obs.Gauge
 }
 
 // bindMetrics interns the communicator's counter handles from cfg.Metrics.
@@ -118,6 +124,9 @@ func (c *Comm) bindMetrics() {
 	c.rxBytes = reg.Counter("iccl.rx.bytes")
 	c.collTxFrames = reg.Counter("coll.tx.frames")
 	c.collTxBytes = reg.Counter("coll.tx.bytes")
+	c.creditTxFrames = reg.Counter("coll.credit.tx.frames")
+	c.collDepthMax = reg.Gauge("coll.queue.depth.max")
+	c.collBytesMax = reg.Gauge("coll.link.bytes.max")
 }
 
 // send writes one tree frame, counting it when metrics are bound. All
@@ -244,11 +253,28 @@ func (c *Comm) ShareLinks() (parent *Link, children []*Link) {
 	return parent, children
 }
 
-// recvRaw reads one raw frame from a tree connection, going through the
-// demux queue when the link is shared (ShareLinks) and reading directly
-// otherwise. The ICCL per-message cost is charged exactly once either
-// way: here on the direct path, by the mux reader on the shared path.
+// recvRaw reads one raw non-plane frame from a tree connection. Once the
+// collective-plane router owns the connection (startRouter), base frames
+// are served from its demux queue; before that, reads go through the
+// shared-link mux (ShareLinks) or directly off the connection.
 func (c *Comm) recvRaw(conn *simnet.Conn) ([]byte, error) {
+	if rt := c.routerFor(conn); rt != nil {
+		raw, ok := rt.base.Recv()
+		if !ok {
+			return nil, rt.takeErr()
+		}
+		return raw, nil
+	}
+	return c.recvRawDirect(conn)
+}
+
+// recvRawDirect reads one raw frame from a tree connection, going through
+// the demux queue when the link is shared (ShareLinks) and reading
+// directly otherwise. The ICCL per-message cost is charged exactly once
+// either way: here on the direct path, by the mux reader on the shared
+// path. It is the router goroutine's read primitive; everything else
+// must go through recvRaw.
+func (c *Comm) recvRawDirect(conn *simnet.Conn) ([]byte, error) {
 	c.muxMu.Lock()
 	m := c.mux[conn]
 	c.muxMu.Unlock()
